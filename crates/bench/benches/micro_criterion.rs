@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks: the primitive operations under the figures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nncell_core::{BuildConfig, NnCellIndex, Strategy};
+use nncell_data::{Generator, UniformGenerator};
+use nncell_geom::{DataSpace, Euclidean, Mbr};
+use nncell_index::{RStarTree, XTree};
+use nncell_lp::{SolverKind, VoronoiLp};
+
+fn bench_lp(c: &mut Criterion) {
+    let d = 8;
+    let points = UniformGenerator::new(d).generate(200, 1);
+    let vlp_s = VoronoiLp::new(Euclidean, DataSpace::unit(d), SolverKind::Simplex);
+    let vlp_z = VoronoiLp::new(Euclidean, DataSpace::unit(d), SolverKind::Seidel);
+    let rivals: Vec<&[f64]> = points[1..].iter().map(|p| p.as_slice()).collect();
+    let cons = vlp_s.bisectors(&points[0], rivals.iter().copied());
+
+    let mut g = c.benchmark_group("lp_cell_extents_d8_m199");
+    g.bench_function("simplex", |b| {
+        b.iter(|| vlp_s.extents(&cons, 7).unwrap().unwrap())
+    });
+    g.bench_function("seidel", |b| {
+        b.iter(|| vlp_z.extents(&cons, 7).unwrap().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let d = 8;
+    let n = 2_000;
+    let points = UniformGenerator::new(d).generate(n, 2);
+    let queries = UniformGenerator::new(d).generate(64, 3);
+
+    let mut rstar = RStarTree::for_points(d);
+    let mut xtree = XTree::for_points(d);
+    for (i, p) in points.iter().enumerate() {
+        rstar.insert_point(p, i as u64);
+        xtree.insert_point(p, i as u64);
+    }
+
+    let mut g = c.benchmark_group("tree_nn_query_d8_n2000");
+    g.bench_function("rstar_branch_bound", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 1) % queries.len();
+            rstar.nearest_neighbor(&queries[k]).unwrap()
+        })
+    });
+    g.bench_function("xtree_best_first", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 1) % queries.len();
+            xtree.nearest_neighbor(&queries[k]).unwrap()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tree_insert_d8");
+    g.bench_function("rstar_insert", |b| {
+        let fresh = UniformGenerator::new(d).generate(256, 4);
+        b.iter_batched(
+            || (RStarTree::for_points(d), fresh.clone()),
+            |(mut t, pts)| {
+                for (i, p) in pts.iter().enumerate() {
+                    t.insert(Mbr::from_point(p), i as u64);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_nncell_query(c: &mut Criterion) {
+    let d = 8;
+    let points = UniformGenerator::new(d).generate(2_000, 5);
+    let queries = UniformGenerator::new(d).generate(64, 6);
+    let index = NnCellIndex::build(
+        points,
+        BuildConfig::new(Strategy::NnDirection).with_seed(10),
+    )
+    .expect("build");
+
+    c.bench_function("nncell_point_query_d8_n2000", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 1) % queries.len();
+            index.nearest_neighbor(&queries[k]).unwrap()
+        })
+    });
+}
+
+fn bench_cell_build(c: &mut Criterion) {
+    let d = 8;
+    let points = UniformGenerator::new(d).generate(300, 7);
+    let mut g = c.benchmark_group("cell_index_build_d8_n300");
+    g.sample_size(10);
+    for strategy in [Strategy::Sphere, Strategy::NnDirection] {
+        g.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                NnCellIndex::build(points.clone(), BuildConfig::new(strategy).with_seed(11))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_tree_ops,
+    bench_nncell_query,
+    bench_cell_build
+);
+criterion_main!(benches);

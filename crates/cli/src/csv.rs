@@ -1,0 +1,125 @@
+//! Minimal CSV point I/O: one point per line, comma-separated coordinates.
+
+use nncell_geom::Point;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// I/O or format failure with a user-facing message.
+#[derive(Debug)]
+pub struct CsvError(pub String);
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Writes points as CSV.
+pub fn write_points(path: impl AsRef<Path>, points: &[Point]) -> Result<(), CsvError> {
+    let mut out = String::new();
+    for p in points {
+        let line: Vec<String> = p.iter().map(|c| format!("{c}")).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(&path)
+        .map_err(|e| CsvError(format!("cannot create {}: {e}", path.as_ref().display())))?;
+    f.write_all(out.as_bytes())
+        .map_err(|e| CsvError(format!("write failed: {e}")))?;
+    Ok(())
+}
+
+/// Reads points from CSV, validating rectangularity and finiteness.
+pub fn read_points(path: impl AsRef<Path>) -> Result<Vec<Point>, CsvError> {
+    let text = fs::read_to_string(&path)
+        .map_err(|e| CsvError(format!("cannot read {}: {e}", path.as_ref().display())))?;
+    let mut points = Vec::new();
+    let mut dim = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let coords: Result<Vec<f64>, _> = line.split(',').map(|t| t.trim().parse()).collect();
+        let coords = coords.map_err(|_| CsvError(format!("line {}: bad number", lineno + 1)))?;
+        if coords.iter().any(|c: &f64| !c.is_finite()) {
+            return Err(CsvError(format!("line {}: non-finite value", lineno + 1)));
+        }
+        match dim {
+            None => dim = Some(coords.len()),
+            Some(d) if d != coords.len() => {
+                return Err(CsvError(format!(
+                    "line {}: {} coordinates, expected {}",
+                    lineno + 1,
+                    coords.len(),
+                    d
+                )))
+            }
+            _ => {}
+        }
+        points.push(Point::new(coords));
+    }
+    if points.is_empty() {
+        return Err(CsvError("no points in file".into()));
+    }
+    Ok(points)
+}
+
+/// Parses a single `x,y,z` query string.
+pub fn parse_point(s: &str) -> Result<Vec<f64>, CsvError> {
+    let coords: Result<Vec<f64>, _> = s.split(',').map(|t| t.trim().parse()).collect();
+    let coords = coords.map_err(|_| CsvError(format!("bad point literal {s:?}")))?;
+    if coords.is_empty() {
+        return Err(CsvError("empty point".into()));
+    }
+    Ok(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nncell_cli_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts = vec![Point::new(vec![0.1, 0.2]), Point::new(vec![0.3, 0.4])];
+        let p = tmp("rt.csv");
+        write_points(&p, &pts).unwrap();
+        let back = read_points(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn rejects_ragged_and_bad_numbers() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "0.1,0.2\n0.3\n").unwrap();
+        assert!(read_points(&p).is_err());
+        std::fs::write(&p, "0.1,abc\n").unwrap();
+        assert!(read_points(&p).is_err());
+        std::fs::write(&p, "").unwrap();
+        assert!(read_points(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let p = tmp("com.csv");
+        std::fs::write(&p, "# header\n\n0.5,0.5\n").unwrap();
+        let pts = read_points(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn point_literal() {
+        assert_eq!(parse_point("0.1, 0.2,0.3").unwrap(), vec![0.1, 0.2, 0.3]);
+        assert!(parse_point("a,b").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! `nncell` — command-line front end for the NN-cell index.
+//!
+//! ```text
+//! nncell generate --kind uniform --n 2000 --dim 8 --seed 42 --out pts.csv
+//! nncell build    --points pts.csv --strategy sphere --out idx.nncell
+//! nncell query    --index idx.nncell --point 0.1,0.2,... [--k 5]
+//! nncell info     --index idx.nncell
+//! nncell bench    --index idx.nncell --queries 200 --seed 7
+//! ```
+
+mod args;
+mod csv;
+
+use args::Parsed;
+use nncell_core::{BuildConfig, NnCellIndex, Strategy};
+use nncell_data::{
+    ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
+    UniformGenerator,
+};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let p = Parsed::parse(argv).map_err(|e| e.to_string())?;
+    match p.command.as_str() {
+        "generate" => cmd_generate(&p),
+        "build" => cmd_build(&p),
+        "query" => cmd_query(&p),
+        "info" => cmd_info(&p),
+        "bench" => cmd_bench(&p),
+        other => Err(format!("unknown command {other:?}; try `nncell help`")),
+    }
+}
+
+fn cmd_generate(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["kind", "n", "dim", "seed", "out", "clusters", "sigma"])
+        .map_err(|e| e.to_string())?;
+    let kind = p.get("kind").unwrap_or("uniform");
+    let n: usize = p.get_or("n", 1_000).map_err(|e| e.to_string())?;
+    let dim: usize = p.get_or("dim", 8).map_err(|e| e.to_string())?;
+    let seed: u64 = p.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let out = p.require("out").map_err(|e| e.to_string())?;
+    let points = match kind {
+        "uniform" => UniformGenerator::new(dim).generate(n, seed),
+        "grid" => GridGenerator::new(dim).generate(n, seed),
+        "sparse" => SparseGenerator::new(dim).generate(n, seed),
+        "clustered" => {
+            let clusters: usize = p.get_or("clusters", 8).map_err(|e| e.to_string())?;
+            let sigma: f64 = p.get_or("sigma", 0.05).map_err(|e| e.to_string())?;
+            ClusteredGenerator::new(dim, clusters, sigma).generate(n, seed)
+        }
+        "fourier" => FourierGenerator::new(dim).generate(n, seed),
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    csv::write_points(out, &points).map_err(|e| e.to_string())?;
+    println!("wrote {n} {kind} points (d={dim}) to {out}");
+    Ok(())
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s {
+        "correct" => Strategy::Correct,
+        "correct-pruned" | "pruned" => Strategy::CorrectPruned,
+        "point" => Strategy::Point,
+        "sphere" => Strategy::Sphere,
+        "nn-direction" | "nndirection" => Strategy::NnDirection,
+        other => return Err(format!("unknown --strategy {other:?}")),
+    })
+}
+
+fn cmd_build(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["points", "strategy", "decompose", "seed", "threads", "out"])
+        .map_err(|e| e.to_string())?;
+    let points = csv::read_points(p.require("points").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let strategy = parse_strategy(p.get("strategy").unwrap_or("correct-pruned"))?;
+    let mut cfg = BuildConfig::new(strategy)
+        .with_seed(p.get_or("seed", 0).map_err(|e| e.to_string())?)
+        .with_threads(p.get_or("threads", 1).map_err(|e| e.to_string())?);
+    let decompose: usize = p.get_or("decompose", 1).map_err(|e| e.to_string())?;
+    if decompose > 1 {
+        cfg = cfg.with_decomposition(decompose);
+    }
+    let out = p.require("out").map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let index = NnCellIndex::build(points, cfg).map_err(|e| e.to_string())?;
+    let bs = index.build_stats();
+    index.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "built {} cells ({} pieces) in {:.2}s — {} LPs over {} constraints — saved to {out}",
+        index.len(),
+        index.total_pieces(),
+        t.elapsed().as_secs_f64(),
+        bs.lp.lp_calls,
+        bs.lp.constraints
+    );
+    Ok(())
+}
+
+fn cmd_query(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["index", "point", "k"])
+        .map_err(|e| e.to_string())?;
+    let index = NnCellIndex::load(p.require("index").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let q = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if q.len() != index.dim() {
+        return Err(format!(
+            "query has {} coordinates, index is {}-dimensional",
+            q.len(),
+            index.dim()
+        ));
+    }
+    let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
+    if k == 1 {
+        match index.nearest_neighbor(&q) {
+            Some(r) => println!("nearest neighbor: #{} at distance {:.6}", r.id, r.dist),
+            None => println!("index is empty"),
+        }
+    } else {
+        for (rank, r) in index.knn(&q, k).iter().enumerate() {
+            println!("{:>3}. #{} at distance {:.6}", rank + 1, r.id, r.dist);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["index"]).map_err(|e| e.to_string())?;
+    let index = NnCellIndex::load(p.require("index").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let cells: Vec<_> = (0..index.points().len())
+        .filter_map(|i| index.cell(i).cloned())
+        .collect();
+    println!("dimensionality : {}", index.dim());
+    println!("live points    : {}", index.len());
+    println!("cell pieces    : {}", index.total_pieces());
+    println!("strategy       : {}", index.config().strategy.name());
+    println!("decomposition  : {:?}", index.config().decompose_pieces);
+    println!("cell-tree pages: {}", index.cell_tree_pages());
+    println!(
+        "avg overlap    : {:.3}",
+        nncell_core::average_overlap(&cells)
+    );
+    Ok(())
+}
+
+fn cmd_bench(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["index", "queries", "seed"])
+        .map_err(|e| e.to_string())?;
+    let index = NnCellIndex::load(p.require("index").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let n_q: usize = p.get_or("queries", 200).map_err(|e| e.to_string())?;
+    let seed: u64 = p.get_or("seed", 7).map_err(|e| e.to_string())?;
+    let queries = UniformGenerator::new(index.dim()).generate(n_q, seed);
+    index.reset_stats();
+    let t = Instant::now();
+    let mut cands = 0usize;
+    for q in &queries {
+        cands += index
+            .nearest_neighbor_with_candidates(q)
+            .map(|(_, c)| c)
+            .unwrap_or(0);
+    }
+    let el = t.elapsed().as_secs_f64();
+    let st = index.cell_tree_stats();
+    println!(
+        "{n_q} queries in {:.3}s ({:.1}µs/query) — {:.1} candidates, {:.1} page reads per query",
+        el,
+        el * 1e6 / n_q as f64,
+        cands as f64 / n_q as f64,
+        st.page_reads as f64 / n_q as f64
+    );
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "nncell — exact NN search by indexing Voronoi-cell approximations (ICDE'98)
+
+USAGE: nncell <command> [--flag value]...
+
+COMMANDS
+  generate  --out FILE [--kind uniform|grid|sparse|clustered|fourier]
+            [--n 1000] [--dim 8] [--seed 42] [--clusters 8] [--sigma 0.05]
+  build     --points FILE --out FILE [--strategy correct|correct-pruned|point|
+            sphere|nn-direction] [--decompose K] [--seed S] [--threads T]
+  query     --index FILE --point x,y,... [--k K]
+  info      --index FILE
+  bench     --index FILE [--queries 200] [--seed 7]
+  help"
+    );
+}

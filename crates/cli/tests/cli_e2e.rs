@@ -1,0 +1,113 @@
+//! End-to-end tests spawning the actual `nncell` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nncell"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nncell_cli_e2e_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn generate_build_query_info_bench_pipeline() {
+    let pts = tmp("pts.csv");
+    let idx = tmp("idx.nncell");
+
+    let out = bin()
+        .args(["generate", "--kind", "uniform", "--n", "200", "--dim", "4"])
+        .args(["--seed", "5", "--out", pts.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["build", "--points", pts.to_str().unwrap()])
+        .args(["--strategy", "sphere", "--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("built 200 cells"));
+
+    let out = bin()
+        .args(["query", "--index", idx.to_str().unwrap()])
+        .args(["--point", "0.5,0.5,0.5,0.5", "--k", "3"])
+        .output()
+        .expect("spawn query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.lines().count() >= 3, "three kNN lines: {text}");
+
+    let out = bin()
+        .args(["info", "--index", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("live points    : 200"), "{text}");
+
+    let out = bin()
+        .args(["bench", "--index", idx.to_str().unwrap(), "--queries", "20"])
+        .output()
+        .expect("spawn bench");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("20 queries"));
+
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&idx).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Unknown flag.
+    let out = bin()
+        .args(["generate", "--bogus", "1", "--out", "/dev/null"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // Missing index file.
+    let out = bin()
+        .args(["info", "--index", "/nonexistent/idx"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Dimension mismatch in query.
+    let pts = tmp("dim.csv");
+    let idx = tmp("dim.nncell");
+    bin()
+        .args(["generate", "--n", "50", "--dim", "3", "--out", pts.to_str().unwrap()])
+        .output()
+        .unwrap();
+    bin()
+        .args(["build", "--points", pts.to_str().unwrap(), "--out", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["query", "--index", idx.to_str().unwrap(), "--point", "0.5,0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("coordinates"));
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&idx).ok();
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+    // No args behaves like help.
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+}

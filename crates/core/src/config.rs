@@ -1,0 +1,205 @@
+//! Build configuration for the NN-cell index.
+
+use nncell_lp::SolverKind;
+
+/// The constraint-selection algorithm used when approximating a cell
+/// (section 2 of the paper, figure 3's `OptAlg`).
+///
+/// All five are *exact* with respect to query answers (Lemma 1: dropping
+/// constraints can only grow an approximation, so the true cell's
+/// approximation always contains the query point); they trade approximation
+/// tightness against index-construction time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// All `N−1` bisectors. The exact MBR of the cell; `O(N)` LP constraints
+    /// per extent — prohibitive at database scale.
+    Correct,
+    /// `Correct` with the exactness-preserving constraint prefilter: a rough
+    /// superset MBR from the `4·d` nearest rivals prunes every bisector that
+    /// cannot touch it. Produces *identical* MBRs to `Correct`.
+    CorrectPruned,
+    /// All points stored in leaf pages whose page region contains the point.
+    Point,
+    /// All points stored in leaf pages whose page region intersects a sphere
+    /// around the point (radius: [`BuildConfig::sphere_radius`]).
+    Sphere,
+    /// The `2·d` nearest neighbors in the axis directions plus the `2·d`
+    /// points with the smallest angular deviation from each axis — a
+    /// constant-size (`≤ 4·d`) constraint set, `O(d·d!)` LP cost.
+    NnDirection,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper's figures plot them.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Correct,
+        Strategy::Point,
+        Strategy::Sphere,
+        Strategy::NnDirection,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Correct => "Correct",
+            Strategy::CorrectPruned => "Correct(pruned)",
+            Strategy::Point => "Point",
+            Strategy::Sphere => "Sphere",
+            Strategy::NnDirection => "NN-Direction",
+        }
+    }
+}
+
+/// Configuration for [`crate::NnCellIndex::build`].
+#[derive(Clone, Debug)]
+pub struct BuildConfig {
+    /// Constraint-selection strategy.
+    pub strategy: Strategy,
+    /// LP backend ([`SolverKind::Auto`] picks simplex for small constraint
+    /// sets, Seidel for large ones).
+    pub solver: SolverKind,
+    /// Decompose each cell into at most this many MBR pieces (section 3).
+    /// `None` / `Some(1)` disables decomposition.
+    pub decompose_pieces: Option<usize>,
+    /// Sphere-strategy radius; `None` uses the heuristic
+    /// `√d · (1/N)^(1/d)` (≈ 2× the expected NN distance of uniform data —
+    /// the paper's printed formula is garbled, see DESIGN.md §5).
+    pub sphere_radius: Option<f64>,
+    /// Simulated disk block size for both internal trees.
+    pub block_size: usize,
+    /// RNG seed (Seidel shuffles; fully deterministic builds).
+    pub seed: u64,
+    /// After a dynamic insert, recompute the cells the new point affects
+    /// (quality refinement; exactness holds either way).
+    pub refine_on_insert: bool,
+    /// Worker threads for the cell-computation phase of a bulk build (cells
+    /// are independent given the shared read-only point tree). `1` =
+    /// sequential; queries and dynamic updates are unaffected.
+    pub threads: usize,
+}
+
+impl BuildConfig {
+    /// Defaults: auto solver, no decomposition, 4 KB blocks, seed 0,
+    /// refinement on.
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            solver: SolverKind::Auto,
+            decompose_pieces: None,
+            sphere_radius: None,
+            block_size: 4096,
+            seed: 0,
+            refine_on_insert: true,
+            threads: 1,
+        }
+    }
+
+    /// Sets the LP backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Enables decomposition into at most `pieces` MBRs per cell.
+    pub fn with_decomposition(mut self, pieces: usize) -> Self {
+        assert!(pieces >= 1, "decomposition needs at least one piece");
+        self.decompose_pieces = Some(pieces);
+        self
+    }
+
+    /// Overrides the Sphere-strategy radius.
+    pub fn with_sphere_radius(mut self, r: f64) -> Self {
+        assert!(r > 0.0);
+        self.sphere_radius = Some(r);
+        self
+    }
+
+    /// Overrides the simulated block size.
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Toggles refinement of affected cells on dynamic inserts.
+    pub fn with_refine_on_insert(mut self, yes: bool) -> Self {
+        self.refine_on_insert = yes;
+        self
+    }
+
+    /// Sets the build-phase worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The effective Sphere radius for a database of `n` points in `d`
+    /// dimensions.
+    ///
+    /// Default: twice the expected nearest-neighbor distance of uniform
+    /// data, `2·√(d/(2πe))·n^(−1/d)` (the paper's printed radius formula is
+    /// garbled; this matches its stated intent — "a number of points close
+    /// to the considered point").
+    pub fn effective_sphere_radius(&self, n: usize, d: usize) -> f64 {
+        self.sphere_radius.unwrap_or_else(|| {
+            let n = n.max(2) as f64;
+            let d = d as f64;
+            2.0 * (d / (2.0 * std::f64::consts::PI * std::f64::consts::E)).sqrt()
+                * (1.0 / n).powf(1.0 / d)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = BuildConfig::new(Strategy::Sphere)
+            .with_solver(SolverKind::Seidel)
+            .with_decomposition(4)
+            .with_sphere_radius(0.3)
+            .with_block_size(2048)
+            .with_seed(9)
+            .with_refine_on_insert(false);
+        assert_eq!(c.strategy, Strategy::Sphere);
+        assert_eq!(c.solver, SolverKind::Seidel);
+        assert_eq!(c.decompose_pieces, Some(4));
+        assert_eq!(c.sphere_radius, Some(0.3));
+        assert_eq!(c.block_size, 2048);
+        assert_eq!(c.seed, 9);
+        assert!(!c.refine_on_insert);
+    }
+
+    #[test]
+    fn default_radius_shrinks_with_n_and_grows_with_d() {
+        let c = BuildConfig::new(Strategy::Sphere);
+        let r_small = c.effective_sphere_radius(100, 4);
+        let r_big_n = c.effective_sphere_radius(10_000, 4);
+        let r_big_d = c.effective_sphere_radius(100, 16);
+        assert!(r_big_n < r_small);
+        assert!(r_big_d > r_small);
+        // Explicit override wins.
+        let c2 = c.with_sphere_radius(0.123);
+        assert_eq!(c2.effective_sphere_radius(100, 4), 0.123);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::NnDirection.name(), "NN-Direction");
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one piece")]
+    fn zero_pieces_rejected() {
+        let _ = BuildConfig::new(Strategy::Correct).with_decomposition(0);
+    }
+}

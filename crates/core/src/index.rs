@@ -1,0 +1,1105 @@
+//! The NN-cell index: build, exact queries, dynamic updates.
+
+use crate::config::{BuildConfig, Strategy};
+use crate::decompose::decompose_cell;
+use crate::strategy::{gather_rival_ids, nearest_rivals};
+use nncell_geom::{DataSpace, Euclidean, Mbr, Metric, Point};
+use nncell_index::{IoStats, TreeConfig, XTree};
+use nncell_lp::{CellLpStats, LpError, VoronoiLp};
+use std::time::Instant;
+
+/// Bits of the cell-tree item id reserved for the piece index; the rest is
+/// the point id. Decomposition budgets are tiny (≤ ~10 pieces), so 10 bits
+/// is generous.
+const PIECE_BITS: u32 = 10;
+const MAX_PIECES: usize = 1 << PIECE_BITS;
+
+/// One computed cell: pieces, LP counters, candidate count.
+type CellComputation = (Vec<Mbr>, CellLpStats, usize);
+
+/// An exact nearest-neighbor answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Index of the winning database point.
+    pub id: usize,
+    /// Its distance to the query.
+    pub dist: f64,
+}
+
+/// One point's stored approximation: the MBR pieces of its NN-cell.
+#[derive(Clone, Debug, Default)]
+pub struct CellApprox {
+    /// Piece MBRs (one element when decomposition is off). Empty for
+    /// removed points.
+    pub pieces: Vec<Mbr>,
+}
+
+impl CellApprox {
+    /// Total volume of the pieces (the paper's quality measure counts this
+    /// against the data-space volume).
+    pub fn volume(&self) -> f64 {
+        self.pieces.iter().map(Mbr::volume).sum()
+    }
+}
+
+/// Counters describing one index construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Aggregate LP work.
+    pub lp: CellLpStats,
+    /// Total rival candidates fed into bisector construction.
+    pub candidates: usize,
+    /// Wall-clock build time in seconds.
+    pub seconds: f64,
+}
+
+/// Failures of index construction or dynamic updates.
+#[derive(Debug)]
+pub enum BuildError {
+    /// `build` was called with no points (use [`NnCellIndex::new`] +
+    /// [`NnCellIndex::insert`] to grow from empty).
+    EmptyDatabase,
+    /// A point's dimensionality disagrees with the index.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Offending dimensionality.
+        got: usize,
+    },
+    /// The LP backend failed (numerical breakdown).
+    Lp(LpError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyDatabase => write!(f, "cannot build from an empty point set"),
+            BuildError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            BuildError::Lp(e) => write!(f, "LP backend failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<LpError> for BuildError {
+    fn from(e: LpError) -> Self {
+        BuildError::Lp(e)
+    }
+}
+
+/// The NN-cell index over a (weighted) Euclidean metric.
+///
+/// See the crate docs for the approach; in short: `2·d` LPs per point
+/// approximate its Voronoi cell by an MBR (optionally decomposed), the MBRs
+/// live in an X-tree, and [`Self::nearest_neighbor`] is a point query plus a
+/// distance check — exact by construction.
+pub struct NnCellIndex<M: Metric = Euclidean> {
+    cfg: BuildConfig,
+    points: Vec<Point>,
+    alive: Vec<bool>,
+    live_count: usize,
+    cells: Vec<CellApprox>,
+    point_tree: XTree,
+    cell_tree: XTree,
+    vlp: VoronoiLp<M>,
+    build_stats: BuildStats,
+    fallback_queries: std::sync::atomic::AtomicU64,
+}
+
+impl NnCellIndex<Euclidean> {
+    /// Builds the index over `points` with the Euclidean metric.
+    ///
+    /// # Errors
+    /// [`BuildError::EmptyDatabase`] for an empty input,
+    /// [`BuildError::DimensionMismatch`] on ragged input, or an LP failure.
+    pub fn build(points: Vec<Point>, cfg: BuildConfig) -> Result<Self, BuildError> {
+        Self::build_with_metric(points, cfg, Euclidean)
+    }
+
+    /// An empty Euclidean index of dimensionality `dim`, grown via
+    /// [`Self::insert`].
+    pub fn new(dim: usize, cfg: BuildConfig) -> Self {
+        Self::new_with_metric(dim, cfg, Euclidean)
+    }
+}
+
+impl<M: Metric> NnCellIndex<M> {
+    /// An empty index with an explicit metric.
+    pub fn new_with_metric(dim: usize, cfg: BuildConfig, metric: M) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(
+            cfg.decompose_pieces.unwrap_or(1) <= MAX_PIECES,
+            "decomposition budget exceeds {MAX_PIECES}"
+        );
+        let space = DataSpace::unit(dim);
+        let vlp = VoronoiLp::new(metric, space, cfg.solver);
+        let point_tree = XTree::with_config(
+            TreeConfig::xtree(dim)
+                .with_block_size(cfg.block_size)
+                .with_point_leaves(true),
+        );
+        let cell_tree = XTree::with_config(TreeConfig::xtree(dim).with_block_size(cfg.block_size));
+        Self {
+            cfg,
+            points: Vec::new(),
+            alive: Vec::new(),
+            live_count: 0,
+            cells: Vec::new(),
+            point_tree,
+            cell_tree,
+            vlp,
+            build_stats: BuildStats::default(),
+            fallback_queries: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the index over `points` with an explicit metric.
+    ///
+    /// # Errors
+    /// See [`NnCellIndex::build`].
+    pub fn build_with_metric(
+        points: Vec<Point>,
+        cfg: BuildConfig,
+        metric: M,
+    ) -> Result<Self, BuildError> {
+        let Some(first) = points.first() else {
+            return Err(BuildError::EmptyDatabase);
+        };
+        let dim = first.dim();
+        let start = Instant::now();
+        let mut idx = Self::new_with_metric(dim, cfg, metric);
+        for p in &points {
+            if p.dim() != dim {
+                return Err(BuildError::DimensionMismatch {
+                    expected: dim,
+                    got: p.dim(),
+                });
+            }
+        }
+        // Phase 1: the data-point tree (the strategies query it).
+        for (i, p) in points.iter().enumerate() {
+            idx.point_tree.insert_point(p, i as u64);
+        }
+        idx.points = points;
+        idx.alive = vec![true; idx.points.len()];
+        idx.live_count = idx.points.len();
+        idx.cells = vec![CellApprox::default(); idx.points.len()];
+        // Phase 2: one cell approximation per point. Cells are independent
+        // given the (now read-only) point tree, so this fans out across
+        // `cfg.threads` workers; results are stored sequentially afterwards.
+        let n = idx.points.len();
+        let threads = idx.cfg.threads.clamp(1, n.max(1));
+        let results: Vec<CellComputation> = if threads == 1 {
+            let mut out = Vec::with_capacity(n);
+            for id in 0..n {
+                out.push(idx.compute_cell_pieces(id)?);
+            }
+            out
+        } else {
+            let idx_ref = &idx;
+            let chunk = n.div_ceil(threads);
+            let mut partials: Vec<Result<Vec<(usize, CellComputation)>, BuildError>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            s.spawn(move || {
+                                let lo = w * chunk;
+                                let hi = ((w + 1) * chunk).min(n);
+                                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                                for id in lo..hi {
+                                    out.push((id, idx_ref.compute_cell_pieces(id)?));
+                                }
+                                Ok(out)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("cell worker panicked"))
+                        .collect()
+                });
+            let mut collected: Vec<Option<CellComputation>> = (0..n).map(|_| None).collect();
+            for part in partials.drain(..) {
+                for (id, r) in part? {
+                    collected[id] = Some(r);
+                }
+            }
+            collected
+                .into_iter()
+                .map(|r| r.expect("every id covered by exactly one worker"))
+                .collect()
+        };
+        for (id, (pieces, stats, cands)) in results.into_iter().enumerate() {
+            idx.build_stats.lp.merge(stats);
+            idx.build_stats.candidates += cands;
+            idx.store_cell(id, pieces);
+        }
+        idx.build_stats.seconds = start.elapsed().as_secs_f64();
+        Ok(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether the index holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.vlp.space().dim()
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.cfg
+    }
+
+    /// All stored points (including removed slots; check [`Self::is_live`]).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Whether point `id` is live.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.alive.get(id).copied().unwrap_or(false)
+    }
+
+    /// The stored approximation of point `id`'s NN-cell.
+    pub fn cell(&self, id: usize) -> Option<&CellApprox> {
+        if self.is_live(id) {
+            self.cells.get(id)
+        } else {
+            None
+        }
+    }
+
+    /// Construction counters.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// Cost counters of the cell X-tree (what queries pay).
+    pub fn cell_tree_stats(&self) -> IoStats {
+        self.cell_tree.stats()
+    }
+
+    /// Cost counters of the data-point X-tree (what builds/updates pay).
+    pub fn point_tree_stats(&self) -> IoStats {
+        self.point_tree.stats()
+    }
+
+    /// Number of queries that fell back to a scan (queries outside the unit
+    /// data space; always exact, never expected for in-space queries).
+    pub fn fallback_queries(&self) -> u64 {
+        self.fallback_queries
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn count_fallback(&self) {
+        self.fallback_queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Resets both trees' cost counters.
+    pub fn reset_stats(&self) {
+        self.cell_tree.reset_stats();
+        self.point_tree.reset_stats();
+    }
+
+    /// Enables a simulated LRU page cache of `pages` pages on the cell tree
+    /// (0 disables) — the structure queries actually read.
+    pub fn enable_cache(&self, pages: usize) {
+        self.cell_tree.enable_cache(pages);
+    }
+
+    /// Total simulated pages occupied by the cell X-tree.
+    pub fn cell_tree_pages(&self) -> u64 {
+        self.cell_tree.total_pages()
+    }
+
+    /// Total pieces stored in the cell tree.
+    pub fn total_pieces(&self) -> usize {
+        self.cells.iter().map(|c| c.pieces.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // queries
+    // ------------------------------------------------------------------
+
+    /// Exact nearest neighbor of `q`: a point query on the cell index plus a
+    /// distance check over the candidates (Lemma 2: the true NN is always a
+    /// candidate). `None` when the index is empty.
+    pub fn nearest_neighbor(&self, q: &[f64]) -> Option<QueryResult> {
+        self.nearest_neighbor_with_candidates(q).map(|(r, _)| r)
+    }
+
+    /// Like [`Self::nearest_neighbor`], also returning how many candidate
+    /// cells the point query produced (the paper's page-access driver).
+    pub fn nearest_neighbor_with_candidates(&self, q: &[f64]) -> Option<(QueryResult, usize)> {
+        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if self.live_count == 0 {
+            return None;
+        }
+        if !self.vlp.space().contains(q) {
+            // Cells are clipped to the data space; outside it the cell index
+            // is not a covering. Fall back to an exact scan.
+            self.count_fallback();
+            return self.scan_nn(q).map(|r| (r, self.live_count));
+        }
+        let hits = self.cell_tree.point_query(q);
+        let mut best: Option<QueryResult> = None;
+        let mut candidates = 0usize;
+        let mut last_pid = usize::MAX;
+        let mut sorted: Vec<usize> = hits
+            .into_iter()
+            .map(|h| (h >> PIECE_BITS) as usize)
+            .collect();
+        sorted.sort_unstable();
+        for pid in sorted {
+            if pid == last_pid {
+                continue; // several pieces of one cell
+            }
+            last_pid = pid;
+            if !self.alive[pid] {
+                continue;
+            }
+            candidates += 1;
+            let d = self.vlp.metric().dist(q, &self.points[pid]);
+            if best.as_ref().is_none_or(|b| d < b.dist) {
+                best = Some(QueryResult { id: pid, dist: d });
+            }
+        }
+        match best {
+            Some(b) => Some((b, candidates)),
+            None => {
+                // Numerically a boundary query can slip between EPS-closed
+                // MBRs; exactness is preserved by scanning.
+                self.count_fallback();
+                self.scan_nn(q).map(|r| (r, self.live_count))
+            }
+        }
+    }
+
+    /// k nearest neighbors, answered **from the cell index** (the paper's
+    /// stated future work, realized):
+    ///
+    /// 1. the point query yields the 1-NN candidates;
+    /// 2. the candidate set is widened with cell-tree sphere queries until
+    ///    it holds ≥ k points; the k-th best candidate distance `b` is then
+    ///    an upper bound on the true k-th NN distance;
+    /// 3. every true k-NN `p` satisfies `d(q,p) ≤ b`, and `p ∈ Appr(p)`, so
+    ///    `Appr(p)` intersects `ball(q, b)` — one final sphere query returns
+    ///    a superset, and the k smallest true distances are exact.
+    pub fn knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
+        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if k == 0 || self.live_count == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return self.nearest_neighbor(q).into_iter().collect();
+        }
+        if k >= self.live_count || !self.vlp.space().contains(q) {
+            return self.scan_knn(q, k);
+        }
+        // Step 1–2: grow a candidate set until it holds ≥ k points.
+        let mut cand_ids = self.decode_cells(self.cell_tree.point_query(q));
+        let mut radius = {
+            // Seed radius: expected k-NN scale, doubled until enough hits.
+            let d = self.dim() as f64;
+            2.0 * ((k as f64) / self.live_count as f64).powf(1.0 / d)
+        };
+        let mut guard = 0;
+        while cand_ids.len() < k {
+            cand_ids = self.decode_cells(self.cell_tree.sphere_query(q, radius));
+            radius *= 2.0;
+            guard += 1;
+            if guard > 64 {
+                return self.scan_knn(q, k); // numerically degenerate space
+            }
+        }
+        let mut dists: Vec<QueryResult> = cand_ids
+            .iter()
+            .map(|&id| QueryResult {
+                id,
+                dist: self.vlp.metric().dist(q, &self.points[id]),
+            })
+            .collect();
+        dists.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        let bound = dists[k - 1].dist;
+        // Step 3: one exact sphere query with the proven bound.
+        let final_ids = self.decode_cells(self.cell_tree.sphere_query(q, bound + 1e-12));
+        let mut result: Vec<QueryResult> = final_ids
+            .into_iter()
+            .map(|id| QueryResult {
+                id,
+                dist: self.vlp.metric().dist(q, &self.points[id]),
+            })
+            .collect();
+        result.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        result.truncate(k);
+        result
+    }
+
+    /// Decodes cell-tree hits into live, deduplicated point ids.
+    fn decode_cells(&self, hits: Vec<u64>) -> Vec<usize> {
+        let mut ids: Vec<usize> = hits
+            .into_iter()
+            .map(|h| (h >> PIECE_BITS) as usize)
+            .filter(|&pid| self.alive[pid])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn scan_knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
+        let mut all: Vec<QueryResult> = (0..self.points.len())
+            .filter(|&i| self.alive[i])
+            .map(|i| QueryResult {
+                id: i,
+                dist: self.vlp.metric().dist(q, &self.points[i]),
+            })
+            .collect();
+        all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    fn scan_nn(&self, q: &[f64]) -> Option<QueryResult> {
+        let mut best: Option<QueryResult> = None;
+        for (i, p) in self.points.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            let d = self.vlp.metric().dist(q, p);
+            if best.as_ref().is_none_or(|b| d < b.dist) {
+                best = Some(QueryResult { id: i, dist: d });
+            }
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // dynamic updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a new point, computing its cell and (when
+    /// [`BuildConfig::refine_on_insert`] is set) re-tightening the affected
+    /// neighbor cells. Exactness holds either way: existing approximations
+    /// stay supersets of their (shrunken) true cells.
+    ///
+    /// Returns the new point's id.
+    ///
+    /// # Errors
+    /// Dimension mismatch or LP failure.
+    pub fn insert(&mut self, p: Point) -> Result<usize, BuildError> {
+        if p.dim() != self.dim() {
+            return Err(BuildError::DimensionMismatch {
+                expected: self.dim(),
+                got: p.dim(),
+            });
+        }
+        let id = self.points.len();
+        self.point_tree.insert_point(&p, id as u64);
+        self.points.push(p);
+        self.alive.push(true);
+        self.cells.push(CellApprox::default());
+        self.live_count += 1;
+
+        let (pieces, stats, cands) = self.compute_cell_pieces(id)?;
+        self.build_stats.lp.merge(stats);
+        self.build_stats.candidates += cands;
+        self.store_cell(id, pieces);
+
+        if self.cfg.refine_on_insert && self.live_count > 1 {
+            // The cells that must shrink are those the new point's bisectors
+            // cut; all of them lie within twice the new point's NN distance
+            // sphere (conservative, and refinement is a quality matter only).
+            let nn = self
+                .point_tree
+                .knn_best_first(&self.points[id], 2)
+                .into_iter()
+                .find(|n| n.id != id as u64);
+            if let Some(nn) = nn {
+                let r = 2.0 * nn.dist;
+                let mut affected: Vec<usize> = self
+                    .cell_tree
+                    .sphere_query(&self.points[id], r)
+                    .into_iter()
+                    .map(|h| (h >> PIECE_BITS) as usize)
+                    .filter(|&pid| pid != id && self.alive[pid])
+                    .collect();
+                affected.sort_unstable();
+                affected.dedup();
+                for pid in affected {
+                    self.refresh_cell(pid)?;
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Removes point `id`. The cells that bordered it are recomputed — when
+    /// a rival disappears, neighbor cells *grow*, so skipping this step
+    /// would break exactness (unlike on insert).
+    ///
+    /// Returns `false` when `id` was not live.
+    ///
+    /// # Errors
+    /// LP failure while recomputing affected cells.
+    pub fn remove(&mut self, id: usize) -> Result<bool, BuildError> {
+        if !self.is_live(id) {
+            return Ok(false);
+        }
+        self.alive[id] = false;
+        self.live_count -= 1;
+        let removed = self
+            .point_tree
+            .delete(&Mbr::from_point(&self.points[id]), id as u64);
+        debug_assert!(removed, "point tree out of sync");
+        let old = std::mem::take(&mut self.cells[id]);
+        for (piece_idx, mbr) in old.pieces.iter().enumerate() {
+            let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
+            let removed = self.cell_tree.delete(mbr, key);
+            debug_assert!(removed, "cell tree out of sync");
+        }
+        if self.live_count == 0 {
+            return Ok(true);
+        }
+        // Every cell that could gain region intersects the removed cell's
+        // approximation (Voronoi neighbors share a face; approximations are
+        // supersets).
+        if let Some(union) = Mbr::union_all(old.pieces.iter()) {
+            let mut affected: Vec<usize> = self
+                .cell_tree
+                .window_query(&union)
+                .into_iter()
+                .map(|h| (h >> PIECE_BITS) as usize)
+                .filter(|&pid| self.alive[pid])
+                .collect();
+            affected.sort_unstable();
+            affected.dedup();
+            for pid in affected {
+                self.refresh_cell(pid)?;
+            }
+        }
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Computes the (possibly decomposed) approximation of `id`'s cell.
+    fn compute_cell_pieces(&self, id: usize) -> Result<CellComputation, BuildError> {
+        let p = &self.points[id];
+        let d = self.dim();
+        let seed = self.cfg.seed ^ ((id as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut stats = CellLpStats::default();
+
+        let cons = if self.cfg.strategy == Strategy::CorrectPruned && self.live_count > 4 * d + 1 {
+            // Exactness-preserving two-step prune (see nncell-lp docs):
+            // 1. rough superset MBR from the 4·d nearest rivals;
+            // 2. only rivals within twice the rough box's max corner
+            //    distance can have a bisector cutting that box, so a tree
+            //    sphere query bounds the candidate set without scanning N;
+            // 3. the per-bisector prune drops the rest.
+            let near = nearest_rivals(p, id, &self.point_tree, 4 * d);
+            let near_cons = self
+                .vlp
+                .bisectors(p, near.iter().map(|&j| self.points[j].as_slice()));
+            let rough = self
+                .vlp
+                .extents(&near_cons, seed ^ ROUGH_SALT)?
+                .expect("point is feasible");
+            stats.merge(rough.stats);
+            // Max metric distance from p to the rough box (corner-wise),
+            // then converted conservatively to a Euclidean tree-query radius
+            // via the smallest metric weight.
+            let mut max_d2 = 0.0;
+            let mut w_min = f64::INFINITY;
+            for i in 0..d {
+                let dd = (p[i] - rough.mbr.lo()[i])
+                    .abs()
+                    .max((p[i] - rough.mbr.hi()[i]).abs());
+                let w = self.vlp.metric().weight(i);
+                max_d2 += w * dd * dd;
+                w_min = w_min.min(w);
+            }
+            let r_cut = 2.0 * max_d2.sqrt() / w_min.sqrt();
+            let mut rivals: Vec<usize> = self
+                .point_tree
+                .sphere_query(p, r_cut)
+                .into_iter()
+                .map(|x| x as usize)
+                .filter(|&j| j != id && self.alive[j])
+                .collect();
+            rivals.sort_unstable();
+            rivals.dedup();
+            let all = self
+                .vlp
+                .bisectors(p, rivals.iter().map(|&j| self.points[j].as_slice()));
+            VoronoiLp::<M>::prune_constraints(all, &rough.mbr)
+        } else {
+            let rivals = gather_rival_ids(
+                &self.cfg,
+                id,
+                &self.points,
+                &self.alive,
+                &self.point_tree,
+                self.live_count,
+            );
+            self.vlp
+                .bisectors(p, rivals.iter().map(|&j| self.points[j].as_slice()))
+        };
+        let n_cands = cons.len();
+
+        // The Best–Ritter active-set backend wants a feasible start; the
+        // data point is one (it lies strictly inside its own cell).
+        let solve = if self.cfg.solver == nncell_lp::SolverKind::ActiveSet {
+            self.vlp.extents_from(&cons, p, seed)?
+        } else {
+            self.vlp
+                .extents(&cons, seed)?
+                .expect("a data point's cell cannot be empty")
+        };
+        stats.merge(solve.stats);
+
+        let pieces = match self.cfg.decompose_pieces {
+            Some(k) if k > 1 => {
+                let (pieces, dstats) = decompose_cell(&self.vlp, &cons, &solve, k, seed)?;
+                stats.merge(dstats);
+                pieces
+            }
+            _ => vec![solve.mbr],
+        };
+        Ok((pieces, stats, n_cands))
+    }
+
+    /// Replaces `id`'s stored pieces in the cell tree.
+    fn store_cell(&mut self, id: usize, pieces: Vec<Mbr>) {
+        debug_assert!(pieces.len() <= MAX_PIECES);
+        for (piece_idx, mbr) in pieces.iter().enumerate() {
+            let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
+            self.cell_tree.insert(mbr.clone(), key);
+        }
+        self.cells[id] = CellApprox { pieces };
+    }
+
+    /// Loader plumbing: registers a persisted point in the point tree.
+    pub(crate) fn point_tree_insert(&mut self, p: &Point, id: usize) {
+        self.point_tree.insert_point(p, id as u64);
+    }
+
+    /// Loader plumbing: installs persisted points and cell pieces without
+    /// running any LP.
+    pub(crate) fn install_cells(
+        &mut self,
+        points: Vec<Point>,
+        alive: Vec<bool>,
+        all_pieces: Vec<Vec<Mbr>>,
+    ) {
+        debug_assert_eq!(points.len(), alive.len());
+        debug_assert_eq!(points.len(), all_pieces.len());
+        self.live_count = alive.iter().filter(|a| **a).count();
+        self.points = points;
+        self.alive = alive;
+        self.cells = vec![CellApprox::default(); self.points.len()];
+        for (id, pieces) in all_pieces.into_iter().enumerate() {
+            if self.alive[id] {
+                self.store_cell(id, pieces);
+            }
+        }
+    }
+
+    fn refresh_cell(&mut self, id: usize) -> Result<(), BuildError> {
+        let (pieces, stats, cands) = self.compute_cell_pieces(id)?;
+        self.build_stats.lp.merge(stats);
+        self.build_stats.candidates += cands;
+        let old = std::mem::take(&mut self.cells[id]);
+        for (piece_idx, mbr) in old.pieces.iter().enumerate() {
+            let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
+            let removed = self.cell_tree.delete(mbr, key);
+            debug_assert!(removed, "cell tree out of sync during refresh");
+        }
+        self.store_cell(id, pieces);
+        Ok(())
+    }
+}
+
+/// Seed salt distinguishing the CorrectPruned rough solve from the final
+/// solve ("rough" in ASCII).
+const ROUGH_SALT: u64 = 0x726f756768;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::linear_scan_nn;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, d: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn queries(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect()
+    }
+
+    fn assert_exact<M: Metric>(idx: &NnCellIndex<M>, pts: &[Point], qs: &[Vec<f64>]) {
+        for q in qs {
+            let got = idx.nearest_neighbor(q).expect("non-empty");
+            let want = linear_scan_nn(pts, q).unwrap();
+            // Distances must agree exactly (ids may differ only on perfect
+            // ties, which have probability zero for random data).
+            assert!(
+                (got.dist - want.dist).abs() < 1e-9,
+                "q={q:?}: got ({}, {}), want ({}, {})",
+                got.id,
+                got.dist,
+                want.id,
+                want.dist
+            );
+            assert_eq!(got.id, want.id, "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_is_exact_lemma2() {
+        let pts = uniform(120, 3, 1);
+        let qs = queries(60, 3, 2);
+        for strategy in [
+            Strategy::Correct,
+            Strategy::CorrectPruned,
+            Strategy::Point,
+            Strategy::Sphere,
+            Strategy::NnDirection,
+        ] {
+            let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy)).unwrap();
+            assert_exact(&idx, &pts, &qs);
+            assert_eq!(
+                idx.fallback_queries(),
+                0,
+                "{strategy:?}: in-space queries must not fall back"
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_preserves_exactness() {
+        let pts = uniform(100, 4, 3);
+        let qs = queries(50, 4, 4);
+        for pieces in [2usize, 4, 8] {
+            let cfg = BuildConfig::new(Strategy::CorrectPruned).with_decomposition(pieces);
+            let idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
+            assert_exact(&idx, &pts, &qs);
+        }
+    }
+
+    #[test]
+    fn correct_pruned_matches_correct_mbrs_lemma1_tightness() {
+        let pts = uniform(80, 3, 5);
+        let a = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
+        let b = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::CorrectPruned)).unwrap();
+        for id in 0..pts.len() {
+            let ma = &a.cell(id).unwrap().pieces[0];
+            let mb = &b.cell(id).unwrap().pieces[0];
+            for i in 0..3 {
+                assert!(
+                    (ma.lo()[i] - mb.lo()[i]).abs() < 1e-7
+                        && (ma.hi()[i] - mb.hi()[i]).abs() < 1e-7,
+                    "cell {id} dim {i}: pruned {mb:?} != correct {ma:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_cells_contain_correct_cells_lemma1() {
+        let pts = uniform(90, 2, 6);
+        let correct = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
+        for strategy in [Strategy::Point, Strategy::Sphere, Strategy::NnDirection] {
+            let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy)).unwrap();
+            for id in 0..pts.len() {
+                let exact = &correct.cell(id).unwrap().pieces[0];
+                let appr = &idx.cell(id).unwrap().pieces[0];
+                assert!(
+                    appr.contains_mbr(exact),
+                    "{strategy:?}: cell {id} approx {appr:?} !⊇ exact {exact:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_inserts_stay_exact() {
+        let mut pts = uniform(60, 3, 7);
+        let extra = uniform(30, 3, 8);
+        let cfg = BuildConfig::new(Strategy::Sphere);
+        let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        for p in extra {
+            idx.insert(p.clone()).unwrap();
+            pts.push(p);
+        }
+        assert_eq!(idx.len(), 90);
+        assert_exact(&idx, &pts, &queries(40, 3, 9));
+    }
+
+    #[test]
+    fn inserts_without_refinement_stay_exact() {
+        let mut pts = uniform(50, 2, 10);
+        let cfg = BuildConfig::new(Strategy::NnDirection).with_refine_on_insert(false);
+        let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        for p in uniform(25, 2, 11) {
+            idx.insert(p.clone()).unwrap();
+            pts.push(p);
+        }
+        assert_exact(&idx, &pts, &queries(40, 2, 12));
+    }
+
+    #[test]
+    fn removals_recompute_neighbors_and_stay_exact() {
+        let pts = uniform(80, 2, 13);
+        let cfg = BuildConfig::new(Strategy::CorrectPruned);
+        let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        let mut live: Vec<Point> = pts.clone();
+        let mut removed = std::collections::HashSet::new();
+        for id in [3usize, 17, 42, 55, 7, 0] {
+            assert!(idx.remove(id).unwrap());
+            removed.insert(id);
+        }
+        assert!(!idx.remove(3).unwrap(), "double remove is a no-op");
+        live = live
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !removed.contains(i))
+            .map(|(_, p)| p)
+            .collect();
+        assert_eq!(idx.len(), live.len());
+        // Compare distances against a scan of the survivors.
+        for q in queries(50, 2, 14) {
+            let got = idx.nearest_neighbor(&q).unwrap();
+            let want = linear_scan_nn(&live, &q).unwrap();
+            assert!((got.dist - want.dist).abs() < 1e-9, "q={q:?}");
+            assert!(!removed.contains(&got.id), "returned a removed point");
+        }
+    }
+
+    #[test]
+    fn grow_from_empty() {
+        let cfg = BuildConfig::new(Strategy::Sphere);
+        let mut idx = NnCellIndex::new(3, cfg);
+        assert!(idx.is_empty());
+        assert!(idx.nearest_neighbor(&[0.5; 3]).is_none());
+        let pts = uniform(40, 3, 15);
+        for p in &pts {
+            idx.insert(p.clone()).unwrap();
+        }
+        assert_exact(&idx, &pts, &queries(30, 3, 16));
+    }
+
+    #[test]
+    fn remove_everything() {
+        let pts = uniform(20, 2, 17);
+        let mut idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        for id in 0..20 {
+            assert!(idx.remove(id).unwrap());
+        }
+        assert!(idx.is_empty());
+        assert!(idx.nearest_neighbor(&[0.5, 0.5]).is_none());
+    }
+
+    #[test]
+    fn out_of_space_queries_fall_back_but_stay_exact() {
+        let pts = uniform(50, 2, 18);
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let q = [1.5, -0.2];
+        let got = idx.nearest_neighbor(&q).unwrap();
+        let want = linear_scan_nn(&pts, &q).unwrap();
+        assert_eq!(got.id, want.id);
+        assert_eq!(idx.fallback_queries(), 1);
+    }
+
+    #[test]
+    fn build_errors() {
+        assert!(matches!(
+            NnCellIndex::build(vec![], BuildConfig::new(Strategy::Correct)),
+            Err(BuildError::EmptyDatabase)
+        ));
+        let ragged = vec![Point::new(vec![0.1, 0.2]), Point::new(vec![0.1, 0.2, 0.3])];
+        assert!(matches!(
+            NnCellIndex::build(ragged, BuildConfig::new(Strategy::Correct)),
+            Err(BuildError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+        let mut idx = NnCellIndex::new(2, BuildConfig::new(Strategy::Correct));
+        assert!(matches!(
+            idx.insert(Point::new(vec![0.1; 5])),
+            Err(BuildError::DimensionMismatch {
+                expected: 2,
+                got: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn knn_exact_from_cell_index() {
+        let pts = uniform(100, 3, 19);
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let q = [0.3, 0.7, 0.5];
+        let knn = idx.knn(&q, 5);
+        assert_eq!(knn.len(), 5);
+        assert_eq!(knn[0].id, idx.nearest_neighbor(&q).unwrap().id);
+        for w in knn.windows(2) {
+            assert!(w[0].dist <= w[1].dist + 1e-12);
+        }
+        // Exactness against a scan, for several k and queries.
+        let qs = queries(20, 3, 77);
+        for q in &qs {
+            for k in [2usize, 5, 20, 99, 150] {
+                let got = idx.knn(q, k);
+                let want = crate::scan::linear_scan_knn(idx.points(), q, k.min(idx.len()));
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert!((g.dist - w.dist).abs() < 1e-9, "k={k} q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_metric_supported() {
+        use nncell_geom::WeightedEuclidean;
+        let pts = uniform(70, 3, 20);
+        let metric = WeightedEuclidean::new(vec![4.0, 1.0, 0.25]);
+        let idx = NnCellIndex::build_with_metric(
+            pts.clone(),
+            BuildConfig::new(Strategy::CorrectPruned),
+            metric.clone(),
+        )
+        .unwrap();
+        for q in queries(40, 3, 21) {
+            let got = idx.nearest_neighbor(&q).unwrap();
+            let want = pts
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    metric
+                        .dist_sq(&q, a)
+                        .partial_cmp(&metric.dist_sq(&q, b))
+                        .unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(got.id, want, "weighted NN mismatch at q={q:?}");
+        }
+    }
+
+    #[test]
+    fn build_stats_populated() {
+        let pts = uniform(40, 2, 22);
+        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        let st = idx.build_stats();
+        assert_eq!(st.lp.lp_calls, 40 * 4, "2d LPs per point");
+        assert_eq!(st.candidates, 40 * 39);
+        assert!(st.seconds > 0.0);
+        assert_eq!(idx.total_pieces(), 40);
+    }
+
+    #[test]
+    fn active_set_backend_matches_other_solvers() {
+        use nncell_lp::SolverKind;
+        let pts = uniform(60, 3, 29);
+        let a = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::new(Strategy::Correct).with_solver(SolverKind::ActiveSet),
+        )
+        .unwrap();
+        let b = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::new(Strategy::Correct).with_solver(SolverKind::DualSimplex),
+        )
+        .unwrap();
+        for id in 0..pts.len() {
+            let ma = &a.cell(id).unwrap().pieces[0];
+            let mb = &b.cell(id).unwrap().pieces[0];
+            for k in 0..3 {
+                assert!(
+                    (ma.lo()[k] - mb.lo()[k]).abs() < 1e-6
+                        && (ma.hi()[k] - mb.hi()[k]).abs() < 1e-6,
+                    "active-set vs dual disagree on cell {id}"
+                );
+            }
+        }
+        assert_exact(&a, &pts, &queries(30, 3, 30));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let pts = uniform(80, 3, 23);
+        let seq = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere).with_seed(3))
+            .unwrap();
+        let par = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::new(Strategy::Sphere)
+                .with_seed(3)
+                .with_threads(4),
+        )
+        .unwrap();
+        for id in 0..pts.len() {
+            let a = &seq.cell(id).unwrap().pieces;
+            let b = &par.cell(id).unwrap().pieces;
+            assert_eq!(a.len(), b.len(), "cell {id} piece count");
+            for (ma, mb) in a.iter().zip(b.iter()) {
+                for k in 0..3 {
+                    assert!(
+                        (ma.lo()[k] - mb.lo()[k]).abs() < 1e-12
+                            && (ma.hi()[k] - mb.hi()[k]).abs() < 1e-12,
+                        "parallel build must be bit-identical (seeded)"
+                    );
+                }
+            }
+        }
+        assert_exact(&par, &pts, &queries(30, 3, 24));
+    }
+
+    #[test]
+    fn grid_data_produces_tiling_cells() {
+        // 4x4 exact grid: cells tile the space, zero overlap, one candidate
+        // per query.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                pts.push(Point::new(vec![
+                    (2 * i + 1) as f64 / 8.0,
+                    (2 * j + 1) as f64 / 8.0,
+                ]));
+            }
+        }
+        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        let cells: Vec<CellApprox> = (0..16).map(|i| idx.cell(i).unwrap().clone()).collect();
+        let total: f64 = cells.iter().map(CellApprox::volume).sum();
+        assert!((total - 1.0).abs() < 1e-6, "grid cells must tile: {total}");
+        let (_, cands) = idx.nearest_neighbor_with_candidates(&[0.3, 0.6]).unwrap();
+        assert_eq!(cands, 1, "grid point query returns exactly one cell");
+    }
+}

@@ -1,0 +1,42 @@
+//! The NN-cell index — the contribution of Berchtold, Ertl, Keim, Kriegel &
+//! Seidl, *"Fast Nearest Neighbor Search in High-dimensional Space"*,
+//! ICDE 1998.
+//!
+//! Instead of searching a point index at query time, the approach
+//! **precomputes the solution space**: every database point's first-order
+//! Voronoi cell (*NN-cell*) is approximated by its minimum bounding
+//! rectangle (computed by `2·d` linear programs over bisector halfspaces)
+//! and the rectangles are stored in an X-tree. A nearest-neighbor query is
+//! then a **point query** on that index plus a distance check over the
+//! returned candidates — and because every approximation is a *superset* of
+//! the true cell, the result is **exact** (no false dismissals; Lemmas 1 and
+//! 2 of the paper, enforced here by property tests).
+//!
+//! * [`Strategy`] — the four constraint-selection algorithms (*Correct*,
+//!   *Point*, *Sphere*, *NN-Direction*) plus the exactness-preserving
+//!   *CorrectPruned* optimization,
+//! * [`decompose`] — the MBR decomposition of section 3 (splitting each cell
+//!   along its most oblique dimensions to cut approximation overlap),
+//! * [`NnCellIndex`] — build / query / dynamic insert & remove,
+//! * [`quality`] — the paper's overlap and quality-to-performance metrics.
+
+// Indexed loops over parallel coordinate arrays are the house style in this
+// numeric code; iterator-zip rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod decompose;
+pub mod index;
+pub mod persist;
+pub mod quality;
+pub mod scan;
+pub mod strategy;
+
+pub use config::{BuildConfig, Strategy};
+pub use index::{BuildError, BuildStats, CellApprox, NnCellIndex, QueryResult};
+pub use nncell_lp::SolverKind;
+pub use persist::PersistError;
+pub use quality::{
+    average_overlap, expected_candidates, measured_candidates, quality_to_performance,
+};
+pub use scan::{linear_scan_knn, linear_scan_nn};

@@ -1,0 +1,422 @@
+//! Index persistence.
+//!
+//! The whole point of the NN-cell approach is that the expensive work — the
+//! `2·d` linear programs per point — happens once, at build time. This
+//! module saves the computed approximations in a small versioned binary
+//! format and reloads them without rerunning a single LP (the X-trees are
+//! rebuilt by insertion, which is cheap and deterministic).
+//!
+//! Only the Euclidean index is persistable: a weighted metric would change
+//! the meaning of the stored cells, so it is deliberately not serialized.
+
+use crate::config::{BuildConfig, Strategy};
+use crate::index::NnCellIndex;
+use nncell_geom::{Mbr, Point};
+use nncell_lp::SolverKind;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"NNCELL01";
+
+/// Failures of [`NnCellIndex::save`] / [`NnCellIndex::load`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a (compatible) NN-cell index dump.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+impl NnCellIndex<nncell_geom::Euclidean> {
+    /// Writes the index (points, liveness, cell pieces, configuration) to
+    /// `path`.
+    ///
+    /// # Errors
+    /// I/O failures only; the format always fits the data.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        let cfg = self.config();
+        write_u32(&mut w, self.dim() as u32)?;
+        write_u8(&mut w, strategy_tag(cfg.strategy))?;
+        write_u8(&mut w, solver_tag(cfg.solver))?;
+        write_u8(&mut w, cfg.refine_on_insert as u8)?;
+        write_u8(&mut w, 0)?; // reserved
+        write_u32(&mut w, cfg.decompose_pieces.unwrap_or(0) as u32)?;
+        write_f64(&mut w, cfg.sphere_radius.unwrap_or(f64::NAN))?;
+        write_u64(&mut w, cfg.seed)?;
+        write_u32(&mut w, cfg.block_size as u32)?;
+
+        let points = self.points();
+        write_u64(&mut w, points.len() as u64)?;
+        for (id, p) in points.iter().enumerate() {
+            write_u8(&mut w, self.is_live(id) as u8)?;
+            for &c in p.as_slice() {
+                write_f64(&mut w, c)?;
+            }
+        }
+        for id in 0..points.len() {
+            let pieces: &[Mbr] = self.cell(id).map(|c| c.pieces.as_slice()).unwrap_or(&[]);
+            write_u32(&mut w, pieces.len() as u32)?;
+            for m in pieces {
+                for &c in m.lo() {
+                    write_f64(&mut w, c)?;
+                }
+                for &c in m.hi() {
+                    write_f64(&mut w, c)?;
+                }
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads an index previously written by [`Self::save`]. No LP is rerun:
+    /// the stored approximations are reinserted into fresh X-trees.
+    ///
+    /// # Errors
+    /// I/O failures, a bad magic/version, or structural corruption.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| corrupt("file too short for header"))?;
+        if &magic != MAGIC {
+            return Err(corrupt(format!(
+                "bad magic {:?} (expected {:?})",
+                magic, MAGIC
+            )));
+        }
+        let dim = read_u32(&mut r)? as usize;
+        if dim == 0 || dim > 1 << 16 {
+            return Err(corrupt(format!("implausible dimensionality {dim}")));
+        }
+        let strategy = strategy_from_tag(read_u8(&mut r)?)?;
+        let solver = solver_from_tag(read_u8(&mut r)?)?;
+        let refine = read_u8(&mut r)? != 0;
+        let _reserved = read_u8(&mut r)?;
+        let pieces_budget = read_u32(&mut r)? as usize;
+        let radius = read_f64(&mut r)?;
+        let seed = read_u64(&mut r)?;
+        let block_size = read_u32(&mut r)? as usize;
+        if !(128..=1 << 26).contains(&block_size) {
+            return Err(corrupt(format!("implausible block size {block_size}")));
+        }
+
+        let mut cfg = BuildConfig::new(strategy)
+            .with_solver(solver)
+            .with_seed(seed)
+            .with_block_size(block_size)
+            .with_refine_on_insert(refine);
+        if pieces_budget > 0 {
+            cfg = cfg.with_decomposition(pieces_budget);
+        }
+        if radius.is_finite() {
+            cfg = cfg.with_sphere_radius(radius);
+        }
+
+        let n = read_u64(&mut r)? as usize;
+        if n > 1 << 40 {
+            return Err(corrupt(format!("implausible point count {n}")));
+        }
+        let mut alive = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            alive.push(read_u8(&mut r)? != 0);
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                let c = read_f64(&mut r)?;
+                if !c.is_finite() {
+                    return Err(corrupt("non-finite coordinate"));
+                }
+                coords.push(c);
+            }
+            points.push(Point::new(coords));
+        }
+        let mut all_pieces = Vec::with_capacity(n);
+        for id in 0..n {
+            let k = read_u32(&mut r)? as usize;
+            if k > 1 << 12 {
+                return Err(corrupt(format!("implausible piece count {k}")));
+            }
+            if alive[id] && k == 0 {
+                return Err(corrupt(format!("live point {id} without cell pieces")));
+            }
+            let mut pieces = Vec::with_capacity(k);
+            for _ in 0..k {
+                let mut lo = Vec::with_capacity(dim);
+                let mut hi = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    lo.push(read_f64(&mut r)?);
+                }
+                for _ in 0..dim {
+                    hi.push(read_f64(&mut r)?);
+                }
+                for i in 0..dim {
+                    if !(lo[i].is_finite() && hi[i].is_finite()) || hi[i] < lo[i] - 1e-9 {
+                        return Err(corrupt(format!("invalid piece bounds for point {id}")));
+                    }
+                }
+                pieces.push(Mbr::new(lo, hi));
+            }
+            all_pieces.push(pieces);
+        }
+        // Trailing garbage means the file is not what it claims to be.
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(corrupt("trailing bytes after index payload"));
+        }
+
+        let mut idx = NnCellIndex::new(dim, cfg);
+        for (id, p) in points.iter().enumerate() {
+            if alive[id] {
+                idx.point_tree_insert(p, id);
+            }
+        }
+        idx.install_cells(points, alive, all_pieces);
+        Ok(idx)
+    }
+}
+
+fn strategy_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::Correct => 0,
+        Strategy::CorrectPruned => 1,
+        Strategy::Point => 2,
+        Strategy::Sphere => 3,
+        Strategy::NnDirection => 4,
+    }
+}
+
+fn strategy_from_tag(t: u8) -> Result<Strategy, PersistError> {
+    Ok(match t {
+        0 => Strategy::Correct,
+        1 => Strategy::CorrectPruned,
+        2 => Strategy::Point,
+        3 => Strategy::Sphere,
+        4 => Strategy::NnDirection,
+        _ => return Err(corrupt(format!("unknown strategy tag {t}"))),
+    })
+}
+
+fn solver_tag(s: SolverKind) -> u8 {
+    match s {
+        SolverKind::Simplex => 0,
+        SolverKind::Seidel => 1,
+        SolverKind::Auto => 2,
+        SolverKind::DualSimplex => 3,
+        SolverKind::ActiveSet => 4,
+    }
+}
+
+fn solver_from_tag(t: u8) -> Result<SolverKind, PersistError> {
+    Ok(match t {
+        0 => SolverKind::Simplex,
+        1 => SolverKind::Seidel,
+        2 => SolverKind::Auto,
+        3 => SolverKind::DualSimplex,
+        4 => SolverKind::ActiveSet,
+        _ => return Err(corrupt(format!("unknown solver tag {t}"))),
+    })
+}
+
+fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8, PersistError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated file"))?;
+    Ok(b[0])
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated file"))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated file"))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> Result<f64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)
+        .map_err(|_| corrupt("truncated file"))?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::linear_scan_nn;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, d: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nncell_persist_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells_and_answers() {
+        let pts = uniform(60, 3, 1);
+        let idx = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::new(Strategy::Sphere)
+                .with_decomposition(4)
+                .with_seed(7),
+        )
+        .unwrap();
+        let path = tmp("roundtrip");
+        idx.save(&path).unwrap();
+        let loaded = NnCellIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), idx.len());
+        assert_eq!(loaded.dim(), idx.dim());
+        assert_eq!(loaded.config().strategy, Strategy::Sphere);
+        assert_eq!(loaded.config().decompose_pieces, Some(4));
+        for id in 0..pts.len() {
+            let a = &idx.cell(id).unwrap().pieces;
+            let b = &loaded.cell(id).unwrap().pieces;
+            assert_eq!(a.len(), b.len());
+            for (ma, mb) in a.iter().zip(b.iter()) {
+                assert_eq!(ma, mb, "cell {id} differs after reload");
+            }
+        }
+        // No LP ran on load; queries still exact.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let got = loaded.nearest_neighbor(&q).unwrap();
+            let want = linear_scan_nn(&pts, &q).unwrap();
+            assert_eq!(got.id, want.id);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_dead_slots() {
+        let pts = uniform(40, 2, 2);
+        let mut idx =
+            NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
+        idx.remove(5).unwrap();
+        idx.remove(17).unwrap();
+        let path = tmp("dead");
+        idx.save(&path).unwrap();
+        let loaded = NnCellIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 38);
+        assert!(!loaded.is_live(5));
+        assert!(!loaded.is_live(17));
+        assert!(loaded.is_live(6));
+        // Removed points never returned.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let got = loaded.nearest_neighbor(&q).unwrap();
+            assert!(got.id != 5 && got.id != 17);
+        }
+    }
+
+    #[test]
+    fn loaded_index_supports_updates() {
+        let pts = uniform(30, 2, 4);
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let path = tmp("updates");
+        idx.save(&path).unwrap();
+        let mut loaded = NnCellIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let new_id = loaded.insert(Point::new(vec![0.123, 0.456])).unwrap();
+        assert_eq!(new_id, 30);
+        let got = loaded.nearest_neighbor(&[0.123, 0.456]).unwrap();
+        assert_eq!(got.id, new_id);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(matches!(
+            NnCellIndex::load(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Valid prefix, truncated payload.
+        let pts = uniform(20, 2, 5);
+        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Point)).unwrap();
+        idx.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            NnCellIndex::load(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Trailing garbage.
+        let mut extended = full.clone();
+        extended.extend_from_slice(b"xx");
+        std::fs::write(&path, &extended).unwrap();
+        assert!(matches!(
+            NnCellIndex::load(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            NnCellIndex::load("/nonexistent/nncell.idx"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Linear-scan reference answers (ground truth for tests and benches).
+
+use crate::index::QueryResult;
+use nncell_geom::{dist_sq, Point};
+
+/// Exact nearest neighbor by scanning `points`. `None` when empty.
+pub fn linear_scan_nn(points: &[Point], q: &[f64]) -> Option<QueryResult> {
+    let mut best_i = None;
+    let mut best_d2 = f64::INFINITY;
+    for (i, p) in points.iter().enumerate() {
+        let d2 = dist_sq(q, p);
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best_i = Some(i);
+        }
+    }
+    best_i.map(|id| QueryResult {
+        id,
+        dist: best_d2.sqrt(),
+    })
+}
+
+/// Exact k-nearest neighbors by scanning, ascending by distance.
+pub fn linear_scan_knn(points: &[Point], q: &[f64], k: usize) -> Vec<QueryResult> {
+    let mut all: Vec<QueryResult> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| QueryResult {
+            id: i,
+            dist: dist_sq(q, p).sqrt(),
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_nn_picks_closest() {
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![0.5, 0.5]),
+            Point::new(vec![1.0, 1.0]),
+        ];
+        let r = linear_scan_nn(&pts, &[0.6, 0.6]).unwrap();
+        assert_eq!(r.id, 1);
+        assert!((r.dist - (0.02f64).sqrt()).abs() < 1e-12);
+        assert!(linear_scan_nn(&[], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn scan_knn_sorted() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(vec![i as f64])).collect();
+        let r = linear_scan_knn(&pts, &[2.2], 3);
+        let ids: Vec<usize> = r.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+}

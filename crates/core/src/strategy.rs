@@ -1,0 +1,210 @@
+//! Constraint-selection strategies (the paper's figure 3).
+//!
+//! Determining a cell's MBR needs a linear program per extent; the cost is
+//! driven by how many bisector constraints enter it. Each strategy picks the
+//! rival points whose bisectors are used. By Lemma 1, *any* subset yields a
+//! superset approximation, so every strategy preserves exact query answers.
+
+use crate::config::{BuildConfig, Strategy};
+use nncell_geom::Point;
+use nncell_index::XTree;
+
+/// Collects the rival point ids whose bisectors constrain the cell of point
+/// `id` under the configured strategy.
+///
+/// `tree` is the data-point X-tree (ids are point indices); dead points are
+/// absent from it. `live_count` sizes the Sphere radius heuristic.
+pub(crate) fn gather_rival_ids(
+    cfg: &BuildConfig,
+    id: usize,
+    points: &[Point],
+    alive: &[bool],
+    tree: &XTree,
+    live_count: usize,
+) -> Vec<usize> {
+    let p = &points[id];
+    let d = p.dim();
+    let mut ids: Vec<usize> = match cfg.strategy {
+        Strategy::Correct | Strategy::CorrectPruned => {
+            (0..points.len()).filter(|&j| j != id && alive[j]).collect()
+        }
+        Strategy::Point => tree
+            .page_point_query(p)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect(),
+        Strategy::Sphere => {
+            let r = cfg.effective_sphere_radius(live_count, d);
+            tree.page_sphere_query(p, r)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect()
+        }
+        Strategy::NnDirection => nn_direction_candidates(p, id, points, tree),
+    };
+    ids.sort_unstable();
+    ids.dedup();
+    ids.retain(|&j| j != id && alive[j]);
+    ids
+}
+
+/// The `4·d` NN-Direction candidates: per axis direction the nearest point
+/// in that halfspace, plus (from the `8·d` nearest neighbors) the point with
+/// the smallest angular deviation from that axis direction.
+fn nn_direction_candidates(p: &Point, id: usize, points: &[Point], tree: &XTree) -> Vec<usize> {
+    let d = p.dim();
+    let mut out = Vec::with_capacity(4 * d);
+    for dim in 0..d {
+        for positive in [true, false] {
+            if let Some(n) = tree.nn_in_halfspace(p, dim, positive) {
+                out.push(n.id as usize);
+            }
+        }
+    }
+    // Axis-deviation candidates among the 8·d nearest neighbors: for each
+    // signed axis, the neighbor whose offset vector has the largest cosine
+    // with that axis.
+    let knn = tree.knn_best_first(p, 8 * d + 1);
+    for dim in 0..d {
+        for sign in [1.0f64, -1.0] {
+            let mut best: Option<(usize, f64)> = None;
+            for n in &knn {
+                let j = n.id as usize;
+                if j == id {
+                    continue;
+                }
+                let q = &points[j];
+                let len = nncell_geom::dist(p, q);
+                if len <= 0.0 {
+                    continue;
+                }
+                let cos = sign * (q[dim] - p[dim]) / len;
+                if cos > 0.0 && best.is_none_or(|(_, c)| cos > c) {
+                    best = Some((j, cos));
+                }
+            }
+            if let Some((j, _)) = best {
+                out.push(j);
+            }
+        }
+    }
+    out
+}
+
+/// The `4·d + 1` nearest rivals, used to seed the CorrectPruned rough MBR.
+pub(crate) fn nearest_rivals(p: &Point, id: usize, tree: &XTree, k: usize) -> Vec<usize> {
+    tree.knn_best_first(p, k + 1)
+        .into_iter()
+        .map(|n| n.id as usize)
+        .filter(|&j| j != id)
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuildConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, d: usize, seed: u64) -> (Vec<Point>, Vec<bool>, XTree) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>()))
+            .collect();
+        let mut tree = XTree::for_points(d);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(p, i as u64);
+        }
+        let alive = vec![true; n];
+        (points, alive, tree)
+    }
+
+    #[test]
+    fn correct_returns_everyone_else() {
+        let (points, alive, tree) = setup(50, 3, 1);
+        let cfg = BuildConfig::new(Strategy::Correct);
+        let ids = gather_rival_ids(&cfg, 7, &points, &alive, &tree, 50);
+        assert_eq!(ids.len(), 49);
+        assert!(!ids.contains(&7));
+    }
+
+    #[test]
+    fn correct_skips_dead_points() {
+        let (points, mut alive, tree) = setup(20, 2, 2);
+        alive[3] = false;
+        alive[4] = false;
+        let cfg = BuildConfig::new(Strategy::Correct);
+        let ids = gather_rival_ids(&cfg, 0, &points, &alive, &tree, 18);
+        assert_eq!(ids.len(), 17);
+        assert!(!ids.contains(&3) && !ids.contains(&4));
+    }
+
+    #[test]
+    fn point_strategy_returns_page_mates() {
+        let (points, alive, tree) = setup(200, 4, 3);
+        let cfg = BuildConfig::new(Strategy::Point);
+        let ids = gather_rival_ids(&cfg, 11, &points, &alive, &tree, 200);
+        // At minimum the other points of 11's own leaf page qualify; the set
+        // must never contain the point itself.
+        assert!(!ids.contains(&11));
+        assert!(!ids.is_empty(), "a 200-point page region holds neighbors");
+    }
+
+    #[test]
+    fn sphere_candidates_grow_with_radius() {
+        let (points, alive, tree) = setup(300, 3, 4);
+        let small = BuildConfig::new(Strategy::Sphere).with_sphere_radius(0.05);
+        let large = BuildConfig::new(Strategy::Sphere).with_sphere_radius(0.5);
+        let a = gather_rival_ids(&small, 5, &points, &alive, &tree, 300).len();
+        let b = gather_rival_ids(&large, 5, &points, &alive, &tree, 300).len();
+        assert!(a <= b, "sphere candidates must be monotone in radius");
+        assert!(b > 0);
+    }
+
+    #[test]
+    fn nn_direction_is_small_and_directional() {
+        let d = 4;
+        let (points, alive, tree) = setup(400, d, 5);
+        let cfg = BuildConfig::new(Strategy::NnDirection);
+        let ids = gather_rival_ids(&cfg, 42, &points, &alive, &tree, 400);
+        assert!(!ids.is_empty());
+        assert!(
+            ids.len() <= 4 * d,
+            "NN-Direction is a constant-size set: {} > {}",
+            ids.len(),
+            4 * d
+        );
+        // Every axis direction with a point on that side is represented.
+        let p = &points[42];
+        for dim in 0..d {
+            for sign in [1.0f64, -1.0] {
+                let side_exists = points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| j != 42 && sign * (q[dim] - p[dim]) > 0.0);
+                if side_exists {
+                    assert!(
+                        ids.iter().any(|&j| {
+                            let q = &points[j];
+                            sign * (q[dim] - p[dim]) > 0.0
+                        }),
+                        "no candidate on side ({dim}, {sign})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_rivals_excludes_self_and_is_sorted_by_distance() {
+        let (points, _, tree) = setup(100, 3, 6);
+        let ids = nearest_rivals(&points[10], 10, &tree, 12);
+        assert_eq!(ids.len(), 12);
+        assert!(!ids.contains(&10));
+        let d0 = nncell_geom::dist(&points[10], &points[ids[0]]);
+        let dl = nncell_geom::dist(&points[10], &points[ids[11]]);
+        assert!(d0 <= dl);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the paper's two lemmas on the full index.
+
+use nncell_core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy as BuildStrategy};
+use nncell_geom::{dist_sq, Point};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0..=1000u32).prop_map(|v| v as f64 / 1000.0)
+}
+
+fn point_set(d: usize, min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(coord(), d), min..max).prop_filter_map(
+        "distinct points",
+        |pts| {
+            for (i, p) in pts.iter().enumerate() {
+                for q in pts.iter().skip(i + 1) {
+                    if dist_sq(p, q) <= 1e-9 {
+                        return None;
+                    }
+                }
+            }
+            Some(pts.into_iter().map(Point::new).collect())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lemma2_no_false_dismissals_any_strategy(
+        pts in point_set(3, 3, 30),
+        queries in prop::collection::vec(prop::collection::vec(coord(), 3), 8),
+        strat_pick in 0usize..4,
+        decompose in prop::bool::ANY,
+    ) {
+        let strategy = BuildStrategy::ALL[strat_pick];
+        let mut cfg = BuildConfig::new(strategy).with_seed(17);
+        if decompose {
+            cfg = cfg.with_decomposition(4);
+        }
+        let index = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        for q in &queries {
+            let got = index.nearest_neighbor(q).unwrap();
+            let want = linear_scan_nn(&pts, q).unwrap();
+            prop_assert!(
+                (got.dist - want.dist).abs() < 1e-9,
+                "{strategy:?} decompose={decompose}: {} vs {}",
+                got.dist,
+                want.dist
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_heuristics_contain_correct(
+        pts in point_set(2, 3, 20),
+        strat_pick in 0usize..3,
+    ) {
+        let heuristic = [BuildStrategy::Point, BuildStrategy::Sphere, BuildStrategy::NnDirection][strat_pick];
+        let correct = NnCellIndex::build(pts.clone(), BuildConfig::new(BuildStrategy::Correct)).unwrap();
+        let approx = NnCellIndex::build(pts.clone(), BuildConfig::new(heuristic)).unwrap();
+        for i in 0..pts.len() {
+            let exact = &correct.cell(i).unwrap().pieces[0];
+            let loose = &approx.cell(i).unwrap().pieces[0];
+            prop_assert!(
+                loose.contains_mbr(exact),
+                "{heuristic:?} violates Lemma 1 on cell {i}: {loose:?} !⊇ {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_remove_exact(
+        initial in point_set(2, 4, 20),
+        extra in point_set(2, 1, 8),
+        del_pick in prop::collection::vec(0usize..20, 0..6),
+        queries in prop::collection::vec(prop::collection::vec(coord(), 2), 6),
+    ) {
+        let mut index = NnCellIndex::build(
+            initial.clone(),
+            BuildConfig::new(BuildStrategy::Sphere).with_seed(23),
+        )
+        .unwrap();
+        let mut live: Vec<(usize, Point)> =
+            initial.iter().cloned().enumerate().collect();
+        // Interleave inserts and removals.
+        for (step, p) in extra.iter().enumerate() {
+            // Skip exact duplicates of anything live (distinctness assumption).
+            if live.iter().any(|(_, q)| dist_sq(p, q) <= 1e-9) {
+                continue;
+            }
+            let id = index.insert(p.clone()).unwrap();
+            live.push((id, p.clone()));
+            if let Some(&k) = del_pick.get(step) {
+                if !live.is_empty() {
+                    let pos = k % live.len();
+                    let (victim, _) = live[pos];
+                    prop_assert!(index.remove(victim).unwrap());
+                    live.remove(pos);
+                }
+            }
+        }
+        let reference: Vec<Point> = live.iter().map(|(_, p)| p.clone()).collect();
+        for q in &queries {
+            match (index.nearest_neighbor(q), linear_scan_nn(&reference, q)) {
+                (Some(got), Some(want)) => prop_assert!(
+                    (got.dist - want.dist).abs() < 1e-9,
+                    "dynamic mix inexact at {q:?}"
+                ),
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "emptiness disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Synthetic point-set generators.
+
+use nncell_geom::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of point sets in `[0,1]^d`.
+pub trait Generator {
+    /// Dimensionality of generated points.
+    fn dim(&self) -> usize;
+
+    /// Generates `n` points, deterministically for a given `seed`.
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point>;
+}
+
+/// Rescales every dimension of `points` to span `[0,1]` (no-op for a
+/// degenerate dimension).
+pub fn normalize_to_unit(points: &mut [Point]) {
+    if points.is_empty() {
+        return;
+    }
+    let d = points[0].dim();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for p in points.iter() {
+        for i in 0..d {
+            lo[i] = lo[i].min(p[i]);
+            hi[i] = hi[i].max(p[i]);
+        }
+    }
+    for p in points.iter_mut() {
+        let mut v = p.clone().into_vec();
+        for i in 0..d {
+            let span = hi[i] - lo[i];
+            v[i] = if span > 0.0 {
+                (v[i] - lo[i]) / span
+            } else {
+                0.5
+            };
+        }
+        *p = Point::new(v);
+    }
+}
+
+/// iid `U[0,1]` per dimension — the paper's synthetic workload.
+///
+/// As the paper stresses, this is *not* "multidimensionally uniform": in
+/// high dimensions the points are effectively sparse.
+#[derive(Clone, Debug)]
+pub struct UniformGenerator {
+    dim: usize,
+}
+
+impl UniformGenerator {
+    /// A uniform generator in `[0,1]^dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self { dim }
+    }
+}
+
+impl Generator for UniformGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    (0..self.dim)
+                        .map(|_| rng.gen_range(0.0..1.0))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A regular multidimensional lattice — the paper's best case, where NN-cell
+/// MBRs coincide with the cells and never overlap (figure 2c/d).
+///
+/// `k^d` grid positions with `k = ⌈n^(1/d)⌉`; the first `n` positions are
+/// emitted in row-major order, each optionally jittered by `±jitter/2` of a
+/// grid step.
+#[derive(Clone, Debug)]
+pub struct GridGenerator {
+    dim: usize,
+    jitter: f64,
+}
+
+impl GridGenerator {
+    /// An exact lattice.
+    pub fn new(dim: usize) -> Self {
+        Self::with_jitter(dim, 0.0)
+    }
+
+    /// A lattice with relative jitter in `[0,1)` of a grid step.
+    pub fn with_jitter(dim: usize, jitter: f64) -> Self {
+        assert!(dim > 0);
+        assert!((0.0..1.0).contains(&jitter));
+        Self { dim, jitter }
+    }
+}
+
+impl Generator for GridGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = (n as f64).powf(1.0 / self.dim as f64).ceil().max(1.0) as usize;
+        let step = 1.0 / k as f64;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = vec![0usize; self.dim];
+        for _ in 0..n {
+            let coords: Vec<f64> = idx
+                .iter()
+                .map(|&i| {
+                    let center = (i as f64 + 0.5) * step;
+                    if self.jitter > 0.0 {
+                        let j = rng.gen_range(-0.5..0.5) * self.jitter * step;
+                        (center + j).clamp(0.0, 1.0)
+                    } else {
+                        center
+                    }
+                })
+                .collect();
+            out.push(Point::new(coords));
+            // Row-major increment.
+            for dimi in (0..self.dim).rev() {
+                idx[dimi] += 1;
+                if idx[dimi] < k {
+                    break;
+                }
+                idx[dimi] = 0;
+            }
+        }
+        out
+    }
+}
+
+/// Sparse data: points near the unit-cube diagonal — the paper's worst case,
+/// where almost every NN-cell MBR covers almost the whole data space
+/// (figure 2e/f).
+#[derive(Clone, Debug)]
+pub struct SparseGenerator {
+    dim: usize,
+    spread: f64,
+}
+
+impl SparseGenerator {
+    /// Diagonal data with default spread 0.02.
+    pub fn new(dim: usize) -> Self {
+        Self::with_spread(dim, 0.02)
+    }
+
+    /// Diagonal data with an explicit per-axis spread.
+    pub fn with_spread(dim: usize, spread: f64) -> Self {
+        assert!(dim > 0);
+        assert!(spread >= 0.0);
+        Self { dim, spread }
+    }
+}
+
+impl Generator for SparseGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let t: f64 = rng.gen_range(0.0..1.0);
+                let coords: Vec<f64> = (0..self.dim)
+                    .map(|_| (t + rng.gen_range(-1.0..1.0) * self.spread).clamp(0.0, 1.0))
+                    .collect();
+                Point::new(coords)
+            })
+            .collect()
+    }
+}
+
+/// A Gaussian mixture clipped to the unit cube — the "high clustering of the
+/// real data" the paper blames for the Point/Sphere strategies' variance.
+#[derive(Clone, Debug)]
+pub struct ClusteredGenerator {
+    dim: usize,
+    clusters: usize,
+    sigma: f64,
+}
+
+impl ClusteredGenerator {
+    /// `clusters` Gaussian blobs of standard deviation `sigma`.
+    pub fn new(dim: usize, clusters: usize, sigma: f64) -> Self {
+        assert!(dim > 0 && clusters > 0 && sigma > 0.0);
+        Self {
+            dim,
+            clusters,
+            sigma,
+        }
+    }
+}
+
+impl Generator for ClusteredGenerator {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> = (0..self.clusters)
+            .map(|_| (0..self.dim).map(|_| rng.gen_range(0.15..0.85)).collect())
+            .collect();
+        (0..n)
+            .map(|_| {
+                let c = &centers[rng.gen_range(0..self.clusters)];
+                let coords: Vec<f64> = c
+                    .iter()
+                    .map(|&m| (m + gaussian(&mut rng) * self.sigma).clamp(0.0, 1.0))
+                    .collect();
+                Point::new(coords)
+            })
+            .collect()
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_seeded_and_in_bounds() {
+        let g = UniformGenerator::new(6);
+        let a = g.generate(100, 42);
+        let b = g.generate(100, 42);
+        let c = g.generate(100, 43);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seeds must differ");
+        for p in &a {
+            assert_eq!(p.dim(), 6);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn uniform_marginals_look_uniform() {
+        let g = UniformGenerator::new(3);
+        let pts = g.generate(5000, 7);
+        for i in 0..3 {
+            let mean: f64 = pts.iter().map(|p| p[i]).sum::<f64>() / pts.len() as f64;
+            assert!((mean - 0.5).abs() < 0.02, "dim {i} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn grid_is_regular_and_complete() {
+        let g = GridGenerator::new(2);
+        let pts = g.generate(9, 0);
+        // 3x3 grid at {1/6, 3/6, 5/6}²
+        let expect = [1.0 / 6.0, 0.5, 5.0 / 6.0];
+        for p in &pts {
+            assert!(expect.iter().any(|e| (p[0] - e).abs() < 1e-12));
+            assert!(expect.iter().any(|e| (p[1] - e).abs() < 1e-12));
+        }
+        // all distinct
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert_ne!(pts[i], pts[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_jitter_stays_near_lattice() {
+        let g = GridGenerator::with_jitter(2, 0.5);
+        let pts = g.generate(16, 3);
+        let step = 0.25;
+        for p in &pts {
+            for i in 0..2 {
+                // distance to nearest lattice center < step/2
+                let cell = ((p[i] / step) - 0.5).round();
+                let center = (cell + 0.5) * step;
+                assert!((p[i] - center).abs() <= step * 0.25 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_hugs_diagonal() {
+        let g = SparseGenerator::new(8);
+        let pts = g.generate(200, 5);
+        for p in &pts {
+            let mean: f64 = p.iter().sum::<f64>() / 8.0;
+            for v in p.iter() {
+                assert!((v - mean).abs() < 0.1, "coordinate far from diagonal");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_concentrate() {
+        let g = ClusteredGenerator::new(4, 3, 0.03);
+        let pts = g.generate(600, 11);
+        // Average NN distance must be far below the uniform expectation.
+        let mut total = 0.0;
+        for (i, p) in pts.iter().enumerate().take(100) {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(nncell_geom::dist_sq(p, q));
+                }
+            }
+            total += best.sqrt();
+        }
+        let avg_nn = total / 100.0;
+        assert!(avg_nn < 0.05, "clusters not tight: {avg_nn}");
+    }
+
+    #[test]
+    fn normalize_spans_unit_cube() {
+        let mut pts = vec![
+            Point::new(vec![2.0, -1.0]),
+            Point::new(vec![4.0, 3.0]),
+            Point::new(vec![3.0, 1.0]),
+        ];
+        normalize_to_unit(&mut pts);
+        assert_eq!(pts[0].as_slice(), &[0.0, 0.0]);
+        assert_eq!(pts[1].as_slice(), &[1.0, 1.0]);
+        assert_eq!(pts[2].as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_dimension() {
+        let mut pts = vec![Point::new(vec![1.0, 0.0]), Point::new(vec![1.0, 2.0])];
+        normalize_to_unit(&mut pts);
+        assert_eq!(pts[0][0], 0.5);
+        assert_eq!(pts[1][0], 0.5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic color-histogram feature vectors.
+//!
+//! Color histograms are the paper's other marquee feature type (\[SH 94\],
+//! "Efficient Color Histogram Indexing"). A `d`-bin histogram is simulated
+//! by rendering an "image" as a mixture of a few dominant colors plus
+//! noise, binning, and normalizing — producing vectors on the probability
+//! simplex: non-negative, summing to 1, strongly anti-correlated across
+//! bins, sparse in most bins. That geometry (points on a `(d−1)`-simplex
+//! inside `[0,1]^d`) is a realistic stress case for the NN-cell approach:
+//! the data lies on a lower-dimensional manifold, like the paper's "sparse"
+//! worst case but curved.
+
+use crate::generators::Generator;
+use nncell_geom::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator of `d`-bin color histograms.
+#[derive(Clone, Debug)]
+pub struct ColorHistogramGenerator {
+    bins: usize,
+    palettes: usize,
+    dominant: usize,
+}
+
+impl ColorHistogramGenerator {
+    /// Histograms over `bins` colors with 16 palette families of 3 dominant
+    /// colors each.
+    pub fn new(bins: usize) -> Self {
+        Self::with_params(bins, 16, 3)
+    }
+
+    /// Full control over the family structure.
+    ///
+    /// # Panics
+    /// Panics when `dominant` exceeds `bins` or anything is zero.
+    pub fn with_params(bins: usize, palettes: usize, dominant: usize) -> Self {
+        assert!(bins > 0 && palettes > 0 && dominant > 0);
+        assert!(dominant <= bins, "more dominant colors than bins");
+        Self {
+            bins,
+            palettes,
+            dominant,
+        }
+    }
+}
+
+impl Generator for ColorHistogramGenerator {
+    fn dim(&self) -> usize {
+        self.bins
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Each palette: dominant bins and their mixture weights.
+        let palettes: Vec<(Vec<usize>, Vec<f64>)> = (0..self.palettes)
+            .map(|_| {
+                let mut bins: Vec<usize> = Vec::new();
+                while bins.len() < self.dominant {
+                    let b = rng.gen_range(0..self.bins);
+                    if !bins.contains(&b) {
+                        bins.push(b);
+                    }
+                }
+                let raw: Vec<f64> = (0..self.dominant)
+                    .map(|_| rng.gen_range(0.5..1.0))
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                (bins, raw.into_iter().map(|w| w / total).collect())
+            })
+            .collect();
+
+        (0..n)
+            .map(|_| {
+                let (bins, weights) = &palettes[rng.gen_range(0..self.palettes)];
+                let mut h = vec![0.0f64; self.bins];
+                // Dominant mass with per-image variation.
+                for (b, w) in bins.iter().zip(weights.iter()) {
+                    h[*b] = w * rng.gen_range(0.7..1.3);
+                }
+                // Background noise over all bins (≈10% of the mass).
+                for v in h.iter_mut() {
+                    *v += rng.gen_range(0.0..0.1 / self.bins as f64);
+                }
+                let total: f64 = h.iter().sum();
+                for v in h.iter_mut() {
+                    *v /= total;
+                }
+                Point::new(h)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_live_on_the_simplex() {
+        let g = ColorHistogramGenerator::new(8);
+        let pts = g.generate(200, 3);
+        for p in &pts {
+            assert_eq!(p.dim(), 8);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "not normalized: {sum}");
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = ColorHistogramGenerator::new(6);
+        assert_eq!(g.generate(50, 9), g.generate(50, 9));
+        assert_ne!(g.generate(50, 9), g.generate(50, 10));
+    }
+
+    #[test]
+    fn mass_concentrates_on_dominant_bins() {
+        let g = ColorHistogramGenerator::with_params(16, 4, 3);
+        let pts = g.generate(100, 5);
+        for p in &pts {
+            let mut v: Vec<f64> = p.to_vec();
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let top3: f64 = v[..3].iter().sum();
+            assert!(top3 > 0.6, "dominant colors must carry the mass: {top3}");
+        }
+    }
+
+    #[test]
+    fn palette_families_cluster() {
+        let g = ColorHistogramGenerator::with_params(12, 3, 3);
+        let pts = g.generate(300, 6);
+        // Average NN distance far below random-simplex scale.
+        let mut total = 0.0;
+        for (i, p) in pts.iter().enumerate().take(60) {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(nncell_geom::dist_sq(p, q));
+                }
+            }
+            total += best.sqrt();
+        }
+        assert!(total / 60.0 < 0.1, "families must cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "more dominant colors than bins")]
+    fn too_many_dominant_rejected() {
+        let _ = ColorHistogramGenerator::with_params(2, 1, 3);
+    }
+}

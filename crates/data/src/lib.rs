@@ -1,0 +1,30 @@
+//! Workload generators for the NN-cell experiments.
+//!
+//! The paper evaluates on (a) iid-uniform synthetic data of 4–16 dimensions
+//! and (b) a real database of 8-dimensional Fourier points. It additionally
+//! discusses three illustrative distributions (figure 2): iid uniform,
+//! *regular multidimensional* uniform (a grid — the approach's best case),
+//! and *sparse* data (the worst case). This crate generates all of them,
+//! fully seeded:
+//!
+//! * [`UniformGenerator`] — iid `U[0,1]` per dimension,
+//! * [`GridGenerator`] — a regular lattice (optionally jittered),
+//! * [`SparseGenerator`] — points hugging the unit-cube diagonal, so every
+//!   NN-cell MBR degenerates toward the whole data space,
+//! * [`ClusteredGenerator`] — a Gaussian mixture clipped to the cube,
+//! * [`FourierGenerator`] — DFT coefficients of smooth seeded random-walk
+//!   signals, the documented substitution for the paper's proprietary
+//!   Fourier dataset (clustered, correlated, decaying per-axis variance),
+//! * [`ColorHistogramGenerator`] — simplex-bound color histograms (\[SH 94\],
+//!   the paper's other marquee feature type).
+
+pub mod fourier;
+pub mod generators;
+pub mod histogram;
+
+pub use fourier::FourierGenerator;
+pub use generators::{
+    normalize_to_unit, ClusteredGenerator, Generator, GridGenerator, SparseGenerator,
+    UniformGenerator,
+};
+pub use histogram::ColorHistogramGenerator;

@@ -1,0 +1,153 @@
+//! Linear constraints (halfspaces), in particular Voronoi bisectors.
+
+use crate::metric::Metric;
+use crate::EPS;
+
+/// A closed halfspace `{ x : a·x ≤ b }`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Halfspace {
+    normal: Box<[f64]>,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `normal·x ≤ offset`.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite normal.
+    pub fn new(normal: impl Into<Vec<f64>>, offset: f64) -> Self {
+        let normal: Vec<f64> = normal.into();
+        assert!(!normal.is_empty(), "halfspace needs at least one dimension");
+        assert!(
+            normal.iter().all(|c| c.is_finite()) && offset.is_finite(),
+            "halfspace coefficients must be finite"
+        );
+        Self {
+            normal: normal.into_boxed_slice(),
+            offset,
+        }
+    }
+
+    /// The bisector halfspace `{ x : d(x,p) ≤ d(x,q) }` under a (weighted)
+    /// Euclidean metric — the set of points at least as close to `p` as to
+    /// `q`.
+    ///
+    /// Expanding `Σ wᵢ(xᵢ-pᵢ)² ≤ Σ wᵢ(xᵢ-qᵢ)²` gives the linear form
+    /// `Σ 2wᵢ(qᵢ-pᵢ) xᵢ ≤ Σ wᵢ(qᵢ²-pᵢ²)`.
+    ///
+    /// ```
+    /// use nncell_geom::{Halfspace, Euclidean};
+    /// let h = Halfspace::bisector(&Euclidean, &[0.0, 0.0], &[1.0, 1.0]);
+    /// assert!(h.contains(&[0.1, 0.1]));      // closer to p
+    /// assert!(!h.contains(&[0.9, 0.9]));     // closer to q
+    /// assert!(h.eval(&[0.5, 0.5]).abs() < 1e-12); // midpoint on boundary
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `p` and `q` have different dimensionality.
+    pub fn bisector<M: Metric>(metric: &M, p: &[f64], q: &[f64]) -> Self {
+        assert_eq!(p.len(), q.len(), "bisector of mismatched dimensionality");
+        let mut normal = Vec::with_capacity(p.len());
+        let mut offset = 0.0;
+        for i in 0..p.len() {
+            let w = metric.weight(i);
+            normal.push(2.0 * w * (q[i] - p[i]));
+            offset += w * (q[i] * q[i] - p[i] * p[i]);
+        }
+        Self::new(normal, offset)
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// The normal vector `a`.
+    #[inline]
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// The offset `b`.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// `a·x − b`: negative strictly inside, zero on the boundary, positive
+    /// outside.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim());
+        self.normal
+            .iter()
+            .zip(x.iter())
+            .map(|(a, v)| a * v)
+            .sum::<f64>()
+            - self.offset
+    }
+
+    /// Closed containment test with [`EPS`] slack.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.eval(x) <= EPS * (1.0 + self.offset.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{dist_sq, Euclidean, WeightedEuclidean};
+
+    #[test]
+    fn eval_and_contains() {
+        // x + y <= 1
+        let h = Halfspace::new(vec![1.0, 1.0], 1.0);
+        assert!(h.contains(&[0.2, 0.3]));
+        assert!(h.contains(&[0.5, 0.5])); // boundary
+        assert!(!h.contains(&[0.8, 0.9]));
+        assert!((h.eval(&[0.8, 0.9]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisector_agrees_with_distance_comparison() {
+        let p = [0.2, 0.7, 0.1];
+        let q = [0.9, 0.3, 0.5];
+        let h = Halfspace::bisector(&Euclidean, &p, &q);
+        // sample points and cross-check
+        for k in 0..50 {
+            let t = k as f64 / 49.0;
+            let x = [t, 1.0 - t, 0.5 * t];
+            let closer_to_p = dist_sq(&x, &p) <= dist_sq(&x, &q) + 1e-12;
+            assert_eq!(h.contains(&x), closer_to_p, "x={x:?}");
+        }
+    }
+
+    #[test]
+    fn bisector_midpoint_on_boundary() {
+        let p = [0.0, 0.0];
+        let q = [1.0, 1.0];
+        let h = Halfspace::bisector(&Euclidean, &p, &q);
+        assert!(h.eval(&[0.5, 0.5]).abs() < 1e-12);
+        assert!(h.contains(&p));
+        assert!(!h.contains(&q));
+    }
+
+    #[test]
+    fn weighted_bisector_matches_weighted_distances() {
+        let m = WeightedEuclidean::new(vec![4.0, 1.0]);
+        let p = [0.0, 0.0];
+        let q = [1.0, 0.0];
+        let h = Halfspace::bisector(&m, &p, &q);
+        for k in 0..20 {
+            let x = [k as f64 / 19.0, 0.3];
+            let closer = m.dist_sq(&x, &p) <= m.dist_sq(&x, &q) + 1e-12;
+            assert_eq!(h.contains(&x), closer);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rejected() {
+        let _ = Halfspace::new(vec![f64::NAN], 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Distance functions.
+//!
+//! The NN-cell construction requires Voronoi bisectors to be *linear*, which
+//! holds for the Euclidean metric and, more generally, for any
+//! positive-diagonal weighted Euclidean metric. Both are provided behind the
+//! [`Metric`] trait so indexes and the NN-cell pipeline can be instantiated
+//! with either.
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// # Panics
+/// Panics (debug builds) if the slices have different lengths.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// A distance function whose perpendicular bisectors are hyperplanes.
+///
+/// This is the class of metrics the NN-cell linear-programming formulation
+/// supports: `d(x,p) ≤ d(x,q)` must reduce to one linear constraint on `x`.
+/// Implementations provide the quadratic form pieces; the bisector itself is
+/// assembled in `nncell-lp`.
+pub trait Metric: Clone + Send + Sync + 'static {
+    /// Squared distance. Implementations must be non-negative and symmetric.
+    fn dist_sq(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Distance (defaults to `sqrt(dist_sq)`).
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.dist_sq(a, b).sqrt()
+    }
+
+    /// The diagonal weight of dimension `i` in the metric's quadratic form.
+    ///
+    /// The bisector of `p`,`q` under `Σ wᵢ(xᵢ-pᵢ)² ≤ Σ wᵢ(xᵢ-qᵢ)²` is
+    /// `Σ 2wᵢ(qᵢ-pᵢ)·xᵢ ≤ Σ wᵢ(qᵢ²-pᵢ²)`, so the weights fully determine the
+    /// linear constraint.
+    fn weight(&self, i: usize) -> f64;
+}
+
+/// The standard Euclidean (L2) metric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist_sq(&self, a: &[f64], b: &[f64]) -> f64 {
+        dist_sq(a, b)
+    }
+
+    #[inline]
+    fn weight(&self, _i: usize) -> f64 {
+        1.0
+    }
+}
+
+/// A diagonally weighted Euclidean metric `d(a,b)² = Σ wᵢ (aᵢ-bᵢ)²`.
+///
+/// Useful for user-adaptable similarity search where feature dimensions have
+/// different importances; bisectors stay linear so the whole NN-cell pipeline
+/// works unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedEuclidean {
+    weights: std::sync::Arc<[f64]>,
+}
+
+impl WeightedEuclidean {
+    /// Creates a weighted metric.
+    ///
+    /// # Panics
+    /// Panics if any weight is non-positive or non-finite — such a "metric"
+    /// would not be a metric and would produce unbounded Voronoi cells.
+    pub fn new(weights: impl Into<Vec<f64>>) -> Self {
+        let weights: Vec<f64> = weights.into();
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be finite and positive"
+        );
+        Self {
+            weights: weights.into(),
+        }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Metric for WeightedEuclidean {
+    #[inline]
+    fn dist_sq(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), self.weights.len());
+        a.iter()
+            .zip(b.iter())
+            .zip(self.weights.iter())
+            .map(|((x, y), w)| {
+                let d = x - y;
+                w * d * d
+            })
+            .sum()
+    }
+
+    #[inline]
+    fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(dist_sq(&[1.0], &[4.0]), 9.0);
+        assert_eq!(Euclidean.dist(&[0.0], &[2.0]), 2.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let a = [0.2, 0.9, 0.4];
+        let b = [0.7, 0.1, 0.3];
+        assert_eq!(dist_sq(&a, &b), dist_sq(&b, &a));
+        assert_eq!(dist_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn weighted_matches_manual() {
+        let m = WeightedEuclidean::new(vec![2.0, 0.5]);
+        // 2*(1-0)^2 + 0.5*(0-2)^2 = 2 + 2 = 4
+        assert_eq!(m.dist_sq(&[1.0, 0.0], &[0.0, 2.0]), 4.0);
+        assert_eq!(m.dist(&[1.0, 0.0], &[0.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn weighted_with_unit_weights_equals_euclidean() {
+        let m = WeightedEuclidean::new(vec![1.0; 3]);
+        let a = [0.1, 0.5, 0.9];
+        let b = [0.3, 0.2, 0.8];
+        assert!((m.dist_sq(&a, &b) - dist_sq(&a, &b)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_rejects_zero_weight() {
+        let _ = WeightedEuclidean::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let pts = [
+            vec![0.0, 0.0],
+            vec![1.0, 0.3],
+            vec![0.4, 0.8],
+            vec![0.9, 0.9],
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    assert!(dist(a, b) + dist(b, c) >= dist(a, c) - 1e-12);
+                }
+            }
+        }
+    }
+}

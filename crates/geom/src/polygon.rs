@@ -1,0 +1,250 @@
+//! Exact 2-D convex polygons by halfspace clipping.
+//!
+//! The NN-cell pipeline computes cell MBRs by linear programming in any
+//! dimension; in 2-D the cells themselves are cheap to materialize by
+//! clipping the data-space rectangle with each bisector (Sutherland–Hodgman
+//! on a convex clip region). This module provides that exact ground truth —
+//! used to validate the LP extents in tests and to render the paper's
+//! figure-1/2 NN-diagrams.
+
+use crate::halfspace::Halfspace;
+use crate::mbr::Mbr;
+use crate::EPS;
+
+/// A convex polygon in the plane (counter-clockwise vertex order; may be
+/// empty after aggressive clipping).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvexPolygon {
+    vertices: Vec<[f64; 2]>,
+}
+
+impl ConvexPolygon {
+    /// The rectangle `[lo₀,hi₀] × [lo₁,hi₁]` as a polygon.
+    ///
+    /// # Panics
+    /// Panics if `rect` is not 2-dimensional.
+    pub fn from_rect(rect: &Mbr) -> Self {
+        assert_eq!(rect.dim(), 2, "ConvexPolygon is 2-D only");
+        let (l0, l1) = (rect.lo()[0], rect.lo()[1]);
+        let (h0, h1) = (rect.hi()[0], rect.hi()[1]);
+        Self {
+            vertices: vec![[l0, l1], [h0, l1], [h0, h1], [l0, h1]],
+        }
+    }
+
+    /// An explicit polygon (assumed convex, CCW).
+    pub fn new(vertices: Vec<[f64; 2]>) -> Self {
+        Self { vertices }
+    }
+
+    /// The vertices (CCW).
+    pub fn vertices(&self) -> &[[f64; 2]] {
+        &self.vertices
+    }
+
+    /// Whether no area is left.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Clips the polygon by `h` (keeps the side where `h` holds).
+    ///
+    /// # Panics
+    /// Panics if `h` is not 2-dimensional.
+    pub fn clip(&self, h: &Halfspace) -> ConvexPolygon {
+        assert_eq!(h.dim(), 2, "ConvexPolygon is 2-D only");
+        let n = self.vertices.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let inside = |v: &[f64; 2]| h.eval(v) <= EPS;
+        let mut out: Vec<[f64; 2]> = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            let cur = self.vertices[i];
+            let next = self.vertices[(i + 1) % n];
+            let cur_in = inside(&cur);
+            let next_in = inside(&next);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != next_in {
+                // Edge crosses the boundary a·x = b: solve for t.
+                let a = h.normal();
+                let fc = a[0] * cur[0] + a[1] * cur[1] - h.offset();
+                let fn_ = a[0] * next[0] + a[1] * next[1] - h.offset();
+                let t = fc / (fc - fn_);
+                out.push([
+                    cur[0] + t * (next[0] - cur[0]),
+                    cur[1] + t * (next[1] - cur[1]),
+                ]);
+            }
+        }
+        ConvexPolygon { vertices: out }
+    }
+
+    /// Signed area (positive for CCW).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for i in 0..n {
+            let [x1, y1] = self.vertices[i];
+            let [x2, y2] = self.vertices[(i + 1) % n];
+            s += x1 * y2 - x2 * y1;
+        }
+        0.5 * s
+    }
+
+    /// Containment test (convex, CCW ⇒ point is left of every edge).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        for i in 0..n {
+            let [x1, y1] = self.vertices[i];
+            let [x2, y2] = self.vertices[(i + 1) % n];
+            let cross = (x2 - x1) * (p[1] - y1) - (y2 - y1) * (p[0] - x1);
+            if cross < -EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Tight bounding box, or `None` when empty.
+    pub fn mbr(&self) -> Option<Mbr> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut lo = [f64::INFINITY; 2];
+        let mut hi = [f64::NEG_INFINITY; 2];
+        for v in &self.vertices {
+            for k in 0..2 {
+                lo[k] = lo[k].min(v[k]);
+                hi[k] = hi[k].max(v[k]);
+            }
+        }
+        Some(Mbr::new(lo.to_vec(), hi.to_vec()))
+    }
+}
+
+/// The exact 2-D NN-cell of `points[index]`: the data-space rectangle
+/// clipped by every bisector. The exact counterpart of the LP-based MBR
+/// approximation (`nncell-lp`), usable as ground truth.
+pub fn voronoi_cell_2d(points: &[Vec<f64>], index: usize, space: &Mbr) -> ConvexPolygon {
+    let p = &points[index];
+    let mut poly = ConvexPolygon::from_rect(space);
+    for (j, q) in points.iter().enumerate() {
+        if j == index {
+            continue;
+        }
+        if crate::metric::dist_sq(p, q) <= f64::EPSILON {
+            continue;
+        }
+        let h = Halfspace::bisector(&crate::metric::Euclidean, p, q);
+        poly = poly.clip(&h);
+        if poly.is_empty() {
+            break;
+        }
+    }
+    poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Mbr {
+        Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn rect_polygon_roundtrip() {
+        let p = ConvexPolygon::from_rect(&unit());
+        assert_eq!(p.vertices().len(), 4);
+        assert!((p.area() - 1.0).abs() < 1e-12);
+        assert!(p.contains(&[0.5, 0.5]));
+        assert!(!p.contains(&[1.5, 0.5]));
+        let m = p.mbr().unwrap();
+        assert_eq!(m, unit());
+    }
+
+    #[test]
+    fn clip_halves_the_square() {
+        let p = ConvexPolygon::from_rect(&unit());
+        // keep x <= 0.5
+        let c = p.clip(&Halfspace::new(vec![1.0, 0.0], 0.5));
+        assert!((c.area() - 0.5).abs() < 1e-12);
+        assert!(c.contains(&[0.25, 0.5]));
+        assert!(!c.contains(&[0.75, 0.5]));
+    }
+
+    #[test]
+    fn clip_to_nothing() {
+        let p = ConvexPolygon::from_rect(&unit());
+        let c = p.clip(&Halfspace::new(vec![1.0, 0.0], -0.5)); // x <= -0.5
+        assert!(c.is_empty());
+        assert_eq!(c.area(), 0.0);
+        assert!(c.mbr().is_none());
+        // Clipping an empty polygon stays empty (and must not panic).
+        let again = c.clip(&Halfspace::new(vec![0.0, 1.0], 0.5));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn diagonal_clip_area() {
+        let p = ConvexPolygon::from_rect(&unit());
+        // keep x + y <= 1 → triangle of area 1/2
+        let c = p.clip(&Halfspace::new(vec![1.0, 1.0], 1.0));
+        assert!((c.area() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voronoi_cells_tile_the_square() {
+        let pts = vec![
+            vec![0.2, 0.3],
+            vec![0.7, 0.2],
+            vec![0.5, 0.8],
+            vec![0.9, 0.9],
+            vec![0.1, 0.9],
+        ];
+        let total: f64 = (0..pts.len())
+            .map(|i| voronoi_cell_2d(&pts, i, &unit()).area())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "cells must tile: {total}");
+        // Each point is inside its own cell.
+        for i in 0..pts.len() {
+            assert!(voronoi_cell_2d(&pts, i, &unit()).contains(&pts[i]));
+        }
+    }
+
+    #[test]
+    fn cell_membership_matches_nearest_point() {
+        let pts = vec![
+            vec![0.25, 0.25],
+            vec![0.75, 0.25],
+            vec![0.25, 0.75],
+            vec![0.75, 0.75],
+        ];
+        let cells: Vec<ConvexPolygon> = (0..4).map(|i| voronoi_cell_2d(&pts, i, &unit())).collect();
+        for gx in 0..20 {
+            for gy in 0..20 {
+                let q = [gx as f64 / 19.0, gy as f64 / 19.0];
+                let nn = (0..4)
+                    .min_by(|&a, &b| {
+                        crate::metric::dist_sq(&q, &pts[a])
+                            .partial_cmp(&crate::metric::dist_sq(&q, &pts[b]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                assert!(
+                    cells[nn].contains(&q),
+                    "({q:?}) must lie in its NN's exact cell"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Tree configuration and the block-size-derived fanout model.
+
+/// Which overflow policy the tree core runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SplitPolicy {
+    /// R\*-tree \[BKSS 90\]: forced reinsertion, then topological split.
+    RStar,
+    /// X-tree \[BKK 96\]: topological split → overlap-minimal split along
+    /// the split history → supernode.
+    XTree,
+}
+
+/// Configuration of a tree instance.
+///
+/// Fanout is derived from the simulated block size exactly as a disk-based
+/// implementation would: a directory entry stores an MBR (`2·d` f64) plus a
+/// child pointer; a leaf entry stores an MBR plus an item id, or just the
+/// point (`d` f64) plus an id when `leaf_stores_points` is set (the layout
+/// for indexing raw data points, as the paper's baselines do).
+#[derive(Clone, Debug)]
+pub struct TreeConfig {
+    /// Dimensionality of the indexed space.
+    pub dim: usize,
+    /// Simulated disk block size in bytes (paper: 4 KB).
+    pub block_size: usize,
+    /// Leaf entries hold bare points instead of boxes.
+    pub leaf_stores_points: bool,
+    /// Overflow policy (R\*-tree vs X-tree).
+    pub policy: SplitPolicy,
+    /// Fraction of entries evicted by forced reinsertion (R\*: 30%).
+    pub reinsert_fraction: f64,
+    /// X-tree: maximum tolerated overlap of a directory split before trying
+    /// the overlap-minimal split (paper value: 20%).
+    pub max_overlap: f64,
+    /// X-tree: minimum fill fraction a split side must keep before the split
+    /// is rejected in favour of a supernode (paper value: 35%).
+    pub min_fanout: f64,
+    /// Minimum node fill fraction for underflow handling on delete (R\*: 40%).
+    pub min_fill: f64,
+}
+
+/// Bytes of bookkeeping assumed per node (level, count, span, history).
+const NODE_HEADER_BYTES: usize = 32;
+/// Bytes assumed per child pointer / item id.
+const POINTER_BYTES: usize = 8;
+
+impl TreeConfig {
+    /// R\*-tree defaults at 4 KB blocks.
+    pub fn rstar(dim: usize) -> Self {
+        Self {
+            dim,
+            block_size: 4096,
+            leaf_stores_points: false,
+            policy: SplitPolicy::RStar,
+            reinsert_fraction: 0.3,
+            max_overlap: 0.2,
+            min_fanout: 0.35,
+            min_fill: 0.4,
+        }
+    }
+
+    /// X-tree defaults at 4 KB blocks.
+    pub fn xtree(dim: usize) -> Self {
+        Self {
+            policy: SplitPolicy::XTree,
+            ..Self::rstar(dim)
+        }
+    }
+
+    /// Builder-style block size override.
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Builder-style point-leaf layout toggle.
+    pub fn with_point_leaves(mut self, yes: bool) -> Self {
+        self.leaf_stores_points = yes;
+        self
+    }
+
+    /// Bytes per directory entry.
+    pub fn dir_entry_bytes(&self) -> usize {
+        2 * self.dim * 8 + POINTER_BYTES
+    }
+
+    /// Bytes per leaf entry.
+    pub fn leaf_entry_bytes(&self) -> usize {
+        let geom = if self.leaf_stores_points {
+            self.dim * 8
+        } else {
+            2 * self.dim * 8
+        };
+        geom + POINTER_BYTES
+    }
+
+    /// Maximum entries of a directory node (single page).
+    pub fn max_dir_entries(&self) -> usize {
+        ((self.block_size - NODE_HEADER_BYTES) / self.dir_entry_bytes()).max(2)
+    }
+
+    /// Maximum entries of a leaf node (single page).
+    pub fn max_leaf_entries(&self) -> usize {
+        ((self.block_size - NODE_HEADER_BYTES) / self.leaf_entry_bytes()).max(2)
+    }
+
+    /// Minimum entries of a node at `level` after delete-underflow handling.
+    pub fn min_entries(&self, leaf: bool) -> usize {
+        let max = if leaf {
+            self.max_leaf_entries()
+        } else {
+            self.max_dir_entries()
+        };
+        ((max as f64 * self.min_fill) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_matches_block_size_arithmetic() {
+        let c = TreeConfig::rstar(16);
+        // dir entry: 2*16*8 + 8 = 264 bytes; (4096-32)/264 = 15
+        assert_eq!(c.dir_entry_bytes(), 264);
+        assert_eq!(c.max_dir_entries(), 15);
+        assert_eq!(c.max_leaf_entries(), 15);
+        let cp = c.with_point_leaves(true);
+        // leaf entry: 16*8 + 8 = 136; (4096-32)/136 = 29
+        assert_eq!(cp.max_leaf_entries(), 29);
+    }
+
+    #[test]
+    fn fanout_never_below_two() {
+        let c = TreeConfig::rstar(200).with_block_size(512);
+        assert!(c.max_dir_entries() >= 2);
+        assert!(c.max_leaf_entries() >= 2);
+        assert!(c.min_entries(true) >= 1);
+        assert!(c.min_entries(false) <= c.max_dir_entries());
+    }
+
+    #[test]
+    fn policies_differ_only_in_policy_field() {
+        let r = TreeConfig::rstar(8);
+        let x = TreeConfig::xtree(8);
+        assert_eq!(r.policy, SplitPolicy::RStar);
+        assert_eq!(x.policy, SplitPolicy::XTree);
+        assert_eq!(r.block_size, x.block_size);
+    }
+
+    #[test]
+    fn larger_blocks_increase_fanout() {
+        let small = TreeConfig::rstar(8).with_block_size(2048);
+        let big = TreeConfig::rstar(8).with_block_size(8192);
+        assert!(big.max_dir_entries() > small.max_dir_entries());
+    }
+}

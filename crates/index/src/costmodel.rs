@@ -1,0 +1,173 @@
+//! Analytical cost model for index-based NN search (after \[BBKK 97\]).
+//!
+//! The NN-cell paper's premise is the theoretical result of Berchtold, Böhm,
+//! Keim & Kriegel (PODS 1997): under uniform data, an index-based NN search
+//! must touch a portion of the database that grows rapidly with the
+//! dimensionality, because the NN sphere's radius approaches the page
+//! diameter. This module implements the model's two core quantities —
+//! the expected NN distance and the expected number of page (region)
+//! accesses — so benches can put the measured R\*-tree/X-tree degeneration
+//! next to the prediction.
+
+/// Natural log of the gamma function at integer or half-integer arguments
+/// (exact recurrences; sufficient for `Γ(d/2 + 1)`).
+///
+/// # Panics
+/// Panics unless `2x` is a positive integer.
+pub fn ln_gamma_half(x: f64) -> f64 {
+    let two_x = (2.0 * x).round();
+    assert!(
+        (2.0 * x - two_x).abs() < 1e-9 && two_x >= 1.0,
+        "ln_gamma_half needs a positive (half-)integer, got {x}"
+    );
+    let mut k = two_x as u64; // argument in half units
+    let mut acc = 0.0f64;
+    // Recur down to Γ(1) = 1 (k = 2) or Γ(1/2) = √π (k = 1).
+    while k > 2 {
+        let arg = (k as f64 - 2.0) / 2.0; // Γ(x) = (x−1)·Γ(x−1)
+        acc += arg.ln();
+        k -= 2;
+    }
+    if k == 1 {
+        acc += 0.5 * std::f64::consts::PI.ln();
+    }
+    acc
+}
+
+/// Volume of the `d`-dimensional unit ball.
+pub fn unit_ball_volume(d: usize) -> f64 {
+    let d_f = d as f64;
+    ((d_f / 2.0) * std::f64::consts::PI.ln() - ln_gamma_half(d_f / 2.0 + 1.0)).exp()
+}
+
+/// Expected nearest-neighbor distance of `n` iid-uniform points in the unit
+/// cube: the radius at which a ball holds one expected point,
+/// `r = (Γ(d/2+1) / (n·π^{d/2}))^{1/d}`.
+///
+/// ```
+/// use nncell_index::costmodel::expected_nn_distance;
+/// // In 1-D, a ball of radius r holds 2rn expected points → r = 1/(2n).
+/// assert!((expected_nn_distance(100, 1) - 0.005).abs() < 1e-12);
+/// // High dimensionality pushes the NN far away (the paper's premise).
+/// assert!(expected_nn_distance(100_000, 16) > 0.4);
+/// ```
+pub fn expected_nn_distance(n: usize, d: usize) -> f64 {
+    assert!(n >= 1 && d >= 1);
+    (1.0 / (n as f64 * unit_ball_volume(d))).powf(1.0 / d as f64)
+}
+
+/// Expected *leaf page region* accesses of an index-based NN search under
+/// the \[BBKK 97\] Minkowski-sum argument.
+///
+/// The `n/c_eff` leaf regions are modelled as a grid of cubes of side
+/// `s = (c_eff/n)^{1/d}`; a page must be read iff its region intersects the
+/// NN sphere of radius [`expected_nn_distance`], i.e. iff its cube lies in
+/// the Minkowski enlargement of the sphere. Clipping at the data-space
+/// boundary is applied per axis. The result is capped at the page count.
+pub fn expected_nn_page_accesses(n: usize, d: usize, c_eff: usize) -> f64 {
+    assert!(c_eff >= 1);
+    let pages = (n as f64 / c_eff as f64).max(1.0);
+    let s = (c_eff as f64 / n as f64).powf(1.0 / d as f64).min(1.0);
+    let r = expected_nn_distance(n, d);
+    // Cubes intersected along one axis: the sphere diameter plus the cube
+    // side, clipped to the data space, divided by the side.
+    let span = (2.0 * r + s).min(1.0);
+    let per_axis = span / s;
+    per_axis.powf(d as f64).min(pages)
+}
+
+/// The fraction of the database an NN query is expected to read — the
+/// "degeneration toward a scan" curve the paper's introduction cites.
+pub fn expected_access_fraction(n: usize, d: usize, c_eff: usize) -> f64 {
+    let pages = (n as f64 / c_eff as f64).max(1.0);
+    expected_nn_page_accesses(n, d, c_eff) / pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(3)=2, Γ(4)=6
+        assert!((ln_gamma_half(1.0) - 0.0).abs() < 1e-12);
+        assert!((ln_gamma_half(2.0) - 0.0).abs() < 1e-12);
+        assert!((ln_gamma_half(3.0) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma_half(4.0) - 6.0f64.ln()).abs() < 1e-12);
+        // Γ(1/2)=√π, Γ(3/2)=√π/2, Γ(5/2)=3√π/4
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!((ln_gamma_half(0.5) - sqrt_pi.ln()).abs() < 1e-12);
+        assert!((ln_gamma_half(1.5) - (sqrt_pi / 2.0).ln()).abs() < 1e-12);
+        assert!((ln_gamma_half(2.5) - (3.0 * sqrt_pi / 4.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_volumes_match_closed_forms() {
+        assert!((unit_ball_volume(1) - 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_distance_monotonicity() {
+        // More points → closer NN.
+        assert!(expected_nn_distance(10_000, 8) < expected_nn_distance(1_000, 8));
+        // Higher dimension → farther NN (fixed n).
+        assert!(expected_nn_distance(1_000, 16) > expected_nn_distance(1_000, 4));
+    }
+
+    #[test]
+    fn nn_distance_sanity_1d() {
+        // 1-D: ball of radius r holds 2r·n expected points → r = 1/(2n).
+        let r = expected_nn_distance(100, 1);
+        assert!((r - 1.0 / 200.0).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn nn_distance_matches_monte_carlo_2d() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 2_000;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pts: Vec<[f64; 2]> = (0..n).map(|_| [rng.r#gen(), rng.r#gen()]).collect();
+        let mut total = 0.0;
+        for i in 0..300 {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    let dx = pts[i][0] - q[0];
+                    let dy = pts[i][1] - q[1];
+                    best = best.min(dx * dx + dy * dy);
+                }
+            }
+            total += best.sqrt();
+        }
+        let measured = total / 300.0;
+        let predicted = expected_nn_distance(n, 2);
+        // The "one expected point in the ball" radius is a median-style
+        // estimate; agreement within 25% is what the model promises.
+        assert!(
+            (measured - predicted).abs() / predicted < 0.25,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn access_fraction_degenerates_with_dimension() {
+        let n = 100_000;
+        let c = 30;
+        let f4 = expected_access_fraction(n, 4, c);
+        let f8 = expected_access_fraction(n, 8, c);
+        let f16 = expected_access_fraction(n, 16, c);
+        assert!(f4 < f8 && f8 < f16, "{f4} {f8} {f16}");
+        assert!(f16 > 0.5, "high-d NN search must approach a scan: {f16}");
+        assert!(f4 < 0.2, "low-d NN search must stay selective: {f4}");
+    }
+
+    #[test]
+    fn page_accesses_capped_at_page_count() {
+        let n = 1_000;
+        let c = 10;
+        assert!(expected_nn_page_accesses(n, 32, c) <= (n / c) as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Nodes and entries of the tree core.
+
+use nncell_geom::Mbr;
+
+/// Identifier of a node slot in the tree's page arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PageId(pub u32);
+
+/// Identifier of an indexed item (a data point or an NN-cell piece).
+pub type ItemId = u64;
+
+/// What an entry points at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A child node (directory entry).
+    Child(PageId),
+    /// An indexed item (leaf entry).
+    Item(ItemId),
+}
+
+/// One slot of a node: a bounding box plus its payload.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Bounding box of the child subtree or of the item.
+    pub mbr: Mbr,
+    /// Child pointer or item id.
+    pub payload: Payload,
+}
+
+impl Entry {
+    /// A leaf entry for an item.
+    pub fn item(mbr: Mbr, id: ItemId) -> Self {
+        Self {
+            mbr,
+            payload: Payload::Item(id),
+        }
+    }
+
+    /// A directory entry for a child node.
+    pub fn child(mbr: Mbr, id: PageId) -> Self {
+        Self {
+            mbr,
+            payload: Payload::Child(id),
+        }
+    }
+
+    /// The child id; panics on leaf entries (callers dispatch on level).
+    pub fn child_id(&self) -> PageId {
+        match self.payload {
+            Payload::Child(id) => id,
+            Payload::Item(_) => panic!("leaf entry treated as directory entry"),
+        }
+    }
+
+    /// The item id; panics on directory entries.
+    pub fn item_id(&self) -> ItemId {
+        match self.payload {
+            Payload::Item(id) => id,
+            Payload::Child(_) => panic!("directory entry treated as leaf entry"),
+        }
+    }
+}
+
+/// A tree node. `level == 0` means leaf. `span` is the number of disk pages
+/// the node occupies (1 for ordinary nodes, >1 for X-tree supernodes).
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// Page span; touching the node costs `span` page accesses.
+    pub span: u32,
+    /// Bitmask of the dimensions along which this node's entries were ever
+    /// split (the X-tree split history; meaningful for directory nodes).
+    pub split_history: u64,
+    /// Entries, at most `span × per-page capacity`.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            span: 1,
+            split_history: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Tight bounding box over the entries (`None` when empty).
+    pub fn mbr(&self) -> Option<Mbr> {
+        Mbr::union_all(self.entries.iter().map(|e| &e.mbr))
+    }
+
+    /// Records that entries of this node were split along `dim`.
+    pub fn record_split(&mut self, dim: usize) {
+        if dim < 64 {
+            self.split_history |= 1 << dim;
+        }
+    }
+
+    /// Dimensions recorded in the split history.
+    pub fn history_dims(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64usize).filter(|d| self.split_history & (1 << d) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_accessors() {
+        let m = Mbr::new(vec![0.0], vec![1.0]);
+        let e = Entry::item(m.clone(), 7);
+        assert_eq!(e.item_id(), 7);
+        let c = Entry::child(m, PageId(3));
+        assert_eq!(c.child_id(), PageId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf entry treated as directory")]
+    fn wrong_payload_panics() {
+        let e = Entry::item(Mbr::new(vec![0.0], vec![1.0]), 7);
+        let _ = e.child_id();
+    }
+
+    #[test]
+    fn node_mbr_covers_entries() {
+        let mut n = Node::new(0);
+        assert!(n.mbr().is_none());
+        n.entries
+            .push(Entry::item(Mbr::new(vec![0.1, 0.2], vec![0.3, 0.4]), 1));
+        n.entries
+            .push(Entry::item(Mbr::new(vec![0.5, 0.0], vec![0.9, 0.1]), 2));
+        let m = n.mbr().unwrap();
+        assert_eq!(m.lo(), &[0.1, 0.0]);
+        assert_eq!(m.hi(), &[0.9, 0.4]);
+    }
+
+    #[test]
+    fn split_history_bits() {
+        let mut n = Node::new(1);
+        n.record_split(0);
+        n.record_split(5);
+        n.record_split(5);
+        let dims: Vec<usize> = n.history_dims().collect();
+        assert_eq!(dims, vec![0, 5]);
+    }
+}

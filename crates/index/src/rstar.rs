@@ -1,0 +1,101 @@
+//! The R\*-tree wrapper \[BKSS 90\].
+
+use crate::config::TreeConfig;
+use crate::cost::IoStats;
+use crate::node::ItemId;
+use crate::tree::{Neighbor, Tree};
+use nncell_geom::Mbr;
+use std::ops::Deref;
+
+/// An R\*-tree: the tree core with the forced-reinsertion + topological-split
+/// overflow policy.
+///
+/// Dereferences to [`Tree`], so every query of the core is available.
+pub struct RStarTree {
+    inner: Tree,
+}
+
+impl RStarTree {
+    /// An empty R\*-tree over `dim`-dimensional boxes (4 KB pages).
+    pub fn new(dim: usize) -> Self {
+        Self::with_config(TreeConfig::rstar(dim))
+    }
+
+    /// An empty R\*-tree for indexing bare data points (leaf entries store
+    /// `d` coordinates instead of `2·d` bounds — the paper's baseline
+    /// layout).
+    pub fn for_points(dim: usize) -> Self {
+        Self::with_config(TreeConfig::rstar(dim).with_point_leaves(true))
+    }
+
+    /// An empty R\*-tree with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration's policy is not
+    /// [`crate::SplitPolicy::RStar`].
+    pub fn with_config(cfg: TreeConfig) -> Self {
+        assert_eq!(
+            cfg.policy,
+            crate::SplitPolicy::RStar,
+            "RStarTree requires the RStar policy"
+        );
+        Self {
+            inner: Tree::new(cfg),
+        }
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, mbr: Mbr, id: ItemId) {
+        self.inner.insert(mbr, id);
+    }
+
+    /// Inserts a bare point.
+    pub fn insert_point(&mut self, p: &[f64], id: ItemId) {
+        self.inner.insert(Mbr::from_point(p), id);
+    }
+
+    /// Deletes an item; returns `false` if absent.
+    pub fn delete(&mut self, mbr: &Mbr, id: ItemId) -> bool {
+        self.inner.delete(mbr, id)
+    }
+
+    /// Nearest neighbor via the branch-and-bound algorithm of \[RKV 95\]
+    /// (the paper's "classic NN-search on the R\*-tree").
+    pub fn nearest_neighbor(&self, q: &[f64]) -> Option<Neighbor> {
+        self.inner.nn_branch_bound(q)
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+}
+
+impl Deref for RStarTree {
+    type Target = Tree;
+    fn deref(&self) -> &Tree {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_builds_and_queries() {
+        let mut t = RStarTree::for_points(2);
+        for (i, p) in [[0.1, 0.1], [0.9, 0.9], [0.5, 0.4]].iter().enumerate() {
+            t.insert_point(p, i as ItemId);
+        }
+        assert_eq!(t.len(), 3);
+        let nn = t.nearest_neighbor(&[0.45, 0.45]).unwrap();
+        assert_eq!(nn.id, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the RStar policy")]
+    fn wrong_policy_rejected() {
+        let _ = RStarTree::with_config(TreeConfig::xtree(2));
+    }
+}

@@ -1,0 +1,102 @@
+//! The X-tree wrapper \[BKK 96\].
+
+use crate::config::TreeConfig;
+use crate::cost::IoStats;
+use crate::node::ItemId;
+use crate::tree::{Neighbor, Tree};
+use nncell_geom::Mbr;
+use std::ops::Deref;
+
+/// An X-tree: the tree core with the topological → overlap-minimal →
+/// supernode overflow cascade, keeping the directory as overlap-free as the
+/// data permits.
+///
+/// Dereferences to [`Tree`], so every query of the core is available.
+pub struct XTree {
+    inner: Tree,
+}
+
+impl XTree {
+    /// An empty X-tree over `dim`-dimensional boxes (4 KB pages).
+    pub fn new(dim: usize) -> Self {
+        Self::with_config(TreeConfig::xtree(dim))
+    }
+
+    /// An empty X-tree for indexing bare data points.
+    pub fn for_points(dim: usize) -> Self {
+        Self::with_config(TreeConfig::xtree(dim).with_point_leaves(true))
+    }
+
+    /// An empty X-tree with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration's policy is not
+    /// [`crate::SplitPolicy::XTree`].
+    pub fn with_config(cfg: TreeConfig) -> Self {
+        assert_eq!(
+            cfg.policy,
+            crate::SplitPolicy::XTree,
+            "XTree requires the XTree policy"
+        );
+        Self {
+            inner: Tree::new(cfg),
+        }
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, mbr: Mbr, id: ItemId) {
+        self.inner.insert(mbr, id);
+    }
+
+    /// Inserts a bare point.
+    pub fn insert_point(&mut self, p: &[f64], id: ItemId) {
+        self.inner.insert(Mbr::from_point(p), id);
+    }
+
+    /// Deletes an item; returns `false` if absent.
+    pub fn delete(&mut self, mbr: &Mbr, id: ItemId) -> bool {
+        self.inner.delete(mbr, id)
+    }
+
+    /// Nearest neighbor via best-first search \[HS 95\] (the X-tree NN
+    /// algorithm the paper benchmarks against).
+    pub fn nearest_neighbor(&self, q: &[f64]) -> Option<Neighbor> {
+        self.inner.nn_best_first(q)
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+}
+
+impl Deref for XTree {
+    type Target = Tree;
+    fn deref(&self) -> &Tree {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapper_builds_and_queries() {
+        let mut t = XTree::for_points(3);
+        for i in 0..50u64 {
+            let v = i as f64 / 50.0;
+            t.insert_point(&[v, 1.0 - v, 0.5], i);
+        }
+        assert_eq!(t.len(), 50);
+        let nn = t.nearest_neighbor(&[0.0, 1.0, 0.5]).unwrap();
+        assert_eq!(nn.id, 0);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the XTree policy")]
+    fn wrong_policy_rejected() {
+        let _ = XTree::with_config(TreeConfig::rstar(2));
+    }
+}

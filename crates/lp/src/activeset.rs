@@ -1,0 +1,312 @@
+//! Active-set linear programming (Best & Ritter style).
+//!
+//! The paper computes its extents with "the algorithm of Best and Ritter"
+//! \[BR 85\], a revised simplex variant whose selling point is that it
+//! *avoids the phase-1 search for a feasible starting point*. The
+//! Voronoi-cell LPs offer one for free: the data point `P` itself lies
+//! strictly inside its cell. This module implements that idea as a
+//! null-space active-set method:
+//!
+//! 1. start at the feasible `x₀` and walk along the objective `c`;
+//! 2. when a constraint blocks, add it to the active set `W` and walk along
+//!    the projection of `c` onto `null(A_W)`;
+//! 3. when the projection vanishes, inspect the Lagrange multipliers:
+//!    all non-negative ⇒ optimal vertex/face; otherwise drop the most
+//!    negative and continue.
+//!
+//! A blocking constraint is always linearly independent of the active set
+//! (its inner product with the current direction is positive while active
+//! rows' are zero), so the Gram system `A_W A_Wᵀ` stays invertible. The
+//! solver is deterministic; degenerate cycling is bounded by an iteration
+//! cap surfaced as [`LpError::IterationLimit`] (callers fall back).
+
+use crate::problem::{Lp, LpError, LpResult};
+use crate::LP_EPS;
+
+/// Iteration cap factor.
+const ITER_FACTOR: usize = 64;
+
+/// Solves `lp` starting from the feasible point `x0`.
+///
+/// # Errors
+/// [`LpError::IterationLimit`] on cap exhaustion or if `x0` is not feasible
+/// (within tolerance) — infeasibility of the *problem* cannot be detected
+/// from a feasible start, so this solver never returns
+/// [`LpResult::Infeasible`].
+pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
+    let d = lp.dim();
+    assert_eq!(x0.len(), d);
+    if !lp.is_feasible(x0, 1e-7) {
+        return Err(LpError::IterationLimit);
+    }
+
+    // Rows: constraints then box bounds (upper, lower).
+    let mut rows_a: Vec<Vec<f64>> = Vec::with_capacity(lp.constraints.len() + 2 * d);
+    let mut rows_b: Vec<f64> = Vec::with_capacity(lp.constraints.len() + 2 * d);
+    for h in &lp.constraints {
+        let scale = h.normal().iter().map(|v| v.abs()).fold(0.0, f64::max);
+        if scale <= LP_EPS {
+            continue; // feasible x0 ⇒ the zero row is satisfiable
+        }
+        rows_a.push(h.normal().to_vec());
+        rows_b.push(h.offset());
+    }
+    for i in 0..d {
+        let mut a = vec![0.0; d];
+        a[i] = 1.0;
+        rows_a.push(a.clone());
+        rows_b.push(lp.upper[i]);
+        a[i] = -1.0;
+        rows_a.push(a);
+        rows_b.push(-lp.lower[i]);
+    }
+    let m = rows_a.len();
+
+    let mut x = x0.to_vec();
+    let mut active: Vec<usize> = Vec::new();
+    let limit = ITER_FACTOR * (m + d) + 1_000;
+
+    for _ in 0..limit {
+        // Project c onto null(A_W): dir = c − A_Wᵀ λ with (A_W A_Wᵀ) λ = A_W c.
+        let k = active.len();
+        let lambda = if k > 0 {
+            let mut gram = vec![0.0; k * k];
+            let mut rhs = vec![0.0; k];
+            for (i, &wi) in active.iter().enumerate() {
+                for (j, &wj) in active.iter().enumerate() {
+                    gram[i * k + j] = dot(&rows_a[wi], &rows_a[wj]);
+                }
+                rhs[i] = dot(&rows_a[wi], &lp.objective);
+            }
+            solve_spd(k, &mut gram, &mut rhs).ok_or(LpError::IterationLimit)?
+        } else {
+            Vec::new()
+        };
+        let mut dir = lp.objective.clone();
+        for (i, &wi) in active.iter().enumerate() {
+            for t in 0..d {
+                dir[t] -= lambda[i] * rows_a[wi][t];
+            }
+        }
+        let dir_norm = dot(&dir, &dir).sqrt();
+        let c_scale = 1.0 + dot(&lp.objective, &lp.objective).sqrt();
+
+        if dir_norm <= 1e-9 * c_scale {
+            // Projection vanished: multiplier test.
+            match lambda
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l < -1e-9)
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            {
+                None => {
+                    let value = lp.value(&x);
+                    return Ok(LpResult::Optimal { x, value });
+                }
+                Some((drop_idx, _)) => {
+                    active.swap_remove(drop_idx);
+                    continue;
+                }
+            }
+        }
+
+        // Ray search: first blocking inactive constraint along dir.
+        let mut t_star = f64::INFINITY;
+        let mut blocker: Option<usize> = None;
+        for j in 0..m {
+            if active.contains(&j) {
+                continue;
+            }
+            let ad = dot(&rows_a[j], &dir);
+            if ad > 1e-12 {
+                let slack = rows_b[j] - dot(&rows_a[j], &x);
+                let t = (slack / ad).max(0.0);
+                if t < t_star - 1e-12 || (t < t_star + 1e-12 && blocker.is_some_and(|b| j < b)) {
+                    t_star = t;
+                    blocker = Some(j);
+                }
+            }
+        }
+        let Some(blocker) = blocker else {
+            // Unbounded ray cannot happen inside a finite box; numerical
+            // breakdown.
+            return Err(LpError::IterationLimit);
+        };
+        if t_star.is_finite() && t_star > 0.0 {
+            for t in 0..d {
+                x[t] += t_star * dir[t];
+            }
+        }
+        active.push(blocker);
+        if active.len() > d {
+            // More than d independent active rows is impossible; the Gram
+            // solve above would fail anyway — bail to the fallback.
+            return Err(LpError::IterationLimit);
+        }
+    }
+    Err(LpError::IterationLimit)
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Solves the symmetric positive-definite system in place (Gaussian
+/// elimination with partial pivoting; `None` on singularity).
+fn solve_spd(k: usize, g: &mut [f64], rhs: &mut [f64]) -> Option<Vec<f64>> {
+    for col in 0..k {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..k {
+            if g[r * k + col].abs() > g[piv * k + col].abs() {
+                piv = r;
+            }
+        }
+        if g[piv * k + col].abs() < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for c in 0..k {
+                g.swap(col * k + c, piv * k + c);
+            }
+            rhs.swap(col, piv);
+        }
+        let inv = 1.0 / g[col * k + col];
+        for r in (col + 1)..k {
+            let f = g[r * k + col] * inv;
+            if f != 0.0 {
+                for c in col..k {
+                    g[r * k + c] -= f * g[col * k + c];
+                }
+                rhs[r] -= f * rhs[col];
+            }
+        }
+    }
+    // Back substitution.
+    let mut out = vec![0.0; k];
+    for col in (0..k).rev() {
+        let mut v = rhs[col];
+        for c in (col + 1)..k {
+            v -= g[col * k + c] * out[c];
+        }
+        out[col] = v / g[col * k + col];
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex;
+    use nncell_geom::Halfspace;
+
+    fn check(lp: &Lp, x0: &[f64]) {
+        let want = simplex::solve(lp).unwrap();
+        let got = solve_from(lp, x0).unwrap();
+        match (&want, &got) {
+            (LpResult::Optimal { value: vw, .. }, LpResult::Optimal { value: vg, x }) => {
+                assert!((vw - vg).abs() < 1e-7, "{vw} vs {vg}");
+                assert!(lp.is_feasible(x, 1e-7));
+            }
+            _ => panic!("unexpected outcomes: {want:?} vs {got:?}"),
+        }
+    }
+
+    #[test]
+    fn walks_to_box_corner() {
+        let lp = Lp::new(vec![1.0, -1.0], vec![], vec![0.0, 0.0], vec![1.0, 2.0]);
+        check(&lp, &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn diagonal_cut_from_interior() {
+        let lp = Lp::new(
+            vec![1.0, 1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        check(&lp, &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn drops_wrong_constraint_and_slides() {
+        // Optimum requires activating then leaving a face.
+        let lp = Lp::new(
+            vec![1.0, 0.2],
+            vec![
+                Halfspace::new(vec![1.0, 1.0], 1.2),
+                Halfspace::new(vec![1.0, -1.0], 0.7),
+            ],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        check(&lp, &[0.2, 0.2]);
+    }
+
+    #[test]
+    fn infeasible_start_rejected() {
+        let lp = Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![1.0], 0.2)],
+            vec![0.0],
+            vec![1.0],
+        );
+        assert!(matches!(
+            solve_from(&lp, &[0.9]),
+            Err(LpError::IterationLimit)
+        ));
+    }
+
+    #[test]
+    fn matches_simplex_on_random_cells() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for trial in 0..60 {
+            let d = 2 + trial % 4;
+            let p: Vec<f64> = (0..d).map(|_| rng.gen_range(0.2..0.8)).collect();
+            let cons: Vec<Halfspace> = (0..30)
+                .map(|_| {
+                    let q: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                    Halfspace::bisector(&nncell_geom::Euclidean, &p, &q)
+                })
+                .collect();
+            for i in 0..d {
+                for sign in [1.0, -1.0] {
+                    let mut c = vec![0.0; d];
+                    c[i] = sign;
+                    let lp = Lp::new(c, cons.clone(), vec![0.0; d], vec![1.0; d]);
+                    // p is strictly inside its cell: a valid start.
+                    check(&lp, &p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_normal_constraints_ignored() {
+        let lp = Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![0.0], 0.5)],
+            vec![0.0],
+            vec![1.0],
+        );
+        check(&lp, &[0.3]);
+    }
+
+    #[test]
+    fn spd_solver_roundtrip() {
+        // G = [[4,1],[1,3]], rhs = [1, 2] → x = [1/11, 7/11]
+        let mut g = vec![4.0, 1.0, 1.0, 3.0];
+        let mut rhs = vec![1.0, 2.0];
+        let x = solve_spd(2, &mut g, &mut rhs).unwrap();
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+        // Singular matrix detected.
+        let mut g = vec![1.0, 1.0, 1.0, 1.0];
+        let mut rhs = vec![1.0, 1.0];
+        assert!(solve_spd(2, &mut g, &mut rhs).is_none());
+    }
+}

@@ -1,0 +1,458 @@
+//! Revised simplex on the dual — the many-constraints workhorse.
+//!
+//! The cell-extent LPs have very few variables (`d ≤ ~30`) and potentially
+//! very many constraints (`m ≈ N` for the `Correct` strategy). The right
+//! classical tool is to solve the **dual**: after shifting the box into
+//! ordinary rows, the primal is `max c·y, Ã y ≤ b̃` with `y` free, whose dual
+//! is `min b̃·λ, Ãᵀ λ = c, λ ≥ 0` — only `d` equality rows.
+//!
+//! Two structural gifts make this solver simple and robust:
+//!
+//! * Ã contains `±I` rows (the box bounds), so a feasible dual basis can be
+//!   written down directly for any `c` — **no phase 1 ever**;
+//! * the dual is therefore always feasible, so the primal is infeasible
+//!   *iff* the dual is unbounded, which the ratio test detects for free.
+//!
+//! Because a cell approximation solves `2·d` LPs over the *same* constraint
+//! matrix, the matrix lives in a reusable [`DualProblem`]; solving for
+//! another objective allocates only `O(d²+m)` scratch. Pricing is partial
+//! (block scan) with an in-basis bit set, so an iteration costs far less
+//! than a full `O(m·d)` sweep in practice.
+//!
+//! The primal optimizer is recovered as the simplex multipliers
+//! `π = c_B B⁻¹` of the optimal dual basis and verified (feasibility +
+//! strong duality) before being returned; verification failures surface as
+//! [`LpError::IterationLimit`] so callers can fall back to another backend.
+
+use crate::problem::{Lp, LpError, LpResult};
+use crate::LP_EPS;
+use nncell_geom::Halfspace;
+
+/// Iteration cap factor (`limit = factor · (m + d) + constant`).
+const ITER_FACTOR: usize = 32;
+/// Switch from block-Dantzig to Bland pricing after this many iterations.
+const BLAND_SWITCH: usize = 1_024;
+/// Partial-pricing block size.
+const PRICE_BLOCK: usize = 256;
+
+/// A prepared constraint system `A x ≤ b, l ≤ x ≤ u` ready to be maximized
+/// against many objectives.
+pub struct DualProblem {
+    d: usize,
+    /// Real constraints only (box handled implicitly): row-major `m × d`,
+    /// already shifted to `y = x − l` space.
+    a: Vec<f64>,
+    b: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl DualProblem {
+    /// Prepares the system. Returns `None` when a zero-normal constraint is
+    /// outright infeasible (`0·x ≤ negative`).
+    pub fn new(constraints: &[Halfspace], lower: &[f64], upper: &[f64]) -> Option<Self> {
+        let d = lower.len();
+        let mut a = Vec::with_capacity(constraints.len() * d);
+        let mut b = Vec::with_capacity(constraints.len());
+        for h in constraints {
+            let row = h.normal();
+            let scale = row.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            let mut off = h.offset();
+            for i in 0..d {
+                off -= row[i] * lower[i];
+            }
+            if scale <= LP_EPS {
+                if off < -LP_EPS {
+                    return None;
+                }
+                continue;
+            }
+            a.extend_from_slice(row);
+            b.push(off);
+        }
+        Some(Self {
+            d,
+            a,
+            b,
+            lower: lower.to_vec(),
+            upper: upper.to_vec(),
+        })
+    }
+
+    /// Number of (non-box) constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Maximizes `c·x` over the prepared system.
+    ///
+    /// # Errors
+    /// [`LpError::IterationLimit`] on pivot-budget exhaustion or failed
+    /// optimality verification (callers fall back to another backend).
+    pub fn maximize(&self, c: &[f64]) -> Result<LpResult, LpError> {
+        let d = self.d;
+        let m = self.b.len();
+        assert_eq!(c.len(), d);
+        // Column space: 0..m are constraint columns; m..m+d are the upper
+        // box rows (+e_i, cost u_i−l_i); m+d..m+2d the lower rows (−e_i, 0).
+        let total = m + 2 * d;
+        let col_cost = |j: usize| -> f64 {
+            if j < m {
+                self.b[j]
+            } else if j < m + d {
+                self.upper[j - m] - self.lower[j - m]
+            } else {
+                0.0
+            }
+        };
+
+        // Initial feasible basis from the ±I columns.
+        let mut basis: Vec<usize> = (0..d)
+            .map(|i| if c[i] >= 0.0 { m + i } else { m + d + i })
+            .collect();
+        let mut in_basis = vec![false; total];
+        for &j in &basis {
+            in_basis[j] = true;
+        }
+        let mut binv = vec![0.0; d * d];
+        for i in 0..d {
+            binv[i * d + i] = if c[i] >= 0.0 { 1.0 } else { -1.0 };
+        }
+        let mut lambda: Vec<f64> = (0..d).map(|i| c[i].abs()).collect();
+
+        let limit = ITER_FACTOR * (m + d) + 1_000;
+        let mut w = vec![0.0; d];
+        let mut pi = vec![0.0; d];
+        let mut cursor = 0usize; // partial-pricing rotation
+        for iter in 0..limit {
+            // π = c_B B⁻¹.
+            pi.fill(0.0);
+            for (r, &bj) in basis.iter().enumerate() {
+                let cb = col_cost(bj);
+                if cb != 0.0 {
+                    for k in 0..d {
+                        pi[k] += cb * binv[r * d + k];
+                    }
+                }
+            }
+            // Reduced cost of column j: cost_j − π·a_j.
+            let rc = |j: usize| -> f64 {
+                let mut v = col_cost(j);
+                if j < m {
+                    let row = &self.a[j * d..(j + 1) * d];
+                    for k in 0..d {
+                        v -= pi[k] * row[k];
+                    }
+                } else if j < m + d {
+                    v -= pi[j - m];
+                } else {
+                    v += pi[j - m - d];
+                }
+                v
+            };
+            let tol_for = |j: usize| 1e-9 * (1.0 + col_cost(j).abs());
+
+            // Entering column: partial pricing (rotating blocks), Bland
+            // (first eligible, lowest index) once cycling is suspected.
+            let bland = iter > BLAND_SWITCH;
+            let mut enter: Option<usize> = None;
+            if bland {
+                for j in 0..total {
+                    if !in_basis[j] && rc(j) < -tol_for(j) {
+                        enter = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                // Rotating block scan: take the most negative reduced cost
+                // of the first block that has one.
+                let mut scanned = 0;
+                let mut best = 0.0;
+                while scanned < total && enter.is_none() {
+                    let mut in_block = 0;
+                    while in_block < PRICE_BLOCK && scanned < total {
+                        let j = cursor;
+                        cursor = (cursor + 1) % total;
+                        scanned += 1;
+                        in_block += 1;
+                        if in_basis[j] {
+                            continue;
+                        }
+                        let v = rc(j);
+                        if v < -tol_for(j) && v < best {
+                            best = v;
+                            enter = Some(j);
+                        }
+                    }
+                }
+            }
+            let Some(enter) = enter else {
+                // Optimal: recover x = π + l and verify strong duality.
+                let x: Vec<f64> = (0..d).map(|i| pi[i] + self.lower[i]).collect();
+                let value: f64 = c.iter().zip(x.iter()).map(|(ci, xi)| ci * xi).sum();
+                let c_dot_l: f64 = c
+                    .iter()
+                    .zip(self.lower.iter())
+                    .map(|(ci, li)| ci * li)
+                    .sum();
+                let dual_value: f64 = basis
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &bj)| col_cost(bj) * lambda[r])
+                    .sum::<f64>()
+                    + c_dot_l;
+                let ok = self.is_feasible(&x, 1e-6)
+                    && (value - dual_value).abs() <= 1e-6 * (1.0 + value.abs());
+                if ok {
+                    return Ok(LpResult::Optimal { x, value });
+                }
+                return Err(LpError::IterationLimit);
+            };
+            // Direction w = B⁻¹ a_enter.
+            if enter < m {
+                let row = &self.a[enter * d..(enter + 1) * d];
+                for r in 0..d {
+                    let mut s = 0.0;
+                    let brow = &binv[r * d..(r + 1) * d];
+                    for k in 0..d {
+                        s += brow[k] * row[k];
+                    }
+                    w[r] = s;
+                }
+            } else if enter < m + d {
+                let i = enter - m;
+                for r in 0..d {
+                    w[r] = binv[r * d + i];
+                }
+            } else {
+                let i = enter - m - d;
+                for r in 0..d {
+                    w[r] = -binv[r * d + i];
+                }
+            }
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..d {
+                if w[r] > 1e-9 {
+                    let ratio = lambda[r] / w[r];
+                    let better = ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.is_some_and(|l: usize| basis[r] < basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Ok(LpResult::Infeasible); // dual unbounded
+            };
+            // Pivot.
+            let piv = w[leave];
+            for k in 0..d {
+                binv[leave * d + k] /= piv;
+            }
+            lambda[leave] /= piv;
+            for r in 0..d {
+                if r != leave && w[r] != 0.0 {
+                    let f = w[r];
+                    for k in 0..d {
+                        binv[r * d + k] -= f * binv[leave * d + k];
+                    }
+                    lambda[r] -= f * lambda[leave];
+                    if lambda[r] < 0.0 && lambda[r] > -1e-9 {
+                        lambda[r] = 0.0;
+                    }
+                }
+            }
+            in_basis[basis[leave]] = false;
+            in_basis[enter] = true;
+            basis[leave] = enter;
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        let d = self.d;
+        for i in 0..d {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+        }
+        for j in 0..self.b.len() {
+            let row = &self.a[j * d..(j + 1) * d];
+            let mut s = 0.0;
+            for k in 0..d {
+                s += row[k] * (x[k] - self.lower[k]);
+            }
+            if s > self.b[j] + tol * (1.0 + self.b[j].abs()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One-shot convenience: solves `lp` via the revised dual simplex.
+pub fn solve(lp: &Lp) -> Result<LpResult, LpError> {
+    match DualProblem::new(&lp.constraints, &lp.lower, &lp.upper) {
+        None => Ok(LpResult::Infeasible),
+        Some(p) => p.maximize(&lp.objective),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex;
+    use nncell_geom::Halfspace;
+
+    fn check_against_tableau(lp: &Lp) {
+        let a = simplex::solve(lp).unwrap();
+        let b = solve(lp).unwrap();
+        match (&a, &b) {
+            (LpResult::Infeasible, LpResult::Infeasible) => {}
+            (LpResult::Optimal { value: va, .. }, LpResult::Optimal { value: vb, x }) => {
+                assert!((va - vb).abs() < 1e-6, "{va} vs {vb}");
+                assert!(lp.is_feasible(x, 1e-6));
+            }
+            _ => panic!("disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_cases_match_tableau() {
+        // corner
+        check_against_tableau(&Lp::new(
+            vec![1.0, -1.0],
+            vec![],
+            vec![0.0, 0.0],
+            vec![1.0, 2.0],
+        ));
+        // diagonal cut
+        check_against_tableau(&Lp::new(
+            vec![1.0, 1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        ));
+        // infeasible
+        check_against_tableau(&Lp::new(
+            vec![1.0],
+            vec![
+                Halfspace::new(vec![1.0], 0.2),
+                Halfspace::new(vec![-1.0], -0.8),
+            ],
+            vec![0.0],
+            vec![1.0],
+        ));
+        // negative objective component
+        check_against_tableau(&Lp::new(
+            vec![-1.0, 0.5],
+            vec![Halfspace::new(vec![-1.0, 1.0], 0.3)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        ));
+        // shifted box
+        check_against_tableau(&Lp::new(
+            vec![0.0, 1.0],
+            vec![],
+            vec![-3.0, -2.0],
+            vec![-1.0, 4.0],
+        ));
+        // zero-normal rows
+        check_against_tableau(&Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![0.0], -1.0)],
+            vec![0.0],
+            vec![1.0],
+        ));
+        check_against_tableau(&Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![0.0], 1.0)],
+            vec![0.0],
+            vec![1.0],
+        ));
+    }
+
+    #[test]
+    fn random_cross_check_with_tableau() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for trial in 0..120 {
+            let d = 1 + trial % 6;
+            let m = trial % 25;
+            let cons: Vec<Halfspace> = (0..m)
+                .map(|_| {
+                    let a: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    Halfspace::new(a, rng.gen_range(-0.3..1.0))
+                })
+                .collect();
+            let mut obj = vec![0.0; d];
+            obj[trial % d] = if trial % 2 == 0 { 1.0 } else { -1.0 };
+            let lp = Lp::new(obj, cons, vec![0.0; d], vec![1.0; d]);
+            check_against_tableau(&lp);
+        }
+    }
+
+    #[test]
+    fn reusable_problem_matches_one_shot() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(13);
+        let d = 5;
+        let cons: Vec<Halfspace> = (0..40)
+            .map(|_| {
+                let a: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Halfspace::new(a, rng.gen_range(0.0..1.0))
+            })
+            .collect();
+        let prob = DualProblem::new(&cons, &vec![0.0; d], &vec![1.0; d]).unwrap();
+        for i in 0..d {
+            for sign in [1.0, -1.0] {
+                let mut c = vec![0.0; d];
+                c[i] = sign;
+                let lp = Lp::new(c.clone(), cons.clone(), vec![0.0; d], vec![1.0; d]);
+                let one_shot = solve(&lp).unwrap();
+                let reused = prob.maximize(&c).unwrap();
+                assert!(
+                    (one_shot.value().unwrap() - reused.value().unwrap()).abs() < 1e-9,
+                    "objective ({i},{sign})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_constraint_count_is_fast_and_exact() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let d = 8;
+        let p: Vec<f64> = (0..d).map(|_| rng.gen_range(0.3..0.7)).collect();
+        let cons: Vec<Halfspace> = (0..5_000)
+            .map(|_| {
+                let q: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                Halfspace::bisector(&nncell_geom::Euclidean, &p, &q)
+            })
+            .collect();
+        let prob = DualProblem::new(&cons, &vec![0.0; d], &vec![1.0; d]).unwrap();
+        let t = std::time::Instant::now();
+        for i in 0..d {
+            for sign in [1.0f64, -1.0] {
+                let mut c = vec![0.0; d];
+                c[i] = sign;
+                let r = prob.maximize(&c).unwrap();
+                let x = r.point().expect("p is feasible");
+                assert!(prob.is_feasible(x, 1e-6));
+            }
+        }
+        assert!(
+            t.elapsed().as_millis() < 2_000,
+            "16 extent LPs at m=5000 too slow: {:?}",
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! LP problem and outcome types shared by both solvers.
+
+use nncell_geom::Halfspace;
+
+/// A linear program in the form used throughout this workspace:
+///
+/// maximize `c·x` subject to `aᵢ·x ≤ bᵢ` for every constraint and the box
+/// `lower ≤ x ≤ upper`.
+///
+/// The box must be finite — in the NN-cell setting it is always the data
+/// space, which bounds every Voronoi cell (Definition 2 of the paper), so
+/// "unbounded" is not a representable outcome.
+#[derive(Clone, Debug)]
+pub struct Lp {
+    /// Objective coefficients `c` (maximized).
+    pub objective: Vec<f64>,
+    /// Inequality constraints `aᵢ·x ≤ bᵢ`.
+    pub constraints: Vec<Halfspace>,
+    /// Finite lower variable bounds.
+    pub lower: Vec<f64>,
+    /// Finite upper variable bounds.
+    pub upper: Vec<f64>,
+}
+
+impl Lp {
+    /// Creates a problem, validating dimensions and bound finiteness.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, non-finite bounds, or `lower > upper`.
+    pub fn new(
+        objective: Vec<f64>,
+        constraints: Vec<Halfspace>,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+    ) -> Self {
+        let d = objective.len();
+        assert!(d > 0, "LP needs at least one variable");
+        assert_eq!(lower.len(), d, "lower bound dimensionality mismatch");
+        assert_eq!(upper.len(), d, "upper bound dimensionality mismatch");
+        for h in &constraints {
+            assert_eq!(h.dim(), d, "constraint dimensionality mismatch");
+        }
+        for i in 0..d {
+            assert!(
+                lower[i].is_finite() && upper[i].is_finite(),
+                "bounds must be finite (the data space bounds every cell)"
+            );
+            assert!(lower[i] <= upper[i], "lower[{i}] > upper[{i}]");
+        }
+        Self {
+            objective,
+            constraints,
+            lower,
+            upper,
+        }
+    }
+
+    /// Number of variables `d`.
+    pub fn dim(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of inequality constraints (excluding the box).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.dim() {
+            return false;
+        }
+        for i in 0..x.len() {
+            if x[i] < self.lower[i] - tol || x[i] > self.upper[i] + tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|h| h.eval(x) <= tol)
+    }
+
+    /// Objective value at `x`.
+    pub fn value(&self, x: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
+    }
+}
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpResult {
+    /// An optimal vertex and its objective value.
+    Optimal {
+        /// The maximizer.
+        x: Vec<f64>,
+        /// The maximum of `c·x`.
+        value: f64,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+}
+
+impl LpResult {
+    /// The optimal value, or `None` when infeasible.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            LpResult::Optimal { value, .. } => Some(*value),
+            LpResult::Infeasible => None,
+        }
+    }
+
+    /// The optimal point, or `None` when infeasible.
+    pub fn point(&self) -> Option<&[f64]> {
+        match self {
+            LpResult::Optimal { x, .. } => Some(x),
+            LpResult::Infeasible => None,
+        }
+    }
+}
+
+/// Failures that are bugs or numerical breakdowns, not ordinary outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The pivot limit was exceeded (possible cycling / numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Which LP backend to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Deterministic two-phase tableau simplex. `O((m+d)²)` memory.
+    Simplex,
+    /// Seidel's randomized incremental algorithm. `O(d)` extra memory,
+    /// expected `O(d!·m)` time — fine for small `d`, painful beyond `d ≈ 6`
+    /// with large `m`.
+    Seidel,
+    /// Revised simplex on the dual: `O(m·d)` memory, `O(m·d)` per pivot —
+    /// the workhorse for the `Correct` strategy's `m ≈ N` constraint sets.
+    DualSimplex,
+    /// Best & Ritter style active-set method \[BR 85\] — the algorithm the
+    /// paper cites. Requires a feasible start, which plain cell solves have
+    /// for free (the data point); solves without one (e.g. decomposition
+    /// slabs) fall back to the dual simplex.
+    ActiveSet,
+    /// Tableau simplex for small constraint sets, dual simplex above
+    /// [`SolverKind::AUTO_SIMPLEX_LIMIT`] constraints (with a Seidel
+    /// fallback on numerical breakdown).
+    #[default]
+    Auto,
+}
+
+impl SolverKind {
+    /// Constraint-count threshold at which [`SolverKind::Auto`] switches
+    /// from the tableau simplex to the dual revised simplex. The tableau is
+    /// `O((m+d)²)` per solve, the dual `O(m·d)` per pivot — the crossover
+    /// is early.
+    pub const AUTO_SIMPLEX_LIMIT: usize = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_happy_path() {
+        let lp = Lp::new(
+            vec![1.0, 0.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        assert_eq!(lp.dim(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert!(lp.is_feasible(&[0.5, 0.25], 1e-9));
+        assert!(!lp.is_feasible(&[0.9, 0.9], 1e-9));
+        assert_eq!(lp.value(&[0.25, 0.9]), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_bounds_rejected() {
+        let _ = Lp::new(vec![1.0], vec![], vec![0.0], vec![f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_constraint_rejected() {
+        let _ = Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0],
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = LpResult::Optimal {
+            x: vec![0.5],
+            value: 0.5,
+        };
+        assert_eq!(r.value(), Some(0.5));
+        assert_eq!(r.point(), Some(&[0.5][..]));
+        assert_eq!(LpResult::Infeasible.value(), None);
+    }
+}

@@ -1,0 +1,318 @@
+//! Seidel's randomized incremental linear programming.
+//!
+//! The algorithm of \[Sei 90\] ("Linear Programming and Convex Hulls Made
+//! Easy"): insert constraints in random order; whenever the current optimum
+//! violates the new constraint, the optimum of the enlarged system lies on
+//! that constraint's hyperplane, so recurse on a problem with one fewer
+//! variable. Expected time `O(d!·m)`, space `O(d·m)` — exactly the
+//! average-case complexity the paper quotes for its cell-extent LPs, and the
+//! only practical backend when the `Correct` strategy feeds `m ≈ N`
+//! constraints per LP.
+//!
+//! The data-space box plays the role of Seidel's bounding box: it guarantees
+//! every (sub-)problem is bounded, so the only outcomes are `Optimal` and
+//! `Infeasible`.
+
+use crate::problem::{Lp, LpError, LpResult};
+use crate::LP_EPS;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A constraint `a·x ≤ b` in dense form (local to the recursion).
+#[derive(Clone, Debug)]
+struct Con {
+    a: Vec<f64>,
+    b: f64,
+}
+
+impl Con {
+    #[inline]
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.a.iter().zip(x.iter()).map(|(a, v)| a * v).sum::<f64>() - self.b
+    }
+
+    #[inline]
+    fn tol(&self) -> f64 {
+        LP_EPS * (1.0 + self.b.abs() + self.a.iter().map(|v| v.abs()).sum::<f64>())
+    }
+}
+
+/// Solves `lp` with Seidel's algorithm, using `seed` for the (deterministic)
+/// constraint shuffles.
+///
+/// The recursion depth is the dimensionality, so `LpError` is never produced
+/// today; the `Result` mirrors the simplex signature so callers can swap
+/// backends freely.
+pub fn solve_seeded(lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cons: Vec<Con> = Vec::with_capacity(lp.constraints.len());
+    for h in &lp.constraints {
+        cons.push(Con {
+            a: h.normal().to_vec(),
+            b: h.offset(),
+        });
+    }
+    cons.shuffle(&mut rng);
+    match recurse(&lp.objective, &mut cons, &lp.lower, &lp.upper, &mut rng) {
+        Some(x) => {
+            let value = lp.value(&x);
+            Ok(LpResult::Optimal { x, value })
+        }
+        None => Ok(LpResult::Infeasible),
+    }
+}
+
+/// Core recursion: maximize `c·x` over `cons` ∩ box. `cons` must already be
+/// in random order. Returns `None` on infeasibility.
+fn recurse(
+    c: &[f64],
+    cons: &mut [Con],
+    lo: &[f64],
+    hi: &[f64],
+    rng: &mut SmallRng,
+) -> Option<Vec<f64>> {
+    let d = c.len();
+    if d == 1 {
+        return solve_1d(c[0], cons, lo[0], hi[0]).map(|x| vec![x]);
+    }
+
+    // Start at the box corner optimal for c.
+    let mut x: Vec<f64> = (0..d)
+        .map(|i| if c[i] > 0.0 { hi[i] } else { lo[i] })
+        .collect();
+
+    for i in 0..cons.len() {
+        let h = &cons[i];
+        if h.eval(&x) <= h.tol() {
+            continue; // still optimal
+        }
+        // Optimum of the first i+1 constraints lies on a·x = b. Eliminate the
+        // variable with the largest |a_k| for numerical stability.
+        let (k, ak) =
+            h.a.iter()
+                .enumerate()
+                .max_by(|(_, p), (_, q)| p.abs().partial_cmp(&q.abs()).unwrap())
+                .map(|(k, v)| (k, *v))
+                .expect("constraints are non-empty");
+        if ak.abs() <= LP_EPS {
+            // 0·x ≤ b with b < eval(x) ⇒ b is violated by every x.
+            return None;
+        }
+        let hb = h.b;
+        let ha = h.a.clone();
+        let inv = 1.0 / ak;
+
+        // Substitute x_k = (b − Σ_{j≠k} a_j x_j)/a_k everywhere.
+        let reduce_vec = |v: &[f64], vk: f64| -> Vec<f64> {
+            let mut out = Vec::with_capacity(d - 1);
+            for j in 0..d {
+                if j != k {
+                    out.push(v[j] - vk * ha[j] * inv);
+                }
+            }
+            out
+        };
+
+        let mut sub_cons: Vec<Con> = Vec::with_capacity(i + 2);
+        for g in cons[..i].iter() {
+            let gk = g.a[k];
+            sub_cons.push(Con {
+                a: reduce_vec(&g.a, gk),
+                b: g.b - gk * hb * inv,
+            });
+        }
+        // Box bounds of the eliminated variable become two constraints:
+        //   lo_k ≤ (b − Σ a_j x_j)/a_k ≤ hi_k.
+        {
+            // x_k ≤ hi_k  ⇔  sign(a_k)·(−Σ_{j≠k} a_j x_j) ≤ sign(a_k)·(hi_k·a_k − b)
+            let mut a_up = Vec::with_capacity(d - 1);
+            let mut a_dn = Vec::with_capacity(d - 1);
+            for j in 0..d {
+                if j != k {
+                    a_up.push(-ha[j] * inv);
+                    a_dn.push(ha[j] * inv);
+                }
+            }
+            // x_k ≤ hi_k ⇒ −Σ(a_j/a_k)x_j ≤ hi_k − b/a_k
+            sub_cons.push(Con {
+                a: a_up,
+                b: hi[k] - hb * inv,
+            });
+            // lo_k ≤ x_k ⇒ Σ(a_j/a_k)x_j ≤ b/a_k − lo_k
+            sub_cons.push(Con {
+                a: a_dn,
+                b: hb * inv - lo[k],
+            });
+        }
+        sub_cons.shuffle(rng);
+
+        let sub_c = reduce_vec(c, c[k]);
+        let sub_lo: Vec<f64> = (0..d).filter(|j| *j != k).map(|j| lo[j]).collect();
+        let sub_hi: Vec<f64> = (0..d).filter(|j| *j != k).map(|j| hi[j]).collect();
+
+        let sub_x = recurse(&sub_c, &mut sub_cons, &sub_lo, &sub_hi, rng)?;
+
+        // Reconstruct x with x_k back-substituted.
+        let mut full = Vec::with_capacity(d);
+        let mut it = sub_x.iter();
+        for j in 0..d {
+            if j == k {
+                full.push(0.0); // patched below
+            } else {
+                full.push(*it.next().unwrap());
+            }
+        }
+        let mut xk = hb;
+        for j in 0..d {
+            if j != k {
+                xk -= ha[j] * full[j];
+            }
+        }
+        full[k] = xk * inv;
+        x = full;
+    }
+    Some(x)
+}
+
+/// One-dimensional base case: clip the interval by every constraint.
+fn solve_1d(c: f64, cons: &[Con], mut lo: f64, mut hi: f64) -> Option<f64> {
+    for con in cons {
+        let a = con.a[0];
+        if a.abs() <= LP_EPS {
+            if con.b < -con.tol() {
+                return None;
+            }
+            continue;
+        }
+        let bound = con.b / a;
+        if a > 0.0 {
+            hi = hi.min(bound);
+        } else {
+            lo = lo.max(bound);
+        }
+    }
+    if lo > hi + LP_EPS * (1.0 + lo.abs() + hi.abs()) {
+        return None;
+    }
+    let hi = hi.max(lo);
+    Some(if c >= 0.0 { hi } else { lo })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncell_geom::Halfspace;
+
+    fn lp(obj: Vec<f64>, cons: Vec<Halfspace>, lo: Vec<f64>, hi: Vec<f64>) -> Lp {
+        Lp::new(obj, cons, lo, hi)
+    }
+
+    #[test]
+    fn box_corner_no_constraints() {
+        let p = lp(vec![1.0, -2.0], vec![], vec![0.0, 0.0], vec![1.0, 1.0]);
+        let r = solve_seeded(&p, 1).unwrap();
+        let x = r.point().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!(x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_cut_2d() {
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        for seed in 0..10 {
+            let v = solve_seeded(&p, seed).unwrap().value().unwrap();
+            assert!((v - 1.0).abs() < 1e-8, "seed {seed}: {v}");
+        }
+    }
+
+    #[test]
+    fn infeasible_pair() {
+        let p = lp(
+            vec![1.0, 0.0],
+            vec![
+                Halfspace::new(vec![1.0, 0.0], 0.2),
+                Halfspace::new(vec![-1.0, 0.0], -0.8),
+            ],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        for seed in 0..10 {
+            assert_eq!(solve_seeded(&p, seed).unwrap(), LpResult::Infeasible);
+        }
+    }
+
+    #[test]
+    fn three_dim_vertex() {
+        // max x+y+z s.t. x+y+z <= 1.5, x <= 0.4 → 1.5
+        let p = lp(
+            vec![1.0, 1.0, 1.0],
+            vec![
+                Halfspace::new(vec![1.0, 1.0, 1.0], 1.5),
+                Halfspace::new(vec![1.0, 0.0, 0.0], 0.4),
+            ],
+            vec![0.0; 3],
+            vec![1.0; 3],
+        );
+        for seed in 0..10 {
+            let r = solve_seeded(&p, seed).unwrap();
+            assert!((r.value().unwrap() - 1.5).abs() < 1e-8);
+            assert!(p.is_feasible(r.point().unwrap(), 1e-7));
+        }
+    }
+
+    #[test]
+    fn matches_simplex_on_random_voronoi_like_problems() {
+        use rand::Rng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        for trial in 0..60 {
+            let d = 1 + (trial % 5);
+            let m = 1 + (trial % 9);
+            let mut cons = Vec::new();
+            for _ in 0..m {
+                let a: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let b: f64 = rng.gen_range(-0.2..1.0);
+                cons.push(Halfspace::new(a, b));
+            }
+            let mut obj = vec![0.0; d];
+            obj[trial % d] = if trial % 2 == 0 { 1.0 } else { -1.0 };
+            let p = lp(obj, cons, vec![0.0; d], vec![1.0; d]);
+            let s1 = crate::simplex::solve(&p).unwrap();
+            let s2 = solve_seeded(&p, trial as u64).unwrap();
+            match (&s1, &s2) {
+                (LpResult::Infeasible, LpResult::Infeasible) => {}
+                (LpResult::Optimal { value: v1, .. }, LpResult::Optimal { value: v2, .. }) => {
+                    assert!(
+                        (v1 - v2).abs() < 1e-6,
+                        "trial {trial}: simplex {v1} vs seidel {v2}"
+                    );
+                }
+                _ => panic!("trial {trial}: disagreement {s1:?} vs {s2:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn one_dim_base_case_direct() {
+        let p = lp(
+            vec![-1.0],
+            vec![Halfspace::new(vec![-2.0], -0.5)], // x >= 0.25
+            vec![0.0],
+            vec![1.0],
+        );
+        let r = solve_seeded(&p, 3).unwrap();
+        assert!((r.point().unwrap()[0] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifted_box() {
+        let p = lp(vec![0.0, 1.0], vec![], vec![-3.0, -2.0], vec![-1.0, 4.0]);
+        let r = solve_seeded(&p, 11).unwrap();
+        assert!((r.point().unwrap()[1] - 4.0).abs() < 1e-9);
+    }
+}

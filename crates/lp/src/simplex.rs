@@ -1,0 +1,491 @@
+//! Deterministic two-phase tableau simplex.
+//!
+//! Solves `max c·x  s.t.  A x ≤ b,  l ≤ x ≤ u` by shifting to `y = x − l ≥ 0`,
+//! turning the upper bounds into ordinary rows, and running the textbook
+//! two-phase primal simplex (Dantzig pricing with a Bland's-rule fallback for
+//! anti-cycling). Memory is `O((m+d)·(m+2d))`, so this backend is intended
+//! for the small and medium constraint sets produced by the Point / Sphere /
+//! NN-Direction strategies; the `Correct` strategy at database scale should
+//! use [`crate::seidel`].
+
+use crate::problem::{Lp, LpError, LpResult};
+use crate::LP_EPS;
+
+/// Pivot-count limit factor: `limit = PIVOT_LIMIT_FACTOR · (rows + cols)`.
+const PIVOT_LIMIT_FACTOR: usize = 64;
+/// After this many Dantzig pivots without termination, switch to Bland's rule.
+const BLAND_SWITCH: usize = 2_048;
+
+/// Solves `lp` with the two-phase tableau simplex.
+///
+/// Returns [`LpResult::Infeasible`] when the feasible region is empty and
+/// [`LpError::IterationLimit`] if the pivot budget is exhausted (which, with
+/// Bland's rule active, indicates numerical breakdown rather than cycling).
+pub fn solve(lp: &Lp) -> Result<LpResult, LpError> {
+    let n = lp.dim();
+
+    // Shift to y = x − l ≥ 0; collect rows (A y ≤ b′) from real constraints
+    // and the upper bounds.
+    let mut rows: Vec<(Vec<f64>, f64)> = Vec::with_capacity(lp.constraints.len() + n);
+    for h in &lp.constraints {
+        let a = h.normal();
+        // Zero rows are either redundant or a proof of infeasibility.
+        let scale = a.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        let mut b = h.offset();
+        for i in 0..n {
+            b -= a[i] * lp.lower[i];
+        }
+        if scale <= LP_EPS {
+            if b < -LP_EPS {
+                return Ok(LpResult::Infeasible);
+            }
+            continue;
+        }
+        rows.push((a.to_vec(), b));
+    }
+    for i in 0..n {
+        let mut a = vec![0.0; n];
+        a[i] = 1.0;
+        rows.push((a, lp.upper[i] - lp.lower[i]));
+    }
+
+    let mut t = Tableau::new(n, &rows);
+    match t.run_two_phase()? {
+        Feasibility::Infeasible => Ok(LpResult::Infeasible),
+        Feasibility::Feasible => {
+            t.set_objective(&lp.objective);
+            t.optimize(false)?;
+            let y = t.extract_solution();
+            let x: Vec<f64> = y
+                .iter()
+                .zip(lp.lower.iter())
+                .map(|(yi, l)| yi + l)
+                .collect();
+            let value = lp.value(&x);
+            Ok(LpResult::Optimal { x, value })
+        }
+    }
+}
+
+enum Feasibility {
+    Feasible,
+    Infeasible,
+}
+
+/// Dense simplex tableau in equation form.
+///
+/// Columns: `n` structural, `m` slacks, `n_art` artificials, then RHS.
+/// Row `m` is the active objective row (reduced costs, maximization).
+struct Tableau {
+    n: usize,
+    m: usize,
+    n_art: usize,
+    width: usize,
+    /// `(m+1) × width` row-major.
+    a: Vec<f64>,
+    /// Basic variable (column index) of each row.
+    basis: Vec<usize>,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn new(n: usize, rows: &[(Vec<f64>, f64)]) -> Self {
+        let m = rows.len();
+        let n_art = rows.iter().filter(|(_, b)| *b < 0.0).count();
+        let width = n + m + n_art + 1;
+        let mut a = vec![0.0; (m + 1) * width];
+        let mut basis = vec![0usize; m];
+        let mut next_art = n + m;
+        for (r, (coef, b)) in rows.iter().enumerate() {
+            let neg = *b < 0.0;
+            let sign = if neg { -1.0 } else { 1.0 };
+            let row = &mut a[r * width..(r + 1) * width];
+            for (j, c) in coef.iter().enumerate() {
+                row[j] = sign * c;
+            }
+            row[n + r] = sign; // slack
+            row[width - 1] = sign * b;
+            if neg {
+                row[next_art] = 1.0;
+                basis[r] = next_art;
+                next_art += 1;
+            } else {
+                basis[r] = n + r;
+            }
+        }
+        Self {
+            n,
+            m,
+            n_art,
+            width,
+            a,
+            basis,
+            pivots: 0,
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.width + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.width - 1)
+    }
+
+    fn obj_row(&mut self) -> &mut [f64] {
+        let w = self.width;
+        &mut self.a[self.m * w..(self.m + 1) * w]
+    }
+
+    /// Installs `maximize c·y` as the objective row and prices out the
+    /// current basis.
+    fn set_objective(&mut self, c: &[f64]) {
+        let w = self.width;
+        let n = self.n;
+        {
+            let row = self.obj_row();
+            row.fill(0.0);
+            for j in 0..n {
+                row[j] = -c[j]; // reduced costs: z-row holds −c initially
+            }
+        }
+        // Price out basic variables so reduced costs of the basis are zero.
+        for r in 0..self.m {
+            let bv = self.basis[r];
+            let coef = self.at(self.m, bv);
+            if coef != 0.0 {
+                for j in 0..w {
+                    self.a[self.m * w + j] -= coef * self.at(r, j);
+                }
+            }
+        }
+    }
+
+    /// Phase 1: minimize the sum of artificials; returns feasibility.
+    fn run_two_phase(&mut self) -> Result<Feasibility, LpError> {
+        if self.n_art > 0 {
+            // maximize −Σ artificials
+            let w = self.width;
+            {
+                let art_start = self.n + self.m;
+                let art_end = art_start + self.n_art;
+                let row = self.obj_row();
+                row.fill(0.0);
+                for j in art_start..art_end {
+                    row[j] = 1.0; // z-row of max(−Σa): −(−1) = +1
+                }
+            }
+            for r in 0..self.m {
+                let bv = self.basis[r];
+                let coef = self.at(self.m, bv);
+                if coef != 0.0 {
+                    for j in 0..w {
+                        self.a[self.m * w + j] -= coef * self.at(r, j);
+                    }
+                }
+            }
+            self.optimize(true)?;
+            // Optimal phase-1 value is −(sum of artificials) = rhs of z-row.
+            let z = self.rhs(self.m);
+            if z < -1e-7 {
+                return Ok(Feasibility::Infeasible);
+            }
+            self.expel_artificials();
+        }
+        Ok(Feasibility::Feasible)
+    }
+
+    /// Pivots any basic artificial (necessarily at value ~0) out of the
+    /// basis, or marks its row redundant by leaving it (harmless: RHS 0).
+    fn expel_artificials(&mut self) {
+        let art_start = self.n + self.m;
+        for r in 0..self.m {
+            if self.basis[r] >= art_start {
+                // Find any eligible non-artificial column with nonzero entry.
+                let mut col = None;
+                for j in 0..art_start {
+                    if self.at(r, j).abs() > 1e-7 {
+                        col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = col {
+                    self.pivot(r, j);
+                }
+            }
+        }
+    }
+
+    /// Runs simplex pivots until optimal. `phase1` restricts nothing here but
+    /// keeps artificials eligible; in phase 2 artificial columns are skipped.
+    fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+        let art_start = self.n + self.m;
+        let limit = PIVOT_LIMIT_FACTOR * (self.m + self.width) + 1_000;
+        let mut local = 0usize;
+        loop {
+            local += 1;
+            self.pivots += 1;
+            if local > limit {
+                return Err(LpError::IterationLimit);
+            }
+            let eligible_end = if phase1 { self.width - 1 } else { art_start };
+            let bland = local > BLAND_SWITCH;
+            // Entering column: reduced cost < 0 (we maximize; z-row stores
+            // c̄ negated, so "improving" means a negative z-row entry).
+            let mut enter = None;
+            let mut best = -1e-9;
+            for j in 0..eligible_end {
+                let rc = self.at(self.m, j);
+                if rc < -1e-9 {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(enter) = enter else {
+                return Ok(()); // optimal
+            };
+            // Ratio test.
+            let mut leave = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let coef = self.at(r, enter);
+                if coef > 1e-9 {
+                    let ratio = self.rhs(r) / coef;
+                    let better = ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12
+                            && leave.is_some_and(|l: usize| self.basis[r] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                // Unbounded direction cannot occur with a finite box; it
+                // signals numerical corruption. Surface as iteration limit.
+                return Err(LpError::IterationLimit);
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let w = self.width;
+        let p = self.at(r, c);
+        debug_assert!(p.abs() > 1e-12, "pivot on ~zero element");
+        let inv = 1.0 / p;
+        for j in 0..w {
+            self.a[r * w + j] *= inv;
+        }
+        self.a[r * w + c] = 1.0; // kill round-off on the pivot itself
+        for i in 0..=self.m {
+            if i == r {
+                continue;
+            }
+            let f = self.at(i, c);
+            if f != 0.0 {
+                for j in 0..w {
+                    self.a[i * w + j] -= f * self.a[r * w + j];
+                }
+                self.a[i * w + c] = 0.0;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// Reads the structural variables `y` off the final tableau.
+    fn extract_solution(&self) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.m {
+            let bv = self.basis[r];
+            if bv < self.n {
+                y[bv] = self.rhs(r).max(0.0);
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncell_geom::Halfspace;
+
+    fn solve_ok(lp: &Lp) -> LpResult {
+        solve(lp).expect("solver error")
+    }
+
+    #[test]
+    fn unconstrained_box_corner() {
+        let lp = Lp::new(vec![1.0, -1.0], vec![], vec![0.0, 0.0], vec![1.0, 2.0]);
+        match solve_ok(&lp) {
+            LpResult::Optimal { x, value } => {
+                assert!((x[0] - 1.0).abs() < 1e-9);
+                assert!(x[1].abs() < 1e-9);
+                assert!((value - 1.0).abs() < 1e-9);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn simple_diagonal_cut() {
+        // max x+y s.t. x+y <= 1 in unit box → value 1
+        let lp = Lp::new(
+            vec![1.0, 1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let v = solve_ok(&lp).value().unwrap();
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binding_constraint_moves_optimum_off_corner() {
+        // max x s.t. x <= 0.25 + y, y <= 0.1 → x = 0.35
+        let lp = Lp::new(
+            vec![1.0, 0.0],
+            vec![
+                Halfspace::new(vec![1.0, -1.0], 0.25),
+                Halfspace::new(vec![0.0, 1.0], 0.1),
+            ],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let v = solve_ok(&lp).value().unwrap();
+        assert!((v - 0.35).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 0.8 (as -x <= -0.8) and x <= 0.2
+        let lp = Lp::new(
+            vec![1.0],
+            vec![
+                Halfspace::new(vec![-1.0], -0.8),
+                Halfspace::new(vec![1.0], 0.2),
+            ],
+            vec![0.0],
+            vec![1.0],
+        );
+        assert_eq!(solve_ok(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn zero_row_infeasible() {
+        let lp = Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![0.0], -1.0)],
+            vec![0.0],
+            vec![1.0],
+        );
+        assert_eq!(solve_ok(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn zero_row_redundant() {
+        let lp = Lp::new(
+            vec![1.0],
+            vec![Halfspace::new(vec![0.0], 1.0)],
+            vec![0.0],
+            vec![1.0],
+        );
+        assert!((solve_ok(&lp).value().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_requires_phase1() {
+        // Constraint -x - y <= -0.5 (x+y >= 0.5): feasible, max x = 1.
+        let lp = Lp::new(
+            vec![1.0, 0.0],
+            vec![Halfspace::new(vec![-1.0, -1.0], -0.5)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let r = solve_ok(&lp);
+        assert!((r.value().unwrap() - 1.0).abs() < 1e-9);
+        assert!(lp.is_feasible(r.point().unwrap(), 1e-7));
+    }
+
+    #[test]
+    fn shifted_box() {
+        // Box [-2,-1] x [3,5], max x−y → x=−1, y=3.
+        let lp = Lp::new(vec![1.0, -1.0], vec![], vec![-2.0, 3.0], vec![-1.0, 5.0]);
+        match solve_ok(&lp) {
+            LpResult::Optimal { x, value } => {
+                assert!((x[0] + 1.0).abs() < 1e-9);
+                assert!((x[1] - 3.0).abs() < 1e-9);
+                assert!((value + 4.0).abs() < 1e-9);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn degenerate_many_redundant_constraints() {
+        // Many copies of the same cut should not cycle.
+        let cons: Vec<Halfspace> = (0..50)
+            .map(|_| Halfspace::new(vec![1.0, 1.0], 0.6))
+            .collect();
+        let lp = Lp::new(vec![1.0, 1.0], cons, vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!((solve_ok(&lp).value().unwrap() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_feasible_and_vertexlike() {
+        let cons = vec![
+            Halfspace::new(vec![2.0, 1.0, 0.5], 1.2),
+            Halfspace::new(vec![-1.0, 2.0, 1.0], 0.9),
+            Halfspace::new(vec![0.3, -0.7, 1.5], 0.4),
+        ];
+        let lp = Lp::new(
+            vec![1.0, 1.0, 1.0],
+            cons,
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 1.0],
+        );
+        let r = solve_ok(&lp);
+        let x = r.point().unwrap();
+        assert!(lp.is_feasible(x, 1e-7), "x={x:?}");
+    }
+
+    #[test]
+    fn equality_like_pair_pins_variable() {
+        // 0.3 <= x <= 0.3 via two opposing constraints.
+        let lp = Lp::new(
+            vec![1.0, 1.0],
+            vec![
+                Halfspace::new(vec![1.0, 0.0], 0.3),
+                Halfspace::new(vec![-1.0, 0.0], -0.3),
+            ],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let r = solve_ok(&lp);
+        let x = r.point().unwrap();
+        assert!((x[0] - 0.3).abs() < 1e-8);
+        assert!((x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn one_dimensional_problems() {
+        let lp = Lp::new(
+            vec![-1.0],
+            vec![Halfspace::new(vec![-1.0], -0.25)],
+            vec![0.0],
+            vec![1.0],
+        );
+        // minimize x with x >= 0.25
+        let r = solve_ok(&lp);
+        assert!((r.point().unwrap()[0] - 0.25).abs() < 1e-9);
+    }
+}

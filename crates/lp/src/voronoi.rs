@@ -1,0 +1,511 @@
+//! Voronoi-cell MBR extents via linear programming.
+//!
+//! For a database point `P` and a set of rival points `Q`, the NN-cell is
+//! `NNC(P) = { x ∈ DS : ∀Q, d(x,P) ≤ d(x,Q) }` — an intersection of bisector
+//! halfspaces with the data-space box. Its MBR approximation (Definition 3
+//! of the paper) is obtained from `2·d` LPs: minimize and maximize each
+//! coordinate over that polyhedron.
+
+use crate::problem::{Lp, LpError, LpResult, SolverKind};
+use crate::{seidel, simplex};
+use nncell_geom::{DataSpace, Halfspace, Mbr, Metric};
+
+/// Dispatches one LP to the configured backend.
+pub fn solve_with(kind: SolverKind, lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
+    match kind {
+        SolverKind::Simplex => simplex::solve(lp),
+        SolverKind::Seidel => seidel::solve_seeded(lp, seed),
+        SolverKind::DualSimplex => crate::dual::solve(lp),
+        // No feasible start available at this call site: the dual simplex
+        // is the drop-in replacement (see SolverKind::ActiveSet docs).
+        SolverKind::ActiveSet => crate::dual::solve(lp),
+        SolverKind::Auto => {
+            if lp.num_constraints() <= SolverKind::AUTO_SIMPLEX_LIMIT {
+                simplex::solve(lp)
+            } else {
+                // The dual solver self-verifies; on (rare) numerical
+                // breakdown fall back to the randomized algorithm.
+                match crate::dual::solve(lp) {
+                    Ok(r) => Ok(r),
+                    Err(LpError::IterationLimit) => seidel::solve_seeded(lp, seed),
+                }
+            }
+        }
+    }
+}
+
+/// Counters describing the LP work done for one cell approximation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellLpStats {
+    /// Linear programs run (`2·d` per cell piece).
+    pub lp_calls: usize,
+    /// Total constraints across those LPs (excluding box bounds).
+    pub constraints: usize,
+}
+
+impl CellLpStats {
+    /// Accumulates another stats record.
+    pub fn merge(&mut self, other: CellLpStats) {
+        self.lp_calls += other.lp_calls;
+        self.constraints += other.constraints;
+    }
+}
+
+/// One solved cell (or cell piece): its MBR, the `2·d` LP optimizer points
+/// (cell points touching each MBR face — used by the decomposition's
+/// obliqueness heuristic), and LP work counters.
+#[derive(Clone, Debug)]
+pub struct CellSolve {
+    /// The MBR approximation.
+    pub mbr: Mbr,
+    /// The `2·d` LP optimizers, in `(min x₀, max x₀, min x₁, …)` order.
+    pub vertices: Vec<Vec<f64>>,
+    /// LP work counters.
+    pub stats: CellLpStats,
+}
+
+/// The cell-extent solver: metric + data space + LP backend.
+#[derive(Clone, Debug)]
+pub struct VoronoiLp<M: Metric> {
+    metric: M,
+    space: DataSpace,
+    solver: SolverKind,
+}
+
+impl<M: Metric> VoronoiLp<M> {
+    /// Creates a solver over `space` with the given LP backend.
+    pub fn new(metric: M, space: DataSpace, solver: SolverKind) -> Self {
+        Self {
+            metric,
+            space,
+            solver,
+        }
+    }
+
+    /// The data space every cell is clipped to.
+    pub fn space(&self) -> &DataSpace {
+        &self.space
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Builds the bisector constraints of `p` against `rivals`.
+    ///
+    /// Rivals (numerically) identical to `p` are skipped: a duplicate point
+    /// would make the cell empty and the paper's model assumes distinct
+    /// points.
+    pub fn bisectors<'a, I>(&self, p: &[f64], rivals: I) -> Vec<Halfspace>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut out = Vec::new();
+        for q in rivals {
+            if self.metric.dist_sq(p, q) <= f64::EPSILON {
+                continue;
+            }
+            out.push(Halfspace::bisector(&self.metric, p, q));
+        }
+        out
+    }
+
+    /// Runs the `2·d` extent LPs over `constraints` (+ data-space box).
+    ///
+    /// Returns `None` when the constrained region is empty — impossible for a
+    /// plain cell (the point itself is feasible) but routine for the slabs of
+    /// an MBR decomposition that miss the cell.
+    ///
+    /// # Errors
+    /// Propagates [`LpError`] on numerical breakdown of the backend.
+    pub fn extents(
+        &self,
+        constraints: &[Halfspace],
+        seed: u64,
+    ) -> Result<Option<CellSolve>, LpError> {
+        let d = self.space.dim();
+        let lower: Vec<f64> = (0..d).map(|i| self.space.lo(i)).collect();
+        let upper: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
+        let mut lo = vec![0.0; d];
+        let mut hi = vec![0.0; d];
+        let mut vertices = Vec::with_capacity(2 * d);
+        let mut stats = CellLpStats::default();
+
+        // The 2·d LPs share the constraint matrix: when the dual backend is
+        // in play, build it once and solve per objective.
+        let use_dual = match self.solver {
+            SolverKind::DualSimplex => true,
+            SolverKind::Auto => constraints.len() > SolverKind::AUTO_SIMPLEX_LIMIT,
+            _ => false,
+        };
+        let dual_prob = if use_dual {
+            match crate::dual::DualProblem::new(constraints, &lower, &upper) {
+                None => return Ok(None), // trivially infeasible zero row
+                some => some,
+            }
+        } else {
+            None
+        };
+
+        for i in 0..d {
+            for dir in [-1.0, 1.0] {
+                let mut c = vec![0.0; d];
+                c[i] = dir;
+                stats.lp_calls += 1;
+                stats.constraints += constraints.len();
+                let lp_seed = seed ^ (((i as u64) << 1) | (dir > 0.0) as u64);
+                let result = if let Some(prob) = &dual_prob {
+                    match prob.maximize(&c) {
+                        Ok(r) => r,
+                        Err(LpError::IterationLimit) => {
+                            // Numerical breakdown: randomized fallback.
+                            let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
+                            crate::seidel::solve_seeded(&lp, lp_seed)?
+                        }
+                    }
+                } else {
+                    let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
+                    solve_with(self.solver, &lp, lp_seed)?
+                };
+                match result {
+                    LpResult::Optimal { x, .. } => {
+                        if dir < 0.0 {
+                            lo[i] = x[i];
+                        } else {
+                            hi[i] = x[i];
+                        }
+                        vertices.push(x);
+                    }
+                    LpResult::Infeasible => return Ok(None),
+                }
+            }
+        }
+        // Clamp round-off so the MBR constructor's invariant holds.
+        for i in 0..d {
+            lo[i] = lo[i].clamp(self.space.lo(i), self.space.hi(i));
+            hi[i] = hi[i].clamp(lo[i], self.space.hi(i));
+        }
+        Ok(Some(CellSolve {
+            mbr: Mbr::new(lo, hi),
+            vertices,
+            stats,
+        }))
+    }
+
+    /// MBR approximation of the NN-cell of `p` against `rivals`
+    /// (Definition 3).
+    ///
+    /// With [`SolverKind::ActiveSet`], `p` itself serves as the feasible
+    /// start the Best–Ritter method wants (it lies strictly inside its own
+    /// cell); other backends go through [`Self::extents`].
+    ///
+    /// # Errors
+    /// Propagates backend failures; never returns an empty region because `p`
+    /// itself is feasible.
+    pub fn cell_mbr<'a, I>(&self, p: &[f64], rivals: I, seed: u64) -> Result<CellSolve, LpError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let cons = self.bisectors(p, rivals);
+        if self.solver == SolverKind::ActiveSet {
+            return self.extents_from(&cons, p, seed);
+        }
+        Ok(self
+            .extents(&cons, seed)?
+            .expect("cell of a data point cannot be empty: the point is feasible"))
+    }
+
+    /// Runs the `2·d` extent LPs with the active-set backend from the
+    /// feasible start `start` (any backend config falls back to
+    /// [`Self::extents`]-style solving when the active set breaks down).
+    ///
+    /// # Errors
+    /// Propagates backend failures.
+    pub fn extents_from(
+        &self,
+        constraints: &[Halfspace],
+        start: &[f64],
+        seed: u64,
+    ) -> Result<CellSolve, LpError> {
+        let d = self.space.dim();
+        let lower: Vec<f64> = (0..d).map(|i| self.space.lo(i)).collect();
+        let upper: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
+        let mut lo = vec![0.0; d];
+        let mut hi = vec![0.0; d];
+        let mut vertices = Vec::with_capacity(2 * d);
+        let mut stats = CellLpStats::default();
+        for i in 0..d {
+            for dir in [-1.0, 1.0] {
+                let mut c = vec![0.0; d];
+                c[i] = dir;
+                stats.lp_calls += 1;
+                stats.constraints += constraints.len();
+                let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
+                let result = match crate::activeset::solve_from(&lp, start) {
+                    Ok(r) => r,
+                    Err(LpError::IterationLimit) => {
+                        let lp_seed = seed ^ (((i as u64) << 1) | (dir > 0.0) as u64);
+                        crate::seidel::solve_seeded(&lp, lp_seed)?
+                    }
+                };
+                match result {
+                    LpResult::Optimal { x, .. } => {
+                        if dir < 0.0 {
+                            lo[i] = x[i];
+                        } else {
+                            hi[i] = x[i];
+                        }
+                        vertices.push(x);
+                    }
+                    LpResult::Infeasible => {
+                        unreachable!("feasible start given; active-set cannot report infeasible")
+                    }
+                }
+            }
+        }
+        for i in 0..d {
+            lo[i] = lo[i].clamp(self.space.lo(i), self.space.hi(i));
+            hi[i] = hi[i].clamp(lo[i], self.space.hi(i));
+        }
+        Ok(CellSolve {
+            mbr: Mbr::new(lo, hi),
+            vertices,
+            stats,
+        })
+    }
+
+    /// Exactness-preserving constraint prune.
+    ///
+    /// Given a *rough superset MBR* of the cell (computed from any subset of
+    /// the rivals — e.g. the k nearest), a bisector whose complement does not
+    /// intersect that MBR cannot affect any of the `2·d` LP optima: the
+    /// retained feasible region already lies inside the rough MBR, where the
+    /// dropped constraint holds everywhere. This turns the `Correct`
+    /// strategy from `O(N)` constraints per LP into (typically) `O(d)`-ish
+    /// without giving up exactness.
+    pub fn prune_constraints(constraints: Vec<Halfspace>, rough: &Mbr) -> Vec<Halfspace> {
+        // The rough MBR comes from LP solves with ~1e-9 feasibility
+        // tolerance; at near-duplicate-point scales that slack matters.
+        // Inflate the box before testing so only comfortably redundant
+        // constraints are dropped (keeping extras never hurts exactness).
+        let d = rough.dim();
+        let eps = 1e-6;
+        let lo: Vec<f64> = (0..d).map(|i| rough.lo()[i] - eps).collect();
+        let hi: Vec<f64> = (0..d).map(|i| rough.hi()[i] + eps).collect();
+        let inflated = Mbr::new(lo, hi);
+        constraints
+            .into_iter()
+            .filter(|h| {
+                let tol = 1e-9 * (1.0 + h.offset().abs());
+                max_over_mbr(h, &inflated) > h.offset() - tol
+            })
+            .collect()
+    }
+}
+
+/// Maximum of `a·x` over an MBR (attained at a corner, computed
+/// coordinate-wise).
+pub fn max_over_mbr(h: &Halfspace, mbr: &Mbr) -> f64 {
+    let a = h.normal();
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        s += if a[i] >= 0.0 {
+            a[i] * mbr.hi()[i]
+        } else {
+            a[i] * mbr.lo()[i]
+        };
+    }
+    s
+}
+
+/// Convenience: Euclidean cell MBR over the unit cube with the
+/// [`SolverKind::Auto`] backend.
+///
+/// `points[i]` for `i != index` are the rivals of `points[index]`.
+pub fn cell_mbr(points: &[Vec<f64>], index: usize, seed: u64) -> Mbr {
+    let d = points[index].len();
+    let solver = VoronoiLp::new(nncell_geom::Euclidean, DataSpace::unit(d), SolverKind::Auto);
+    let rivals = points
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != index)
+        .map(|(_, q)| q.as_slice());
+    solver
+        .cell_mbr(&points[index], rivals, seed)
+        .expect("LP backend failed")
+        .mbr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nncell_geom::Euclidean;
+
+    fn solver(d: usize, kind: SolverKind) -> VoronoiLp<Euclidean> {
+        VoronoiLp::new(Euclidean, DataSpace::unit(d), kind)
+    }
+
+    #[test]
+    fn single_point_cell_is_whole_space() {
+        let s = solver(3, SolverKind::Simplex);
+        let mbr = s
+            .cell_mbr(&[0.4, 0.5, 0.6], std::iter::empty(), 0)
+            .unwrap()
+            .mbr;
+        assert_eq!(mbr.lo(), &[0.0, 0.0, 0.0]);
+        assert_eq!(mbr.hi(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn two_points_split_unit_square() {
+        // Points at x=0.25 and x=0.75: bisector x = 0.5.
+        let s = solver(2, SolverKind::Simplex);
+        let p = [0.25, 0.5];
+        let q = [0.75, 0.5];
+        let mbr = s.cell_mbr(&p, [&q[..]], 0).unwrap().mbr;
+        assert!((mbr.hi()[0] - 0.5).abs() < 1e-8, "{mbr:?}");
+        assert!((mbr.lo()[0] - 0.0).abs() < 1e-8);
+        assert!((mbr.hi()[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn grid_cell_mbr_matches_voronoi_cell() {
+        // 3x3 grid at {1/6, 3/6, 5/6}²: center cell is [1/3,2/3]².
+        let mut pts = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                pts.push(vec![(2 * i + 1) as f64 / 6.0, (2 * j + 1) as f64 / 6.0]);
+            }
+        }
+        let center = pts
+            .iter()
+            .position(|p| (p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12)
+            .unwrap();
+        let mbr = cell_mbr(&pts, center, 0);
+        assert!((mbr.lo()[0] - 1.0 / 3.0).abs() < 1e-8, "{mbr:?}");
+        assert!((mbr.hi()[0] - 2.0 / 3.0).abs() < 1e-8);
+        assert!((mbr.lo()[1] - 1.0 / 3.0).abs() < 1e-8);
+        assert!((mbr.hi()[1] - 2.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn simplex_and_seidel_agree_on_cells() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        for d in [2usize, 3, 5] {
+            let pts: Vec<Vec<f64>> = (0..20)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            for idx in [0usize, 7, 19] {
+                let sx = solver(d, SolverKind::Simplex);
+                let sd = solver(d, SolverKind::Seidel);
+                let rivals = || {
+                    pts.iter()
+                        .enumerate()
+                        .filter(move |(j, _)| *j != idx)
+                        .map(|(_, q)| q.as_slice())
+                };
+                let m1 = sx.cell_mbr(&pts[idx], rivals(), 5).unwrap().mbr;
+                let m2 = sd.cell_mbr(&pts[idx], rivals(), 5).unwrap().mbr;
+                for i in 0..d {
+                    assert!(
+                        (m1.lo()[i] - m2.lo()[i]).abs() < 1e-6
+                            && (m1.hi()[i] - m2.hi()[i]).abs() < 1e-6,
+                        "d={d} idx={idx} dim={i}: {m1:?} vs {m2:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cell_contains_its_point_and_mbrs_cover_space() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let d = 3;
+        let pts: Vec<Vec<f64>> = (0..15)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let mbrs: Vec<Mbr> = (0..pts.len()).map(|i| cell_mbr(&pts, i, 1)).collect();
+        for (i, m) in mbrs.iter().enumerate() {
+            assert!(m.contains_point(&pts[i]), "cell {i} misses its point");
+        }
+        // Every random query point must fall in the MBR of its true NN cell.
+        for _ in 0..200 {
+            let q: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let nn = (0..pts.len())
+                .min_by(|&a, &b| {
+                    nncell_geom::dist_sq(&q, &pts[a])
+                        .partial_cmp(&nncell_geom::dist_sq(&q, &pts[b]))
+                        .unwrap()
+                })
+                .unwrap();
+            assert!(
+                mbrs[nn].contains_point(&q),
+                "query {q:?} outside approx of its NN {nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_slab_constraints_can_make_region_empty() {
+        let s = solver(2, SolverKind::Simplex);
+        let p = [0.2, 0.2];
+        let q = [0.8, 0.8];
+        let mut cons = s.bisectors(&p, [&q[..]]);
+        // The cell of p is {x+y <= 1}; the slab x,y >= 0.9 misses it.
+        cons.push(Halfspace::new(vec![-1.0, 0.0], -0.9));
+        cons.push(Halfspace::new(vec![0.0, -1.0], -0.9));
+        assert!(s.extents(&cons, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn pruning_preserves_exact_extents() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let d = 3;
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let s = solver(d, SolverKind::Simplex);
+        let p = pts[0].clone();
+        let all = s.bisectors(&p, pts[1..].iter().map(|q| q.as_slice()));
+        let exact = s.extents(&all, 0).unwrap().unwrap().mbr;
+        // Rough MBR from the 15 nearest rivals (any subset is valid; a near
+        // subset gives a tight rough box so distant bisectors get pruned).
+        let mut by_dist: Vec<&Vec<f64>> = pts[1..].iter().collect();
+        by_dist.sort_by(|a, b| {
+            nncell_geom::dist_sq(&p, a)
+                .partial_cmp(&nncell_geom::dist_sq(&p, b))
+                .unwrap()
+        });
+        let subset = s.bisectors(&p, by_dist[..15].iter().map(|q| q.as_slice()));
+        let rough = s.extents(&subset, 0).unwrap().unwrap().mbr;
+        let pruned = VoronoiLp::<Euclidean>::prune_constraints(all.clone(), &rough);
+        assert!(pruned.len() < all.len(), "prune did nothing");
+        let via_pruned = s.extents(&pruned, 0).unwrap().unwrap().mbr;
+        for i in 0..d {
+            assert!((exact.lo()[i] - via_pruned.lo()[i]).abs() < 1e-7);
+            assert!((exact.hi()[i] - via_pruned.hi()[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn max_over_mbr_is_corner_max() {
+        let h = Halfspace::new(vec![1.0, -2.0], 0.0);
+        let m = Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // max x − 2y over unit square = 1 at (1, 0)
+        assert!((max_over_mbr(&h, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_rival_skipped() {
+        let s = solver(2, SolverKind::Simplex);
+        let p = [0.5, 0.5];
+        let solve = s.cell_mbr(&p, [&p[..]], 0).unwrap();
+        let (mbr, stats) = (solve.mbr, solve.stats);
+        assert_eq!(stats.constraints, 0);
+        assert_eq!(mbr.lo(), &[0.0, 0.0]);
+    }
+}

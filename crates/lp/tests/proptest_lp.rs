@@ -1,0 +1,161 @@
+//! Property-based cross-checks of the two LP backends and the Voronoi
+//! extents they produce.
+
+use nncell_geom::{dist_sq, DataSpace, Euclidean, Halfspace};
+use nncell_lp::{problem::Lp, seidel, simplex, LpResult, SolverKind, VoronoiLp};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0..=1000u32).prop_map(|v| v as f64 / 1000.0)
+}
+
+fn signed() -> impl Strategy<Value = f64> {
+    (-1000i32..=1000).prop_map(|v| v as f64 / 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backends_agree_on_random_lps(
+        d in 1usize..5,
+        m in 0usize..12,
+        seed in 0u64..1000,
+        coeffs in prop::collection::vec((signed(), signed(), signed(), signed(), signed()), 12),
+        obj_dim in 0usize..5,
+        obj_sign in prop::bool::ANY,
+    ) {
+        let mut cons = Vec::new();
+        for row in coeffs.iter().take(m) {
+            let a: Vec<f64> = [row.0, row.1, row.2, row.3].iter().take(d).copied().collect();
+            cons.push(Halfspace::new(a, row.4));
+        }
+        let mut obj = vec![0.0; d];
+        obj[obj_dim % d] = if obj_sign { 1.0 } else { -1.0 };
+        let lp = Lp::new(obj, cons, vec![0.0; d], vec![1.0; d]);
+        let a = simplex::solve(&lp).unwrap();
+        let b = seidel::solve_seeded(&lp, seed).unwrap();
+        match (&a, &b) {
+            (LpResult::Infeasible, LpResult::Infeasible) => {}
+            (LpResult::Optimal { value: va, x: xa }, LpResult::Optimal { value: vb, x: xb }) => {
+                prop_assert!((va - vb).abs() < 1e-6, "values differ: {va} vs {vb}");
+                prop_assert!(lp.is_feasible(xa, 1e-6));
+                prop_assert!(lp.is_feasible(xb, 1e-6));
+            }
+            _ => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_mbr_contains_point_and_its_region(
+        pts in prop::collection::vec(prop::collection::vec(coord(), 3), 2..15),
+        idx_raw in 0usize..15,
+        solver_pick in prop::bool::ANY,
+    ) {
+        let idx = idx_raw % pts.len();
+        // Skip degenerate duplicate configurations.
+        for (i, p) in pts.iter().enumerate() {
+            for q in pts.iter().skip(i + 1) {
+                prop_assume!(dist_sq(p, q) > 1e-9);
+            }
+        }
+        let kind = if solver_pick { SolverKind::Simplex } else { SolverKind::Seidel };
+        let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(3), kind);
+        let rivals = pts.iter().enumerate().filter(|(j, _)| *j != idx).map(|(_, q)| q.as_slice());
+        let solve = vlp.cell_mbr(&pts[idx], rivals, 9).unwrap();
+        prop_assert!(solve.mbr.contains_point(&pts[idx]), "cell MBR must contain its point");
+        // Every vertex is in the data space and on the cell boundary or face.
+        for v in &solve.vertices {
+            prop_assert!(v.iter().all(|c| (-1e-9..=1.0 + 1e-9).contains(c)));
+            // vertex belongs to the cell: closest to pts[idx] among all
+            for (j, q) in pts.iter().enumerate() {
+                if j != idx {
+                    prop_assert!(
+                        dist_sq(v, &pts[idx]) <= dist_sq(v, q) + 1e-7,
+                        "vertex {v:?} outside the cell"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_false_dismissals_lemma2_mini(
+        pts in prop::collection::vec(prop::collection::vec(coord(), 2), 2..12),
+        queries in prop::collection::vec(prop::collection::vec(coord(), 2), 5),
+    ) {
+        for (i, p) in pts.iter().enumerate() {
+            for q in pts.iter().skip(i + 1) {
+                prop_assume!(dist_sq(p, q) > 1e-9);
+            }
+        }
+        let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
+        let mbrs: Vec<_> = (0..pts.len())
+            .map(|i| {
+                let rivals = pts.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, q)| q.as_slice());
+                vlp.cell_mbr(&pts[i], rivals, 3).unwrap().mbr
+            })
+            .collect();
+        for q in &queries {
+            let nn = (0..pts.len())
+                .min_by(|&a, &b| dist_sq(q, &pts[a]).partial_cmp(&dist_sq(q, &pts[b])).unwrap())
+                .unwrap();
+            prop_assert!(
+                mbrs[nn].contains_point(q),
+                "query {q:?} not in its NN's approximation"
+            );
+        }
+    }
+
+    #[test]
+    fn lp_extents_match_exact_2d_polygon(
+        pts in prop::collection::vec(prop::collection::vec(coord(), 2), 2..18),
+        idx_raw in 0usize..18,
+    ) {
+        for (i, p) in pts.iter().enumerate() {
+            for q in pts.iter().skip(i + 1) {
+                prop_assume!(dist_sq(p, q) > 1e-9);
+            }
+        }
+        let idx = idx_raw % pts.len();
+        // Ground truth: exact cell polygon via halfspace clipping.
+        let space = nncell_geom::Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let poly = nncell_geom::voronoi_cell_2d(&pts, idx, &space);
+        let exact_mbr = poly.mbr().expect("cell of a data point is non-empty");
+        // LP result must coincide.
+        let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
+        let rivals = pts.iter().enumerate().filter(|(j, _)| *j != idx).map(|(_, q)| q.as_slice());
+        let lp_mbr = vlp.cell_mbr(&pts[idx], rivals, 5).unwrap().mbr;
+        for k in 0..2 {
+            prop_assert!(
+                (exact_mbr.lo()[k] - lp_mbr.lo()[k]).abs() < 1e-6
+                    && (exact_mbr.hi()[k] - lp_mbr.hi()[k]).abs() < 1e-6,
+                "LP extents {lp_mbr:?} disagree with polygon ground truth {exact_mbr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_is_lossless(
+        pts in prop::collection::vec(prop::collection::vec(coord(), 2), 8..25),
+    ) {
+        for (i, p) in pts.iter().enumerate() {
+            for q in pts.iter().skip(i + 1) {
+                prop_assume!(dist_sq(p, q) > 1e-9);
+            }
+        }
+        let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
+        let p = &pts[0];
+        let all = vlp.bisectors(p, pts[1..].iter().map(|q| q.as_slice()));
+        let exact = vlp.extents(&all, 1).unwrap().unwrap().mbr;
+        // Rough box from an arbitrary half of the rivals.
+        let half = vlp.bisectors(p, pts[1..1 + pts.len() / 2].iter().map(|q| q.as_slice()));
+        let rough = vlp.extents(&half, 1).unwrap().unwrap().mbr;
+        let pruned = VoronoiLp::<Euclidean>::prune_constraints(all, &rough);
+        let redone = vlp.extents(&pruned, 1).unwrap().unwrap().mbr;
+        for i in 0..2 {
+            prop_assert!((exact.lo()[i] - redone.lo()[i]).abs() < 1e-7);
+            prop_assert!((exact.hi()[i] - redone.hi()[i]).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Dynamic maintenance: the precomputed solution space supports inserts and
+//! removals (section 2 of the paper, citing Roos's dynamic Voronoi
+//! diagrams for the delete case).
+//!
+//! ```sh
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy};
+use nncell::data::{ClusteredGenerator, Generator, UniformGenerator};
+use nncell::geom::Point;
+
+fn main() {
+    let dim = 4;
+    let initial = UniformGenerator::new(dim).generate(500, 10);
+    let arrivals = ClusteredGenerator::new(dim, 3, 0.05).generate(200, 11);
+    let queries: Vec<Vec<f64>> = UniformGenerator::new(dim)
+        .generate(100, 12)
+        .into_iter()
+        .map(Point::into_vec)
+        .collect();
+
+    println!("initial build: {} points", initial.len());
+    let mut index = NnCellIndex::build(
+        initial.clone(),
+        BuildConfig::new(Strategy::Sphere).with_seed(5),
+    )
+    .expect("build");
+    let mut reference: Vec<Point> = initial;
+
+    println!("inserting {} clustered arrivals ...", arrivals.len());
+    for p in arrivals {
+        index.insert(p.clone()).expect("insert");
+        reference.push(p);
+    }
+    verify(&index, &reference, &queries, "after inserts");
+
+    println!("removing every fifth point ...");
+    let doomed: Vec<usize> = (0..reference.len()).step_by(5).collect();
+    for &id in &doomed {
+        assert!(index.remove(id).expect("remove"));
+    }
+    let survivors: Vec<Point> = reference
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 != 0)
+        .map(|(_, p)| p.clone())
+        .collect();
+    // Query answers must now match a scan over the survivors only.
+    for q in &queries {
+        let got = index.nearest_neighbor(q).unwrap();
+        let want = linear_scan_nn(&survivors, q).unwrap();
+        assert!(
+            (got.dist - want.dist).abs() < 1e-9,
+            "stale cell after delete at q={q:?}"
+        );
+    }
+    println!(
+        "after removals: {} live points, all {} queries exact",
+        index.len(),
+        queries.len()
+    );
+
+    let bs = index.build_stats();
+    println!(
+        "lifetime LP work: {} solves over {} constraints",
+        bs.lp.lp_calls, bs.lp.constraints
+    );
+}
+
+fn verify(index: &NnCellIndex, reference: &[Point], queries: &[Vec<f64>], label: &str) {
+    for q in queries {
+        let got = index.nearest_neighbor(q).unwrap();
+        let want = linear_scan_nn(reference, q).unwrap();
+        assert_eq!(got.id, want.id, "{label}: mismatch at q={q:?}");
+    }
+    println!(
+        "{label}: {} points, all {} queries exact",
+        index.len(),
+        queries.len()
+    );
+}

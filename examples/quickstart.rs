@@ -1,0 +1,68 @@
+//! Quickstart: build an NN-cell index, run exact NN queries, inspect costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy};
+use nncell::data::{Generator, UniformGenerator};
+
+fn main() {
+    let dim = 8;
+    let n = 2_000;
+
+    println!("generating {n} uniform points in [0,1]^{dim} ...");
+    let points = UniformGenerator::new(dim).generate(n, 42);
+
+    println!("building the NN-cell index (Sphere strategy) ...");
+    let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere))
+        .expect("build failed");
+    let bs = index.build_stats();
+    println!(
+        "  built in {:.2}s — {} LPs over {} constraints, {} cell pieces",
+        bs.seconds,
+        bs.lp.lp_calls,
+        bs.lp.constraints,
+        index.total_pieces()
+    );
+
+    // A nearest-neighbor query is now a point query on the cell index.
+    let queries = UniformGenerator::new(dim).generate(5, 7);
+    for q in &queries {
+        index.reset_stats();
+        let (hit, candidates) = index
+            .nearest_neighbor_with_candidates(q)
+            .expect("non-empty index");
+        let io = index.cell_tree_stats();
+        // Exactness check against a linear scan.
+        let scan = linear_scan_nn(&points, q).unwrap();
+        assert_eq!(hit.id, scan.id, "NN-cell result must equal the scan");
+        println!(
+            "  query {:?}... -> point #{} at distance {:.4} \
+             ({candidates} candidates, {} page reads)",
+            &q.as_slice()[..3.min(dim)],
+            hit.id,
+            hit.dist,
+            io.page_reads
+        );
+    }
+
+    println!("all answers verified against a linear scan — exact, as Lemma 2 promises.");
+
+    // The precomputed solution space persists: save and reload without
+    // rerunning a single linear program.
+    let path = std::env::temp_dir().join("quickstart.nncell");
+    index.save(&path).expect("save");
+    let reloaded = NnCellIndex::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    let q = &queries[0];
+    assert_eq!(
+        reloaded.nearest_neighbor(q).unwrap().id,
+        index.nearest_neighbor(q).unwrap().id
+    );
+    println!(
+        "index round-tripped through disk ({} points, {} cell pieces) — no LP rerun.",
+        reloaded.len(),
+        reloaded.total_pieces()
+    );
+}

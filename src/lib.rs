@@ -1,0 +1,53 @@
+//! # nncell — Fast Nearest Neighbor Search in High-Dimensional Space
+//!
+//! A from-scratch Rust implementation of the *NN-cell* approach of
+//! Berchtold, Ertl, Keim, Kriegel and Seidl (ICDE 1998): exact
+//! nearest-neighbor search by **precomputing the solution space**.
+//!
+//! For every database point the first-order Voronoi cell (its *NN-cell*) is
+//! approximated by a minimum bounding hyper-rectangle obtained from `2·d`
+//! linear programs; the rectangles are stored in an X-tree, and a
+//! nearest-neighbor query becomes a cheap *point query* on that index.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`geom`] — points, MBRs, halfspaces, metrics ([`nncell_geom`])
+//! * [`lp`] — simplex & Seidel LP solvers, Voronoi-cell extents ([`nncell_lp`])
+//! * [`index`] — R\*-tree and X-tree on a simulated page store ([`nncell_index`])
+//! * [`data`] — workload generators ([`nncell_data`])
+//! * [`core`] — the NN-cell index itself ([`nncell_core`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nncell::core::{NnCellIndex, BuildConfig, Strategy};
+//! use nncell::data::{UniformGenerator, Generator};
+//!
+//! let points = UniformGenerator::new(6).generate(500, 42);
+//! let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+//! let query = vec![0.3; 6];
+//! let hit = index.nearest_neighbor(&query).unwrap();
+//! // The NN-cell result is exact: it matches a linear scan.
+//! let scan = nncell::core::linear_scan_nn(&points, &query).unwrap();
+//! assert_eq!(hit.id, scan.id);
+//! ```
+//!
+//! Everything configurable hangs off [`core::BuildConfig`]: the
+//! constraint-selection [`core::Strategy`], the LP backend, cell
+//! decomposition, threads for the build phase, and insert-time refinement.
+//! Built indexes persist with `index.save(path)` /
+//! [`core::NnCellIndex::load`] (no LP reruns on load), support dynamic
+//! [`core::NnCellIndex::insert`] / [`core::NnCellIndex::remove`], and work
+//! with any positive-diagonal weighted Euclidean metric
+//! ([`geom::WeightedEuclidean`]).
+//!
+//! Runnable walkthroughs live in `examples/` (`quickstart`,
+//! `image_retrieval`, `molecular_screening`, `dynamic_updates`,
+//! `voronoi_2d`), and the `nncell` CLI (`crates/cli`) wraps generate /
+//! build / query / info / bench flows for the shell.
+
+pub use nncell_core as core;
+pub use nncell_data as data;
+pub use nncell_geom as geom;
+pub use nncell_index as index;
+pub use nncell_lp as lp;
