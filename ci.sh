@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from the repository root.
+#
+# The clippy step denies warnings on the two crates that carry the
+# panic-free contract (`nncell-lp`, `nncell-core`); their crate-level
+# `#![warn(clippy::unwrap_used)]` is promoted to an error here, so an
+# `unwrap()` in library code fails the gate while tests stay exempt.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (panic-free library crates) =="
+cargo clippy -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used
+
+echo "ci: all green"

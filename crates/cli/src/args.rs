@@ -1,8 +1,9 @@
 //! Tiny dependency-free flag parser for the CLI.
 //!
 //! Grammar: `nncell <command> [--flag value]...`. Flags are long-form only;
-//! unknown flags and missing values are hard errors so typos never silently
-//! fall back to defaults.
+//! unknown flags are hard errors so typos never silently fall back to
+//! defaults. A flag followed by another flag (or by the end of the line) is
+//! a bare boolean switch, e.g. `--repair`.
 
 use std::collections::BTreeMap;
 
@@ -33,7 +34,7 @@ impl Parsed {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut it = args.into_iter().map(Into::into);
+        let mut it = args.into_iter().map(Into::into).peekable();
         let command = it
             .next()
             .ok_or_else(|| ArgError("missing command".into()))?;
@@ -50,9 +51,12 @@ impl Parsed {
             if name.is_empty() {
                 return Err(ArgError("empty flag name".into()));
             }
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{name} is missing its value")))?;
+            // A value never starts with `--`; without one the flag is a
+            // bare boolean switch (stored as the empty string).
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
+                _ => String::new(),
+            };
             if flags.insert(name.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{name} given twice")));
             }
@@ -120,8 +124,16 @@ mod tests {
         assert!(Parsed::parse(Vec::<String>::new()).is_err());
         assert!(Parsed::parse(["--n", "5"]).is_err(), "flag before command");
         assert!(Parsed::parse(["x", "stray"]).is_err(), "positional");
-        assert!(Parsed::parse(["x", "--n"]).is_err(), "missing value");
         assert!(Parsed::parse(["x", "--n", "1", "--n", "2"]).is_err(), "dup");
+    }
+
+    #[test]
+    fn bare_flags_are_boolean_switches() {
+        let p = Parsed::parse(["verify", "--repair", "--index", "f.idx"]).unwrap();
+        assert_eq!(p.get("repair"), Some(""));
+        assert_eq!(p.require("index").unwrap(), "f.idx");
+        let p = Parsed::parse(["verify", "--repair"]).unwrap();
+        assert!(p.get("repair").is_some());
     }
 
     #[test]

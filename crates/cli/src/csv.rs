@@ -75,6 +75,9 @@ pub fn parse_point(s: &str) -> Result<Vec<f64>, CsvError> {
     if coords.is_empty() {
         return Err(CsvError("empty point".into()));
     }
+    if coords.iter().any(|c| !c.is_finite()) {
+        return Err(CsvError(format!("non-finite coordinate in point {s:?}")));
+    }
     Ok(coords)
 }
 

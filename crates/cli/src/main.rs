@@ -5,6 +5,7 @@
 //! nncell build    --points pts.csv --strategy sphere --out idx.nncell
 //! nncell query    --index idx.nncell --point 0.1,0.2,... [--k 5]
 //! nncell info     --index idx.nncell
+//! nncell verify   --index idx.nncell [--repair]
 //! nncell bench    --index idx.nncell --queries 200 --seed 7
 //! ```
 
@@ -12,7 +13,7 @@ mod args;
 mod csv;
 
 use args::Parsed;
-use nncell_core::{BuildConfig, NnCellIndex, Strategy};
+use nncell_core::{BuildConfig, InputPolicy, NnCellIndex, Strategy};
 use nncell_data::{
     ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
     UniformGenerator,
@@ -42,6 +43,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "build" => cmd_build(&p),
         "query" => cmd_query(&p),
         "info" => cmd_info(&p),
+        "verify" => cmd_verify(&p),
         "bench" => cmd_bench(&p),
         other => Err(format!("unknown command {other:?}; try `nncell help`")),
     }
@@ -84,8 +86,17 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
 }
 
 fn cmd_build(p: &Parsed) -> Result<(), String> {
-    p.allow_only(&["points", "strategy", "decompose", "seed", "threads", "out"])
-        .map_err(|e| e.to_string())?;
+    p.allow_only(&[
+        "points",
+        "strategy",
+        "decompose",
+        "seed",
+        "threads",
+        "out",
+        "skip-invalid",
+        "lp-max-iterations",
+    ])
+    .map_err(|e| e.to_string())?;
     let points = csv::read_points(p.require("points").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let strategy = parse_strategy(p.get("strategy").unwrap_or("correct-pruned"))?;
@@ -95,6 +106,15 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
     let decompose: usize = p.get_or("decompose", 1).map_err(|e| e.to_string())?;
     if decompose > 1 {
         cfg = cfg.with_decomposition(decompose);
+    }
+    if p.get("skip-invalid").is_some() {
+        cfg = cfg.with_input_policy(InputPolicy::Skip);
+    }
+    if let Some(iters) = p.get("lp-max-iterations") {
+        let n: usize = iters
+            .parse()
+            .map_err(|_| format!("bad --lp-max-iterations {iters:?}"))?;
+        cfg = cfg.with_lp_max_iterations(n);
     }
     let out = p.require("out").map_err(|e| e.to_string())?;
     let t = Instant::now();
@@ -109,6 +129,19 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
         bs.lp.lp_calls,
         bs.lp.constraints
     );
+    if bs.skipped_points > 0 {
+        println!(
+            "skipped {} invalid input point(s) (--skip-invalid)",
+            bs.skipped_points
+        );
+    }
+    if bs.lp.fallback_lps > 0 || bs.lp.clamped_extents > 0 {
+        println!(
+            "LP degradation: {} fallback solve(s), {} extent(s) clamped to the data space \
+             (results stay exact; approximations widen)",
+            bs.lp.fallback_lps, bs.lp.clamped_extents
+        );
+    }
     Ok(())
 }
 
@@ -157,6 +190,50 @@ fn cmd_info(p: &Parsed) -> Result<(), String> {
         "avg overlap    : {:.3}",
         nncell_core::average_overlap(&cells)
     );
+    let report = index.verify_integrity();
+    if report.is_ok() {
+        println!("integrity      : ok ({} cells checked)", report.checked_cells);
+    } else {
+        println!(
+            "integrity      : {} of {} cells BAD — run `nncell verify --repair`",
+            report.bad_cells.len(),
+            report.checked_cells
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["index", "repair", "out"])
+        .map_err(|e| e.to_string())?;
+    let path = p.require("index").map_err(|e| e.to_string())?;
+    let mut index = NnCellIndex::load(path).map_err(|e| e.to_string())?;
+    let report = index.verify_integrity();
+    if report.is_ok() {
+        println!("ok: all {} cells pass integrity checks", report.checked_cells);
+        return Ok(());
+    }
+    println!(
+        "{} of {} cells fail integrity checks: {:?}{}",
+        report.bad_cells.len(),
+        report.checked_cells,
+        &report.bad_cells[..report.bad_cells.len().min(20)],
+        if report.bad_cells.len() > 20 { " …" } else { "" }
+    );
+    if p.get("repair").is_none() {
+        return Err("index is damaged (rerun with --repair to recompute bad cells)".into());
+    }
+    let n = index.repair();
+    let after = index.verify_integrity();
+    if !after.is_ok() {
+        return Err(format!(
+            "repair recomputed {n} cell(s) but {} still fail",
+            after.bad_cells.len()
+        ));
+    }
+    let out = p.get("out").unwrap_or(path);
+    index.save(out).map_err(|e| e.to_string())?;
+    println!("repaired {n} cell(s); index saved to {out}");
     Ok(())
 }
 
@@ -200,8 +277,10 @@ COMMANDS
             [--n 1000] [--dim 8] [--seed 42] [--clusters 8] [--sigma 0.05]
   build     --points FILE --out FILE [--strategy correct|correct-pruned|point|
             sphere|nn-direction] [--decompose K] [--seed S] [--threads T]
+            [--skip-invalid] [--lp-max-iterations N]
   query     --index FILE --point x,y,... [--k K]
   info      --index FILE
+  verify    --index FILE [--repair] [--out FILE]
   bench     --index FILE [--queries 200] [--seed 7]
   help"
     );

@@ -1,6 +1,6 @@
 //! Build configuration for the NN-cell index.
 
-use nncell_lp::SolverKind;
+use nncell_lp::{LpBudget, SolverKind};
 
 /// The constraint-selection algorithm used when approximating a cell
 /// (section 2 of the paper, figure 3's `OptAlg`).
@@ -50,6 +50,22 @@ impl Strategy {
     }
 }
 
+/// What a bulk build does with an invalid input point (NaN/∞ coordinate,
+/// outside the data space, or an exact duplicate of an earlier point).
+///
+/// Dynamic [`crate::NnCellIndex::insert`] always rejects — it must return an
+/// id, so there is nothing sensible to "skip" to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InputPolicy {
+    /// Fail the build with the typed [`crate::BuildError`].
+    #[default]
+    Reject,
+    /// Drop the offending point, count it in
+    /// [`crate::BuildStats::skipped_points`], and index the rest. Ids are
+    /// assigned to the *surviving* points in input order.
+    Skip,
+}
+
 /// Configuration for [`crate::NnCellIndex::build`].
 #[derive(Clone, Debug)]
 pub struct BuildConfig {
@@ -76,6 +92,13 @@ pub struct BuildConfig {
     /// are independent given the shared read-only point tree). `1` =
     /// sequential; queries and dynamic updates are unaffected.
     pub threads: usize,
+    /// Work budget per LP solve. The default lets each backend size its own
+    /// cap; a tiny explicit cap (even 0) is safe — exhausted solves walk the
+    /// fallback chain and terminally clamp to the data space, which keeps
+    /// queries exact (Lemma 1) at the price of fatter MBRs.
+    pub lp_budget: LpBudget,
+    /// What a bulk build does with invalid input points.
+    pub input_policy: InputPolicy,
 }
 
 impl BuildConfig {
@@ -91,6 +114,8 @@ impl BuildConfig {
             seed: 0,
             refine_on_insert: true,
             threads: 1,
+            lp_budget: LpBudget::DEFAULT,
+            input_policy: InputPolicy::Reject,
         }
     }
 
@@ -139,6 +164,27 @@ impl BuildConfig {
         self
     }
 
+    /// Caps every LP solve at `n` work units (pivots / basis changes /
+    /// constraint insertions). Exhausted solves escalate through the
+    /// fallback chain and, at worst, clamp to the data space — exactness is
+    /// unaffected.
+    pub fn with_lp_max_iterations(mut self, n: usize) -> Self {
+        self.lp_budget = LpBudget::with_max_iterations(n);
+        self
+    }
+
+    /// Sets the full LP work budget.
+    pub fn with_lp_budget(mut self, budget: LpBudget) -> Self {
+        self.lp_budget = budget;
+        self
+    }
+
+    /// Sets the invalid-input policy for bulk builds.
+    pub fn with_input_policy(mut self, policy: InputPolicy) -> Self {
+        self.input_policy = policy;
+        self
+    }
+
     /// The effective Sphere radius for a database of `n` points in `d`
     /// dimensions.
     ///
@@ -168,7 +214,9 @@ mod tests {
             .with_sphere_radius(0.3)
             .with_block_size(2048)
             .with_seed(9)
-            .with_refine_on_insert(false);
+            .with_refine_on_insert(false)
+            .with_lp_max_iterations(100)
+            .with_input_policy(InputPolicy::Skip);
         assert_eq!(c.strategy, Strategy::Sphere);
         assert_eq!(c.solver, SolverKind::Seidel);
         assert_eq!(c.decompose_pieces, Some(4));
@@ -176,6 +224,8 @@ mod tests {
         assert_eq!(c.block_size, 2048);
         assert_eq!(c.seed, 9);
         assert!(!c.refine_on_insert);
+        assert_eq!(c.lp_budget.max_iterations, Some(100));
+        assert_eq!(c.input_policy, InputPolicy::Skip);
     }
 
     #[test]

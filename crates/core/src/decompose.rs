@@ -18,7 +18,7 @@
 //! optimizing the quantity Definition 4 minimizes, at zero extra LP cost.
 
 use nncell_geom::{Halfspace, Mbr, Metric};
-use nncell_lp::{CellLpStats, CellSolve, LpError, VoronoiLp};
+use nncell_lp::{CellLpStats, CellSolve, VoronoiLp};
 
 /// Factorizes the piece budget `k` into descending slab counts
 /// `n₁ ≥ n₂ ≥ …` with `Πnᵢ ≤ k` (prime factorization, largest first), as the
@@ -115,34 +115,33 @@ where
 ///
 /// `constraints` are the cell's bisectors; `solve` is the plain (exact-MBR)
 /// solution whose vertices drive the obliqueness scores. Returns the piece
-/// MBRs and the extra LP work done.
-///
-/// # Errors
-/// Propagates LP backend failures.
+/// MBRs and the extra LP work done. Infallible: per-piece LP trouble rides
+/// the fallback chain inside [`VoronoiLp::extents`]; an infeasible slab
+/// (the slab misses the cell) is simply dropped.
 pub fn decompose_cell<M: Metric>(
     vlp: &VoronoiLp<M>,
     constraints: &[Halfspace],
     solve: &CellSolve,
     max_pieces: usize,
     seed: u64,
-) -> Result<(Vec<Mbr>, CellLpStats), LpError> {
+) -> (Vec<Mbr>, CellLpStats) {
     let plan = plan_partitions(max_pieces);
     let d = solve.mbr.dim();
     let mut stats = CellLpStats::default();
     if plan.is_empty() || plan.len() > d {
-        return Ok((vec![solve.mbr.clone()], stats));
+        return (vec![solve.mbr.clone()], stats);
     }
 
     // Rank dimensions by obliqueness; assign the largest slab count to the
     // most oblique dimension.
     let scores = obliqueness_scores(&solve.mbr, &solve.vertices);
     let mut order: Vec<usize> = (0..d).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let dims: Vec<usize> = order[..plan.len()].to_vec();
 
     // Nothing to gain (e.g. a degenerate vertex set): keep the plain MBR.
     if scores[dims[0]] <= 0.0 {
-        return Ok((vec![solve.mbr.clone()], stats));
+        return (vec![solve.mbr.clone()], stats);
     }
 
     // Enumerate the slab grid.
@@ -164,7 +163,7 @@ pub fn decompose_cell<M: Metric>(
             hi_n[dim] = 1.0;
             cons.push(Halfspace::new(hi_n, b));
         }
-        if let Some(piece) = vlp.extents(&cons, seed ^ hash_idx(&idx))? {
+        if let Some(piece) = vlp.extents(&cons, seed ^ hash_idx(&idx)) {
             stats.merge(piece.stats);
             pieces.push(piece.mbr);
         } else {
@@ -183,7 +182,7 @@ pub fn decompose_cell<M: Metric>(
                 } else {
                     pieces
                 };
-                return Ok((pieces, stats));
+                return (pieces, stats);
             }
             idx[j] += 1;
             if idx[j] < plan[j] {
@@ -251,9 +250,9 @@ mod tests {
         let p = [0.3, 0.3];
         let q = [0.7, 0.7];
         let cons = vlp.bisectors(&p, [&q[..]]);
-        let solve = vlp.extents(&cons, 0).unwrap().unwrap();
+        let solve = vlp.extents(&cons, 0).unwrap();
         let plain_vol = solve.mbr.volume();
-        let (pieces, _) = decompose_cell(&vlp, &cons, &solve, 4, 0).unwrap();
+        let (pieces, _) = decompose_cell(&vlp, &cons, &solve, 4, 0);
         assert!(pieces.len() >= 2, "diagonal cell should decompose");
         let total: f64 = pieces.iter().map(|m| m.volume()).sum();
         assert!(
@@ -281,8 +280,8 @@ mod tests {
         let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
         let p = [0.2, 0.5];
         let cons = vlp.bisectors(&p, [&[0.8, 0.5][..]]);
-        let solve = vlp.extents(&cons, 0).unwrap().unwrap();
-        let (pieces, stats) = decompose_cell(&vlp, &cons, &solve, 1, 0).unwrap();
+        let solve = vlp.extents(&cons, 0).unwrap();
+        let (pieces, stats) = decompose_cell(&vlp, &cons, &solve, 1, 0);
         assert_eq!(pieces.len(), 1);
         assert_eq!(stats.lp_calls, 0);
         assert_eq!(pieces[0], solve.mbr);
@@ -295,8 +294,8 @@ mod tests {
         let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
         let p = [0.25, 0.5];
         let cons = vlp.bisectors(&p, [&[0.75, 0.5][..]]);
-        let solve = vlp.extents(&cons, 0).unwrap().unwrap();
-        let (pieces, _) = decompose_cell(&vlp, &cons, &solve, 4, 0).unwrap();
+        let solve = vlp.extents(&cons, 0).unwrap();
+        let (pieces, _) = decompose_cell(&vlp, &cons, &solve, 4, 0);
         assert_eq!(pieces.len(), 1, "axis-aligned cell must not decompose");
     }
 }

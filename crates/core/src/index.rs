@@ -1,18 +1,19 @@
 //! The NN-cell index: build, exact queries, dynamic updates.
 
-use crate::config::{BuildConfig, Strategy};
+use crate::config::{BuildConfig, InputPolicy, Strategy};
 use crate::decompose::decompose_cell;
 use crate::strategy::{gather_rival_ids, nearest_rivals};
 use nncell_geom::{DataSpace, Euclidean, Mbr, Metric, Point};
 use nncell_index::{IoStats, TreeConfig, XTree};
-use nncell_lp::{CellLpStats, LpError, VoronoiLp};
+use nncell_lp::{CellLpStats, VoronoiLp};
+use std::collections::HashSet;
 use std::time::Instant;
 
 /// Bits of the cell-tree item id reserved for the piece index; the rest is
 /// the point id. Decomposition budgets are tiny (≤ ~10 pieces), so 10 bits
 /// is generous.
 const PIECE_BITS: u32 = 10;
-const MAX_PIECES: usize = 1 << PIECE_BITS;
+pub(crate) const MAX_PIECES: usize = 1 << PIECE_BITS;
 
 /// One computed cell: pieces, LP counters, candidate count.
 type CellComputation = (Vec<Mbr>, CellLpStats, usize);
@@ -51,6 +52,26 @@ pub struct BuildStats {
     pub candidates: usize,
     /// Wall-clock build time in seconds.
     pub seconds: f64,
+    /// Invalid input points dropped under [`InputPolicy::Skip`].
+    pub skipped_points: usize,
+}
+
+/// Outcome of [`NnCellIndex::verify_integrity`].
+#[derive(Clone, Debug, Default)]
+pub struct IntegrityReport {
+    /// Live cells examined.
+    pub checked_cells: usize,
+    /// Ids whose stored approximation fails an invariant: no pieces, a
+    /// non-finite or wrong-dimension piece, no piece containing the
+    /// generating point, or a piece entirely outside the data space.
+    pub bad_cells: Vec<usize>,
+}
+
+impl IntegrityReport {
+    /// Whether every checked cell passed.
+    pub fn is_ok(&self) -> bool {
+        self.bad_cells.is_empty()
+    }
 }
 
 /// Failures of index construction or dynamic updates.
@@ -66,8 +87,26 @@ pub enum BuildError {
         /// Offending dimensionality.
         got: usize,
     },
-    /// The LP backend failed (numerical breakdown).
-    Lp(LpError),
+    /// A point has a NaN or infinite coordinate.
+    NonFinitePoint {
+        /// Input position of the offending point.
+        id: usize,
+    },
+    /// A point lies outside the data space (cells are clipped to it, so an
+    /// outside point could not be represented faithfully).
+    OutOfDataSpace {
+        /// Input position of the offending point.
+        id: usize,
+    },
+    /// A point is a bit-exact duplicate of an earlier point. Duplicates
+    /// share one Voronoi cell, making "the" nearest neighbor ambiguous and
+    /// their bisector degenerate (zero normal).
+    DuplicatePoint {
+        /// Input position of the offending point.
+        id: usize,
+        /// Input position of the earlier identical point.
+        of: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -77,18 +116,20 @@ impl std::fmt::Display for BuildError {
             BuildError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
-            BuildError::Lp(e) => write!(f, "LP backend failure: {e}"),
+            BuildError::NonFinitePoint { id } => {
+                write!(f, "point {id} has a NaN or infinite coordinate")
+            }
+            BuildError::OutOfDataSpace { id } => {
+                write!(f, "point {id} lies outside the data space")
+            }
+            BuildError::DuplicatePoint { id, of } => {
+                write!(f, "point {id} is an exact duplicate of point {of}")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
-
-impl From<LpError> for BuildError {
-    fn from(e: LpError) -> Self {
-        BuildError::Lp(e)
-    }
-}
 
 /// The NN-cell index over a (weighted) Euclidean metric.
 ///
@@ -135,7 +176,7 @@ impl<M: Metric> NnCellIndex<M> {
             "decomposition budget exceeds {MAX_PIECES}"
         );
         let space = DataSpace::unit(dim);
-        let vlp = VoronoiLp::new(metric, space, cfg.solver);
+        let vlp = VoronoiLp::new(metric, space, cfg.solver).with_budget(cfg.lp_budget);
         let point_tree = XTree::with_config(
             TreeConfig::xtree(dim)
                 .with_block_size(cfg.block_size)
@@ -170,20 +211,47 @@ impl<M: Metric> NnCellIndex<M> {
         };
         let dim = first.dim();
         let start = Instant::now();
-        let mut idx = Self::new_with_metric(dim, cfg, metric);
-        for p in &points {
-            if p.dim() != dim {
-                return Err(BuildError::DimensionMismatch {
-                    expected: dim,
-                    got: p.dim(),
-                });
+        let space = DataSpace::unit(dim);
+        // Input validation (NaN/∞, dimensionality, data-space membership,
+        // bit-exact duplicates). Under `InputPolicy::Skip` offenders are
+        // dropped and counted; ids are assigned to the survivors.
+        let mut accepted: Vec<Point> = Vec::with_capacity(points.len());
+        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(points.len());
+        let mut first_seen: Vec<usize> = Vec::with_capacity(points.len());
+        let mut skipped = 0usize;
+        for (id, p) in points.into_iter().enumerate() {
+            let verdict = validate_point(&p, id, dim, &space).and_then(|()| {
+                let bits: Vec<u64> = p.as_slice().iter().map(|c| c.to_bits()).collect();
+                if seen.insert(bits) {
+                    Ok(())
+                } else {
+                    let of = accepted
+                        .iter()
+                        .position(|q| q.as_slice() == p.as_slice())
+                        .map(|i| first_seen[i])
+                        .unwrap_or(id);
+                    Err(BuildError::DuplicatePoint { id, of })
+                }
+            });
+            match (verdict, cfg.input_policy) {
+                (Ok(()), _) => {
+                    accepted.push(p);
+                    first_seen.push(id);
+                }
+                (Err(e), InputPolicy::Reject) => return Err(e),
+                (Err(_), InputPolicy::Skip) => skipped += 1,
             }
         }
+        if accepted.is_empty() {
+            return Err(BuildError::EmptyDatabase);
+        }
+        let mut idx = Self::new_with_metric(dim, cfg, metric);
+        idx.build_stats.skipped_points = skipped;
         // Phase 1: the data-point tree (the strategies query it).
-        for (i, p) in points.iter().enumerate() {
+        for (i, p) in accepted.iter().enumerate() {
             idx.point_tree.insert_point(p, i as u64);
         }
-        idx.points = points;
+        idx.points = accepted;
         idx.alive = vec![true; idx.points.len()];
         idx.live_count = idx.points.len();
         idx.cells = vec![CellApprox::default(); idx.points.len()];
@@ -193,37 +261,30 @@ impl<M: Metric> NnCellIndex<M> {
         let n = idx.points.len();
         let threads = idx.cfg.threads.clamp(1, n.max(1));
         let results: Vec<CellComputation> = if threads == 1 {
-            let mut out = Vec::with_capacity(n);
-            for id in 0..n {
-                out.push(idx.compute_cell_pieces(id)?);
-            }
-            out
+            (0..n).map(|id| idx.compute_cell_pieces(id)).collect()
         } else {
             let idx_ref = &idx;
             let chunk = n.div_ceil(threads);
-            let mut partials: Vec<Result<Vec<(usize, CellComputation)>, BuildError>> =
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = (0..threads)
-                        .map(|w| {
-                            s.spawn(move || {
-                                let lo = w * chunk;
-                                let hi = ((w + 1) * chunk).min(n);
-                                let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                                for id in lo..hi {
-                                    out.push((id, idx_ref.compute_cell_pieces(id)?));
-                                }
-                                Ok(out)
-                            })
+            let partials: Vec<Vec<(usize, CellComputation)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(n);
+                            (lo..hi)
+                                .map(|id| (id, idx_ref.compute_cell_pieces(id)))
+                                .collect()
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("cell worker panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cell worker panicked"))
+                    .collect()
+            });
             let mut collected: Vec<Option<CellComputation>> = (0..n).map(|_| None).collect();
-            for part in partials.drain(..) {
-                for (id, r) in part? {
+            for part in partials {
+                for (id, r) in part {
                     collected[id] = Some(r);
                 }
             }
@@ -346,8 +407,14 @@ impl<M: Metric> NnCellIndex<M> {
 
     /// Like [`Self::nearest_neighbor`], also returning how many candidate
     /// cells the point query produced (the paper's page-access driver).
+    ///
+    /// `None` for an empty index and for malformed queries (wrong
+    /// dimensionality or non-finite coordinates) — no nearest neighbor is
+    /// well-defined for either.
     pub fn nearest_neighbor_with_candidates(&self, q: &[f64]) -> Option<(QueryResult, usize)> {
-        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if q.len() != self.dim() || q.iter().any(|c| !c.is_finite()) {
+            return None;
+        }
         if self.live_count == 0 {
             return None;
         }
@@ -402,7 +469,9 @@ impl<M: Metric> NnCellIndex<M> {
     ///    `Appr(p)` intersects `ball(q, b)` — one final sphere query returns
     ///    a superset, and the k smallest true distances are exact.
     pub fn knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
-        assert_eq!(q.len(), self.dim(), "query dimensionality mismatch");
+        if q.len() != self.dim() || q.iter().any(|c| !c.is_finite()) {
+            return Vec::new();
+        }
         if k == 0 || self.live_count == 0 {
             return Vec::new();
         }
@@ -435,7 +504,7 @@ impl<M: Metric> NnCellIndex<M> {
                 dist: self.vlp.metric().dist(q, &self.points[id]),
             })
             .collect();
-        dists.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        dists.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         let bound = dists[k - 1].dist;
         // Step 3: one exact sphere query with the proven bound.
         let final_ids = self.decode_cells(self.cell_tree.sphere_query(q, bound + 1e-12));
@@ -446,7 +515,7 @@ impl<M: Metric> NnCellIndex<M> {
                 dist: self.vlp.metric().dist(q, &self.points[id]),
             })
             .collect();
-        result.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        result.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         result.truncate(k);
         result
     }
@@ -471,7 +540,7 @@ impl<M: Metric> NnCellIndex<M> {
                 dist: self.vlp.metric().dist(q, &self.points[i]),
             })
             .collect();
-        all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         all.truncate(k);
         all
     }
@@ -491,6 +560,65 @@ impl<M: Metric> NnCellIndex<M> {
     }
 
     // ------------------------------------------------------------------
+    // integrity
+    // ------------------------------------------------------------------
+
+    /// Checks the structural invariants of every live cell approximation:
+    /// each must have at least one piece, every piece must be finite, of the
+    /// right dimensionality, and overlap the data space, and at least one
+    /// piece must contain the generating point (the point lies in its own
+    /// cell, and the pieces cover the cell — Lemma 2's covering property).
+    ///
+    /// A cell that fails any of these could cause a false dismissal, which
+    /// is exactly what the NN-cell guarantee forbids. [`Self::repair`]
+    /// recomputes offending cells from the stored points.
+    pub fn verify_integrity(&self) -> IntegrityReport {
+        const TOL: f64 = 1e-9;
+        let d = self.dim();
+        let space = self.vlp.space();
+        let mut report = IntegrityReport::default();
+        for id in 0..self.points.len() {
+            if !self.is_live(id) {
+                continue;
+            }
+            report.checked_cells += 1;
+            let p = &self.points[id];
+            let pieces = &self.cells[id].pieces;
+            let structurally_sound = !pieces.is_empty()
+                && pieces.iter().all(|m| {
+                    m.dim() == d
+                        && (0..d).all(|i| {
+                            m.lo()[i].is_finite()
+                                && m.hi()[i].is_finite()
+                                // Overlaps the data space (cells are clipped
+                                // to it, so a disjoint piece is garbage).
+                                && m.lo()[i] <= space.hi(i) + TOL
+                                && m.hi()[i] >= space.lo(i) - TOL
+                        })
+                });
+            let covers_point = structurally_sound
+                && pieces.iter().any(|m| {
+                    (0..d).all(|i| p[i] >= m.lo()[i] - TOL && p[i] <= m.hi()[i] + TOL)
+                });
+            if !covers_point {
+                report.bad_cells.push(id);
+            }
+        }
+        report
+    }
+
+    /// Recomputes every cell [`Self::verify_integrity`] flags, restoring the
+    /// superset invariant from the stored points. Returns the number of
+    /// cells repaired.
+    pub fn repair(&mut self) -> usize {
+        let bad = self.verify_integrity().bad_cells;
+        for &id in &bad {
+            self.refresh_cell(id);
+        }
+        bad.len()
+    }
+
+    // ------------------------------------------------------------------
     // dynamic updates
     // ------------------------------------------------------------------
 
@@ -502,22 +630,37 @@ impl<M: Metric> NnCellIndex<M> {
     /// Returns the new point's id.
     ///
     /// # Errors
-    /// Dimension mismatch or LP failure.
+    /// Rejects invalid points with the matching [`BuildError`] variant —
+    /// wrong dimensionality, NaN/∞ coordinates, outside the data space, or a
+    /// bit-exact duplicate of a live point (regardless of
+    /// [`InputPolicy`]: an insert must return an id, so there is nothing to
+    /// skip to). LP trouble never fails an insert; it degrades to the
+    /// data-space clamp.
     pub fn insert(&mut self, p: Point) -> Result<usize, BuildError> {
-        if p.dim() != self.dim() {
-            return Err(BuildError::DimensionMismatch {
-                expected: self.dim(),
-                got: p.dim(),
-            });
-        }
         let id = self.points.len();
+        validate_point(&p, id, self.dim(), self.vlp.space())?;
+        // Exact-duplicate check against live points: a bit-identical point
+        // is at metric distance zero from its twin.
+        if self.live_count > 0 {
+            if let Some(nn) = self
+                .point_tree
+                .knn_best_first(&p, 1)
+                .into_iter()
+                .find(|n| self.alive[n.id as usize])
+            {
+                let of = nn.id as usize;
+                if self.points[of].as_slice() == p.as_slice() {
+                    return Err(BuildError::DuplicatePoint { id, of });
+                }
+            }
+        }
         self.point_tree.insert_point(&p, id as u64);
         self.points.push(p);
         self.alive.push(true);
         self.cells.push(CellApprox::default());
         self.live_count += 1;
 
-        let (pieces, stats, cands) = self.compute_cell_pieces(id)?;
+        let (pieces, stats, cands) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
         self.store_cell(id, pieces);
@@ -543,7 +686,7 @@ impl<M: Metric> NnCellIndex<M> {
                 affected.sort_unstable();
                 affected.dedup();
                 for pid in affected {
-                    self.refresh_cell(pid)?;
+                    self.refresh_cell(pid);
                 }
             }
         }
@@ -554,13 +697,12 @@ impl<M: Metric> NnCellIndex<M> {
     /// a rival disappears, neighbor cells *grow*, so skipping this step
     /// would break exactness (unlike on insert).
     ///
-    /// Returns `false` when `id` was not live.
-    ///
-    /// # Errors
-    /// LP failure while recomputing affected cells.
-    pub fn remove(&mut self, id: usize) -> Result<bool, BuildError> {
+    /// Returns `false` when `id` was not live. Infallible: recomputation
+    /// rides the LP fallback chain, which terminally clamps rather than
+    /// fails.
+    pub fn remove(&mut self, id: usize) -> bool {
         if !self.is_live(id) {
-            return Ok(false);
+            return false;
         }
         self.alive[id] = false;
         self.live_count -= 1;
@@ -575,7 +717,7 @@ impl<M: Metric> NnCellIndex<M> {
             debug_assert!(removed, "cell tree out of sync");
         }
         if self.live_count == 0 {
-            return Ok(true);
+            return true;
         }
         // Every cell that could gain region intersects the removed cell's
         // approximation (Voronoi neighbors share a face; approximations are
@@ -591,10 +733,10 @@ impl<M: Metric> NnCellIndex<M> {
             affected.sort_unstable();
             affected.dedup();
             for pid in affected {
-                self.refresh_cell(pid)?;
+                self.refresh_cell(pid);
             }
         }
-        Ok(true)
+        true
     }
 
     // ------------------------------------------------------------------
@@ -602,7 +744,9 @@ impl<M: Metric> NnCellIndex<M> {
     // ------------------------------------------------------------------
 
     /// Computes the (possibly decomposed) approximation of `id`'s cell.
-    fn compute_cell_pieces(&self, id: usize) -> Result<CellComputation, BuildError> {
+    /// Infallible: LP breakdowns degrade to the data-space clamp inside
+    /// [`VoronoiLp`], which keeps the approximation a superset (Lemma 1).
+    fn compute_cell_pieces(&self, id: usize) -> CellComputation {
         let p = &self.points[id];
         let d = self.dim();
         let seed = self.cfg.seed ^ ((id as u64).wrapping_mul(0x9e3779b97f4a7c15));
@@ -619,10 +763,13 @@ impl<M: Metric> NnCellIndex<M> {
             let near_cons = self
                 .vlp
                 .bisectors(p, near.iter().map(|&j| self.points[j].as_slice()));
+            // A data point is strictly inside its own cell, so the LPs are
+            // feasible; a numerically contradictory outcome falls back to
+            // the warm-started solve (still a superset).
             let rough = self
                 .vlp
-                .extents(&near_cons, seed ^ ROUGH_SALT)?
-                .expect("point is feasible");
+                .extents(&near_cons, seed ^ ROUGH_SALT)
+                .unwrap_or_else(|| self.vlp.extents_from(&near_cons, p, seed ^ ROUGH_SALT));
             stats.merge(rough.stats);
             // Max metric distance from p to the rough box (corner-wise),
             // then converted conservatively to a Euclidean tree-query radius
@@ -668,23 +815,26 @@ impl<M: Metric> NnCellIndex<M> {
         // The Best–Ritter active-set backend wants a feasible start; the
         // data point is one (it lies strictly inside its own cell).
         let solve = if self.cfg.solver == nncell_lp::SolverKind::ActiveSet {
-            self.vlp.extents_from(&cons, p, seed)?
+            self.vlp.extents_from(&cons, p, seed)
         } else {
+            // A data point's cell cannot be empty; `None` only on numerical
+            // contradiction, where the warm-started path still yields a
+            // valid superset.
             self.vlp
-                .extents(&cons, seed)?
-                .expect("a data point's cell cannot be empty")
+                .extents(&cons, seed)
+                .unwrap_or_else(|| self.vlp.extents_from(&cons, p, seed))
         };
         stats.merge(solve.stats);
 
         let pieces = match self.cfg.decompose_pieces {
             Some(k) if k > 1 => {
-                let (pieces, dstats) = decompose_cell(&self.vlp, &cons, &solve, k, seed)?;
+                let (pieces, dstats) = decompose_cell(&self.vlp, &cons, &solve, k, seed);
                 stats.merge(dstats);
                 pieces
             }
             _ => vec![solve.mbr],
         };
-        Ok((pieces, stats, n_cands))
+        (pieces, stats, n_cands)
     }
 
     /// Replaces `id`'s stored pieces in the cell tree.
@@ -723,8 +873,8 @@ impl<M: Metric> NnCellIndex<M> {
         }
     }
 
-    fn refresh_cell(&mut self, id: usize) -> Result<(), BuildError> {
-        let (pieces, stats, cands) = self.compute_cell_pieces(id)?;
+    fn refresh_cell(&mut self, id: usize) {
+        let (pieces, stats, cands) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
         let old = std::mem::take(&mut self.cells[id]);
@@ -734,13 +884,36 @@ impl<M: Metric> NnCellIndex<M> {
             debug_assert!(removed, "cell tree out of sync during refresh");
         }
         self.store_cell(id, pieces);
-        Ok(())
     }
 }
 
 /// Seed salt distinguishing the CorrectPruned rough solve from the final
 /// solve ("rough" in ASCII).
 const ROUGH_SALT: u64 = 0x726f756768;
+
+/// Validates one input point (dimensionality, finiteness, data-space
+/// membership). Duplicate detection happens at the call sites, which have
+/// the surrounding point set.
+fn validate_point(
+    p: &Point,
+    id: usize,
+    dim: usize,
+    space: &DataSpace,
+) -> Result<(), BuildError> {
+    if p.dim() != dim {
+        return Err(BuildError::DimensionMismatch {
+            expected: dim,
+            got: p.dim(),
+        });
+    }
+    if p.as_slice().iter().any(|c| !c.is_finite()) {
+        return Err(BuildError::NonFinitePoint { id });
+    }
+    if !space.contains(p.as_slice()) {
+        return Err(BuildError::OutOfDataSpace { id });
+    }
+    Ok(())
+}
 
 #[cfg(test)]
 mod tests {
@@ -882,10 +1055,10 @@ mod tests {
         let mut live: Vec<Point> = pts.clone();
         let mut removed = std::collections::HashSet::new();
         for id in [3usize, 17, 42, 55, 7, 0] {
-            assert!(idx.remove(id).unwrap());
+            assert!(idx.remove(id));
             removed.insert(id);
         }
-        assert!(!idx.remove(3).unwrap(), "double remove is a no-op");
+        assert!(!idx.remove(3), "double remove is a no-op");
         live = live
             .into_iter()
             .enumerate()
@@ -920,7 +1093,7 @@ mod tests {
         let pts = uniform(20, 2, 17);
         let mut idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
         for id in 0..20 {
-            assert!(idx.remove(id).unwrap());
+            assert!(idx.remove(id));
         }
         assert!(idx.is_empty());
         assert!(idx.nearest_neighbor(&[0.5, 0.5]).is_none());
@@ -959,6 +1132,118 @@ mod tests {
                 got: 5
             })
         ));
+    }
+
+    #[test]
+    fn invalid_points_are_typed_errors() {
+        let cfg = || BuildConfig::new(Strategy::Correct);
+        // One NaN point.
+        let mut pts = uniform(10, 2, 40);
+        pts.push(Point::new(vec![f64::NAN, 0.5]));
+        assert!(matches!(
+            NnCellIndex::build(pts, cfg()),
+            Err(BuildError::NonFinitePoint { id: 10 })
+        ));
+        // One out-of-space point.
+        let mut pts = uniform(10, 2, 41);
+        pts.push(Point::new(vec![1.5, 0.5]));
+        assert!(matches!(
+            NnCellIndex::build(pts, cfg()),
+            Err(BuildError::OutOfDataSpace { id: 10 })
+        ));
+        // One bit-exact duplicate.
+        let mut pts = uniform(10, 2, 42);
+        pts.push(pts[3].clone());
+        assert!(matches!(
+            NnCellIndex::build(pts, cfg()),
+            Err(BuildError::DuplicatePoint { id: 10, of: 3 })
+        ));
+        // Dynamic insert rejects the same classes.
+        let mut idx = NnCellIndex::build(uniform(10, 2, 43), cfg()).unwrap();
+        assert!(matches!(
+            idx.insert(Point::new(vec![f64::INFINITY, 0.1])),
+            Err(BuildError::NonFinitePoint { .. })
+        ));
+        assert!(matches!(
+            idx.insert(Point::new(vec![-0.1, 0.1])),
+            Err(BuildError::OutOfDataSpace { .. })
+        ));
+        let twin = idx.points()[4].clone();
+        assert!(matches!(
+            idx.insert(twin),
+            Err(BuildError::DuplicatePoint { of: 4, .. })
+        ));
+        assert_eq!(idx.len(), 10, "rejected inserts must not grow the index");
+    }
+
+    #[test]
+    fn skip_policy_drops_invalid_points_and_stays_exact() {
+        use crate::config::InputPolicy;
+        let mut pts = uniform(40, 2, 44);
+        pts.insert(7, Point::new(vec![f64::NAN, 0.5]));
+        pts.insert(19, pts[0].clone());
+        pts.push(Point::new(vec![2.0, 2.0]));
+        let idx = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::new(Strategy::Sphere).with_input_policy(InputPolicy::Skip),
+        )
+        .unwrap();
+        assert_eq!(idx.len(), 40);
+        assert_eq!(idx.build_stats().skipped_points, 3);
+        let survivors: Vec<Point> = pts
+            .into_iter()
+            .filter(|p| {
+                p.as_slice().iter().all(|c| c.is_finite())
+                    && p.as_slice().iter().all(|c| (0.0..=1.0).contains(c))
+            })
+            .collect();
+        // Duplicate of pts[0] survived the coordinate filters but not the
+        // build; dedup the reference set the same way.
+        let mut seen = std::collections::HashSet::new();
+        let survivors: Vec<Point> = survivors
+            .into_iter()
+            .filter(|p| {
+                seen.insert(
+                    p.as_slice()
+                        .iter()
+                        .map(|c| c.to_bits())
+                        .collect::<Vec<u64>>(),
+                )
+            })
+            .collect();
+        assert_exact(&idx, &survivors, &queries(30, 2, 45));
+    }
+
+    #[test]
+    fn malformed_queries_return_empty_not_panic() {
+        let pts = uniform(30, 2, 46);
+        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Sphere)).unwrap();
+        assert!(idx.nearest_neighbor(&[0.5]).is_none(), "wrong dimension");
+        assert!(idx.nearest_neighbor(&[0.5, 0.5, 0.5]).is_none());
+        assert!(idx.nearest_neighbor(&[f64::NAN, 0.5]).is_none());
+        assert!(idx.nearest_neighbor(&[0.5, f64::INFINITY]).is_none());
+        assert!(idx.knn(&[0.5], 3).is_empty());
+        assert!(idx.knn(&[f64::NAN, 0.5], 3).is_empty());
+        // Sane queries still work afterwards.
+        assert!(idx.nearest_neighbor(&[0.5, 0.5]).is_some());
+    }
+
+    #[test]
+    fn forced_lp_failure_build_stays_exact_via_clamp() {
+        // Iteration budget 1 starves every backend on every LP, so every
+        // extent terminally clamps to the data space. The cells are then the
+        // fattest possible supersets — still supersets (Lemma 1), so 100
+        // random queries must agree with the linear scan exactly.
+        let pts = uniform(80, 3, 47);
+        let cfg = BuildConfig::new(Strategy::Sphere).with_lp_max_iterations(1);
+        let idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        let st = idx.build_stats();
+        assert!(
+            st.lp.clamped_extents > 0,
+            "budget 1 must clamp: {:?}",
+            st.lp
+        );
+        assert_exact(&idx, &pts, &queries(100, 3, 48));
     }
 
     #[test]

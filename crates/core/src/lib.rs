@@ -23,6 +23,10 @@
 // Indexed loops over parallel coordinate arrays are the house style in this
 // numeric code; iterator-zip rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
+// Library code must degrade, not panic (LP fallback chain, typed errors);
+// tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod config;
 pub mod decompose;
@@ -32,8 +36,8 @@ pub mod quality;
 pub mod scan;
 pub mod strategy;
 
-pub use config::{BuildConfig, Strategy};
-pub use index::{BuildError, BuildStats, CellApprox, NnCellIndex, QueryResult};
+pub use config::{BuildConfig, InputPolicy, Strategy};
+pub use index::{BuildError, BuildStats, CellApprox, IntegrityReport, NnCellIndex, QueryResult};
 pub use nncell_lp::SolverKind;
 pub use persist::PersistError;
 pub use quality::{

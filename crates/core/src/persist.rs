@@ -6,18 +6,30 @@
 //! format and reloads them without rerunning a single LP (the X-trees are
 //! rebuilt by insertion, which is cheap and deterministic).
 //!
+//! **Format `NNCELL02`** (current): an 8-byte magic, the payload, and a
+//! CRC32 (IEEE) trailer over everything before it. [`NnCellIndex::load`]
+//! verifies the checksum before parsing, so a bit flip anywhere in the file
+//! is a typed [`PersistError::Corrupt`] — never a panic, and never a
+//! silently wrong index. **Format `NNCELL01`** (legacy, no checksum) is
+//! still readable; structural validation alone guards those files.
+//!
+//! Every size field read from disk is validated against the actual number
+//! of bytes present *before* any allocation, so a corrupted count cannot
+//! trigger an out-of-memory abort either.
+//!
 //! Only the Euclidean index is persistable: a weighted metric would change
 //! the meaning of the stored cells, so it is deliberately not serialized.
 
 use crate::config::{BuildConfig, Strategy};
-use crate::index::NnCellIndex;
+use crate::index::{NnCellIndex, MAX_PIECES};
 use nncell_geom::{Mbr, Point};
 use nncell_lp::SolverKind;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"NNCELL01";
+const MAGIC_V2: &[u8; 8] = b"NNCELL02";
+const MAGIC_V1: &[u8; 8] = b"NNCELL01";
 
 /// Failures of [`NnCellIndex::save`] / [`NnCellIndex::load`].
 #[derive(Debug)]
@@ -49,155 +61,300 @@ fn corrupt(msg: impl Into<String>) -> PersistError {
     PersistError::Corrupt(msg.into())
 }
 
+// ----------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ----------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (IEEE; matches zlib's `crc32(0, ...)`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----------------------------------------------------------------------
+// bounded slice reader
+// ----------------------------------------------------------------------
+
+/// Cursor over the in-memory payload; every read is bounds-checked and a
+/// short read is a typed corruption error, never a panic.
+struct SliceReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(corrupt("truncated file"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
 impl NnCellIndex<nncell_geom::Euclidean> {
     /// Writes the index (points, liveness, cell pieces, configuration) to
-    /// `path`.
+    /// `path` in the checksummed `NNCELL02` format.
     ///
     /// # Errors
     /// I/O failures only; the format always fits the data.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut payload = Vec::with_capacity(64 + self.points().len() * (self.dim() * 8 + 8));
+        payload.extend_from_slice(MAGIC_V2);
+        self.write_payload(&mut payload);
+        let crc = crc32(&payload);
         let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        let cfg = self.config();
-        write_u32(&mut w, self.dim() as u32)?;
-        write_u8(&mut w, strategy_tag(cfg.strategy))?;
-        write_u8(&mut w, solver_tag(cfg.solver))?;
-        write_u8(&mut w, cfg.refine_on_insert as u8)?;
-        write_u8(&mut w, 0)?; // reserved
-        write_u32(&mut w, cfg.decompose_pieces.unwrap_or(0) as u32)?;
-        write_f64(&mut w, cfg.sphere_radius.unwrap_or(f64::NAN))?;
-        write_u64(&mut w, cfg.seed)?;
-        write_u32(&mut w, cfg.block_size as u32)?;
-
-        let points = self.points();
-        write_u64(&mut w, points.len() as u64)?;
-        for (id, p) in points.iter().enumerate() {
-            write_u8(&mut w, self.is_live(id) as u8)?;
-            for &c in p.as_slice() {
-                write_f64(&mut w, c)?;
-            }
-        }
-        for id in 0..points.len() {
-            let pieces: &[Mbr] = self.cell(id).map(|c| c.pieces.as_slice()).unwrap_or(&[]);
-            write_u32(&mut w, pieces.len() as u32)?;
-            for m in pieces {
-                for &c in m.lo() {
-                    write_f64(&mut w, c)?;
-                }
-                for &c in m.hi() {
-                    write_f64(&mut w, c)?;
-                }
-            }
-        }
+        w.write_all(&payload)?;
+        w.write_all(&crc.to_le_bytes())?;
         w.flush()?;
         Ok(())
     }
 
-    /// Reads an index previously written by [`Self::save`]. No LP is rerun:
-    /// the stored approximations are reinserted into fresh X-trees.
+    /// Serializes everything after the magic into `out` (infallible: the
+    /// sink is a `Vec`).
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        let cfg = self.config();
+        put_u32(out, self.dim() as u32);
+        out.push(strategy_tag(cfg.strategy));
+        out.push(solver_tag(cfg.solver));
+        out.push(cfg.refine_on_insert as u8);
+        out.push(0); // reserved
+        put_u32(out, cfg.decompose_pieces.unwrap_or(0) as u32);
+        put_f64(out, cfg.sphere_radius.unwrap_or(f64::NAN));
+        put_u64(out, cfg.seed);
+        put_u32(out, cfg.block_size as u32);
+
+        let points = self.points();
+        put_u64(out, points.len() as u64);
+        for (id, p) in points.iter().enumerate() {
+            out.push(self.is_live(id) as u8);
+            for &c in p.as_slice() {
+                put_f64(out, c);
+            }
+        }
+        for id in 0..points.len() {
+            let pieces: &[Mbr] = self.cell(id).map(|c| c.pieces.as_slice()).unwrap_or(&[]);
+            put_u32(out, pieces.len() as u32);
+            for m in pieces {
+                for &c in m.lo() {
+                    put_f64(out, c);
+                }
+                for &c in m.hi() {
+                    put_f64(out, c);
+                }
+            }
+        }
+    }
+
+    /// Reads an index previously written by [`Self::save`] (`NNCELL02`,
+    /// checksum-verified) or by older releases (`NNCELL01`, structural
+    /// validation only). No LP is rerun: the stored approximations are
+    /// reinserted into fresh X-trees.
     ///
     /// # Errors
-    /// I/O failures, a bad magic/version, or structural corruption.
+    /// I/O failures, a bad magic/version, a checksum mismatch, or
+    /// structural corruption. Never panics on hostile input.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)
-            .map_err(|_| corrupt("file too short for header"))?;
-        if &magic != MAGIC {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 8 {
+            return Err(corrupt("file too short for header"));
+        }
+        let magic = &bytes[..8];
+        let payload = if magic == MAGIC_V2 {
+            if bytes.len() < 12 {
+                return Err(corrupt("file too short for checksum trailer"));
+            }
+            let body = &bytes[..bytes.len() - 4];
+            let stored = u32::from_le_bytes([
+                bytes[bytes.len() - 4],
+                bytes[bytes.len() - 3],
+                bytes[bytes.len() - 2],
+                bytes[bytes.len() - 1],
+            ]);
+            let actual = crc32(body);
+            if stored != actual {
+                return Err(corrupt(format!(
+                    "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                )));
+            }
+            &body[8..]
+        } else if magic == MAGIC_V1 {
+            &bytes[8..]
+        } else {
             return Err(corrupt(format!(
-                "bad magic {:?} (expected {:?})",
-                magic, MAGIC
+                "bad magic {magic:?} (expected {MAGIC_V2:?} or {MAGIC_V1:?})"
             )));
-        }
-        let dim = read_u32(&mut r)? as usize;
-        if dim == 0 || dim > 1 << 16 {
-            return Err(corrupt(format!("implausible dimensionality {dim}")));
-        }
-        let strategy = strategy_from_tag(read_u8(&mut r)?)?;
-        let solver = solver_from_tag(read_u8(&mut r)?)?;
-        let refine = read_u8(&mut r)? != 0;
-        let _reserved = read_u8(&mut r)?;
-        let pieces_budget = read_u32(&mut r)? as usize;
-        let radius = read_f64(&mut r)?;
-        let seed = read_u64(&mut r)?;
-        let block_size = read_u32(&mut r)? as usize;
-        if !(128..=1 << 26).contains(&block_size) {
-            return Err(corrupt(format!("implausible block size {block_size}")));
-        }
-
-        let mut cfg = BuildConfig::new(strategy)
-            .with_solver(solver)
-            .with_seed(seed)
-            .with_block_size(block_size)
-            .with_refine_on_insert(refine);
-        if pieces_budget > 0 {
-            cfg = cfg.with_decomposition(pieces_budget);
-        }
-        if radius.is_finite() {
-            cfg = cfg.with_sphere_radius(radius);
-        }
-
-        let n = read_u64(&mut r)? as usize;
-        if n > 1 << 40 {
-            return Err(corrupt(format!("implausible point count {n}")));
-        }
-        let mut alive = Vec::with_capacity(n);
-        let mut points = Vec::with_capacity(n);
-        for _ in 0..n {
-            alive.push(read_u8(&mut r)? != 0);
-            let mut coords = Vec::with_capacity(dim);
-            for _ in 0..dim {
-                let c = read_f64(&mut r)?;
-                if !c.is_finite() {
-                    return Err(corrupt("non-finite coordinate"));
-                }
-                coords.push(c);
-            }
-            points.push(Point::new(coords));
-        }
-        let mut all_pieces = Vec::with_capacity(n);
-        for id in 0..n {
-            let k = read_u32(&mut r)? as usize;
-            if k > 1 << 12 {
-                return Err(corrupt(format!("implausible piece count {k}")));
-            }
-            if alive[id] && k == 0 {
-                return Err(corrupt(format!("live point {id} without cell pieces")));
-            }
-            let mut pieces = Vec::with_capacity(k);
-            for _ in 0..k {
-                let mut lo = Vec::with_capacity(dim);
-                let mut hi = Vec::with_capacity(dim);
-                for _ in 0..dim {
-                    lo.push(read_f64(&mut r)?);
-                }
-                for _ in 0..dim {
-                    hi.push(read_f64(&mut r)?);
-                }
-                for i in 0..dim {
-                    if !(lo[i].is_finite() && hi[i].is_finite()) || hi[i] < lo[i] - 1e-9 {
-                        return Err(corrupt(format!("invalid piece bounds for point {id}")));
-                    }
-                }
-                pieces.push(Mbr::new(lo, hi));
-            }
-            all_pieces.push(pieces);
-        }
-        // Trailing garbage means the file is not what it claims to be.
-        let mut probe = [0u8; 1];
-        if r.read(&mut probe)? != 0 {
+        };
+        let mut r = SliceReader::new(payload);
+        let idx = parse_payload(&mut r)?;
+        if r.remaining() != 0 {
             return Err(corrupt("trailing bytes after index payload"));
         }
-
-        let mut idx = NnCellIndex::new(dim, cfg);
-        for (id, p) in points.iter().enumerate() {
-            if alive[id] {
-                idx.point_tree_insert(p, id);
-            }
-        }
-        idx.install_cells(points, alive, all_pieces);
         Ok(idx)
     }
+}
+
+/// Parses the version-independent payload with full structural validation:
+/// every count is checked against the bytes actually present before any
+/// allocation, every float invariant is checked before any constructor that
+/// would assert.
+fn parse_payload(
+    r: &mut SliceReader<'_>,
+) -> Result<NnCellIndex<nncell_geom::Euclidean>, PersistError> {
+    let dim = r.u32()? as usize;
+    if dim == 0 || dim > 1 << 16 {
+        return Err(corrupt(format!("implausible dimensionality {dim}")));
+    }
+    let strategy = strategy_from_tag(r.u8()?)?;
+    let solver = solver_from_tag(r.u8()?)?;
+    let refine = r.u8()? != 0;
+    let _reserved = r.u8()?;
+    let pieces_budget = r.u32()? as usize;
+    if pieces_budget > MAX_PIECES {
+        return Err(corrupt(format!(
+            "decomposition budget {pieces_budget} exceeds the format limit {MAX_PIECES}"
+        )));
+    }
+    let radius = r.f64()?;
+    if radius.is_finite() && radius <= 0.0 {
+        return Err(corrupt(format!("non-positive sphere radius {radius}")));
+    }
+    let seed = r.u64()?;
+    let block_size = r.u32()? as usize;
+    if !(128..=1 << 26).contains(&block_size) {
+        return Err(corrupt(format!("implausible block size {block_size}")));
+    }
+
+    let mut cfg = BuildConfig::new(strategy)
+        .with_solver(solver)
+        .with_seed(seed)
+        .with_block_size(block_size)
+        .with_refine_on_insert(refine);
+    if pieces_budget > 0 {
+        cfg = cfg.with_decomposition(pieces_budget);
+    }
+    if radius.is_finite() {
+        cfg = cfg.with_sphere_radius(radius);
+    }
+
+    let n = r.u64()? as usize;
+    // Each point occupies 1 + 8·dim bytes; a count the remaining bytes
+    // cannot hold is corruption, caught *before* any `with_capacity`.
+    let point_bytes = 1 + 8 * dim;
+    if n > r.remaining() / point_bytes {
+        return Err(corrupt(format!("point count {n} exceeds the bytes present")));
+    }
+    let mut alive = Vec::with_capacity(n);
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        alive.push(r.u8()? != 0);
+        let mut coords = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let c = r.f64()?;
+            if !c.is_finite() {
+                return Err(corrupt("non-finite coordinate"));
+            }
+            coords.push(c);
+        }
+        points.push(Point::new(coords));
+    }
+    let mut all_pieces = Vec::with_capacity(n);
+    for id in 0..n {
+        let k = r.u32()? as usize;
+        if k > MAX_PIECES {
+            return Err(corrupt(format!("implausible piece count {k}")));
+        }
+        if alive[id] && k == 0 {
+            return Err(corrupt(format!("live point {id} without cell pieces")));
+        }
+        if k > r.remaining() / (16 * dim) {
+            return Err(corrupt(format!("piece count {k} exceeds the bytes present")));
+        }
+        let mut pieces = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut lo = Vec::with_capacity(dim);
+            let mut hi = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                lo.push(r.f64()?);
+            }
+            for _ in 0..dim {
+                hi.push(r.f64()?);
+            }
+            for i in 0..dim {
+                // `Mbr::new` snaps sub-EPS inversions but panics beyond
+                // them; saved boxes are always normalized (`hi ≥ lo`), so
+                // anything inverted at all is corruption.
+                if !(lo[i].is_finite() && hi[i].is_finite()) || hi[i] < lo[i] {
+                    return Err(corrupt(format!("invalid piece bounds for point {id}")));
+                }
+            }
+            pieces.push(Mbr::new(lo, hi));
+        }
+        all_pieces.push(pieces);
+    }
+
+    let mut idx = NnCellIndex::new(dim, cfg);
+    for (id, p) in points.iter().enumerate() {
+        if alive[id] {
+            idx.point_tree_insert(p, id);
+        }
+    }
+    idx.install_cells(points, alive, all_pieces);
+    Ok(idx)
 }
 
 fn strategy_tag(s: Strategy) -> u8 {
@@ -242,48 +399,16 @@ fn solver_from_tag(t: u8) -> Result<SolverKind, PersistError> {
     })
 }
 
-fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
-    w.write_all(&[v])
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn read_u8(r: &mut impl Read) -> Result<u8, PersistError> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)
-        .map_err(|_| corrupt("truncated file"))?;
-    Ok(b[0])
-}
-
-fn read_u32(r: &mut impl Read) -> Result<u32, PersistError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)
-        .map_err(|_| corrupt("truncated file"))?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64(r: &mut impl Read) -> Result<u64, PersistError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)
-        .map_err(|_| corrupt("truncated file"))?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_f64(r: &mut impl Read) -> Result<f64, PersistError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)
-        .map_err(|_| corrupt("truncated file"))?;
-    Ok(f64::from_le_bytes(b))
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
 #[cfg(test)]
@@ -304,6 +429,13 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("nncell_persist_{name}_{}", std::process::id()));
         p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -333,6 +465,7 @@ mod tests {
                 assert_eq!(ma, mb, "cell {id} differs after reload");
             }
         }
+        assert!(loaded.verify_integrity().is_ok());
         // No LP ran on load; queries still exact.
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..40 {
@@ -344,12 +477,57 @@ mod tests {
     }
 
     #[test]
+    fn legacy_nncell01_files_still_load() {
+        let pts = uniform(30, 2, 11);
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Point)).unwrap();
+        let path = tmp("legacy");
+        idx.save(&path).unwrap();
+        // Transform the v2 file into its v1 equivalent: same payload, v1
+        // magic, no checksum trailer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 4);
+        bytes[..8].copy_from_slice(MAGIC_V1);
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = NnCellIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), idx.len());
+        for id in 0..pts.len() {
+            assert_eq!(
+                idx.cell(id).unwrap().pieces,
+                loaded.cell(id).unwrap().pieces
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected() {
+        let pts = uniform(20, 2, 12);
+        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Point)).unwrap();
+        let path = tmp("bitflip");
+        idx.save(&path).unwrap();
+        let original = std::fs::read(&path).unwrap();
+        // Flip one bit at a stride of positions covering header, points,
+        // pieces, and the trailer itself.
+        for pos in (0..original.len()).step_by(7) {
+            let mut mutated = original.clone();
+            mutated[pos] ^= 0x10;
+            std::fs::write(&path, &mutated).unwrap();
+            match NnCellIndex::load(&path) {
+                Err(PersistError::Corrupt(_)) => {}
+                Err(PersistError::Io(e)) => panic!("unexpected I/O error: {e}"),
+                Ok(_) => panic!("bit flip at byte {pos} went undetected"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn roundtrip_with_dead_slots() {
         let pts = uniform(40, 2, 2);
         let mut idx =
             NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
-        idx.remove(5).unwrap();
-        idx.remove(17).unwrap();
+        assert!(idx.remove(5));
+        assert!(idx.remove(17));
         let path = tmp("dead");
         idx.save(&path).unwrap();
         let loaded = NnCellIndex::load(&path).unwrap();
@@ -418,5 +596,53 @@ mod tests {
             NnCellIndex::load("/nonexistent/nncell.idx"),
             Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn verify_detects_and_repair_fixes_a_bad_cell() {
+        // Forge a legacy (un-checksummed) file whose one stored piece does
+        // not contain its generating point — structurally plausible, so
+        // `load` accepts it, but `verify_integrity` must flag it and
+        // `repair` must restore exactness.
+        let pts = uniform(25, 2, 13);
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
+        let path = tmp("verify");
+        idx.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 4); // drop checksum
+        bytes[..8].copy_from_slice(MAGIC_V1); // legacy magic
+        // Payload layout after the 8-byte magic: 4 (dim) + 4 (tags) +
+        // 4 (pieces) + 8 (radius) + 8 (seed) + 4 (block) = 32 bytes of
+        // config, then 8 (count) + 25 points × (1 + 16) bytes, then cell 0:
+        // 4 (piece count) + its first piece's lo/hi.
+        let cell0 = 8 + 32 + 8 + 25 * 17 + 4;
+        // Shrink piece 0 of cell 0 to a sliver far from the point.
+        for (off, val) in [
+            (0usize, 0.90f64),
+            (8, 0.90), // lo = (0.90, 0.90)
+            (16, 0.91),
+            (24, 0.91), // hi = (0.91, 0.91)
+        ] {
+            bytes[cell0 + off..cell0 + off + 8].copy_from_slice(&val.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let mut loaded = NnCellIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Point 0 of this seed is nowhere near (0.90, 0.91)², so its cell
+        // no longer covers it.
+        let report = loaded.verify_integrity();
+        assert_eq!(report.checked_cells, 25);
+        assert_eq!(report.bad_cells, vec![0]);
+        let repaired = loaded.repair();
+        assert_eq!(repaired, 1);
+        assert!(loaded.verify_integrity().is_ok());
+        // Exactness restored.
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..40 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let got = loaded.nearest_neighbor(&q).unwrap();
+            let want = linear_scan_nn(&pts, &q).unwrap();
+            assert_eq!(got.id, want.id, "q={q:?}");
+        }
     }
 }

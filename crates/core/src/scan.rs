@@ -30,7 +30,7 @@ pub fn linear_scan_knn(points: &[Point], q: &[f64], k: usize) -> Vec<QueryResult
             dist: dist_sq(q, p).sqrt(),
         })
         .collect();
-    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
     all.truncate(k);
     all
 }

@@ -96,7 +96,7 @@ proptest! {
                 if !live.is_empty() {
                     let pos = k % live.len();
                     let (victim, _) = live[pos];
-                    prop_assert!(index.remove(victim).unwrap());
+                    prop_assert!(index.remove(victim));
                     live.remove(pos);
                 }
             }

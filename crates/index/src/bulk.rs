@@ -11,7 +11,6 @@ use crate::config::TreeConfig;
 use crate::node::{Entry, ItemId, Node, PageId};
 use crate::tree::Tree;
 use nncell_geom::Mbr;
-use std::cmp::Ordering;
 
 /// Bulk-loads `items` into a fresh tree with STR packing.
 ///
@@ -131,7 +130,7 @@ fn sort_by_center(entries: &mut [Entry], axis: usize) {
     entries.sort_by(|a, b| {
         let ca = a.mbr.lo()[axis] + a.mbr.hi()[axis];
         let cb = b.mbr.lo()[axis] + b.mbr.hi()[axis];
-        ca.partial_cmp(&cb).unwrap_or(Ordering::Equal)
+        ca.total_cmp(&cb)
     });
 }
 

@@ -94,7 +94,7 @@ impl LinearScan {
                 dist: dist_sq(q, p).sqrt(),
             })
             .collect();
-        all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
         all.truncate(k);
         all
     }

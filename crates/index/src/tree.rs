@@ -356,7 +356,7 @@ impl Tree {
 
     /// Handles overflow of the last node on `path`, cascading upward.
     fn resolve_overflow(&mut self, path: &[PageId], reinserted: &mut u64) {
-        let id = *path.last().unwrap();
+        let id = *path.last().expect("overflow path is never empty");
         if !self.overflowing(id) {
             return;
         }
@@ -403,7 +403,7 @@ impl Tree {
         dim: usize,
         reinserted: &mut u64,
     ) {
-        let id = *path.last().unwrap();
+        let id = *path.last().expect("split path is never empty");
         let level = self.node(id).level;
         let per_page = if level == 0 {
             self.cfg.max_leaf_entries()
@@ -456,7 +456,7 @@ impl Tree {
 
     /// R\* forced reinsertion of the `reinsert_fraction` outermost entries.
     fn forced_reinsert(&mut self, path: &[PageId], reinserted: &mut u64) {
-        let id = *path.last().unwrap();
+        let id = *path.last().expect("reinsert path is never empty");
         let level = self.node(id).level;
         let center = self.node(id).mbr().expect("non-empty").center();
         let frac = self.cfg.reinsert_fraction;
@@ -610,7 +610,7 @@ impl Tree {
         let Some(path) = self.find_leaf(self.root, mbr, id, &mut Vec::new()) else {
             return false;
         };
-        let leaf = *path.last().unwrap();
+        let leaf = *path.last().expect("find_leaf returns a non-empty path");
         {
             let n = self.node_mut(leaf);
             let idx = n
@@ -659,8 +659,8 @@ impl Tree {
     fn condense(&mut self, mut path: Vec<PageId>) {
         let mut orphans: Vec<(u32, Entry)> = Vec::new();
         while path.len() > 1 {
-            let id = path.pop().unwrap();
-            let parent = *path.last().unwrap();
+            let id = path.pop().expect("condense path has at least two nodes");
+            let parent = *path.last().expect("condense path has at least two nodes");
             let n = self.node(id);
             let min = self.cfg.min_entries(n.is_leaf());
             if n.entries.len() < min {

@@ -20,24 +20,31 @@
 //! solver is deterministic; degenerate cycling is bounded by an iteration
 //! cap surfaced as [`LpError::IterationLimit`] (callers fall back).
 
-use crate::problem::{Lp, LpError, LpResult};
+use crate::problem::{Lp, LpBudget, LpError, LpResult};
 use crate::LP_EPS;
 
 /// Iteration cap factor.
 const ITER_FACTOR: usize = 64;
 
-/// Solves `lp` starting from the feasible point `x0`.
+/// Solves `lp` starting from the feasible point `x0`, default budget.
 ///
 /// # Errors
-/// [`LpError::IterationLimit`] on cap exhaustion or if `x0` is not feasible
-/// (within tolerance) — infeasibility of the *problem* cannot be detected
-/// from a feasible start, so this solver never returns
-/// [`LpResult::Infeasible`].
+/// [`LpError::IterationLimit`] on budget exhaustion,
+/// [`LpError::InfeasibleStart`] if `x0` is not feasible (within tolerance),
+/// [`LpError::Singular`] on active-set linear-algebra breakdown —
+/// infeasibility of the *problem* cannot be detected from a feasible start,
+/// so this solver never returns [`LpResult::Infeasible`].
 pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
+    solve_from_budgeted(lp, x0, LpBudget::DEFAULT)
+}
+
+/// [`solve_from`] with an explicit basis-change budget.
+pub fn solve_from_budgeted(lp: &Lp, x0: &[f64], budget: LpBudget) -> Result<LpResult, LpError> {
+    lp.validate()?;
     let d = lp.dim();
     assert_eq!(x0.len(), d);
     if !lp.is_feasible(x0, 1e-7) {
-        return Err(LpError::IterationLimit);
+        return Err(LpError::InfeasibleStart);
     }
 
     // Rows: constraints then box bounds (upper, lower).
@@ -64,7 +71,7 @@ pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
 
     let mut x = x0.to_vec();
     let mut active: Vec<usize> = Vec::new();
-    let limit = ITER_FACTOR * (m + d) + 1_000;
+    let limit = budget.limit_or(ITER_FACTOR * (m + d) + 1_000);
 
     for _ in 0..limit {
         // Project c onto null(A_W): dir = c − A_Wᵀ λ with (A_W A_Wᵀ) λ = A_W c.
@@ -78,7 +85,7 @@ pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
                 }
                 rhs[i] = dot(&rows_a[wi], &lp.objective);
             }
-            solve_spd(k, &mut gram, &mut rhs).ok_or(LpError::IterationLimit)?
+            solve_spd(k, &mut gram, &mut rhs).ok_or(LpError::Singular)?
         } else {
             Vec::new()
         };
@@ -97,7 +104,7 @@ pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
                 .iter()
                 .enumerate()
                 .filter(|(_, l)| **l < -1e-9)
-                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
             {
                 None => {
                     let value = lp.value(&x);
@@ -130,7 +137,7 @@ pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
         let Some(blocker) = blocker else {
             // Unbounded ray cannot happen inside a finite box; numerical
             // breakdown.
-            return Err(LpError::IterationLimit);
+            return Err(LpError::Singular);
         };
         if t_star.is_finite() && t_star > 0.0 {
             for t in 0..d {
@@ -141,7 +148,7 @@ pub fn solve_from(lp: &Lp, x0: &[f64]) -> Result<LpResult, LpError> {
         if active.len() > d {
             // More than d independent active rows is impossible; the Gram
             // solve above would fail anyway — bail to the fallback.
-            return Err(LpError::IterationLimit);
+            return Err(LpError::Singular);
         }
     }
     Err(LpError::IterationLimit)
@@ -255,7 +262,7 @@ mod tests {
         );
         assert!(matches!(
             solve_from(&lp, &[0.9]),
-            Err(LpError::IterationLimit)
+            Err(LpError::InfeasibleStart)
         ));
     }
 

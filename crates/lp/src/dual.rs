@@ -24,7 +24,7 @@
 //! strong duality) before being returned; verification failures surface as
 //! [`LpError::IterationLimit`] so callers can fall back to another backend.
 
-use crate::problem::{Lp, LpError, LpResult};
+use crate::problem::{Lp, LpBudget, LpError, LpResult};
 use crate::LP_EPS;
 use nncell_geom::Halfspace;
 
@@ -84,12 +84,24 @@ impl DualProblem {
         self.b.len()
     }
 
-    /// Maximizes `c·x` over the prepared system.
+    /// Maximizes `c·x` over the prepared system with the default budget.
     ///
     /// # Errors
-    /// [`LpError::IterationLimit`] on pivot-budget exhaustion or failed
-    /// optimality verification (callers fall back to another backend).
+    /// [`LpError::IterationLimit`] on pivot-budget exhaustion,
+    /// [`LpError::Singular`] on failed optimality verification (callers fall
+    /// back to another backend).
     pub fn maximize(&self, c: &[f64]) -> Result<LpResult, LpError> {
+        self.maximize_budgeted(c, LpBudget::DEFAULT)
+    }
+
+    /// [`DualProblem::maximize`] with an explicit pivot budget.
+    pub fn maximize_budgeted(&self, c: &[f64], budget: LpBudget) -> Result<LpResult, LpError> {
+        if c.iter().any(|v| !v.is_finite())
+            || self.a.iter().any(|v| !v.is_finite())
+            || self.b.iter().any(|v| !v.is_finite())
+        {
+            return Err(LpError::NonFinite);
+        }
         let d = self.d;
         let m = self.b.len();
         assert_eq!(c.len(), d);
@@ -120,7 +132,7 @@ impl DualProblem {
         }
         let mut lambda: Vec<f64> = (0..d).map(|i| c[i].abs()).collect();
 
-        let limit = ITER_FACTOR * (m + d) + 1_000;
+        let limit = budget.limit_or(ITER_FACTOR * (m + d) + 1_000);
         let mut w = vec![0.0; d];
         let mut pi = vec![0.0; d];
         let mut cursor = 0usize; // partial-pricing rotation
@@ -206,7 +218,7 @@ impl DualProblem {
                 if ok {
                     return Ok(LpResult::Optimal { x, value });
                 }
-                return Err(LpError::IterationLimit);
+                return Err(LpError::Singular);
             };
             // Direction w = B⁻¹ a_enter.
             if enter < m {
@@ -296,9 +308,15 @@ impl DualProblem {
 
 /// One-shot convenience: solves `lp` via the revised dual simplex.
 pub fn solve(lp: &Lp) -> Result<LpResult, LpError> {
+    solve_budgeted(lp, LpBudget::DEFAULT)
+}
+
+/// [`solve`] with an explicit pivot budget.
+pub fn solve_budgeted(lp: &Lp, budget: LpBudget) -> Result<LpResult, LpError> {
+    lp.validate()?;
     match DualProblem::new(&lp.constraints, &lp.lower, &lp.upper) {
         None => Ok(LpResult::Infeasible),
-        Some(p) => p.maximize(&lp.objective),
+        Some(p) => p.maximize_budgeted(&lp.objective, budget),
     }
 }
 

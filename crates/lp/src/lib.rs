@@ -28,6 +28,10 @@
 // Indexed loops over parallel coordinate arrays are the house style in this
 // numeric code; iterator-zip rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
+// Library code must degrade, not panic (the fallback chain exists for
+// exactly that); tests may unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod activeset;
 pub mod dual;
@@ -36,7 +40,7 @@ pub mod seidel;
 pub mod simplex;
 pub mod voronoi;
 
-pub use problem::{Lp, LpError, LpResult, SolverKind};
+pub use problem::{Lp, LpBudget, LpError, LpResult, SolverKind};
 pub use voronoi::{cell_mbr, CellLpStats, CellSolve, VoronoiLp};
 
 /// Feasibility / optimality tolerance shared by all backends.

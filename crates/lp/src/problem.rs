@@ -86,6 +86,58 @@ impl Lp {
             .map(|(c, v)| c * v)
             .sum()
     }
+
+    /// Checks every number in the problem for NaN/∞.
+    ///
+    /// Bounds are validated (by panic) in [`Lp::new`]; objective and
+    /// constraint data can still smuggle non-finite values in, and every
+    /// solver turns those into nonsense pivots. Solvers call this up front
+    /// and surface [`LpError::NonFinite`] instead.
+    pub fn validate(&self) -> Result<(), LpError> {
+        if self.objective.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NonFinite);
+        }
+        for h in &self.constraints {
+            if !h.offset().is_finite() || h.normal().iter().any(|v| !v.is_finite()) {
+                return Err(LpError::NonFinite);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Work budget for one LP solve.
+///
+/// Every backend counts its basic work unit — tableau/revised-simplex
+/// pivots, active-set basis changes, Seidel constraint insertions — against
+/// this cap and surfaces [`LpError::IterationLimit`] when it is exhausted,
+/// instead of looping or panicking. `max_iterations: None` means "use the
+/// backend's per-problem default", which is sized so that only genuine
+/// cycling or numerical breakdown ever hits it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LpBudget {
+    /// Hard cap on solver work units; `None` = per-problem default.
+    pub max_iterations: Option<usize>,
+}
+
+impl LpBudget {
+    /// The default budget (per-problem solver defaults).
+    pub const DEFAULT: LpBudget = LpBudget {
+        max_iterations: None,
+    };
+
+    /// A budget capped at `n` work units (0 forces immediate failure —
+    /// useful for exercising fallback paths).
+    pub fn with_max_iterations(n: usize) -> Self {
+        Self {
+            max_iterations: Some(n),
+        }
+    }
+
+    /// Resolves the cap given a backend's per-problem default.
+    pub fn limit_or(&self, default: usize) -> usize {
+        self.max_iterations.unwrap_or(default)
+    }
 }
 
 /// Outcome of an LP solve.
@@ -120,17 +172,32 @@ impl LpResult {
     }
 }
 
-/// Failures that are bugs or numerical breakdowns, not ordinary outcomes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Failures that are numerical breakdowns or exhausted budgets, not
+/// ordinary outcomes. Callers in [`crate::voronoi`] treat every variant the
+/// same way: escalate to the next backend in the fallback chain, ending in
+/// the exactness-preserving data-space clamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LpError {
-    /// The pivot limit was exceeded (possible cycling / numerical trouble).
+    /// The work budget was exhausted (cycling, degeneracy, or a deliberately
+    /// tiny [`LpBudget`]).
     IterationLimit,
+    /// NaN or ∞ in the problem data or in a solver iterate.
+    NonFinite,
+    /// Linear-algebra breakdown: a singular active-set system or a failed
+    /// optimality verification.
+    Singular,
+    /// The warm start handed to the active-set backend is not feasible, so
+    /// that backend cannot run (it has no phase 1).
+    InfeasibleStart,
 }
 
 impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::IterationLimit => write!(f, "LP iteration budget exhausted"),
+            LpError::NonFinite => write!(f, "non-finite value in LP data or iterate"),
+            LpError::Singular => write!(f, "singular system during LP solve"),
+            LpError::InfeasibleStart => write!(f, "infeasible warm start for active-set LP"),
         }
     }
 }

@@ -13,7 +13,7 @@
 //! every (sub-)problem is bounded, so the only outcomes are `Optimal` and
 //! `Infeasible`.
 
-use crate::problem::{Lp, LpError, LpResult};
+use crate::problem::{Lp, LpBudget, LpError, LpResult};
 use crate::LP_EPS;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -39,12 +39,20 @@ impl Con {
 }
 
 /// Solves `lp` with Seidel's algorithm, using `seed` for the (deterministic)
-/// constraint shuffles.
+/// constraint shuffles, under the default (unlimited) budget.
 ///
-/// The recursion depth is the dimensionality, so `LpError` is never produced
-/// today; the `Result` mirrors the simplex signature so callers can swap
-/// backends freely.
+/// Termination is structural — the recursion depth is the dimensionality and
+/// each level visits its constraints once — so the default budget never
+/// fires; an explicit [`LpBudget`] bounds the total constraint-insertion
+/// work (useful for forcing the fallback chain in tests).
 pub fn solve_seeded(lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
+    solve_seeded_budgeted(lp, seed, LpBudget::DEFAULT)
+}
+
+/// [`solve_seeded`] with an explicit work budget, counted in constraint
+/// insertions across the whole recursion tree.
+pub fn solve_seeded_budgeted(lp: &Lp, seed: u64, budget: LpBudget) -> Result<LpResult, LpError> {
+    lp.validate()?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut cons: Vec<Con> = Vec::with_capacity(lp.constraints.len());
     for h in &lp.constraints {
@@ -54,7 +62,17 @@ pub fn solve_seeded(lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
         });
     }
     cons.shuffle(&mut rng);
-    match recurse(&lp.objective, &mut cons, &lp.lower, &lp.upper, &mut rng) {
+    let mut work = Work {
+        left: budget.limit_or(usize::MAX),
+    };
+    match recurse(
+        &lp.objective,
+        &mut cons,
+        &lp.lower,
+        &lp.upper,
+        &mut rng,
+        &mut work,
+    )? {
         Some(x) => {
             let value = lp.value(&x);
             Ok(LpResult::Optimal { x, value })
@@ -63,18 +81,40 @@ pub fn solve_seeded(lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
     }
 }
 
+/// Remaining constraint-insertion budget for one solve.
+struct Work {
+    left: usize,
+}
+
+impl Work {
+    /// Spends one unit; errors when the budget is gone.
+    #[inline]
+    fn spend(&mut self) -> Result<(), LpError> {
+        if self.left == 0 {
+            return Err(LpError::IterationLimit);
+        }
+        self.left -= 1;
+        Ok(())
+    }
+}
+
 /// Core recursion: maximize `c·x` over `cons` ∩ box. `cons` must already be
-/// in random order. Returns `None` on infeasibility.
+/// in random order. Returns `Ok(None)` on infeasibility, `Err` on budget
+/// exhaustion.
 fn recurse(
     c: &[f64],
     cons: &mut [Con],
     lo: &[f64],
     hi: &[f64],
     rng: &mut SmallRng,
-) -> Option<Vec<f64>> {
+    work: &mut Work,
+) -> Result<Option<Vec<f64>>, LpError> {
     let d = c.len();
     if d == 1 {
-        return solve_1d(c[0], cons, lo[0], hi[0]).map(|x| vec![x]);
+        for _ in 0..cons.len() {
+            work.spend()?;
+        }
+        return Ok(solve_1d(c[0], cons, lo[0], hi[0]).map(|x| vec![x]));
     }
 
     // Start at the box corner optimal for c.
@@ -83,6 +123,7 @@ fn recurse(
         .collect();
 
     for i in 0..cons.len() {
+        work.spend()?;
         let h = &cons[i];
         if h.eval(&x) <= h.tol() {
             continue; // still optimal
@@ -92,12 +133,12 @@ fn recurse(
         let (k, ak) =
             h.a.iter()
                 .enumerate()
-                .max_by(|(_, p), (_, q)| p.abs().partial_cmp(&q.abs()).unwrap())
+                .max_by(|(_, p), (_, q)| p.abs().total_cmp(&q.abs()))
                 .map(|(k, v)| (k, *v))
                 .expect("constraints are non-empty");
         if ak.abs() <= LP_EPS {
             // 0·x ≤ b with b < eval(x) ⇒ b is violated by every x.
-            return None;
+            return Ok(None);
         }
         let hb = h.b;
         let ha = h.a.clone();
@@ -151,7 +192,9 @@ fn recurse(
         let sub_lo: Vec<f64> = (0..d).filter(|j| *j != k).map(|j| lo[j]).collect();
         let sub_hi: Vec<f64> = (0..d).filter(|j| *j != k).map(|j| hi[j]).collect();
 
-        let sub_x = recurse(&sub_c, &mut sub_cons, &sub_lo, &sub_hi, rng)?;
+        let Some(sub_x) = recurse(&sub_c, &mut sub_cons, &sub_lo, &sub_hi, rng, work)? else {
+            return Ok(None);
+        };
 
         // Reconstruct x with x_k back-substituted.
         let mut full = Vec::with_capacity(d);
@@ -160,7 +203,7 @@ fn recurse(
             if j == k {
                 full.push(0.0); // patched below
             } else {
-                full.push(*it.next().unwrap());
+                full.push(*it.next().expect("sub_x has d-1 coordinates"));
             }
         }
         let mut xk = hb;
@@ -172,7 +215,7 @@ fn recurse(
         full[k] = xk * inv;
         x = full;
     }
-    Some(x)
+    Ok(Some(x))
 }
 
 /// One-dimensional base case: clip the interval by every constraint.

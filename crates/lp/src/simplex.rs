@@ -8,7 +8,7 @@
 //! NN-Direction strategies; the `Correct` strategy at database scale should
 //! use [`crate::seidel`].
 
-use crate::problem::{Lp, LpError, LpResult};
+use crate::problem::{Lp, LpBudget, LpError, LpResult};
 use crate::LP_EPS;
 
 /// Pivot-count limit factor: `limit = PIVOT_LIMIT_FACTOR · (rows + cols)`.
@@ -16,12 +16,18 @@ const PIVOT_LIMIT_FACTOR: usize = 64;
 /// After this many Dantzig pivots without termination, switch to Bland's rule.
 const BLAND_SWITCH: usize = 2_048;
 
-/// Solves `lp` with the two-phase tableau simplex.
+/// Solves `lp` with the two-phase tableau simplex and the default budget.
 ///
 /// Returns [`LpResult::Infeasible`] when the feasible region is empty and
 /// [`LpError::IterationLimit`] if the pivot budget is exhausted (which, with
 /// Bland's rule active, indicates numerical breakdown rather than cycling).
 pub fn solve(lp: &Lp) -> Result<LpResult, LpError> {
+    solve_budgeted(lp, LpBudget::DEFAULT)
+}
+
+/// [`solve`] with an explicit pivot budget (shared across both phases).
+pub fn solve_budgeted(lp: &Lp, budget: LpBudget) -> Result<LpResult, LpError> {
+    lp.validate()?;
     let n = lp.dim();
 
     // Shift to y = x − l ≥ 0; collect rows (A y ≤ b′) from real constraints
@@ -49,7 +55,7 @@ pub fn solve(lp: &Lp) -> Result<LpResult, LpError> {
         rows.push((a, lp.upper[i] - lp.lower[i]));
     }
 
-    let mut t = Tableau::new(n, &rows);
+    let mut t = Tableau::new(n, &rows, budget);
     match t.run_two_phase()? {
         Feasibility::Infeasible => Ok(LpResult::Infeasible),
         Feasibility::Feasible => {
@@ -86,10 +92,12 @@ struct Tableau {
     /// Basic variable (column index) of each row.
     basis: Vec<usize>,
     pivots: usize,
+    /// Pivot budget shared across phases.
+    limit: usize,
 }
 
 impl Tableau {
-    fn new(n: usize, rows: &[(Vec<f64>, f64)]) -> Self {
+    fn new(n: usize, rows: &[(Vec<f64>, f64)], budget: LpBudget) -> Self {
         let m = rows.len();
         let n_art = rows.iter().filter(|(_, b)| *b < 0.0).count();
         let width = n + m + n_art + 1;
@@ -121,6 +129,7 @@ impl Tableau {
             a,
             basis,
             pivots: 0,
+            limit: budget.limit_or(PIVOT_LIMIT_FACTOR * (m + width) + 1_000),
         }
     }
 
@@ -222,12 +231,11 @@ impl Tableau {
     /// keeps artificials eligible; in phase 2 artificial columns are skipped.
     fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
         let art_start = self.n + self.m;
-        let limit = PIVOT_LIMIT_FACTOR * (self.m + self.width) + 1_000;
         let mut local = 0usize;
         loop {
             local += 1;
             self.pivots += 1;
-            if local > limit {
+            if self.pivots > self.limit {
                 return Err(LpError::IterationLimit);
             }
             let eligible_end = if phase1 { self.width - 1 } else { art_start };

@@ -5,29 +5,53 @@
 //! halfspaces with the data-space box. Its MBR approximation (Definition 3
 //! of the paper) is obtained from `2·d` LPs: minimize and maximize each
 //! coordinate over that polyhedron.
+//!
+//! # Robustness: the fallback chain
+//!
+//! No single LP backend survives every degenerate input, so each of the
+//! `2·d` extent LPs runs through an escalation chain: the configured primary
+//! backend first, then the remaining backends in a fixed order, each under
+//! the same [`LpBudget`]. If *every* backend fails, the extent is clamped to
+//! the corresponding data-space bound. The clamp is exactness-preserving:
+//! the data-space bound is always a superset of the true extent (every cell
+//! lives inside the data space — Lemma 1), so a clamped MBR can only grow
+//! the approximation. Queries stay exact; only the candidate count suffers.
+//! Degradation is observable via [`CellLpStats::fallback_lps`] and
+//! [`CellLpStats::clamped_extents`].
 
-use crate::problem::{Lp, LpError, LpResult, SolverKind};
-use crate::{seidel, simplex};
+use crate::problem::{Lp, LpBudget, LpError, LpResult, SolverKind};
+use crate::{activeset, dual, seidel, simplex};
 use nncell_geom::{DataSpace, Halfspace, Mbr, Metric};
 
-/// Dispatches one LP to the configured backend.
+/// Dispatches one LP to the configured backend (no fallback chain; see
+/// [`VoronoiLp::extents`] for the robust path).
 pub fn solve_with(kind: SolverKind, lp: &Lp, seed: u64) -> Result<LpResult, LpError> {
+    solve_with_budget(kind, lp, seed, LpBudget::DEFAULT)
+}
+
+/// [`solve_with`] under an explicit work budget.
+pub fn solve_with_budget(
+    kind: SolverKind,
+    lp: &Lp,
+    seed: u64,
+    budget: LpBudget,
+) -> Result<LpResult, LpError> {
     match kind {
-        SolverKind::Simplex => simplex::solve(lp),
-        SolverKind::Seidel => seidel::solve_seeded(lp, seed),
-        SolverKind::DualSimplex => crate::dual::solve(lp),
+        SolverKind::Simplex => simplex::solve_budgeted(lp, budget),
+        SolverKind::Seidel => seidel::solve_seeded_budgeted(lp, seed, budget),
+        SolverKind::DualSimplex => dual::solve_budgeted(lp, budget),
         // No feasible start available at this call site: the dual simplex
         // is the drop-in replacement (see SolverKind::ActiveSet docs).
-        SolverKind::ActiveSet => crate::dual::solve(lp),
+        SolverKind::ActiveSet => dual::solve_budgeted(lp, budget),
         SolverKind::Auto => {
             if lp.num_constraints() <= SolverKind::AUTO_SIMPLEX_LIMIT {
-                simplex::solve(lp)
+                simplex::solve_budgeted(lp, budget)
             } else {
                 // The dual solver self-verifies; on (rare) numerical
                 // breakdown fall back to the randomized algorithm.
-                match crate::dual::solve(lp) {
+                match dual::solve_budgeted(lp, budget) {
                     Ok(r) => Ok(r),
-                    Err(LpError::IterationLimit) => seidel::solve_seeded(lp, seed),
+                    Err(_) => seidel::solve_seeded_budgeted(lp, seed, budget),
                 }
             }
         }
@@ -41,6 +65,12 @@ pub struct CellLpStats {
     pub lp_calls: usize,
     /// Total constraints across those LPs (excluding box bounds).
     pub constraints: usize,
+    /// LPs the primary backend failed but a fallback backend solved.
+    pub fallback_lps: usize,
+    /// Extents clamped to the data-space bound because every backend failed.
+    /// Exactness survives (the clamp is a superset — Lemma 1); candidate
+    /// counts grow.
+    pub clamped_extents: usize,
 }
 
 impl CellLpStats {
@@ -48,6 +78,13 @@ impl CellLpStats {
     pub fn merge(&mut self, other: CellLpStats) {
         self.lp_calls += other.lp_calls;
         self.constraints += other.constraints;
+        self.fallback_lps += other.fallback_lps;
+        self.clamped_extents += other.clamped_extents;
+    }
+
+    /// True when any LP needed a fallback backend or a clamp.
+    pub fn degraded(&self) -> bool {
+        self.fallback_lps > 0 || self.clamped_extents > 0
     }
 }
 
@@ -59,27 +96,54 @@ pub struct CellSolve {
     /// The MBR approximation.
     pub mbr: Mbr,
     /// The `2·d` LP optimizers, in `(min x₀, max x₀, min x₁, …)` order.
+    /// Clamped extents contribute the data-space corner optimal for the
+    /// objective (a degraded but harmless stand-in — the vertices only feed
+    /// a heuristic).
     pub vertices: Vec<Vec<f64>>,
     /// LP work counters.
     pub stats: CellLpStats,
 }
 
-/// The cell-extent solver: metric + data space + LP backend.
+/// The cell-extent solver: metric + data space + LP backend + work budget.
 #[derive(Clone, Debug)]
 pub struct VoronoiLp<M: Metric> {
     metric: M,
     space: DataSpace,
     solver: SolverKind,
+    budget: LpBudget,
+}
+
+/// Outcome of one extent LP after the full fallback chain.
+enum ChainOutcome {
+    /// Some backend produced a verified optimum.
+    Solved(LpResult),
+    /// Every backend failed; the caller clamps to the data-space bound.
+    Exhausted,
 }
 
 impl<M: Metric> VoronoiLp<M> {
-    /// Creates a solver over `space` with the given LP backend.
+    /// Creates a solver over `space` with the given LP backend and the
+    /// default work budget.
     pub fn new(metric: M, space: DataSpace, solver: SolverKind) -> Self {
         Self {
             metric,
             space,
             solver,
+            budget: LpBudget::DEFAULT,
         }
+    }
+
+    /// Overrides the per-LP work budget (see [`LpBudget`]). A tiny budget
+    /// degrades every extent to the data-space clamp — still exact, useful
+    /// for testing the fallback path end to end.
+    pub fn with_budget(mut self, budget: LpBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured work budget.
+    pub fn budget(&self) -> LpBudget {
+        self.budget
     }
 
     /// The data space every cell is clipped to.
@@ -111,19 +175,126 @@ impl<M: Metric> VoronoiLp<M> {
         out
     }
 
+    /// Resolves `Auto` and start-less `ActiveSet` to a concrete backend.
+    fn resolve_primary(&self, m: usize, have_start: bool) -> SolverKind {
+        match self.solver {
+            SolverKind::Auto => {
+                if m <= SolverKind::AUTO_SIMPLEX_LIMIT {
+                    SolverKind::Simplex
+                } else {
+                    SolverKind::DualSimplex
+                }
+            }
+            SolverKind::ActiveSet if !have_start => SolverKind::DualSimplex,
+            k => k,
+        }
+    }
+
+    /// Runs one backend once.
+    fn attempt(
+        &self,
+        kind: SolverKind,
+        lp: &Lp,
+        seed: u64,
+        start: Option<&[f64]>,
+        dual_prob: Option<&dual::DualProblem>,
+    ) -> Result<LpResult, LpError> {
+        match kind {
+            SolverKind::Simplex => simplex::solve_budgeted(lp, self.budget),
+            SolverKind::Seidel => seidel::solve_seeded_budgeted(lp, seed, self.budget),
+            SolverKind::DualSimplex => match dual_prob {
+                Some(p) => p.maximize_budgeted(&lp.objective, self.budget),
+                None => dual::solve_budgeted(lp, self.budget),
+            },
+            SolverKind::ActiveSet => match start {
+                Some(x0) => activeset::solve_from_budgeted(lp, x0, self.budget),
+                None => dual::solve_budgeted(lp, self.budget),
+            },
+            SolverKind::Auto => unreachable!("Auto resolved before dispatch"),
+        }
+    }
+
+    /// Solves one extent LP through the escalation chain: primary backend,
+    /// then each remaining backend in a fixed order, all under the same
+    /// budget. Never panics; [`ChainOutcome::Exhausted`] tells the caller to
+    /// clamp.
+    fn solve_chain(
+        &self,
+        lp: &Lp,
+        seed: u64,
+        start: Option<&[f64]>,
+        dual_prob: Option<&dual::DualProblem>,
+        stats: &mut CellLpStats,
+    ) -> ChainOutcome {
+        let primary = self.resolve_primary(lp.num_constraints(), start.is_some());
+        if let Ok(r) = self.attempt(primary, lp, seed, start, dual_prob) {
+            return ChainOutcome::Solved(r);
+        }
+        // Escalation order: randomized incremental first (immune to pivot
+        // cycling), then the warm-started active set, then the deterministic
+        // tableau, then the revised dual.
+        let escalation = [
+            SolverKind::Seidel,
+            SolverKind::ActiveSet,
+            SolverKind::Simplex,
+            SolverKind::DualSimplex,
+        ];
+        for kind in escalation {
+            if kind == primary || (kind == SolverKind::ActiveSet && start.is_none()) {
+                continue;
+            }
+            if let Ok(r) = self.attempt(kind, lp, seed, start, dual_prob) {
+                stats.fallback_lps += 1;
+                return ChainOutcome::Solved(r);
+            }
+        }
+        ChainOutcome::Exhausted
+    }
+
     /// Runs the `2·d` extent LPs over `constraints` (+ data-space box).
     ///
     /// Returns `None` when the constrained region is empty — impossible for a
     /// plain cell (the point itself is feasible) but routine for the slabs of
     /// an MBR decomposition that miss the cell.
     ///
-    /// # Errors
-    /// Propagates [`LpError`] on numerical breakdown of the backend.
-    pub fn extents(
+    /// Never fails: extents whose LPs defeat every backend are clamped to the
+    /// data-space bound (a superset, so exactness survives) and counted in
+    /// [`CellLpStats::clamped_extents`].
+    pub fn extents(&self, constraints: &[Halfspace], seed: u64) -> Option<CellSolve> {
+        self.extents_impl(constraints, None, seed)
+    }
+
+    /// Runs the `2·d` extent LPs with the active-set backend from the
+    /// feasible start `start`, escalating through the other backends (and
+    /// ultimately the data-space clamp) on breakdown.
+    ///
+    /// A feasible start proves the region is non-empty, so this returns a
+    /// solve unconditionally.
+    pub fn extents_from(&self, constraints: &[Halfspace], start: &[f64], seed: u64) -> CellSolve {
+        self.extents_impl(constraints, Some(start), seed)
+            .unwrap_or_else(|| {
+                // A backend reported "infeasible" despite the feasible
+                // start: numerical contradiction. The whole data space is
+                // still a valid superset of the cell — degrade to it.
+                let d = self.space.dim();
+                let lo: Vec<f64> = (0..d).map(|i| self.space.lo(i)).collect();
+                let hi: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
+                let mut stats = CellLpStats::default();
+                stats.clamped_extents += 2 * d;
+                CellSolve {
+                    mbr: Mbr::new(lo, hi),
+                    vertices: Vec::new(),
+                    stats,
+                }
+            })
+    }
+
+    fn extents_impl(
         &self,
         constraints: &[Halfspace],
+        start: Option<&[f64]>,
         seed: u64,
-    ) -> Result<Option<CellSolve>, LpError> {
+    ) -> Option<CellSolve> {
         let d = self.space.dim();
         let lower: Vec<f64> = (0..d).map(|i| self.space.lo(i)).collect();
         let upper: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
@@ -133,15 +304,12 @@ impl<M: Metric> VoronoiLp<M> {
         let mut stats = CellLpStats::default();
 
         // The 2·d LPs share the constraint matrix: when the dual backend is
-        // in play, build it once and solve per objective.
-        let use_dual = match self.solver {
-            SolverKind::DualSimplex => true,
-            SolverKind::Auto => constraints.len() > SolverKind::AUTO_SIMPLEX_LIMIT,
-            _ => false,
-        };
+        // the (resolved) primary, build it once and solve per objective.
+        let use_dual =
+            self.resolve_primary(constraints.len(), start.is_some()) == SolverKind::DualSimplex;
         let dual_prob = if use_dual {
-            match crate::dual::DualProblem::new(constraints, &lower, &upper) {
-                None => return Ok(None), // trivially infeasible zero row
+            match dual::DualProblem::new(constraints, &lower, &upper) {
+                None => return None, // trivially infeasible zero row
                 some => some,
             }
         } else {
@@ -155,21 +323,9 @@ impl<M: Metric> VoronoiLp<M> {
                 stats.lp_calls += 1;
                 stats.constraints += constraints.len();
                 let lp_seed = seed ^ (((i as u64) << 1) | (dir > 0.0) as u64);
-                let result = if let Some(prob) = &dual_prob {
-                    match prob.maximize(&c) {
-                        Ok(r) => r,
-                        Err(LpError::IterationLimit) => {
-                            // Numerical breakdown: randomized fallback.
-                            let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
-                            crate::seidel::solve_seeded(&lp, lp_seed)?
-                        }
-                    }
-                } else {
-                    let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
-                    solve_with(self.solver, &lp, lp_seed)?
-                };
-                match result {
-                    LpResult::Optimal { x, .. } => {
+                let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
+                match self.solve_chain(&lp, lp_seed, start, dual_prob.as_ref(), &mut stats) {
+                    ChainOutcome::Solved(LpResult::Optimal { x, .. }) => {
                         if dir < 0.0 {
                             lo[i] = x[i];
                         } else {
@@ -177,7 +333,32 @@ impl<M: Metric> VoronoiLp<M> {
                         }
                         vertices.push(x);
                     }
-                    LpResult::Infeasible => return Ok(None),
+                    ChainOutcome::Solved(LpResult::Infeasible) => return None,
+                    ChainOutcome::Exhausted => {
+                        // Terminal fallback: the data-space bound is a
+                        // superset of the true extent (Lemma 1), so the
+                        // approximation stays valid — just fatter.
+                        stats.clamped_extents += 1;
+                        if dir < 0.0 {
+                            lo[i] = self.space.lo(i);
+                        } else {
+                            hi[i] = self.space.hi(i);
+                        }
+                        let corner: Vec<f64> = (0..d)
+                            .map(|j| {
+                                if j == i {
+                                    if dir < 0.0 {
+                                        self.space.lo(j)
+                                    } else {
+                                        self.space.hi(j)
+                                    }
+                                } else {
+                                    self.space.lo(j)
+                                }
+                            })
+                            .collect();
+                        vertices.push(corner);
+                    }
                 }
             }
         }
@@ -186,11 +367,11 @@ impl<M: Metric> VoronoiLp<M> {
             lo[i] = lo[i].clamp(self.space.lo(i), self.space.hi(i));
             hi[i] = hi[i].clamp(lo[i], self.space.hi(i));
         }
-        Ok(Some(CellSolve {
+        Some(CellSolve {
             mbr: Mbr::new(lo, hi),
             vertices,
             stats,
-        }))
+        })
     }
 
     /// MBR approximation of the NN-cell of `p` against `rivals`
@@ -200,10 +381,10 @@ impl<M: Metric> VoronoiLp<M> {
     /// start the Best–Ritter method wants (it lies strictly inside its own
     /// cell); other backends go through [`Self::extents`].
     ///
-    /// # Errors
-    /// Propagates backend failures; never returns an empty region because `p`
-    /// itself is feasible.
-    pub fn cell_mbr<'a, I>(&self, p: &[f64], rivals: I, seed: u64) -> Result<CellSolve, LpError>
+    /// Never fails: LP breakdowns degrade to the data-space clamp (see
+    /// [`Self::extents`]), and the region cannot be empty because `p` itself
+    /// is feasible.
+    pub fn cell_mbr<'a, I>(&self, p: &[f64], rivals: I, seed: u64) -> CellSolve
     where
         I: IntoIterator<Item = &'a [f64]>,
     {
@@ -211,67 +392,10 @@ impl<M: Metric> VoronoiLp<M> {
         if self.solver == SolverKind::ActiveSet {
             return self.extents_from(&cons, p, seed);
         }
-        Ok(self
-            .extents(&cons, seed)?
-            .expect("cell of a data point cannot be empty: the point is feasible"))
-    }
-
-    /// Runs the `2·d` extent LPs with the active-set backend from the
-    /// feasible start `start` (any backend config falls back to
-    /// [`Self::extents`]-style solving when the active set breaks down).
-    ///
-    /// # Errors
-    /// Propagates backend failures.
-    pub fn extents_from(
-        &self,
-        constraints: &[Halfspace],
-        start: &[f64],
-        seed: u64,
-    ) -> Result<CellSolve, LpError> {
-        let d = self.space.dim();
-        let lower: Vec<f64> = (0..d).map(|i| self.space.lo(i)).collect();
-        let upper: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
-        let mut lo = vec![0.0; d];
-        let mut hi = vec![0.0; d];
-        let mut vertices = Vec::with_capacity(2 * d);
-        let mut stats = CellLpStats::default();
-        for i in 0..d {
-            for dir in [-1.0, 1.0] {
-                let mut c = vec![0.0; d];
-                c[i] = dir;
-                stats.lp_calls += 1;
-                stats.constraints += constraints.len();
-                let lp = Lp::new(c, constraints.to_vec(), lower.clone(), upper.clone());
-                let result = match crate::activeset::solve_from(&lp, start) {
-                    Ok(r) => r,
-                    Err(LpError::IterationLimit) => {
-                        let lp_seed = seed ^ (((i as u64) << 1) | (dir > 0.0) as u64);
-                        crate::seidel::solve_seeded(&lp, lp_seed)?
-                    }
-                };
-                match result {
-                    LpResult::Optimal { x, .. } => {
-                        if dir < 0.0 {
-                            lo[i] = x[i];
-                        } else {
-                            hi[i] = x[i];
-                        }
-                        vertices.push(x);
-                    }
-                    LpResult::Infeasible => {
-                        unreachable!("feasible start given; active-set cannot report infeasible")
-                    }
-                }
-            }
-        }
-        for i in 0..d {
-            lo[i] = lo[i].clamp(self.space.lo(i), self.space.hi(i));
-            hi[i] = hi[i].clamp(lo[i], self.space.hi(i));
-        }
-        Ok(CellSolve {
-            mbr: Mbr::new(lo, hi),
-            vertices,
-            stats,
+        self.extents(&cons, seed).unwrap_or_else(|| {
+            // "Infeasible" for a data point's own cell is a numerical
+            // contradiction (p is feasible); degrade to the full space.
+            self.extents_from(&cons, p, seed)
         })
     }
 
@@ -331,10 +455,7 @@ pub fn cell_mbr(points: &[Vec<f64>], index: usize, seed: u64) -> Mbr {
         .enumerate()
         .filter(|(j, _)| *j != index)
         .map(|(_, q)| q.as_slice());
-    solver
-        .cell_mbr(&points[index], rivals, seed)
-        .expect("LP backend failed")
-        .mbr
+    solver.cell_mbr(&points[index], rivals, seed).mbr
 }
 
 #[cfg(test)]
@@ -349,10 +470,7 @@ mod tests {
     #[test]
     fn single_point_cell_is_whole_space() {
         let s = solver(3, SolverKind::Simplex);
-        let mbr = s
-            .cell_mbr(&[0.4, 0.5, 0.6], std::iter::empty(), 0)
-            .unwrap()
-            .mbr;
+        let mbr = s.cell_mbr(&[0.4, 0.5, 0.6], std::iter::empty(), 0).mbr;
         assert_eq!(mbr.lo(), &[0.0, 0.0, 0.0]);
         assert_eq!(mbr.hi(), &[1.0, 1.0, 1.0]);
     }
@@ -363,7 +481,7 @@ mod tests {
         let s = solver(2, SolverKind::Simplex);
         let p = [0.25, 0.5];
         let q = [0.75, 0.5];
-        let mbr = s.cell_mbr(&p, [&q[..]], 0).unwrap().mbr;
+        let mbr = s.cell_mbr(&p, [&q[..]], 0).mbr;
         assert!((mbr.hi()[0] - 0.5).abs() < 1e-8, "{mbr:?}");
         assert!((mbr.lo()[0] - 0.0).abs() < 1e-8);
         assert!((mbr.hi()[1] - 1.0).abs() < 1e-8);
@@ -406,8 +524,8 @@ mod tests {
                         .filter(move |(j, _)| *j != idx)
                         .map(|(_, q)| q.as_slice())
                 };
-                let m1 = sx.cell_mbr(&pts[idx], rivals(), 5).unwrap().mbr;
-                let m2 = sd.cell_mbr(&pts[idx], rivals(), 5).unwrap().mbr;
+                let m1 = sx.cell_mbr(&pts[idx], rivals(), 5).mbr;
+                let m2 = sd.cell_mbr(&pts[idx], rivals(), 5).mbr;
                 for i in 0..d {
                     assert!(
                         (m1.lo()[i] - m2.lo()[i]).abs() < 1e-6
@@ -436,9 +554,7 @@ mod tests {
             let q: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
             let nn = (0..pts.len())
                 .min_by(|&a, &b| {
-                    nncell_geom::dist_sq(&q, &pts[a])
-                        .partial_cmp(&nncell_geom::dist_sq(&q, &pts[b]))
-                        .unwrap()
+                    nncell_geom::dist_sq(&q, &pts[a]).total_cmp(&nncell_geom::dist_sq(&q, &pts[b]))
                 })
                 .unwrap();
             assert!(
@@ -457,7 +573,7 @@ mod tests {
         // The cell of p is {x+y <= 1}; the slab x,y >= 0.9 misses it.
         cons.push(Halfspace::new(vec![-1.0, 0.0], -0.9));
         cons.push(Halfspace::new(vec![0.0, -1.0], -0.9));
-        assert!(s.extents(&cons, 0).unwrap().is_none());
+        assert!(s.extents(&cons, 0).is_none());
     }
 
     #[test]
@@ -471,20 +587,16 @@ mod tests {
         let s = solver(d, SolverKind::Simplex);
         let p = pts[0].clone();
         let all = s.bisectors(&p, pts[1..].iter().map(|q| q.as_slice()));
-        let exact = s.extents(&all, 0).unwrap().unwrap().mbr;
+        let exact = s.extents(&all, 0).unwrap().mbr;
         // Rough MBR from the 15 nearest rivals (any subset is valid; a near
         // subset gives a tight rough box so distant bisectors get pruned).
         let mut by_dist: Vec<&Vec<f64>> = pts[1..].iter().collect();
-        by_dist.sort_by(|a, b| {
-            nncell_geom::dist_sq(&p, a)
-                .partial_cmp(&nncell_geom::dist_sq(&p, b))
-                .unwrap()
-        });
+        by_dist.sort_by(|a, b| nncell_geom::dist_sq(&p, a).total_cmp(&nncell_geom::dist_sq(&p, b)));
         let subset = s.bisectors(&p, by_dist[..15].iter().map(|q| q.as_slice()));
-        let rough = s.extents(&subset, 0).unwrap().unwrap().mbr;
+        let rough = s.extents(&subset, 0).unwrap().mbr;
         let pruned = VoronoiLp::<Euclidean>::prune_constraints(all.clone(), &rough);
         assert!(pruned.len() < all.len(), "prune did nothing");
-        let via_pruned = s.extents(&pruned, 0).unwrap().unwrap().mbr;
+        let via_pruned = s.extents(&pruned, 0).unwrap().mbr;
         for i in 0..d {
             assert!((exact.lo()[i] - via_pruned.lo()[i]).abs() < 1e-7);
             assert!((exact.hi()[i] - via_pruned.hi()[i]).abs() < 1e-7);
@@ -503,9 +615,91 @@ mod tests {
     fn duplicate_rival_skipped() {
         let s = solver(2, SolverKind::Simplex);
         let p = [0.5, 0.5];
-        let solve = s.cell_mbr(&p, [&p[..]], 0).unwrap();
+        let solve = s.cell_mbr(&p, [&p[..]], 0);
         let (mbr, stats) = (solve.mbr, solve.stats);
         assert_eq!(stats.constraints, 0);
         assert_eq!(mbr.lo(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_data_space_clamp() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        let d = 3;
+        let pts: Vec<Vec<f64>> = (0..10)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        for kind in [
+            SolverKind::Simplex,
+            SolverKind::Seidel,
+            SolverKind::DualSimplex,
+            SolverKind::ActiveSet,
+            SolverKind::Auto,
+        ] {
+            let s = solver(d, kind).with_budget(LpBudget::with_max_iterations(0));
+            let solve = s.cell_mbr(
+                &pts[0],
+                pts[1..].iter().map(|q| q.as_slice()),
+                7,
+            );
+            assert_eq!(
+                solve.stats.clamped_extents,
+                2 * d,
+                "{kind:?}: every extent should clamp under a zero budget"
+            );
+            // The clamped MBR is the whole data space — a superset of the
+            // true cell, so exactness is preserved.
+            assert_eq!(solve.mbr.lo(), &[0.0; 3][..], "{kind:?}");
+            assert_eq!(solve.mbr.hi(), &[1.0; 3][..], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_chain_recovers_exact_extents_when_one_backend_fails() {
+        // Seidel always spends at least one work unit per constraint, so a
+        // budget below m starves it deterministically; the tableau simplex
+        // finishes these small cells in a handful of pivots. With Seidel as
+        // primary the chain escalates to the simplex and still produces the
+        // exact extents.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+        let d = 3;
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let exact = solver(d, SolverKind::Seidel)
+            .cell_mbr(&pts[0], pts[1..].iter().map(|q| q.as_slice()), 7);
+        assert!(!exact.stats.degraded());
+        let tight = solver(d, SolverKind::Seidel).with_budget(LpBudget::with_max_iterations(25));
+        let degraded = tight.cell_mbr(&pts[0], pts[1..].iter().map(|q| q.as_slice()), 7);
+        assert!(
+            degraded.stats.fallback_lps > 0,
+            "expected Seidel to fail under a 25-unit budget on m=29: {:?}",
+            degraded.stats
+        );
+        assert_eq!(degraded.stats.clamped_extents, 0, "{:?}", degraded.stats);
+        for i in 0..d {
+            assert!((degraded.mbr.lo()[i] - exact.mbr.lo()[i]).abs() < 1e-6);
+            assert!((degraded.mbr.hi()[i] - exact.mbr.hi()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn nonfinite_objective_is_a_typed_error_in_every_backend() {
+        // Halfspace::new rejects non-finite constraint data at construction,
+        // so the remaining smuggling route is the objective vector.
+        let lp = Lp::new(
+            vec![f64::NAN, 1.0],
+            vec![Halfspace::new(vec![1.0, 1.0], 1.0)],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        assert_eq!(simplex::solve(&lp), Err(LpError::NonFinite));
+        assert_eq!(seidel::solve_seeded(&lp, 3), Err(LpError::NonFinite));
+        assert_eq!(dual::solve(&lp), Err(LpError::NonFinite));
+        assert_eq!(
+            activeset::solve_from(&lp, &[0.0, 0.0]),
+            Err(LpError::NonFinite)
+        );
     }
 }

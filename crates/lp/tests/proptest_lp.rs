@@ -62,7 +62,7 @@ proptest! {
         let kind = if solver_pick { SolverKind::Simplex } else { SolverKind::Seidel };
         let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(3), kind);
         let rivals = pts.iter().enumerate().filter(|(j, _)| *j != idx).map(|(_, q)| q.as_slice());
-        let solve = vlp.cell_mbr(&pts[idx], rivals, 9).unwrap();
+        let solve = vlp.cell_mbr(&pts[idx], rivals, 9);
         prop_assert!(solve.mbr.contains_point(&pts[idx]), "cell MBR must contain its point");
         // Every vertex is in the data space and on the cell boundary or face.
         for v in &solve.vertices {
@@ -93,12 +93,12 @@ proptest! {
         let mbrs: Vec<_> = (0..pts.len())
             .map(|i| {
                 let rivals = pts.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, q)| q.as_slice());
-                vlp.cell_mbr(&pts[i], rivals, 3).unwrap().mbr
+                vlp.cell_mbr(&pts[i], rivals, 3).mbr
             })
             .collect();
         for q in &queries {
             let nn = (0..pts.len())
-                .min_by(|&a, &b| dist_sq(q, &pts[a]).partial_cmp(&dist_sq(q, &pts[b])).unwrap())
+                .min_by(|&a, &b| dist_sq(q, &pts[a]).total_cmp(&dist_sq(q, &pts[b])))
                 .unwrap();
             prop_assert!(
                 mbrs[nn].contains_point(q),
@@ -125,7 +125,7 @@ proptest! {
         // LP result must coincide.
         let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
         let rivals = pts.iter().enumerate().filter(|(j, _)| *j != idx).map(|(_, q)| q.as_slice());
-        let lp_mbr = vlp.cell_mbr(&pts[idx], rivals, 5).unwrap().mbr;
+        let lp_mbr = vlp.cell_mbr(&pts[idx], rivals, 5).mbr;
         for k in 0..2 {
             prop_assert!(
                 (exact_mbr.lo()[k] - lp_mbr.lo()[k]).abs() < 1e-6
@@ -147,12 +147,12 @@ proptest! {
         let vlp = VoronoiLp::new(Euclidean, DataSpace::unit(2), SolverKind::Simplex);
         let p = &pts[0];
         let all = vlp.bisectors(p, pts[1..].iter().map(|q| q.as_slice()));
-        let exact = vlp.extents(&all, 1).unwrap().unwrap().mbr;
+        let exact = vlp.extents(&all, 1).unwrap().mbr;
         // Rough box from an arbitrary half of the rivals.
         let half = vlp.bisectors(p, pts[1..1 + pts.len() / 2].iter().map(|q| q.as_slice()));
-        let rough = vlp.extents(&half, 1).unwrap().unwrap().mbr;
+        let rough = vlp.extents(&half, 1).unwrap().mbr;
         let pruned = VoronoiLp::<Euclidean>::prune_constraints(all, &rough);
-        let redone = vlp.extents(&pruned, 1).unwrap().unwrap().mbr;
+        let redone = vlp.extents(&pruned, 1).unwrap().mbr;
         for i in 0..2 {
             prop_assert!((exact.lo()[i] - redone.lo()[i]).abs() < 1e-7);
             prop_assert!((exact.hi()[i] - redone.hi()[i]).abs() < 1e-7);

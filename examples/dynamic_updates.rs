@@ -38,7 +38,7 @@ fn main() {
     println!("removing every fifth point ...");
     let doomed: Vec<usize> = (0..reference.len()).step_by(5).collect();
     for &id in &doomed {
-        assert!(index.remove(id).expect("remove"));
+        assert!(index.remove(id));
     }
     let survivors: Vec<Point> = reference
         .iter()

@@ -187,7 +187,7 @@ fn grow_shrink_grow_lifecycle() {
     // Shrink.
     for k in (0..reference.len()).step_by(3).rev() {
         let (id, _) = reference[k];
-        assert!(index.remove(id).unwrap());
+        assert!(index.remove(id));
         reference.remove(k);
     }
     // Grow again.

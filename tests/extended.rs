@@ -2,7 +2,8 @@
 //! end-to-end flows, and failure paths.
 
 use nncell::core::{
-    linear_scan_knn, linear_scan_nn, BuildConfig, NnCellIndex, PersistError, Strategy,
+    linear_scan_knn, linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex,
+    PersistError, Strategy,
 };
 use nncell::data::{FourierGenerator, Generator, UniformGenerator};
 use nncell::geom::{Metric, Point, WeightedEuclidean};
@@ -113,12 +114,23 @@ fn corrupted_index_files_are_rejected_not_mislaoded() {
 
 #[test]
 fn duplicate_points_do_not_break_exactness() {
-    // The paper assumes distinct points; the implementation must still not
-    // lose exactness when exact duplicates appear (ties are fine).
+    // The paper assumes distinct points; the implementation enforces that
+    // assumption with a typed error by default and, under `Skip`, drops the
+    // duplicates without losing exactness.
     let mut points = UniformGenerator::new(3).generate(80, 1100);
     points.push(points[10].clone());
     points.push(points[10].clone());
-    let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+    match NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)) {
+        Err(BuildError::DuplicatePoint { id: 80, of: 10 }) => {}
+        Err(other) => panic!("expected DuplicatePoint {{ id: 80, of: 10 }}, got {other}"),
+        Ok(_) => panic!("duplicate input accepted under the default Reject policy"),
+    }
+    let index = NnCellIndex::build(
+        points.clone(),
+        BuildConfig::new(Strategy::Sphere).with_input_policy(InputPolicy::Skip),
+    )
+    .unwrap();
+    assert_eq!(index.build_stats().skipped_points, 2);
     for q in UniformGenerator::new(3).generate(40, 1101) {
         let got = index.nearest_neighbor(&q).unwrap();
         let want = linear_scan_nn(&points, &q).unwrap();
@@ -144,14 +156,18 @@ fn single_point_database() {
 }
 
 #[test]
-fn query_dimension_mismatch_panics() {
+fn malformed_queries_return_none_not_panic() {
     let index = NnCellIndex::build(
         vec![Point::new(vec![0.3, 0.7]), Point::new(vec![0.6, 0.1])],
         BuildConfig::new(Strategy::Correct),
     )
     .unwrap();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        index.nearest_neighbor(&[0.5])
-    }));
-    assert!(result.is_err(), "wrong-dimension query must panic loudly");
+    // Wrong dimension, NaN, and infinity have no meaningful answer; the
+    // panic-free contract maps them to "no result".
+    assert!(index.nearest_neighbor(&[0.5]).is_none());
+    assert!(index.nearest_neighbor(&[0.5, f64::NAN]).is_none());
+    assert!(index.nearest_neighbor(&[f64::INFINITY, 0.5]).is_none());
+    assert!(index.knn(&[0.5], 3).is_empty());
+    // A well-formed query still works.
+    assert!(index.nearest_neighbor(&[0.5, 0.5]).is_some());
 }

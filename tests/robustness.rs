@@ -1,0 +1,124 @@
+//! End-to-end robustness: a saved index file subjected to hundreds of
+//! random corruptions must never panic the loader and must never produce
+//! an index that silently disagrees with the original.
+
+use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, PersistError, Strategy};
+use nncell::data::{Generator, UniformGenerator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nncell_robust_{name}_{}", std::process::id()));
+    p
+}
+
+/// 100+ mutated and truncated files: every load either returns a typed
+/// error or an index that answers a fixed query set identically to the
+/// original. (With the `NNCELL02` checksum the expected outcome is
+/// `PersistError::Corrupt` for every mutation; the agreement check is the
+/// safety net that makes the property meaningful even if a mutation were
+/// to slip past.)
+#[test]
+fn corrupted_index_files_never_panic_and_never_disagree() {
+    let dim = 4;
+    let gen = UniformGenerator::new(dim);
+    let points = gen.generate(150, 900);
+    let index = NnCellIndex::build(
+        points.clone(),
+        BuildConfig::new(Strategy::Sphere).with_decomposition(3),
+    )
+    .unwrap();
+    let queries: Vec<Vec<f64>> = gen
+        .generate(40, 901)
+        .into_iter()
+        .map(nncell::geom::Point::into_vec)
+        .collect();
+    let expected: Vec<usize> = queries
+        .iter()
+        .map(|q| index.nearest_neighbor(q).unwrap().id)
+        .collect();
+
+    let path = tmp("fuzz");
+    index.save(&path).unwrap();
+    let original = std::fs::read(&path).unwrap();
+    let mut rng = SmallRng::seed_from_u64(902);
+    let mut corrupt_count = 0usize;
+    let mut survived = 0usize;
+
+    let mut check = |bytes: &[u8], what: &str| {
+        std::fs::write(&path, bytes).unwrap();
+        match NnCellIndex::load(&path) {
+            Err(PersistError::Corrupt(_)) => corrupt_count += 1,
+            Err(PersistError::Io(e)) => panic!("{what}: unexpected I/O error {e}"),
+            Ok(loaded) => {
+                // A mutation that loads must be semantically harmless.
+                for (q, &want) in queries.iter().zip(&expected) {
+                    let got = loaded.nearest_neighbor(q).unwrap();
+                    let scan = linear_scan_nn(&points, q).unwrap();
+                    assert_eq!(got.id, want, "{what}: loaded index disagrees at {q:?}");
+                    assert!(
+                        (got.dist - scan.dist).abs() < 1e-9,
+                        "{what}: loaded index inexact at {q:?}"
+                    );
+                }
+                survived += 1;
+            }
+        }
+    };
+
+    // 100 single-bit flips at random positions.
+    for i in 0..100 {
+        let pos = rng.gen_range(0..original.len());
+        let bit = 1u8 << rng.gen_range(0..8u32);
+        let mut mutated = original.clone();
+        mutated[pos] ^= bit;
+        check(&mutated, &format!("bit flip #{i} at byte {pos}"));
+    }
+    // 40 truncations, spread over the whole file.
+    for i in 0..40 {
+        let keep = rng.gen_range(0..original.len());
+        check(&original[..keep], &format!("truncation #{i} to {keep} bytes"));
+    }
+    // 30 random-byte stomps of 1–16 consecutive bytes.
+    for i in 0..30 {
+        let start = rng.gen_range(0..original.len());
+        let len = rng.gen_range(1..=16usize).min(original.len() - start);
+        let mut mutated = original.clone();
+        for b in &mut mutated[start..start + len] {
+            *b = rng.gen_range(0..=255u32) as u8;
+        }
+        check(&mutated, &format!("stomp #{i} at {start}+{len}"));
+    }
+    std::fs::remove_file(&path).ok();
+
+    // All 170 mutations were exercised; with the checksum in place every
+    // one of them should have been flagged.
+    assert_eq!(corrupt_count + survived, 170);
+    assert_eq!(
+        survived, 0,
+        "checksum should catch every mutation of a v2 file"
+    );
+}
+
+/// The unmutated file still loads and agrees — guards against the fuzz
+/// setup itself being vacuous.
+#[test]
+fn pristine_file_roundtrips_exactly() {
+    let dim = 4;
+    let gen = UniformGenerator::new(dim);
+    let points = gen.generate(120, 910);
+    let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Point)).unwrap();
+    let path = tmp("pristine");
+    index.save(&path).unwrap();
+    let loaded = NnCellIndex::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(loaded.verify_integrity().is_ok());
+    for q in gen.generate(40, 911) {
+        let q = q.into_vec();
+        assert_eq!(
+            loaded.nearest_neighbor(&q).unwrap().id,
+            index.nearest_neighbor(&q).unwrap().id
+        );
+    }
+}
