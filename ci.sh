@@ -2,9 +2,15 @@
 # Local CI gate: build, test, lint. Run from the repository root.
 #
 # The clippy step denies warnings on the two crates that carry the
-# panic-free contract (`nncell-lp`, `nncell-core`); their crate-level
+# panic-free contract (`nncell-lp`, `nncell-core`, including the new
+# `vfs`/`wal`/`durable` modules); their crate-level
 # `#![warn(clippy::unwrap_used)]` is promoted to an error here, so an
 # `unwrap()` in library code fails the gate while tests stay exempt.
+#
+# The crash-injection suite runs under a pinned fault-schedule seed so a
+# red CI run is reproducible locally; override with e.g.
+#   NNCELL_FAULT_SEED=12345 ./ci.sh
+# to sweep a different tear pattern.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,6 +19,9 @@ cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q
+
+echo "== crash injection (kill-at-every-syscall, seed ${NNCELL_FAULT_SEED:=424242}) =="
+NNCELL_FAULT_SEED="$NNCELL_FAULT_SEED" cargo test -q --test crash_recovery
 
 echo "== clippy (panic-free library crates) =="
 cargo clippy -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used

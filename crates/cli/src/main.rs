@@ -3,17 +3,28 @@
 //! ```text
 //! nncell generate --kind uniform --n 2000 --dim 8 --seed 42 --out pts.csv
 //! nncell build    --points pts.csv --strategy sphere --out idx.nncell
+//! nncell build    --points pts.csv --strategy sphere --wal idx.db
 //! nncell query    --index idx.nncell --point 0.1,0.2,... [--k 5]
+//! nncell query    --wal idx.db --point 0.1,0.2,...
+//! nncell insert   --wal idx.db --point 0.1,0.2,...
+//! nncell remove   --wal idx.db --id 17
+//! nncell recover  --wal idx.db [--checkpoint]
 //! nncell info     --index idx.nncell
 //! nncell verify   --index idx.nncell [--repair]
 //! nncell bench    --index idx.nncell --queries 200 --seed 7
 //! ```
+//!
+//! `--wal DIR` commands operate on a crash-consistent directory: every
+//! insert/remove is journaled and fsynced before it is acknowledged, and
+//! `recover` replays the journal after a crash (see DESIGN.md §Durability).
 
 mod args;
 mod csv;
 
 use args::Parsed;
-use nncell_core::{BuildConfig, InputPolicy, NnCellIndex, Strategy};
+use nncell_core::wal::WalTail;
+use nncell_core::{BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Strategy};
+use nncell_geom::Point;
 use nncell_data::{
     ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
     UniformGenerator,
@@ -42,6 +53,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "generate" => cmd_generate(&p),
         "build" => cmd_build(&p),
         "query" => cmd_query(&p),
+        "insert" => cmd_insert(&p),
+        "remove" => cmd_remove(&p),
+        "recover" => cmd_recover(&p),
         "info" => cmd_info(&p),
         "verify" => cmd_verify(&p),
         "bench" => cmd_bench(&p),
@@ -93,6 +107,7 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
         "seed",
         "threads",
         "out",
+        "wal",
         "skip-invalid",
         "lp-max-iterations",
     ])
@@ -116,18 +131,30 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
             .map_err(|_| format!("bad --lp-max-iterations {iters:?}"))?;
         cfg = cfg.with_lp_max_iterations(n);
     }
-    let out = p.require("out").map_err(|e| e.to_string())?;
+    let out = p.get("out");
+    let wal = p.get("wal");
+    if out.is_none() && wal.is_none() {
+        return Err("build needs --out FILE (plain snapshot), --wal DIR (durable directory), or both".into());
+    }
     let t = Instant::now();
     let index = NnCellIndex::build(points, cfg).map_err(|e| e.to_string())?;
-    let bs = index.build_stats();
-    index.save(out).map_err(|e| e.to_string())?;
+    let bs = index.build_stats().clone();
+    let (n_cells, n_pieces) = (index.len(), index.total_pieces());
+    let mut sinks = Vec::new();
+    if let Some(out) = out {
+        index.save(out).map_err(|e| e.to_string())?;
+        sinks.push(format!("saved to {out}"));
+    }
+    if let Some(dir) = wal {
+        DurableIndex::create(dir, index).map_err(|e| e.to_string())?;
+        sinks.push(format!("durable directory initialized at {dir}"));
+    }
     println!(
-        "built {} cells ({} pieces) in {:.2}s — {} LPs over {} constraints — saved to {out}",
-        index.len(),
-        index.total_pieces(),
+        "built {n_cells} cells ({n_pieces} pieces) in {:.2}s — {} LPs over {} constraints — {}",
         t.elapsed().as_secs_f64(),
         bs.lp.lp_calls,
-        bs.lp.constraints
+        bs.lp.constraints,
+        sinks.join(", ")
     );
     if bs.skipped_points > 0 {
         println!(
@@ -146,10 +173,21 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_query(p: &Parsed) -> Result<(), String> {
-    p.allow_only(&["index", "point", "k"])
+    p.allow_only(&["index", "wal", "point", "k"])
         .map_err(|e| e.to_string())?;
-    let index = NnCellIndex::load(p.require("index").map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
+    let loaded;
+    let durable;
+    let index = match (p.get("index"), p.get("wal")) {
+        (Some(file), None) => {
+            loaded = NnCellIndex::load(file).map_err(|e| e.to_string())?;
+            &loaded
+        }
+        (None, Some(dir)) => {
+            durable = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+            durable.index()
+        }
+        _ => return Err("query needs exactly one of --index FILE or --wal DIR".into()),
+    };
     let q = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     if q.len() != index.dim() {
@@ -169,6 +207,84 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
         for (rank, r) in index.knn(&q, k).iter().enumerate() {
             println!("{:>3}. #{} at distance {:.6}", rank + 1, r.id, r.dist);
         }
+    }
+    Ok(())
+}
+
+fn cmd_insert(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["wal", "point", "checkpoint"])
+        .map_err(|e| e.to_string())?;
+    let dir = p.require("wal").map_err(|e| e.to_string())?;
+    let coords = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let mut index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+    let id = index.insert(Point::new(coords)).map_err(|e| e.to_string())?;
+    println!(
+        "inserted point #{id} — journaled and fsynced ({} record(s) since last checkpoint)",
+        index.wal_records()
+    );
+    maybe_checkpoint(p, index)
+}
+
+fn cmd_remove(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["wal", "id", "checkpoint"])
+        .map_err(|e| e.to_string())?;
+    let dir = p.require("wal").map_err(|e| e.to_string())?;
+    let id: usize = p
+        .require("id")
+        .map_err(|e| e.to_string())?
+        .parse()
+        .map_err(|_| "bad --id (expected a point id)".to_string())?;
+    let mut index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+    if index.remove(id).map_err(|e| e.to_string())? {
+        println!(
+            "removed point #{id} — journaled and fsynced ({} record(s) since last checkpoint)",
+            index.wal_records()
+        );
+    } else {
+        println!("point #{id} is not live; nothing journaled");
+    }
+    maybe_checkpoint(p, index)
+}
+
+fn cmd_recover(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["wal", "checkpoint"])
+        .map_err(|e| e.to_string())?;
+    let dir = p.require("wal").map_err(|e| e.to_string())?;
+    let index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+    let rec = index.recovery().clone();
+    println!("generation     : {}", rec.generation);
+    println!("records replayed: {}", rec.replayed);
+    if rec.skipped > 0 {
+        println!("records skipped : {}", rec.skipped);
+    }
+    match rec.wal_tail {
+        WalTail::Clean => println!("journal tail   : clean"),
+        WalTail::Truncated { offset } => println!(
+            "journal tail   : torn record at byte {offset} (unacknowledged write dropped)"
+        ),
+        WalTail::Corrupt { offset } => println!(
+            "journal tail   : corrupt record at byte {offset} (damaged suffix dropped)"
+        ),
+    }
+    if rec.rotated {
+        println!(
+            "rotated        : damaged journal retired; now at generation {}",
+            index.generation()
+        );
+    }
+    println!("live points    : {}", index.len());
+    maybe_checkpoint(p, index)
+}
+
+/// Shared `--checkpoint` tail for the durable subcommands.
+fn maybe_checkpoint(p: &Parsed, mut index: DurableIndex) -> Result<(), String> {
+    if p.get("checkpoint").is_some() {
+        index.checkpoint().map_err(|e| e.to_string())?;
+        println!(
+            "checkpointed to generation {} (journal reset)",
+            index.generation()
+        );
     }
     Ok(())
 }
@@ -275,10 +391,13 @@ USAGE: nncell <command> [--flag value]...
 COMMANDS
   generate  --out FILE [--kind uniform|grid|sparse|clustered|fourier]
             [--n 1000] [--dim 8] [--seed 42] [--clusters 8] [--sigma 0.05]
-  build     --points FILE --out FILE [--strategy correct|correct-pruned|point|
-            sphere|nn-direction] [--decompose K] [--seed S] [--threads T]
-            [--skip-invalid] [--lp-max-iterations N]
-  query     --index FILE --point x,y,... [--k K]
+  build     --points FILE (--out FILE | --wal DIR) [--strategy correct|
+            correct-pruned|point|sphere|nn-direction] [--decompose K] [--seed S]
+            [--threads T] [--skip-invalid] [--lp-max-iterations N]
+  query     (--index FILE | --wal DIR) --point x,y,... [--k K]
+  insert    --wal DIR --point x,y,... [--checkpoint]
+  remove    --wal DIR --id N [--checkpoint]
+  recover   --wal DIR [--checkpoint]
   info      --index FILE
   verify    --index FILE [--repair] [--out FILE]
   bench     --index FILE [--queries 200] [--seed 7]

@@ -60,6 +60,89 @@ fn generate_build_query_info_bench_pipeline() {
 }
 
 #[test]
+fn durable_build_insert_remove_crash_recover_pipeline() {
+    let pts = tmp("wal_pts.csv");
+    let db = tmp("wal_db");
+    std::fs::remove_dir_all(&db).ok();
+
+    bin()
+        .args(["generate", "--n", "80", "--dim", "3", "--seed", "9"])
+        .args(["--out", pts.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["build", "--points", pts.to_str().unwrap()])
+        .args(["--strategy", "sphere", "--wal", db.to_str().unwrap()])
+        .output()
+        .expect("spawn build --wal");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("durable directory initialized"));
+
+    // Journal two inserts and a remove (each acknowledged once fsynced).
+    let out = bin()
+        .args(["insert", "--wal", db.to_str().unwrap(), "--point", "0.91,0.92,0.93"])
+        .output()
+        .expect("spawn insert");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("inserted point #80"));
+    let out = bin()
+        .args(["insert", "--wal", db.to_str().unwrap(), "--point", "0.11,0.12,0.13"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["remove", "--wal", db.to_str().unwrap(), "--id", "80"])
+        .output()
+        .expect("spawn remove");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("removed point #80"));
+
+    // Removing a dead id journals nothing but still succeeds.
+    let out = bin()
+        .args(["remove", "--wal", db.to_str().unwrap(), "--id", "80"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("not live"));
+
+    // Simulate a crash mid-append: tear the journal tail with garbage.
+    let wal_file = std::fs::read_dir(&db)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().starts_with("wal."))
+        .expect("wal file present")
+        .path();
+    let mut bytes = std::fs::read(&wal_file).unwrap();
+    bytes.extend_from_slice(&[0x7F, 0x00, 0x13]);
+    std::fs::write(&wal_file, &bytes).unwrap();
+
+    // Recovery replays the acknowledged prefix and reports the torn tail.
+    let out = bin()
+        .args(["recover", "--wal", db.to_str().unwrap(), "--checkpoint"])
+        .output()
+        .expect("spawn recover");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("records replayed: 3"), "{text}");
+    assert!(text.contains("torn record"), "{text}");
+    assert!(text.contains("live points    : 81"), "{text}");
+    assert!(text.contains("checkpointed"), "{text}");
+
+    // Queries work straight off the durable directory; the surviving
+    // insert near (0.11, 0.12, 0.13) is found, the removed one is gone.
+    let out = bin()
+        .args(["query", "--wal", db.to_str().unwrap(), "--point", "0.11,0.12,0.13"])
+        .output()
+        .expect("spawn query --wal");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("#81 at distance 0.000000"), "{text}");
+
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_dir_all(&db).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = bin().arg("frobnicate").output().unwrap();

@@ -637,23 +637,8 @@ impl<M: Metric> NnCellIndex<M> {
     /// skip to). LP trouble never fails an insert; it degrades to the
     /// data-space clamp.
     pub fn insert(&mut self, p: Point) -> Result<usize, BuildError> {
+        self.validate_insert(&p)?;
         let id = self.points.len();
-        validate_point(&p, id, self.dim(), self.vlp.space())?;
-        // Exact-duplicate check against live points: a bit-identical point
-        // is at metric distance zero from its twin.
-        if self.live_count > 0 {
-            if let Some(nn) = self
-                .point_tree
-                .knn_best_first(&p, 1)
-                .into_iter()
-                .find(|n| self.alive[n.id as usize])
-            {
-                let of = nn.id as usize;
-                if self.points[of].as_slice() == p.as_slice() {
-                    return Err(BuildError::DuplicatePoint { id, of });
-                }
-            }
-        }
         self.point_tree.insert_point(&p, id as u64);
         self.points.push(p);
         self.alive.push(true);
@@ -691,6 +676,34 @@ impl<M: Metric> NnCellIndex<M> {
             }
         }
         Ok(id)
+    }
+
+    /// The checks [`Self::insert`] would apply to `p`, without mutating
+    /// anything: dimensionality, finiteness, data-space membership, and the
+    /// exact-duplicate check against the nearest live point. The WAL layer
+    /// calls this *before* journaling so invalid points never reach the log.
+    ///
+    /// # Errors
+    /// The same [`BuildError`] variants `insert` would return.
+    pub fn validate_insert(&self, p: &Point) -> Result<(), BuildError> {
+        let id = self.points.len();
+        validate_point(p, id, self.dim(), self.vlp.space())?;
+        // Exact-duplicate check against live points: a bit-identical point
+        // is at metric distance zero from its twin.
+        if self.live_count > 0 {
+            if let Some(nn) = self
+                .point_tree
+                .knn_best_first(p, 1)
+                .into_iter()
+                .find(|n| self.alive[n.id as usize])
+            {
+                let of = nn.id as usize;
+                if self.points[of].as_slice() == p.as_slice() {
+                    return Err(BuildError::DuplicatePoint { id, of });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Removes point `id`. The cells that bordered it are recomputed — when

@@ -30,16 +30,22 @@
 
 pub mod config;
 pub mod decompose;
+pub mod durable;
 pub mod index;
 pub mod persist;
 pub mod quality;
 pub mod scan;
 pub mod strategy;
+pub mod vfs;
+pub mod wal;
 
 pub use config::{BuildConfig, InputPolicy, Strategy};
+pub use durable::{DurableError, DurableIndex, RecoveryReport};
 pub use index::{BuildError, BuildStats, CellApprox, IntegrityReport, NnCellIndex, QueryResult};
 pub use nncell_lp::SolverKind;
 pub use persist::PersistError;
+pub use vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{read_wal, WalRecord, WalReplay, WalTail, WalWriter};
 pub use quality::{
     average_overlap, expected_candidates, measured_candidates, quality_to_performance,
 };

@@ -22,10 +22,10 @@
 
 use crate::config::{BuildConfig, Strategy};
 use crate::index::{NnCellIndex, MAX_PIECES};
+use crate::vfs::{write_atomic, StdVfs, Vfs};
 use nncell_geom::{Mbr, Point};
 use nncell_lp::SolverKind;
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::path::Path;
 
 const MAGIC_V2: &[u8; 8] = b"NNCELL02";
@@ -150,17 +150,29 @@ impl NnCellIndex<nncell_geom::Euclidean> {
     /// Writes the index (points, liveness, cell pieces, configuration) to
     /// `path` in the checksummed `NNCELL02` format.
     ///
+    /// The write is **crash-safe**: the bytes go to a fsynced sibling
+    /// `.tmp` file that is renamed over `path` (then the directory is
+    /// synced). A crash at any instant leaves either the previous file or
+    /// the complete new one — a plain `save` can no longer destroy the
+    /// last good snapshot.
+    ///
     /// # Errors
     /// I/O failures only; the format always fits the data.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut payload = Vec::with_capacity(64 + self.points().len() * (self.dim() * 8 + 8));
-        payload.extend_from_slice(MAGIC_V2);
-        self.write_payload(&mut payload);
-        let crc = crc32(&payload);
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(&payload)?;
-        w.write_all(&crc.to_le_bytes())?;
-        w.flush()?;
+        self.save_with_vfs(&StdVfs, path.as_ref())
+    }
+
+    /// [`Self::save`] through an explicit [`Vfs`] (fault injection, tests).
+    ///
+    /// # Errors
+    /// I/O failures only.
+    pub fn save_with_vfs(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), PersistError> {
+        let mut bytes = Vec::with_capacity(64 + self.points().len() * (self.dim() * 8 + 8));
+        bytes.extend_from_slice(MAGIC_V2);
+        self.write_payload(&mut bytes);
+        let crc = crc32(&bytes[..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        write_atomic(vfs, path, &bytes)?;
         Ok(())
     }
 
@@ -209,7 +221,15 @@ impl NnCellIndex<nncell_geom::Euclidean> {
     /// I/O failures, a bad magic/version, a checksum mismatch, or
     /// structural corruption. Never panics on hostile input.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        let bytes = std::fs::read(path)?;
+        Self::load_with_vfs(&StdVfs, path.as_ref())
+    }
+
+    /// [`Self::load`] through an explicit [`Vfs`] (fault injection, tests).
+    ///
+    /// # Errors
+    /// See [`Self::load`].
+    pub fn load_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Self, PersistError> {
+        let bytes = vfs.read(path)?;
         if bytes.len() < 8 {
             return Err(corrupt("file too short for header"));
         }

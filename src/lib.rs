@@ -41,10 +41,17 @@
 //! with any positive-diagonal weighted Euclidean metric
 //! ([`geom::WeightedEuclidean`]).
 //!
+//! Dynamic indexes can also run **crash-consistently**:
+//! [`core::NnCellIndex::open_durable`] journals every update to a
+//! write-ahead log (fsynced before acknowledgement) and rotates snapshots
+//! atomically, so acknowledged updates survive `kill -9` — see
+//! `DESIGN.md` §9 and `tests/crash_recovery.rs`.
+//!
 //! Runnable walkthroughs live in `examples/` (`quickstart`,
 //! `image_retrieval`, `molecular_screening`, `dynamic_updates`,
 //! `voronoi_2d`), and the `nncell` CLI (`crates/cli`) wraps generate /
-//! build / query / info / bench flows for the shell.
+//! build / insert / remove / recover / query / info / bench flows for the
+//! shell.
 
 pub use nncell_core as core;
 pub use nncell_data as data;
