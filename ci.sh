@@ -26,4 +26,14 @@ NNCELL_FAULT_SEED="$NNCELL_FAULT_SEED" cargo test -q --test crash_recovery
 echo "== clippy (panic-free library crates) =="
 cargo clippy -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used
 
+echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =="
+# Sequential vs parallel batch QPS on one fixed-seed workload; the bench
+# itself asserts the parallel pass is bit-identical to the sequential one.
+# CI runs a smoke scale that finishes in seconds on a small box; unset the
+# overrides to run the bench's full default workload (100k points, d=16,
+# 10k queries) on real hardware.
+NNCELL_N="${NNCELL_N:-8000}" NNCELL_DIM="${NNCELL_DIM:-8}" \
+    NNCELL_QUERIES="${NNCELL_QUERIES:-5000}" \
+    cargo bench -p nncell-bench --bench query_engine
+
 echo "ci: all green"

@@ -1,0 +1,89 @@
+//! Throughput smoke for the [`nncell_core::QueryEngine`]: sequential vs
+//! parallel batch QPS on one fixed-seed workload, written as JSON for CI
+//! trend tracking (`BENCH_query_engine.json`).
+//!
+//! Defaults match the CI gate — 100 000 uniform points, d = 16, 10 000
+//! queries — and scale with the usual env overrides (`NNCELL_N`,
+//! `NNCELL_QUERIES`, `NNCELL_DIM`, `NNCELL_THREADS`, plus
+//! `NNCELL_BENCH_OUT` for the JSON path). The parallel pass must be
+//! bit-identical to the sequential pass; the bench exits non-zero if not.
+
+use nncell_bench::{env_usize, timed};
+use nncell_core::{BuildConfig, NnCellIndex, Query, Strategy};
+use nncell_data::{Generator, UniformGenerator};
+
+fn main() {
+    let n = env_usize("NNCELL_N", 100_000);
+    let d = env_usize("NNCELL_DIM", 16);
+    let n_q = env_usize("NNCELL_QUERIES", 10_000);
+    let default_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let threads = env_usize("NNCELL_THREADS", default_threads.min(8));
+    // Cargo runs benches with the package directory as cwd; anchor the
+    // default output at the workspace root so CI always finds it there.
+    let out = std::env::var("NNCELL_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_engine.json").to_string()
+    });
+    println!("# Query-engine throughput (N={n}, d={d}, {n_q} queries, {threads} threads)");
+
+    let points = UniformGenerator::new(d).generate(n, 7);
+    let (index, build_s) = timed(|| {
+        NnCellIndex::build(
+            points,
+            BuildConfig::new(Strategy::NnDirection)
+                .with_seed(7)
+                .with_threads(threads),
+        )
+        .expect("build")
+    });
+    println!("built in {build_s:.1}s ({} cells)", index.len());
+
+    let queries: Vec<Query> = UniformGenerator::new(d)
+        .generate(n_q, 8)
+        .iter()
+        .map(|p| Query::nn(p.as_slice()))
+        .collect();
+
+    let engine_seq = index.engine().with_threads(1);
+    let engine_par = index.engine().with_threads(threads);
+    // One untimed warm-up pass each, so page-cache state and allocator
+    // high-water marks do not favor whichever runs second.
+    engine_seq.batch(&queries[..n_q.min(512)]);
+    engine_par.batch(&queries[..n_q.min(512)]);
+
+    let (seq, seq_s) = timed(|| engine_seq.batch(&queries));
+    let (par, par_s) = timed(|| engine_par.batch(&queries));
+    assert_eq!(seq, par, "parallel batch diverged from sequential");
+
+    let answered = seq.iter().filter(|r| r.is_ok()).count();
+    let cands: usize = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats.candidates)
+        .sum();
+    let fallbacks = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter(|r| r.stats.fallback)
+        .count();
+    let seq_qps = n_q as f64 / seq_s;
+    let par_qps = n_q as f64 / par_s;
+    let mean_cands = cands as f64 / answered.max(1) as f64;
+    println!(
+        "sequential: {seq_qps:.0} q/s — parallel ({threads} threads): {par_qps:.0} q/s \
+         ({:.2}x) — {mean_cands:.1} candidates/query, {fallbacks} fallback(s)",
+        par_qps / seq_qps
+    );
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"dim\": {d},\n  \"queries\": {n_q},\n  \
+         \"threads\": {threads},\n  \"build_seconds\": {build_s:.2},\n  \
+         \"seq_qps\": {seq_qps:.2},\n  \"par_qps\": {par_qps:.2},\n  \
+         \"speedup\": {:.4},\n  \"mean_candidates\": {mean_cands:.4},\n  \
+         \"fallbacks\": {fallbacks},\n  \"bit_identical\": true\n}}\n",
+        par_qps / seq_qps
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -23,7 +23,7 @@ mod csv;
 
 use args::Parsed;
 use nncell_core::wal::WalTail;
-use nncell_core::{BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Strategy};
+use nncell_core::{BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Strategy};
 use nncell_geom::Point;
 use nncell_data::{
     ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
@@ -190,24 +190,34 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
     };
     let q = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
-    if q.len() != index.dim() {
-        return Err(format!(
-            "query has {} coordinates, index is {}-dimensional",
-            q.len(),
-            index.dim()
-        ));
-    }
     let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
+    // Both surfaces (--index and --wal) route through the same engine, so a
+    // malformed query produces the same typed QueryError either way.
+    let resp = index
+        .engine()
+        .execute(&Query::knn(q, k))
+        .map_err(|e| e.to_string())?;
     if k == 1 {
-        match index.nearest_neighbor(&q) {
-            Some(r) => println!("nearest neighbor: #{} at distance {:.6}", r.id, r.dist),
-            None => println!("index is empty"),
-        }
+        println!(
+            "nearest neighbor: #{} at distance {:.6}",
+            resp.best.id, resp.best.dist
+        );
     } else {
-        for (rank, r) in index.knn(&q, k).iter().enumerate() {
+        for (rank, r) in resp.iter().enumerate() {
             println!("{:>3}. #{} at distance {:.6}", rank + 1, r.id, r.dist);
         }
     }
+    let st = resp.stats;
+    println!(
+        "stats: {} candidate(s), {} page(s){}",
+        st.candidates,
+        st.pages,
+        if st.fallback {
+            " — answered by exact scan fallback"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -354,31 +364,79 @@ fn cmd_verify(p: &Parsed) -> Result<(), String> {
 }
 
 fn cmd_bench(p: &Parsed) -> Result<(), String> {
-    p.allow_only(&["index", "queries", "seed"])
+    p.allow_only(&["index", "queries", "seed", "k", "threads", "json"])
         .map_err(|e| e.to_string())?;
     let index = NnCellIndex::load(p.require("index").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let n_q: usize = p.get_or("queries", 200).map_err(|e| e.to_string())?;
     let seed: u64 = p.get_or("seed", 7).map_err(|e| e.to_string())?;
-    let queries = UniformGenerator::new(index.dim()).generate(n_q, seed);
+    let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads: usize = p
+        .get_or("threads", default_threads)
+        .map_err(|e| e.to_string())?;
+    let queries: Vec<Query> = UniformGenerator::new(index.dim())
+        .generate(n_q, seed)
+        .iter()
+        .map(|pt| Query::knn(pt.as_slice(), k))
+        .collect();
+
     index.reset_stats();
     let t = Instant::now();
-    let mut cands = 0usize;
-    for q in &queries {
-        cands += index
-            .nearest_neighbor_with_candidates(q)
-            .map(|(_, c)| c)
-            .unwrap_or(0);
+    let seq = index.engine().with_threads(1).batch(&queries);
+    let seq_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let par = index.engine().with_threads(threads).batch(&queries);
+    let par_s = t.elapsed().as_secs_f64();
+    if seq != par {
+        return Err("parallel batch diverged from sequential execution".into());
     }
-    let el = t.elapsed().as_secs_f64();
-    let st = index.cell_tree_stats();
+
+    let ok = seq.iter().filter(|r| r.is_ok()).count();
+    let cands: usize = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats.candidates)
+        .sum();
+    let pages: u64 = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats.pages)
+        .sum();
+    let fallbacks = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .filter(|r| r.stats.fallback)
+        .count();
+    let seq_qps = n_q as f64 / seq_s;
+    let par_qps = n_q as f64 / par_s;
     println!(
-        "{n_q} queries in {:.3}s ({:.1}µs/query) — {:.1} candidates, {:.1} page reads per query",
-        el,
-        el * 1e6 / n_q as f64,
-        cands as f64 / n_q as f64,
-        st.page_reads as f64 / n_q as f64
+        "{n_q} queries (k={k}), {ok} answered — sequential {seq_qps:.0} q/s, \
+         {threads}-thread batch {par_qps:.0} q/s ({:.2}x)",
+        par_qps / seq_qps
     );
+    println!(
+        "per query: {:.1} candidates, {:.1} pages; {fallbacks} scan fallback(s); \
+         parallel results bit-identical to sequential",
+        cands as f64 / n_q as f64,
+        pages as f64 / n_q as f64,
+    );
+    if let Some(path) = p.get("json") {
+        let json = format!(
+            "{{\n  \"queries\": {n_q},\n  \"k\": {k},\n  \"threads\": {threads},\n  \
+             \"seq_qps\": {seq_qps:.2},\n  \"par_qps\": {par_qps:.2},\n  \
+             \"speedup\": {:.4},\n  \"mean_candidates\": {:.4},\n  \
+             \"mean_pages\": {:.4},\n  \"fallbacks\": {fallbacks}\n}}\n",
+            par_qps / seq_qps,
+            cands as f64 / n_q as f64,
+            pages as f64 / n_q as f64,
+        );
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -400,7 +458,8 @@ COMMANDS
   recover   --wal DIR [--checkpoint]
   info      --index FILE
   verify    --index FILE [--repair] [--out FILE]
-  bench     --index FILE [--queries 200] [--seed 7]
+  bench     --index FILE [--queries 200] [--seed 7] [--k 1] [--threads N]
+            [--json FILE]
   help"
     );
 }

@@ -180,7 +180,9 @@ fn bad_usage_fails_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("coordinates"));
+    // The typed QueryError::DimMismatch message, identical on every surface.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("coordinate(s)"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("3-dimensional"));
     std::fs::remove_file(&pts).ok();
     std::fs::remove_file(&idx).ok();
 }

@@ -371,6 +371,26 @@ impl DurableIndex {
         &self.index
     }
 
+    /// Executes one typed query against the in-memory index, with the same
+    /// [`QueryError`] contract as [`crate::QueryEngine::execute`] — a
+    /// durable handle rejects malformed input identically to a plain one.
+    ///
+    /// # Errors
+    /// The [`QueryError`] variants of [`crate::QueryEngine::execute`].
+    pub fn query(&self, q: &crate::Query) -> Result<crate::QueryResponse, crate::QueryError> {
+        self.index.engine().execute(q)
+    }
+
+    /// Executes a batch of typed queries across the engine's thread pool
+    /// (see [`crate::QueryEngine::batch`]). Durability is orthogonal:
+    /// queries never touch the WAL.
+    pub fn batch(
+        &self,
+        queries: &[crate::Query],
+    ) -> Vec<Result<crate::QueryResponse, crate::QueryError>> {
+        self.index.engine().batch(queries)
+    }
+
     /// Journals and applies a point insertion. On `Ok`, the update is on
     /// stable storage (WAL fsynced) — a crash at any later instant
     /// recovers it. Returns the new point's id.
@@ -427,6 +447,7 @@ impl DurableIndex {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
     use crate::config::Strategy;
@@ -465,6 +486,46 @@ mod tests {
                 (None, None) => {}
                 (got, want) => panic!("q={q:?}: {got:?} vs {want:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn typed_queries_behave_like_a_plain_engine() {
+        use crate::query::{Query, QueryError};
+        let (vfs, _fault, dir) = mem_vfs();
+        let mut d = NnCellIndex::open_durable_with_vfs(Arc::clone(&vfs), &dir, 2, cfg()).unwrap();
+        // Empty index: typed, not silent.
+        assert_eq!(
+            d.query(&Query::nn([0.5, 0.5])).unwrap_err(),
+            QueryError::EmptyIndex
+        );
+        for i in 0..12 {
+            d.insert(grid_point(i)).unwrap();
+        }
+        // Malformed input gets the same variants as QueryEngine::execute.
+        assert_eq!(
+            d.query(&Query::nn([0.5])).unwrap_err(),
+            QueryError::DimMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            d.query(&Query::nn([f64::NAN, 0.5])).unwrap_err(),
+            QueryError::NonFiniteQuery
+        );
+        assert_eq!(
+            d.query(&Query::knn([0.5, 0.5], 0)).unwrap_err(),
+            QueryError::ZeroK
+        );
+        // Well-formed queries agree with the engine over the same index.
+        let want = d.index().engine().execute(&Query::knn([0.31, 0.22], 3)).unwrap();
+        let got = d.query(&Query::knn([0.31, 0.22], 3)).unwrap();
+        assert_eq!(got, want);
+        let batch = d.batch(&[Query::nn([0.31, 0.22]), Query::nn([0.9, 0.1])]);
+        assert_eq!(batch.len(), 2);
+        for r in batch {
+            r.unwrap();
         }
     }
 

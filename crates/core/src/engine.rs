@@ -1,0 +1,434 @@
+//! The throughput-grade query engine: parallel batch execution with
+//! reusable per-thread scratch state.
+//!
+//! [`QueryEngine`] is a cheap, read-only session over a built
+//! [`NnCellIndex`]. It owns no data — it borrows the index (including the
+//! cache-friendly flat point layout the index maintains) — so constructing
+//! one is free, and any number of engines can query one index concurrently.
+//!
+//! Execution model:
+//!
+//! * [`QueryEngine::execute`] answers one [`Query`] on the calling thread.
+//! * [`QueryEngine::batch`] fans a query slice out across a configurable
+//!   number of worker threads. Workers *steal work* at chunk granularity
+//!   from a shared atomic cursor, so an expensive straggler query cannot
+//!   idle the rest of the pool.
+//! * Each worker carries one [`QueryScratch`] — candidate id buffer,
+//!   ranked-distance buffer, tree traversal stack — reused across every
+//!   query it executes. Once warm, the per-query path performs **zero heap
+//!   allocations** for `k = 1` (and exactly one — the `rest` vector of the
+//!   response — for `k > 1`); this is property-checked by a counting
+//!   allocator in `crates/core/tests/alloc_free.rs`.
+//!
+//! Results are **bit-identical** regardless of thread count, and identical
+//! to the deprecated sequential shims and to a linear scan: every path
+//! evaluates distances with the same auto-vectorizable kernel
+//! ([`nncell_geom::dist_sq`]) and breaks distance ties by ascending point
+//! id.
+//!
+//! All exact-scan fallbacks (out-of-space query, `k ≥ len`, degenerate
+//! candidate search, boundary miss) are funneled through one helper here,
+//! which both sets [`QueryStats::fallback`] on the response and bumps the
+//! index-wide [`NnCellIndex::fallback_queries`] counter — fixing the old
+//! `knn` paths that scanned without being counted.
+
+use crate::index::{NnCellIndex, QueryResult, PIECE_BITS};
+use crate::query::{Query, QueryError, QueryResponse, QueryStats};
+use nncell_geom::{Euclidean, Metric};
+use nncell_index::{ItemId, PageId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One worker-produced chunk of batch results, keyed by its input offset.
+type BatchPart = (usize, Vec<Result<QueryResponse, QueryError>>);
+
+/// Reusable per-thread query state. All buffers grow to a high-water mark
+/// and are then reused allocation-free; one scratch must not be shared
+/// between threads (each [`QueryEngine::batch`] worker owns its own).
+#[derive(Default)]
+pub struct QueryScratch {
+    /// Raw cell-tree hits (piece-encoded item ids).
+    hits: Vec<ItemId>,
+    /// Tree traversal stack.
+    stack: Vec<PageId>,
+    /// Decoded, deduplicated live candidate ids.
+    cand: Vec<usize>,
+    /// Ranked `(id, dist)` buffer for k-NN.
+    ranked: Vec<QueryResult>,
+}
+
+impl QueryScratch {
+    /// A fresh (cold) scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A read-only, thread-safe query session over a built [`NnCellIndex`].
+///
+/// ```
+/// use nncell_core::{BuildConfig, NnCellIndex, Query, QueryEngine, Strategy};
+/// use nncell_geom::Point;
+/// let pts = (0..50)
+///     .map(|i| Point::new(vec![(i as f64 + 0.5) / 50.0, ((i * 7 % 50) as f64 + 0.5) / 50.0]))
+///     .collect();
+/// let index = NnCellIndex::build(pts, BuildConfig::new(Strategy::Sphere)).unwrap();
+/// let engine = QueryEngine::new(&index);
+/// let responses = engine.batch(&[Query::nn([0.2, 0.3]), Query::knn([0.8, 0.1], 5)]);
+/// let nn = responses[0].as_ref().unwrap();
+/// println!("#{} at {:.3} ({} candidates)", nn.best.id, nn.best.dist, nn.stats.candidates);
+/// assert_eq!(responses[1].as_ref().unwrap().len(), 5);
+/// ```
+pub struct QueryEngine<'a, M: Metric = Euclidean> {
+    index: &'a NnCellIndex<M>,
+    threads: usize,
+}
+
+impl<'a, M: Metric> QueryEngine<'a, M> {
+    /// An engine using every available hardware thread for batches.
+    pub fn new(index: &'a NnCellIndex<M>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { index, threads }
+    }
+
+    /// An engine that executes batches on the calling thread only.
+    pub fn sequential(index: &'a NnCellIndex<M>) -> Self {
+        Self { index, threads: 1 }
+    }
+
+    /// Overrides the batch worker-thread count (≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured batch worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The index this engine reads.
+    pub fn index(&self) -> &'a NnCellIndex<M> {
+        self.index
+    }
+
+    /// Total scan-fallback queries recorded on the underlying index (all
+    /// fallback paths — NN and k-NN — are counted there by this engine).
+    pub fn fallback_queries(&self) -> u64 {
+        self.index.fallback_queries()
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+    // ------------------------------------------------------------------
+
+    /// Executes one query with a private, cold scratch. For steady-state
+    /// throughput prefer [`Self::batch`] or [`Self::execute_with`], which
+    /// reuse warm buffers.
+    pub fn execute(&self, q: &Query) -> Result<QueryResponse, QueryError> {
+        self.execute_with(&mut QueryScratch::new(), q)
+    }
+
+    /// Executes one query reusing the caller's scratch buffers. Once the
+    /// scratch is warm this path performs no heap allocations for `k = 1`.
+    pub fn execute_with(
+        &self,
+        scratch: &mut QueryScratch,
+        q: &Query,
+    ) -> Result<QueryResponse, QueryError> {
+        let idx = self.index;
+        let dim = idx.dim();
+        let p = q.point();
+        if p.len() != dim {
+            return Err(QueryError::DimMismatch {
+                expected: dim,
+                got: p.len(),
+            });
+        }
+        if p.iter().any(|c| !c.is_finite()) {
+            return Err(QueryError::NonFiniteQuery);
+        }
+        if q.k() == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        if idx.is_empty() {
+            return Err(QueryError::EmptyIndex);
+        }
+        if q.k() == 1 {
+            Ok(self.run_nn(scratch, p))
+        } else {
+            Ok(self.run_knn(scratch, p, q.k()))
+        }
+    }
+
+    /// Executes a query slice across the configured thread pool, returning
+    /// one result per query **in input order**. Results are bit-identical
+    /// for every thread count (queries are independent; each is executed
+    /// exactly once).
+    ///
+    /// Workers claim fixed-size chunks from an atomic cursor
+    /// (work-stealing), each reusing its own warm [`QueryScratch`].
+    pub fn batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        let n = queries.len();
+        let threads = self.threads.min(n.max(1));
+        if threads <= 1 {
+            let mut scratch = QueryScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.execute_with(&mut scratch, q))
+                .collect();
+        }
+        // Chunks small enough that stragglers rebalance, big enough that
+        // the cursor and the merge lock stay cold.
+        let chunk = (n / (threads * 4)).clamp(1, 1024);
+        let n_chunks = n.div_ceil(chunk);
+        let cursor = AtomicUsize::new(0);
+        let parts: Mutex<Vec<BatchPart>> = Mutex::new(Vec::with_capacity(n_chunks));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut scratch = QueryScratch::new();
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= n_chunks {
+                            break;
+                        }
+                        let lo = ci * chunk;
+                        let hi = (lo + chunk).min(n);
+                        let part: Vec<_> = queries[lo..hi]
+                            .iter()
+                            .map(|q| self.execute_with(&mut scratch, q))
+                            .collect();
+                        parts.lock().expect("batch merge lock").push((lo, part));
+                    }
+                });
+            }
+        });
+        let mut parts = parts.into_inner().expect("batch merge lock");
+        parts.sort_unstable_by_key(|(lo, _)| *lo);
+        let mut out = Vec::with_capacity(n);
+        for (_, part) in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // the two query kernels
+    // ------------------------------------------------------------------
+
+    /// Exact 1-NN: a cell-tree point query plus a distance check over the
+    /// candidates (Lemma 2: the true NN is always a candidate).
+    fn run_nn(&self, scratch: &mut QueryScratch, p: &[f64]) -> QueryResponse {
+        let idx = self.index;
+        if !idx.space().contains(p) {
+            // Cells are clipped to the data space; outside it the cell
+            // index is not a covering.
+            return self.scan_nn(p);
+        }
+        let pages = idx
+            .cell_tree()
+            .point_query_with(p, &mut scratch.stack, &mut scratch.hits);
+        decode_hits(&scratch.hits, &mut scratch.cand);
+        let metric = idx.metric();
+        let alive = idx.alive();
+        let mut best: Option<(usize, f64)> = None;
+        let mut candidates = 0usize;
+        let mut last_pid = usize::MAX;
+        for &pid in scratch.cand.iter() {
+            if pid == last_pid {
+                continue; // several pieces of one cell
+            }
+            last_pid = pid;
+            if !alive[pid] {
+                continue;
+            }
+            candidates += 1;
+            let d2 = metric.dist_sq(p, idx.flat_point(pid));
+            if best.is_none_or(|(_, b)| d2 < b) {
+                best = Some((pid, d2));
+            }
+        }
+        match best {
+            Some((id, d2)) => QueryResponse {
+                best: QueryResult {
+                    id,
+                    dist: d2.sqrt(),
+                },
+                rest: Vec::new(),
+                stats: QueryStats {
+                    candidates,
+                    pages,
+                    fallback: false,
+                },
+            },
+            None => {
+                // Numerically a boundary query can slip between EPS-closed
+                // MBRs; exactness is preserved by scanning.
+                self.scan_nn(p)
+            }
+        }
+    }
+
+    /// Exact k-NN from the cell index (see `DESIGN.md` §3.4): grow a
+    /// candidate set to ≥ k points via sphere queries, take the k-th best
+    /// candidate distance as a proven upper bound, and resolve with one
+    /// final sphere query at that bound.
+    fn run_knn(&self, scratch: &mut QueryScratch, p: &[f64], k: usize) -> QueryResponse {
+        let idx = self.index;
+        if k >= idx.len() || !idx.space().contains(p) {
+            return self.scan_knn(p, k);
+        }
+        let tree = idx.cell_tree();
+        let mut pages = tree.point_query_with(p, &mut scratch.stack, &mut scratch.hits);
+        decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
+        let mut radius = {
+            // Seed radius: expected k-NN scale, doubled until enough hits.
+            let d = idx.dim() as f64;
+            2.0 * ((k as f64) / idx.len() as f64).powf(1.0 / d)
+        };
+        let mut guard = 0;
+        while scratch.cand.len() < k {
+            pages += tree.sphere_query_with(p, radius, &mut scratch.stack, &mut scratch.hits);
+            decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
+            radius *= 2.0;
+            guard += 1;
+            if guard > 64 {
+                return self.scan_knn(p, k); // numerically degenerate space
+            }
+        }
+        let metric = idx.metric();
+        rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
+        let bound = scratch.ranked[k - 1].dist;
+        // One exact sphere query with the proven bound.
+        pages += tree.sphere_query_with(p, bound + 1e-12, &mut scratch.stack, &mut scratch.hits);
+        decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
+        if scratch.cand.is_empty() {
+            // Unreachable by Lemma 2 (the bound query is a superset of the
+            // growth query), but the library contract is degrade-not-panic.
+            return self.scan_knn(p, k);
+        }
+        let candidates = scratch.cand.len();
+        rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
+        scratch.ranked.truncate(k);
+        QueryResponse {
+            best: scratch.ranked[0],
+            rest: scratch.ranked[1..].to_vec(),
+            stats: QueryStats {
+                candidates,
+                pages,
+                fallback: false,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the one place every scan fallback goes through
+    // ------------------------------------------------------------------
+
+    /// Exact 1-NN by scanning the flat point layout. Counts the fallback.
+    fn scan_nn(&self, p: &[f64]) -> QueryResponse {
+        let idx = self.index;
+        idx.count_fallback();
+        let metric = idx.metric();
+        let alive = idx.alive();
+        let mut best: Option<(usize, f64)> = None;
+        for id in 0..alive.len() {
+            if !alive[id] {
+                continue;
+            }
+            let d2 = metric.dist_sq(p, idx.flat_point(id));
+            if best.is_none_or(|(_, b)| d2 < b) {
+                best = Some((id, d2));
+            }
+        }
+        // `execute_with` rejected empty indexes, so `best` is always set;
+        // the guard keeps this helper total anyway.
+        let (id, d2) = best.unwrap_or((0, f64::INFINITY));
+        QueryResponse {
+            best: QueryResult {
+                id,
+                dist: d2.sqrt(),
+            },
+            rest: Vec::new(),
+            stats: QueryStats {
+                candidates: idx.len(),
+                pages: 0,
+                fallback: true,
+            },
+        }
+    }
+
+    /// Exact k-NN by scanning the flat point layout. Counts the fallback.
+    fn scan_knn(&self, p: &[f64], k: usize) -> QueryResponse {
+        let idx = self.index;
+        idx.count_fallback();
+        let metric = idx.metric();
+        let alive = idx.alive();
+        let mut all: Vec<QueryResult> = (0..alive.len())
+            .filter(|&id| alive[id])
+            .map(|id| QueryResult {
+                id,
+                dist: metric.dist(p, idx.flat_point(id)),
+            })
+            .collect();
+        all.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        all.truncate(k);
+        let best = all.first().copied().unwrap_or(QueryResult {
+            id: 0,
+            dist: f64::INFINITY,
+        });
+        QueryResponse {
+            best,
+            rest: if all.len() > 1 {
+                all[1..].to_vec()
+            } else {
+                Vec::new()
+            },
+            stats: QueryStats {
+                candidates: idx.len(),
+                pages: 0,
+                fallback: true,
+            },
+        }
+    }
+}
+
+/// Decodes piece-encoded hits into sorted (possibly duplicated) point ids.
+fn decode_hits(hits: &[ItemId], cand: &mut Vec<usize>) {
+    cand.clear();
+    cand.extend(hits.iter().map(|&h| (h >> PIECE_BITS) as usize));
+    cand.sort_unstable();
+}
+
+/// Decodes hits into sorted, deduplicated, **live** point ids.
+fn decode_live_hits(hits: &[ItemId], alive: &[bool], cand: &mut Vec<usize>) {
+    cand.clear();
+    cand.extend(
+        hits.iter()
+            .map(|&h| (h >> PIECE_BITS) as usize)
+            .filter(|&pid| alive[pid]),
+    );
+    cand.sort_unstable();
+    cand.dedup();
+}
+
+/// Fills `scratch.ranked` with `(id, dist)` for every candidate, ascending
+/// by `(dist, id)`. The candidate ids are already ascending and unique, so
+/// this tie-break reproduces a stable sort over ascending input — the exact
+/// ordering of [`crate::scan::linear_scan_knn`].
+fn rank_candidates(scratch: &mut QueryScratch, dist: impl Fn(usize) -> f64) {
+    scratch.ranked.clear();
+    scratch
+        .ranked
+        .extend(scratch.cand.iter().map(|&id| QueryResult {
+            id,
+            dist: dist(id),
+        }));
+    scratch
+        .ranked
+        .sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+}

@@ -2,6 +2,8 @@
 
 use crate::config::{BuildConfig, InputPolicy, Strategy};
 use crate::decompose::decompose_cell;
+use crate::engine::QueryEngine;
+use crate::query::Query;
 use crate::strategy::{gather_rival_ids, nearest_rivals};
 use nncell_geom::{DataSpace, Euclidean, Mbr, Metric, Point};
 use nncell_index::{IoStats, TreeConfig, XTree};
@@ -12,7 +14,7 @@ use std::time::Instant;
 /// Bits of the cell-tree item id reserved for the piece index; the rest is
 /// the point id. Decomposition budgets are tiny (≤ ~10 pieces), so 10 bits
 /// is generous.
-const PIECE_BITS: u32 = 10;
+pub(crate) const PIECE_BITS: u32 = 10;
 pub(crate) const MAX_PIECES: usize = 1 << PIECE_BITS;
 
 /// One computed cell: pieces, LP counters, candidate count.
@@ -140,6 +142,11 @@ impl std::error::Error for BuildError {}
 pub struct NnCellIndex<M: Metric = Euclidean> {
     cfg: BuildConfig,
     points: Vec<Point>,
+    /// Row-major copy of `points` (`n × d`), kept in sync by every mutation.
+    /// Queries read this layout: candidate distance evaluations walk
+    /// contiguous memory instead of chasing one `Box<[f64]>` per point,
+    /// and all query threads share the one read-only buffer.
+    points_flat: Vec<f64>,
     alive: Vec<bool>,
     live_count: usize,
     cells: Vec<CellApprox>,
@@ -186,6 +193,7 @@ impl<M: Metric> NnCellIndex<M> {
         Self {
             cfg,
             points: Vec::new(),
+            points_flat: Vec::new(),
             alive: Vec::new(),
             live_count: 0,
             cells: Vec::new(),
@@ -252,6 +260,7 @@ impl<M: Metric> NnCellIndex<M> {
             idx.point_tree.insert_point(p, i as u64);
         }
         idx.points = accepted;
+        idx.rebuild_flat();
         idx.alive = vec![true; idx.points.len()];
         idx.live_count = idx.points.len();
         idx.cells = vec![CellApprox::default(); idx.points.len()];
@@ -367,7 +376,7 @@ impl<M: Metric> NnCellIndex<M> {
             .load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    fn count_fallback(&self) {
+    pub(crate) fn count_fallback(&self) {
         self.fallback_queries
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
@@ -395,168 +404,95 @@ impl<M: Metric> NnCellIndex<M> {
     }
 
     // ------------------------------------------------------------------
-    // queries
+    // queries (deprecated shims — execution lives in the QueryEngine)
     // ------------------------------------------------------------------
 
-    /// Exact nearest neighbor of `q`: a point query on the cell index plus a
-    /// distance check over the candidates (Lemma 2: the true NN is always a
-    /// candidate). `None` when the index is empty.
+    /// A parallel [`QueryEngine`] session over this index — the query API.
+    /// Engines are free to construct (they borrow the index) and any number
+    /// may run concurrently.
+    pub fn engine(&self) -> QueryEngine<'_, M> {
+        QueryEngine::new(self)
+    }
+
+    /// Exact nearest neighbor of `q`. `None` when the index is empty **or**
+    /// the query is malformed — callers cannot tell which.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryEngine::execute(&Query::nn(q))` for typed errors and per-query stats"
+    )]
     pub fn nearest_neighbor(&self, q: &[f64]) -> Option<QueryResult> {
-        self.nearest_neighbor_with_candidates(q).map(|(r, _)| r)
+        QueryEngine::sequential(self)
+            .execute(&Query::nn(q))
+            .ok()
+            .map(|r| r.best)
     }
 
-    /// Like [`Self::nearest_neighbor`], also returning how many candidate
-    /// cells the point query produced (the paper's page-access driver).
-    ///
-    /// `None` for an empty index and for malformed queries (wrong
-    /// dimensionality or non-finite coordinates) — no nearest neighbor is
-    /// well-defined for either.
+    /// Like `nearest_neighbor`, also returning the candidate count — now a
+    /// regular field of [`crate::QueryStats`] on every response.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryEngine::execute`; the candidate count is `QueryResponse::stats.candidates`"
+    )]
     pub fn nearest_neighbor_with_candidates(&self, q: &[f64]) -> Option<(QueryResult, usize)> {
-        if q.len() != self.dim() || q.iter().any(|c| !c.is_finite()) {
-            return None;
-        }
-        if self.live_count == 0 {
-            return None;
-        }
-        if !self.vlp.space().contains(q) {
-            // Cells are clipped to the data space; outside it the cell index
-            // is not a covering. Fall back to an exact scan.
-            self.count_fallback();
-            return self.scan_nn(q).map(|r| (r, self.live_count));
-        }
-        let hits = self.cell_tree.point_query(q);
-        let mut best: Option<QueryResult> = None;
-        let mut candidates = 0usize;
-        let mut last_pid = usize::MAX;
-        let mut sorted: Vec<usize> = hits
-            .into_iter()
-            .map(|h| (h >> PIECE_BITS) as usize)
-            .collect();
-        sorted.sort_unstable();
-        for pid in sorted {
-            if pid == last_pid {
-                continue; // several pieces of one cell
-            }
-            last_pid = pid;
-            if !self.alive[pid] {
-                continue;
-            }
-            candidates += 1;
-            let d = self.vlp.metric().dist(q, &self.points[pid]);
-            if best.as_ref().is_none_or(|b| d < b.dist) {
-                best = Some(QueryResult { id: pid, dist: d });
-            }
-        }
-        match best {
-            Some(b) => Some((b, candidates)),
-            None => {
-                // Numerically a boundary query can slip between EPS-closed
-                // MBRs; exactness is preserved by scanning.
-                self.count_fallback();
-                self.scan_nn(q).map(|r| (r, self.live_count))
-            }
-        }
+        QueryEngine::sequential(self)
+            .execute(&Query::nn(q))
+            .ok()
+            .map(|r| (r.best, r.stats.candidates))
     }
 
-    /// k nearest neighbors, answered **from the cell index** (the paper's
-    /// stated future work, realized):
-    ///
-    /// 1. the point query yields the 1-NN candidates;
-    /// 2. the candidate set is widened with cell-tree sphere queries until
-    ///    it holds ≥ k points; the k-th best candidate distance `b` is then
-    ///    an upper bound on the true k-th NN distance;
-    /// 3. every true k-NN `p` satisfies `d(q,p) ≤ b`, and `p ∈ Appr(p)`, so
-    ///    `Appr(p)` intersects `ball(q, b)` — one final sphere query returns
-    ///    a superset, and the k smallest true distances are exact.
+    /// k nearest neighbors, answered from the cell index. Empty on a
+    /// malformed query, an empty index, or `k == 0` — callers cannot tell
+    /// which.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `QueryEngine::execute(&Query::knn(q, k))` for typed errors and per-query stats"
+    )]
     pub fn knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
-        if q.len() != self.dim() || q.iter().any(|c| !c.is_finite()) {
-            return Vec::new();
+        match QueryEngine::sequential(self).execute(&Query::knn(q, k)) {
+            Ok(r) => r.into_results(),
+            Err(_) => Vec::new(),
         }
-        if k == 0 || self.live_count == 0 {
-            return Vec::new();
-        }
-        if k == 1 {
-            return self.nearest_neighbor(q).into_iter().collect();
-        }
-        if k >= self.live_count || !self.vlp.space().contains(q) {
-            return self.scan_knn(q, k);
-        }
-        // Step 1–2: grow a candidate set until it holds ≥ k points.
-        let mut cand_ids = self.decode_cells(self.cell_tree.point_query(q));
-        let mut radius = {
-            // Seed radius: expected k-NN scale, doubled until enough hits.
-            let d = self.dim() as f64;
-            2.0 * ((k as f64) / self.live_count as f64).powf(1.0 / d)
-        };
-        let mut guard = 0;
-        while cand_ids.len() < k {
-            cand_ids = self.decode_cells(self.cell_tree.sphere_query(q, radius));
-            radius *= 2.0;
-            guard += 1;
-            if guard > 64 {
-                return self.scan_knn(q, k); // numerically degenerate space
-            }
-        }
-        let mut dists: Vec<QueryResult> = cand_ids
-            .iter()
-            .map(|&id| QueryResult {
-                id,
-                dist: self.vlp.metric().dist(q, &self.points[id]),
-            })
-            .collect();
-        dists.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-        let bound = dists[k - 1].dist;
-        // Step 3: one exact sphere query with the proven bound.
-        let final_ids = self.decode_cells(self.cell_tree.sphere_query(q, bound + 1e-12));
-        let mut result: Vec<QueryResult> = final_ids
-            .into_iter()
-            .map(|id| QueryResult {
-                id,
-                dist: self.vlp.metric().dist(q, &self.points[id]),
-            })
-            .collect();
-        result.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-        result.truncate(k);
-        result
     }
 
-    /// Decodes cell-tree hits into live, deduplicated point ids.
-    fn decode_cells(&self, hits: Vec<u64>) -> Vec<usize> {
-        let mut ids: Vec<usize> = hits
-            .into_iter()
-            .map(|h| (h >> PIECE_BITS) as usize)
-            .filter(|&pid| self.alive[pid])
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+    // ------------------------------------------------------------------
+    // engine plumbing (read-only views shared by all query threads)
+    // ------------------------------------------------------------------
+
+    /// The cell X-tree (read-only view for query execution).
+    pub(crate) fn cell_tree(&self) -> &XTree {
+        &self.cell_tree
     }
 
-    fn scan_knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
-        let mut all: Vec<QueryResult> = (0..self.points.len())
-            .filter(|&i| self.alive[i])
-            .map(|i| QueryResult {
-                id: i,
-                dist: self.vlp.metric().dist(q, &self.points[i]),
-            })
-            .collect();
-        all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-        all.truncate(k);
-        all
+    /// The liveness mask, indexed by point id.
+    pub(crate) fn alive(&self) -> &[bool] {
+        &self.alive
     }
 
-    fn scan_nn(&self, q: &[f64]) -> Option<QueryResult> {
-        let mut best: Option<QueryResult> = None;
-        for (i, p) in self.points.iter().enumerate() {
-            if !self.alive[i] {
-                continue;
-            }
-            let d = self.vlp.metric().dist(q, p);
-            if best.as_ref().is_none_or(|b| d < b.dist) {
-                best = Some(QueryResult { id: i, dist: d });
-            }
+    /// The metric in use.
+    pub(crate) fn metric(&self) -> &M {
+        self.vlp.metric()
+    }
+
+    /// The data space cells are clipped to.
+    pub(crate) fn space(&self) -> &nncell_geom::DataSpace {
+        self.vlp.space()
+    }
+
+    /// Row `id` of the flat point layout.
+    #[inline]
+    pub(crate) fn flat_point(&self, id: usize) -> &[f64] {
+        let d = self.vlp.space().dim();
+        &self.points_flat[id * d..(id + 1) * d]
+    }
+
+    /// Rebuilds the flat layout from `points` (bulk build / load).
+    fn rebuild_flat(&mut self) {
+        self.points_flat.clear();
+        self.points_flat
+            .reserve(self.points.len() * self.vlp.space().dim());
+        for p in &self.points {
+            self.points_flat.extend_from_slice(p.as_slice());
         }
-        best
     }
 
     // ------------------------------------------------------------------
@@ -640,6 +576,7 @@ impl<M: Metric> NnCellIndex<M> {
         self.validate_insert(&p)?;
         let id = self.points.len();
         self.point_tree.insert_point(&p, id as u64);
+        self.points_flat.extend_from_slice(p.as_slice());
         self.points.push(p);
         self.alive.push(true);
         self.cells.push(CellApprox::default());
@@ -877,6 +814,7 @@ impl<M: Metric> NnCellIndex<M> {
         debug_assert_eq!(points.len(), all_pieces.len());
         self.live_count = alive.iter().filter(|a| **a).count();
         self.points = points;
+        self.rebuild_flat();
         self.alive = alive;
         self.cells = vec![CellApprox::default(); self.points.len()];
         for (id, pieces) in all_pieces.into_iter().enumerate() {
@@ -929,6 +867,7 @@ fn validate_point(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
     use crate::scan::linear_scan_nn;

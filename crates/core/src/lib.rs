@@ -31,8 +31,10 @@
 pub mod config;
 pub mod decompose;
 pub mod durable;
+pub mod engine;
 pub mod index;
 pub mod persist;
+pub mod query;
 pub mod quality;
 pub mod scan;
 pub mod strategy;
@@ -41,7 +43,9 @@ pub mod wal;
 
 pub use config::{BuildConfig, InputPolicy, Strategy};
 pub use durable::{DurableError, DurableIndex, RecoveryReport};
+pub use engine::{QueryEngine, QueryScratch};
 pub use index::{BuildError, BuildStats, CellApprox, IntegrityReport, NnCellIndex, QueryResult};
+pub use query::{Query, QueryError, QueryResponse, QueryStats};
 pub use nncell_lp::SolverKind;
 pub use persist::PersistError;
 pub use vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};

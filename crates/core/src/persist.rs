@@ -432,6 +432,7 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
     use crate::scan::linear_scan_nn;

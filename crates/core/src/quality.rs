@@ -16,6 +16,7 @@
 //! (`1 / (1 + overlap)`) by the approximation time.
 
 use crate::index::{CellApprox, NnCellIndex};
+use crate::query::Query;
 use nncell_geom::Metric;
 
 /// Expected number of candidate approximations a uniformly random point
@@ -38,19 +39,22 @@ pub fn quality_to_performance(overlap: f64, seconds: f64) -> f64 {
     1.0 / ((1.0 + overlap) * seconds)
 }
 
-/// Empirical candidate count: the mean number of candidate cells
-/// [`NnCellIndex::nearest_neighbor_with_candidates`] inspects over
-/// `queries`. Converges to `expected_candidates` for uniform queries.
+/// Empirical candidate count: the mean number of candidate cells a
+/// nearest-neighbor query inspects over `queries` (the `candidates` field of
+/// [`crate::QueryStats`]). Converges to `expected_candidates` for uniform
+/// queries.
 pub fn measured_candidates<M: Metric>(index: &NnCellIndex<M>, queries: &[Vec<f64>]) -> f64 {
     if queries.is_empty() {
         return 0.0;
     }
+    let engine = index.engine().with_threads(1);
+    let mut scratch = crate::engine::QueryScratch::default();
     let total: usize = queries
         .iter()
         .map(|q| {
-            index
-                .nearest_neighbor_with_candidates(q)
-                .map(|(_, c)| c)
+            engine
+                .execute_with(&mut scratch, &Query::nn(q.clone()))
+                .map(|r| r.stats.candidates)
                 .unwrap_or(0)
         })
         .sum();

@@ -1,0 +1,205 @@
+//! The typed query API: [`Query`] in, [`QueryResponse`] or [`QueryError`]
+//! out.
+//!
+//! This replaces the original trio of `Option`-returning methods
+//! (`nearest_neighbor`, `nearest_neighbor_with_candidates`, `knn`), which
+//! conflated "the index is empty", "the query is malformed", and "you asked
+//! for nothing" into one silent `None`/`[]`. Every response now carries
+//! per-query execution statistics ([`QueryStats`]), and every failure is a
+//! typed [`QueryError`]. Execution happens in [`crate::QueryEngine`]; the
+//! old methods survive as deprecated shims that route through it.
+
+use crate::index::QueryResult;
+
+/// One nearest-neighbor request: a query point plus how many neighbors to
+/// return.
+///
+/// Construct with [`Query::nn`] (one neighbor) or [`Query::knn`]:
+///
+/// ```
+/// use nncell_core::Query;
+/// let one = Query::nn([0.2, 0.7]);
+/// let ten = Query::knn(vec![0.2, 0.7], 10);
+/// assert_eq!(one.k(), 1);
+/// assert_eq!(ten.point(), &[0.2, 0.7]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    point: Vec<f64>,
+    k: usize,
+}
+
+impl Query {
+    /// A single-nearest-neighbor query.
+    pub fn nn(point: impl Into<Vec<f64>>) -> Self {
+        Self {
+            point: point.into(),
+            k: 1,
+        }
+    }
+
+    /// A k-nearest-neighbors query. `k` larger than the index is allowed
+    /// (the response simply holds every live point, by scan fallback).
+    pub fn knn(point: impl Into<Vec<f64>>, k: usize) -> Self {
+        Self {
+            point: point.into(),
+            k,
+        }
+    }
+
+    /// The query point.
+    pub fn point(&self) -> &[f64] {
+        &self.point
+    }
+
+    /// Number of neighbors requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Per-query execution counters, folded into every [`QueryResponse`].
+///
+/// Subsumes the old `nearest_neighbor_with_candidates` side channel: the
+/// candidate count now rides along on every answer, together with the page
+/// cost and whether the query was answered by the exact scan fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Distinct live candidate points whose distance was evaluated (the
+    /// paper's page-access driver). For a scan fallback this is the number
+    /// of live points.
+    pub candidates: usize,
+    /// Simulated cell-tree pages touched while collecting candidates
+    /// (before any LRU cache; 0 for a scan fallback, which reads no index
+    /// pages).
+    pub pages: u64,
+    /// Whether the answer came from the exact linear-scan fallback
+    /// (out-of-space query, `k ≥ len`, a numerically degenerate candidate
+    /// search, or a boundary query slipping between EPS-closed MBRs). All
+    /// fallback paths are counted here — and nowhere else.
+    pub fallback: bool,
+}
+
+/// An exact answer: the nearest neighbor, any further requested neighbors,
+/// and the per-query statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResponse {
+    /// The nearest neighbor (rank 1).
+    pub best: QueryResult,
+    /// Neighbors of rank `2..=k`, ascending by `(distance, id)`. Empty for
+    /// a plain NN query — which keeps the steady-state `k = 1` path free of
+    /// heap allocations (an empty `Vec` does not allocate).
+    pub rest: Vec<QueryResult>,
+    /// Execution counters for this query.
+    pub stats: QueryStats,
+}
+
+impl QueryResponse {
+    /// Number of neighbors returned (`1 + rest.len()`). Can be less than
+    /// the requested `k` when the index holds fewer live points.
+    pub fn len(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    /// Never empty: an empty index is a typed [`QueryError::EmptyIndex`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All returned neighbors in rank order.
+    pub fn iter(&self) -> impl Iterator<Item = QueryResult> + '_ {
+        std::iter::once(self.best).chain(self.rest.iter().copied())
+    }
+
+    /// All returned neighbors in rank order, as an owned vector.
+    pub fn into_results(self) -> Vec<QueryResult> {
+        let mut v = Vec::with_capacity(1 + self.rest.len());
+        v.push(self.best);
+        v.extend(self.rest);
+        v
+    }
+}
+
+/// Why a query could not be answered.
+///
+/// The same variants are returned by every surface — [`crate::QueryEngine`],
+/// the deprecated index shims (mapped to `None`/`[]`), [`crate::DurableIndex`],
+/// and the CLI — so malformed input behaves identically everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// The query point's dimensionality disagrees with the index.
+    DimMismatch {
+        /// The index's dimensionality.
+        expected: usize,
+        /// The query's dimensionality.
+        got: usize,
+    },
+    /// The query point has a NaN or infinite coordinate; no nearest
+    /// neighbor is well-defined.
+    NonFiniteQuery,
+    /// The index holds no live points.
+    EmptyIndex,
+    /// `k == 0` asks for nothing.
+    ZeroK,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::DimMismatch { expected, got } => write!(
+                f,
+                "query has {got} coordinate(s), index is {expected}-dimensional"
+            ),
+            QueryError::NonFiniteQuery => {
+                write!(f, "query point has a NaN or infinite coordinate")
+            }
+            QueryError::EmptyIndex => write!(f, "index holds no live points"),
+            QueryError::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_constructors() {
+        let q = Query::nn(vec![0.1, 0.2]);
+        assert_eq!(q.k(), 1);
+        assert_eq!(q.point(), &[0.1, 0.2]);
+        let q = Query::knn([0.5; 3], 7);
+        assert_eq!(q.k(), 7);
+        assert_eq!(q.point().len(), 3);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r = QueryResponse {
+            best: QueryResult { id: 3, dist: 0.5 },
+            rest: vec![QueryResult { id: 1, dist: 0.7 }],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let ids: Vec<usize> = r.iter().map(|x| x.id).collect();
+        assert_eq!(ids, vec![3, 1]);
+        assert_eq!(r.into_results().len(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(QueryError::DimMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains("4-dimensional"));
+        assert!(QueryError::NonFiniteQuery.to_string().contains("NaN"));
+        assert!(QueryError::EmptyIndex.to_string().contains("no live"));
+        assert!(QueryError::ZeroK.to_string().contains("at least 1"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Proves the engine's steady-state allocation contract with a counting
+//! global allocator: once a worker's [`nncell_core::QueryScratch`] is warm,
+//! `execute_with` performs **zero** heap allocations for `k = 1` queries and
+//! exactly one (the response's `rest` vector) for `k > 1`.
+//!
+//! The counter is gated by an `AtomicBool` so the surrounding test harness
+//! (and index construction) does not pollute the count. This file contains a
+//! single `#[test]` — a second test running concurrently in this binary
+//! would allocate while the gate is open.
+
+use nncell_core::{BuildConfig, NnCellIndex, Query, QueryScratch, Strategy};
+use nncell_geom::Point;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter open and returns how many allocations it made.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_scratch_queries_do_not_allocate() {
+    let pts: Vec<Point> = (0..400)
+        .map(|i| {
+            Point::new(vec![
+                ((i * 37) % 400) as f64 / 400.0 + 0.001,
+                ((i * 113) % 400) as f64 / 400.0 + 0.001,
+                ((i * 59) % 400) as f64 / 400.0 + 0.001,
+            ])
+        })
+        .collect();
+    let index =
+        NnCellIndex::build(pts, BuildConfig::new(Strategy::CorrectPruned).with_seed(7)).unwrap();
+    let engine = index.engine().with_threads(1);
+    let nn_queries: Vec<Query> = (0..64)
+        .map(|i| {
+            Query::nn(vec![
+                ((i * 7) % 64) as f64 / 64.0 + 0.004,
+                ((i * 19) % 64) as f64 / 64.0 + 0.004,
+                ((i * 31) % 64) as f64 / 64.0 + 0.004,
+            ])
+        })
+        .collect();
+    let knn_queries: Vec<Query> = nn_queries
+        .iter()
+        .map(|q| Query::knn(q.point().to_vec(), 5))
+        .collect();
+
+    let mut scratch = QueryScratch::new();
+    // Warm-up pass: buffers grow to their high-water mark.
+    for q in nn_queries.iter().chain(&knn_queries) {
+        engine.execute_with(&mut scratch, q).unwrap();
+        assert!(
+            !engine.execute_with(&mut scratch, q).unwrap().stats.fallback,
+            "fallback would scan via a fresh Vec; this test wants the hot path"
+        );
+    }
+
+    // Steady state, k = 1: zero heap allocations.
+    let allocs = count_allocs(|| {
+        for q in &nn_queries {
+            let r = engine.execute_with(&mut scratch, q).unwrap();
+            assert!(r.rest.is_empty());
+            std::hint::black_box(&r);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "k=1 steady state must not allocate ({allocs} allocations over {} queries)",
+        nn_queries.len()
+    );
+
+    // Steady state, k > 1: exactly the response's `rest` vector per query.
+    let allocs = count_allocs(|| {
+        for q in &knn_queries {
+            let r = engine.execute_with(&mut scratch, q).unwrap();
+            assert_eq!(r.len(), 5);
+            std::hint::black_box(&r);
+        }
+    });
+    assert!(
+        allocs <= knn_queries.len() as u64,
+        "k>1 steady state allocates at most the `rest` vector per query \
+         ({allocs} allocations over {} queries)",
+        knn_queries.len()
+    );
+}

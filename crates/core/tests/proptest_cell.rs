@@ -1,5 +1,7 @@
 //! Property-based tests of the paper's two lemmas on the full index.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell_core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy as BuildStrategy};
 use nncell_geom::{dist_sq, Point};
 use proptest::prelude::*;

@@ -4,6 +4,8 @@
 //! case the index either returns a typed error or agrees with a linear
 //! scan — never a panic, never a wrong answer.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell_core::{
     linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex, Strategy as BuildStrategy,
 };

@@ -11,6 +11,8 @@
 //! very same cell computations from the same empty starting state — the
 //! same [`CellLpStats`] counters to the last LP call.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell_core::durable::DurableError;
 use nncell_core::vfs::{FaultSchedule, FaultVfs, Vfs};
 use nncell_core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy as BuildStrategy};

@@ -8,18 +8,37 @@
 
 /// Squared Euclidean distance between two coordinate slices.
 ///
+/// This is the **single** L2 kernel of the workspace: the linear scan, the
+/// NN-cell query shims, and the batch [`query engine`](../index.html) all
+/// route through it, so distances are bit-identical across every execution
+/// path. Four independent accumulators break the sequential floating-point
+/// reduction dependency, letting LLVM auto-vectorize the loop; the
+/// accumulator combination order is fixed, so results are deterministic.
+///
 /// # Panics
 /// Panics (debug builds) if the slices have different lengths.
 #[inline]
 pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let d0 = x[0] - y[0];
+        let d1 = x[1] - y[1];
+        let d2 = x[2] - y[2];
+        let d3 = x[3] - y[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 /// Euclidean distance between two coordinate slices.
@@ -100,19 +119,44 @@ impl WeightedEuclidean {
     }
 }
 
+/// Squared weighted-L2 distance `Σ wᵢ (aᵢ-bᵢ)²` — the weighted sibling of
+/// [`dist_sq`], with the same 4-accumulator auto-vectorizable shape and the
+/// same deterministic combination order.
+#[inline]
+pub fn weighted_dist_sq(w: &[f64], a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), w.len());
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let mut cw = w.chunks_exact(4);
+    for ((x, y), w) in (&mut ca).zip(&mut cb).zip(&mut cw) {
+        let d0 = x[0] - y[0];
+        let d1 = x[1] - y[1];
+        let d2 = x[2] - y[2];
+        let d3 = x[3] - y[3];
+        acc[0] += w[0] * d0 * d0;
+        acc[1] += w[1] * d1 * d1;
+        acc[2] += w[2] * d2 * d2;
+        acc[3] += w[3] * d3 * d3;
+    }
+    let mut tail = 0.0;
+    for ((x, y), w) in ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .zip(cw.remainder())
+    {
+        let d = x - y;
+        tail += w * d * d;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
 impl Metric for WeightedEuclidean {
     #[inline]
     fn dist_sq(&self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len());
-        debug_assert_eq!(a.len(), self.weights.len());
-        a.iter()
-            .zip(b.iter())
-            .zip(self.weights.iter())
-            .map(|((x, y), w)| {
-                let d = x - y;
-                w * d * d
-            })
-            .sum()
+        weighted_dist_sq(&self.weights, a, b)
     }
 
     #[inline]
@@ -160,6 +204,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn weighted_rejects_zero_weight() {
         let _ = WeightedEuclidean::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn kernel_matches_naive_summation_for_all_lengths() {
+        // Exercise every remainder length (0..4) and a long vector; the
+        // unrolled kernel must agree with the naive loop to within the
+        // rounding slack of a reassociated sum.
+        for d in [1usize, 2, 3, 4, 5, 7, 8, 13, 16, 33, 100] {
+            let a: Vec<f64> = (0..d).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..d).map(|i| (i as f64 * 0.73).cos()).collect();
+            let w: Vec<f64> = (0..d).map(|i| 0.5 + (i % 5) as f64).collect();
+            let naive: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum();
+            let naive_w: f64 = a
+                .iter()
+                .zip(&b)
+                .zip(&w)
+                .map(|((x, y), w)| {
+                    let d = x - y;
+                    w * d * d
+                })
+                .sum();
+            assert!((dist_sq(&a, &b) - naive).abs() <= 1e-12 * naive.max(1.0), "d={d}");
+            assert!(
+                (weighted_dist_sq(&w, &a, &b) - naive_w).abs() <= 1e-12 * naive_w.max(1.0),
+                "d={d}"
+            );
+            // Determinism: bit-identical on repeat calls.
+            assert_eq!(dist_sq(&a, &b).to_bits(), dist_sq(&a, &b).to_bits());
+            let m = WeightedEuclidean::new(w.clone());
+            assert_eq!(m.dist_sq(&a, &b).to_bits(), weighted_dist_sq(&w, &a, &b).to_bits());
+        }
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct CostTracker {
     writes: AtomicU64,
     cpu_ops: AtomicU64,
     cache_hits: AtomicU64,
+    /// Mirrors `cache.is_some()` so the hot no-cache path can skip the
+    /// Mutex entirely — concurrent query threads would otherwise serialize
+    /// on a lock they only take to discover there is nothing to do.
+    cache_enabled: std::sync::atomic::AtomicBool,
     cache: Mutex<Option<Lru>>,
 }
 
@@ -82,6 +86,10 @@ impl CostTracker {
     /// when one is enabled. `node` identifies the node; `span` is its page
     /// count (each page of a supernode is cached individually).
     pub fn access(&self, node: u64, span: u64) {
+        if !self.cache_enabled.load(Ordering::Relaxed) {
+            self.read(span);
+            return;
+        }
         let mut guard = self.cache.lock().expect("cache lock");
         match guard.as_mut() {
             None => {
@@ -114,6 +122,10 @@ impl CostTracker {
         } else {
             Some(Lru::new(pages))
         };
+        // Publish the flag while still holding the lock so `access` can
+        // trust a `false` reading (the Mutex acquisition orders the store).
+        self.cache_enabled
+            .store(guard.is_some(), Ordering::Relaxed);
     }
 
     /// Records `pages` page writes.

@@ -776,6 +776,71 @@ impl Tree {
         }
     }
 
+    /// [`Self::point_query`] with caller-provided buffers: the traversal
+    /// stack and the output vector are cleared and reused, so a warmed-up
+    /// caller pays **zero heap allocations** per query. Returns the number
+    /// of simulated pages touched (supernodes count their span) — the
+    /// per-query page cost, independent of the shared counters.
+    ///
+    /// Item order differs from [`Self::point_query`] (explicit stack vs.
+    /// recursion); callers that need a canonical order must sort.
+    pub fn point_query_with(
+        &self,
+        q: &[f64],
+        stack: &mut Vec<PageId>,
+        out: &mut Vec<ItemId>,
+    ) -> u64 {
+        stack.clear();
+        out.clear();
+        stack.push(self.root);
+        let mut pages = 0u64;
+        while let Some(id) = stack.pop() {
+            self.touch(id);
+            let n = self.node(id);
+            pages += n.span as u64;
+            self.cost.cpu(n.entries.len() as u64);
+            for e in &n.entries {
+                if e.mbr.contains_point(q) {
+                    match e.payload {
+                        Payload::Item(item) => out.push(item),
+                        Payload::Child(c) => stack.push(c),
+                    }
+                }
+            }
+        }
+        pages
+    }
+
+    /// [`Self::sphere_query`] with caller-provided buffers; see
+    /// [`Self::point_query_with`] for the contract.
+    pub fn sphere_query_with(
+        &self,
+        center: &[f64],
+        radius: f64,
+        stack: &mut Vec<PageId>,
+        out: &mut Vec<ItemId>,
+    ) -> u64 {
+        stack.clear();
+        out.clear();
+        stack.push(self.root);
+        let mut pages = 0u64;
+        while let Some(id) = stack.pop() {
+            self.touch(id);
+            let n = self.node(id);
+            pages += n.span as u64;
+            self.cost.cpu(n.entries.len() as u64);
+            for e in &n.entries {
+                if e.mbr.intersects_sphere(center, radius) {
+                    match e.payload {
+                        Payload::Item(item) => out.push(item),
+                        Payload::Child(c) => stack.push(c),
+                    }
+                }
+            }
+        }
+        pages
+    }
+
     /// All items whose MBR intersects the query window.
     pub fn window_query(&self, window: &Mbr) -> Vec<ItemId> {
         let mut out = Vec::new();

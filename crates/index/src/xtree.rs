@@ -99,4 +99,32 @@ mod tests {
     fn wrong_policy_rejected() {
         let _ = XTree::with_config(TreeConfig::rstar(2));
     }
+
+    #[test]
+    fn buffered_queries_match_allocating_queries() {
+        let mut t = XTree::new(2);
+        for i in 0..200u64 {
+            let x = (i % 20) as f64 / 20.0;
+            let y = (i / 20) as f64 / 10.0;
+            t.insert(Mbr::new(vec![x, y], vec![x + 0.08, y + 0.12]), i);
+        }
+        let mut stack = Vec::new();
+        let mut out = Vec::new();
+        for q in [[0.31, 0.55], [0.0, 0.0], [0.99, 0.99], [0.5, 0.21]] {
+            let mut a = t.point_query(&q);
+            let pages = t.point_query_with(&q, &mut stack, &mut out);
+            let mut b = out.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "point query mismatch at {q:?}");
+            assert!(pages >= 1, "at least the root is touched");
+
+            let mut a = t.sphere_query(&q, 0.2);
+            t.sphere_query_with(&q, 0.2, &mut stack, &mut out);
+            let mut b = out.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "sphere query mismatch at {q:?}");
+        }
+    }
 }

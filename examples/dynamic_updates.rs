@@ -8,7 +8,7 @@
 //! cargo run --release --example dynamic_updates
 //! ```
 
-use nncell::core::{linear_scan_nn, BuildConfig, DurableIndex, NnCellIndex, Strategy};
+use nncell::core::{linear_scan_nn, BuildConfig, DurableIndex, NnCellIndex, Query, Strategy};
 use nncell::data::{ClusteredGenerator, Generator, UniformGenerator};
 use nncell::geom::Point;
 
@@ -49,8 +49,9 @@ fn main() {
         .map(|(_, p)| p.clone())
         .collect();
     // Query answers must now match a scan over the survivors only.
+    let engine = index.engine();
     for q in &queries {
-        let got = index.nearest_neighbor(q).unwrap();
+        let got = engine.execute(&Query::nn(q.clone())).unwrap().best;
         let want = linear_scan_nn(&survivors, q).unwrap();
         assert!(
             (got.dist - want.dist).abs() < 1e-9,
@@ -92,7 +93,7 @@ fn main() {
         .collect();
     let expected_answers: Vec<Option<usize>> = queries
         .iter()
-        .map(|q| durable.nearest_neighbor(q).map(|r| r.id))
+        .map(|q| durable.query(&Query::nn(q.clone())).ok().map(|r| r.best.id))
         .collect();
     println!(
         "journaled {} updates ({} records pending replay) — crashing without checkpoint",
@@ -118,7 +119,10 @@ fn main() {
         }
     }
     for (q, want) in queries.iter().zip(&expected_answers) {
-        let got = recovered.nearest_neighbor(q).map(|r| r.id);
+        let got = recovered
+            .query(&Query::nn(q.clone()))
+            .ok()
+            .map(|r| r.best.id);
         assert_eq!(&got, want, "query answer changed across the crash at q={q:?}");
     }
     println!(
@@ -130,8 +134,9 @@ fn main() {
 }
 
 fn verify(index: &NnCellIndex, reference: &[Point], queries: &[Vec<f64>], label: &str) {
-    for q in queries {
-        let got = index.nearest_neighbor(q).unwrap();
+    let batch: Vec<Query> = queries.iter().map(|q| Query::nn(q.clone())).collect();
+    for (q, got) in queries.iter().zip(index.engine().batch(&batch)) {
+        let got = got.expect("well-formed query").best;
         let want = linear_scan_nn(reference, q).unwrap();
         assert_eq!(got.id, want.id, "{label}: mismatch at q={q:?}");
     }

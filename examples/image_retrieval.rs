@@ -10,7 +10,7 @@
 //! cargo run --release --example image_retrieval
 //! ```
 
-use nncell::core::{BuildConfig, NnCellIndex, Strategy};
+use nncell::core::{BuildConfig, NnCellIndex, Query, Strategy};
 use nncell::data::{FourierGenerator, Generator};
 use nncell::index::{LinearScan, XTree};
 use std::time::Instant;
@@ -50,12 +50,16 @@ fn main() {
         scan.insert(p, i as u64);
     }
 
-    // Run the workload on all three engines.
+    // Run the workload on all three engines. The NN-cell index goes through
+    // its batch engine — one warm scratch per worker thread.
+    let batch: Vec<Query> = queries.iter().map(|q| Query::nn(q.clone())).collect();
     nncell.reset_stats();
     let t = Instant::now();
-    let nncell_res: Vec<usize> = queries
-        .iter()
-        .map(|q| nncell.nearest_neighbor(q).unwrap().id)
+    let nncell_res: Vec<usize> = nncell
+        .engine()
+        .batch(&batch)
+        .into_iter()
+        .map(|r| r.expect("well-formed query").best.id)
         .collect();
     let nncell_time = t.elapsed().as_secs_f64();
     let nncell_io = nncell.cell_tree_stats();

@@ -13,7 +13,7 @@
 //! cargo run --release --example molecular_screening
 //! ```
 
-use nncell::core::{BuildConfig, NnCellIndex, Strategy};
+use nncell::core::{BuildConfig, NnCellIndex, Query, Strategy};
 use nncell::data::{ClusteredGenerator, Generator};
 use nncell::geom::{Metric, Point, WeightedEuclidean};
 
@@ -39,11 +39,14 @@ fn main() {
         index.build_stats().lp.lp_calls
     );
 
-    // Probes: perturbed library compounds (an analog search) plus novel ones.
+    // Probes: perturbed library compounds (an analog search) plus novel
+    // ones — screened as one parallel batch through the query engine.
     let probes = ClusteredGenerator::new(dim, 12, 0.08).generate(40, 8);
+    let batch: Vec<Query> = probes.iter().map(|p| Query::nn(p.as_slice())).collect();
+    let screened = index.engine().batch(&batch);
     let mut hits_per_series = 0usize;
-    for probe in &probes {
-        let hit = index.nearest_neighbor(probe).expect("non-empty library");
+    for (probe, hit) in probes.iter().zip(screened) {
+        let hit = hit.expect("well-formed probe").best;
         // Verify against a weighted linear scan.
         let want = library
             .iter()
@@ -85,7 +88,11 @@ fn main() {
         .filter(|&i| index.is_live(i))
         .map(|i| (i, &index.points()[i]))
         .collect();
-    let hit = index.nearest_neighbor(&probe).unwrap();
+    let hit = index
+        .engine()
+        .execute(&Query::nn(probe.clone()))
+        .expect("well-formed probe")
+        .best;
     let want = survivors
         .iter()
         .min_by(|(_, a), (_, b)| {

@@ -1,10 +1,11 @@
-//! Quickstart: build an NN-cell index, run exact NN queries, inspect costs.
+//! Quickstart: build an NN-cell index, run exact NN queries through the
+//! typed query engine, inspect per-query costs.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy};
+use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Query, Strategy};
 use nncell::data::{Generator, UniformGenerator};
 
 fn main() {
@@ -26,28 +27,44 @@ fn main() {
         index.total_pieces()
     );
 
-    // A nearest-neighbor query is now a point query on the cell index.
-    let queries = UniformGenerator::new(dim).generate(5, 7);
-    for q in &queries {
-        index.reset_stats();
-        let (hit, candidates) = index
-            .nearest_neighbor_with_candidates(q)
-            .expect("non-empty index");
-        let io = index.cell_tree_stats();
+    // A nearest-neighbor query is now a point query on the cell index. The
+    // engine is the query API: typed errors in, responses with per-query
+    // stats out.
+    let engine = index.engine();
+    let queries: Vec<Query> = UniformGenerator::new(dim)
+        .generate(5, 7)
+        .iter()
+        .map(|p| Query::nn(p.as_slice()))
+        .collect();
+    for (q, resp) in queries.iter().zip(engine.batch(&queries)) {
+        let resp = resp.expect("well-formed query on a non-empty index");
         // Exactness check against a linear scan.
-        let scan = linear_scan_nn(&points, q).unwrap();
-        assert_eq!(hit.id, scan.id, "NN-cell result must equal the scan");
+        let scan = linear_scan_nn(&points, q.point()).unwrap();
+        assert_eq!(resp.best.id, scan.id, "NN-cell result must equal the scan");
         println!(
             "  query {:?}... -> point #{} at distance {:.4} \
-             ({candidates} candidates, {} page reads)",
-            &q.as_slice()[..3.min(dim)],
-            hit.id,
-            hit.dist,
-            io.page_reads
+             ({} candidates, {} pages)",
+            &q.point()[..3.min(dim)],
+            resp.best.id,
+            resp.best.dist,
+            resp.stats.candidates,
+            resp.stats.pages
         );
     }
 
     println!("all answers verified against a linear scan — exact, as Lemma 2 promises.");
+
+    // k-NN rides the same engine; malformed queries are typed errors, not
+    // silent empties.
+    let top3 = engine
+        .execute(&Query::knn(queries[0].point().to_vec(), 3))
+        .expect("well-formed query");
+    println!(
+        "top-3 of the first query: {:?}",
+        top3.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+    let err = engine.execute(&Query::nn(vec![0.5])).unwrap_err();
+    println!("a 1-d query on an {dim}-d index is rejected: {err}");
 
     // The precomputed solution space persists: save and reload without
     // rerunning a single linear program.
@@ -57,8 +74,8 @@ fn main() {
     std::fs::remove_file(&path).ok();
     let q = &queries[0];
     assert_eq!(
-        reloaded.nearest_neighbor(q).unwrap().id,
-        index.nearest_neighbor(q).unwrap().id
+        reloaded.engine().execute(q).unwrap().best.id,
+        engine.execute(q).unwrap().best.id
     );
     println!(
         "index round-tripped through disk ({} points, {} cell pieces) — no LP rerun.",

@@ -20,16 +20,31 @@
 //! ## Quickstart
 //!
 //! ```
-//! use nncell::core::{NnCellIndex, BuildConfig, Strategy};
+//! use nncell::core::{NnCellIndex, BuildConfig, Query, QueryError, Strategy};
 //! use nncell::data::{UniformGenerator, Generator};
 //!
 //! let points = UniformGenerator::new(6).generate(500, 42);
 //! let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
-//! let query = vec![0.3; 6];
-//! let hit = index.nearest_neighbor(&query).unwrap();
+//!
+//! // The query engine is the query API: typed requests in, responses with
+//! // per-query statistics out.
+//! let engine = index.engine();
+//! let hit = engine.execute(&Query::nn(vec![0.3; 6])).unwrap();
 //! // The NN-cell result is exact: it matches a linear scan.
-//! let scan = nncell::core::linear_scan_nn(&points, &query).unwrap();
-//! assert_eq!(hit.id, scan.id);
+//! let scan = nncell::core::linear_scan_nn(&points, &[0.3; 6]).unwrap();
+//! assert_eq!(hit.best, scan);
+//! assert!(hit.stats.candidates >= 1);
+//!
+//! // Batches fan out across a thread pool, bit-identical to sequential.
+//! let queries = vec![Query::nn(vec![0.7; 6]), Query::knn(vec![0.2; 6], 10)];
+//! let responses = engine.batch(&queries);
+//! assert_eq!(responses[1].as_ref().unwrap().len(), 10);
+//!
+//! // Malformed input is a typed error, not a silent `None`.
+//! assert_eq!(
+//!     engine.execute(&Query::nn(vec![0.5])).unwrap_err(),
+//!     QueryError::DimMismatch { expected: 6, got: 1 }
+//! );
 //! ```
 //!
 //! Everything configurable hangs off [`core::BuildConfig`]: the

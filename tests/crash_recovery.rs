@@ -21,6 +21,8 @@
 //! via `NNCELL_FAULT_SEED` (ci.sh pins it; set it locally to explore other
 //! tear patterns).
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell::core::durable::DurableError;
 use nncell::core::vfs::{FaultSchedule, FaultVfs, Vfs};
 use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy};

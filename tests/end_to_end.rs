@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: full pipelines from generator to query.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell::core::{
     average_overlap, linear_scan_nn, BuildConfig, CellApprox, NnCellIndex, Strategy,
 };

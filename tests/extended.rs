@@ -1,6 +1,8 @@
 //! Extended integration tests: persistence, kNN, weighted metrics, CLI-less
 //! end-to-end flows, and failure paths.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell::core::{
     linear_scan_knn, linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex,
     PersistError, Strategy,

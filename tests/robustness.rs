@@ -2,6 +2,8 @@
 //! random corruptions must never panic the loader and must never produce
 //! an index that silently disagrees with the original.
 
+#![allow(deprecated)] // legacy shims stay under test until removal
+
 use nncell::core::vfs::StdVfs;
 use nncell::core::wal::{read_wal, WalRecord, WalTail, WalWriter};
 use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, PersistError, Strategy};
