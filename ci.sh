@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, lint. Run from the repository root.
 #
-# The clippy step denies warnings on the two crates that carry the
-# panic-free contract (`nncell-lp`, `nncell-core`, including the new
-# `vfs`/`wal`/`durable` modules); their crate-level
+# The clippy step denies warnings on the crates that carry the
+# panic-free contract (`nncell-obs`, `nncell-lp`, `nncell-core`,
+# including the `vfs`/`wal`/`durable` modules); their crate-level
 # `#![warn(clippy::unwrap_used)]` is promoted to an error here, so an
 # `unwrap()` in library code fails the gate while tests stay exempt.
 #
@@ -24,7 +24,7 @@ echo "== crash injection (kill-at-every-syscall, seed ${NNCELL_FAULT_SEED:=42424
 NNCELL_FAULT_SEED="$NNCELL_FAULT_SEED" cargo test -q --test crash_recovery
 
 echo "== clippy (panic-free library crates) =="
-cargo clippy -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used
+cargo clippy -p nncell-obs -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =="
 # Sequential vs parallel batch QPS on one fixed-seed workload; the bench
@@ -35,5 +35,30 @@ echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =
 NNCELL_N="${NNCELL_N:-8000}" NNCELL_DIM="${NNCELL_DIM:-8}" \
     NNCELL_QUERIES="${NNCELL_QUERIES:-5000}" \
     cargo bench -p nncell-bench --bench query_engine
+
+echo "== bench regression gate (sequential QPS vs committed baseline) =="
+# Compare the fresh run against the last committed BENCH_query_engine.json.
+# A drop of more than 25% in sequential QPS fails the gate; smaller swings
+# are treated as machine noise. Skipped when there is no committed baseline
+# (first run on a new checkout or the file was never committed).
+if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
+    extract_qps() { grep -o '"seq_qps": *[0-9.]*' | tr -dc '0-9.\n' | head -n1; }
+    old_qps=$(printf '%s' "$baseline_json" | extract_qps)
+    cur_qps=$(extract_qps < BENCH_query_engine.json)
+    if [ -z "$old_qps" ] || [ -z "$cur_qps" ]; then
+        echo "bench gate: could not parse seq_qps (old='$old_qps' cur='$cur_qps')" >&2
+        exit 1
+    fi
+    awk -v old="$old_qps" -v cur="$cur_qps" 'BEGIN {
+        floor = 0.75 * old;
+        printf "bench gate: seq_qps %.2f vs baseline %.2f (floor %.2f)\n", cur, old, floor;
+        if (cur < floor) {
+            printf "bench gate: FAIL — sequential QPS dropped more than 25%%\n";
+            exit 1;
+        }
+    }'
+else
+    echo "bench gate: no committed BENCH_query_engine.json baseline; skipping"
+fi
 
 echo "ci: all green"

@@ -7,9 +7,14 @@
 //! `NNCELL_QUERIES`, `NNCELL_DIM`, `NNCELL_THREADS`, plus
 //! `NNCELL_BENCH_OUT` for the JSON path). The parallel pass must be
 //! bit-identical to the sequential pass; the bench exits non-zero if not.
+//!
+//! A third sequential pass runs with a live metrics registry attached to
+//! measure observability overhead (`seq_qps_metrics` / `metrics_overhead`
+//! in the JSON). That pass must also be bit-identical — instrumentation
+//! may cost nanoseconds, never answers.
 
 use nncell_bench::{env_usize, timed};
-use nncell_core::{BuildConfig, NnCellIndex, Query, Strategy};
+use nncell_core::{BuildConfig, NnCellIndex, Query, Registry, Strategy};
 use nncell_data::{Generator, UniformGenerator};
 
 fn main() {
@@ -28,7 +33,7 @@ fn main() {
     println!("# Query-engine throughput (N={n}, d={d}, {n_q} queries, {threads} threads)");
 
     let points = UniformGenerator::new(d).generate(n, 7);
-    let (index, build_s) = timed(|| {
+    let (mut index, build_s) = timed(|| {
         NnCellIndex::build(
             points,
             BuildConfig::new(Strategy::NnDirection)
@@ -55,6 +60,23 @@ fn main() {
     let (seq, seq_s) = timed(|| engine_seq.batch(&queries));
     let (par, par_s) = timed(|| engine_par.batch(&queries));
     assert_eq!(seq, par, "parallel batch diverged from sequential");
+    drop(engine_seq);
+    drop(engine_par);
+
+    // Third pass: same sequential workload with a live registry attached
+    // (latency/candidate/page histograms recording on every query). The
+    // delta against the plain sequential pass is the observability tax.
+    let registry = Registry::new();
+    index.attach_metrics(registry.clone());
+    let engine_obs = index.engine().with_threads(1);
+    engine_obs.batch(&queries[..n_q.min(512)]);
+    let (obs, obs_s) = timed(|| engine_obs.batch(&queries));
+    assert_eq!(seq, obs, "metrics-attached batch diverged from sequential");
+    let recorded = registry.snapshot().counter("nncell_queries_total");
+    assert!(
+        recorded >= Some(n_q as u64),
+        "registry missed queries: {recorded:?} < {n_q}"
+    );
 
     let answered = seq.iter().filter(|r| r.is_ok()).count();
     let cands: usize = seq
@@ -69,17 +91,26 @@ fn main() {
         .count();
     let seq_qps = n_q as f64 / seq_s;
     let par_qps = n_q as f64 / par_s;
+    let obs_qps = n_q as f64 / obs_s;
+    // Overhead of the instrumented pass relative to the plain sequential
+    // pass; reported (not asserted) because single-run timings are noisy.
+    let metrics_overhead = obs_s / seq_s.max(f64::MIN_POSITIVE) - 1.0;
     let mean_cands = cands as f64 / answered.max(1) as f64;
     println!(
         "sequential: {seq_qps:.0} q/s — parallel ({threads} threads): {par_qps:.0} q/s \
          ({:.2}x) — {mean_cands:.1} candidates/query, {fallbacks} fallback(s)",
         par_qps / seq_qps
     );
+    println!(
+        "with metrics: {obs_qps:.0} q/s ({:+.1}% vs plain sequential)",
+        metrics_overhead * 100.0
+    );
 
     let json = format!(
         "{{\n  \"n\": {n},\n  \"dim\": {d},\n  \"queries\": {n_q},\n  \
          \"threads\": {threads},\n  \"build_seconds\": {build_s:.2},\n  \
          \"seq_qps\": {seq_qps:.2},\n  \"par_qps\": {par_qps:.2},\n  \
+         \"seq_qps_metrics\": {obs_qps:.2},\n  \"metrics_overhead\": {metrics_overhead:.4},\n  \
          \"speedup\": {:.4},\n  \"mean_candidates\": {mean_cands:.4},\n  \
          \"fallbacks\": {fallbacks},\n  \"bit_identical\": true\n}}\n",
         par_qps / seq_qps

@@ -12,6 +12,7 @@
 //! nncell info     --index idx.nncell
 //! nncell verify   --index idx.nncell [--repair]
 //! nncell bench    --index idx.nncell --queries 200 --seed 7
+//! nncell stats    --index idx.nncell [--json | --prom | --slow]
 //! ```
 //!
 //! `--wal DIR` commands operate on a crash-consistent directory: every
@@ -23,7 +24,9 @@ mod csv;
 
 use args::Parsed;
 use nncell_core::wal::WalTail;
-use nncell_core::{BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Strategy};
+use nncell_core::{
+    BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Registry, Strategy,
+};
 use nncell_geom::Point;
 use nncell_data::{
     ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
@@ -59,6 +62,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "info" => cmd_info(&p),
         "verify" => cmd_verify(&p),
         "bench" => cmd_bench(&p),
+        "stats" => cmd_stats(&p),
         other => Err(format!("unknown command {other:?}; try `nncell help`")),
     }
 }
@@ -169,6 +173,7 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
             bs.lp.fallback_lps, bs.lp.clamped_extents
         );
     }
+    print_build_profile(&bs.profile);
     Ok(())
 }
 
@@ -440,6 +445,206 @@ fn cmd_bench(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Either surface the observability commands accept: a plain snapshot or a
+/// durable directory (whose WAL/rotation counters come along for free).
+enum LoadedIndex {
+    Plain(Box<NnCellIndex>),
+    Durable(Box<DurableIndex>),
+}
+
+impl LoadedIndex {
+    fn open(p: &Parsed, cmd: &str) -> Result<Self, String> {
+        match (p.get("index"), p.get("wal")) {
+            (Some(file), None) => Ok(LoadedIndex::Plain(Box::new(
+                NnCellIndex::load(file).map_err(|e| e.to_string())?,
+            ))),
+            (None, Some(dir)) => Ok(LoadedIndex::Durable(Box::new(
+                DurableIndex::open(dir).map_err(|e| e.to_string())?,
+            ))),
+            _ => Err(format!(
+                "{cmd} needs exactly one of --index FILE or --wal DIR"
+            )),
+        }
+    }
+
+    fn attach_metrics(&mut self, registry: std::sync::Arc<Registry>) {
+        match self {
+            LoadedIndex::Plain(i) => i.attach_metrics(registry),
+            LoadedIndex::Durable(d) => d.attach_metrics(registry),
+        }
+    }
+
+    fn index(&self) -> &NnCellIndex {
+        match self {
+            LoadedIndex::Plain(i) => i,
+            LoadedIndex::Durable(d) => d.index(),
+        }
+    }
+}
+
+fn cmd_stats(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&[
+        "index",
+        "wal",
+        "queries",
+        "seed",
+        "k",
+        "threads",
+        "json",
+        "prom",
+        "slow",
+        "slow-threshold-us",
+    ])
+    .map_err(|e| e.to_string())?;
+    let registry = Registry::new();
+    let mut loaded = LoadedIndex::open(p, "stats")?;
+    loaded.attach_metrics(registry.clone());
+    let index = loaded.index();
+    let n_q: usize = p.get_or("queries", 200).map_err(|e| e.to_string())?;
+    let seed: u64 = p.get_or("seed", 7).map_err(|e| e.to_string())?;
+    let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
+    let threads: usize = p.get_or("threads", 1).map_err(|e| e.to_string())?;
+    let slow_threshold_us: u64 = p
+        .get_or("slow-threshold-us", 0)
+        .map_err(|e| e.to_string())?;
+    let metrics = index.metrics().expect("metrics attached above");
+    if p.get("slow").is_some() {
+        metrics
+            .engine()
+            .slow_log()
+            .set_threshold_ns(slow_threshold_us.saturating_mul(1_000));
+    }
+    if n_q > 0 {
+        let queries: Vec<Query> = UniformGenerator::new(index.dim())
+            .generate(n_q, seed)
+            .iter()
+            .map(|pt| Query::knn(pt.as_slice(), k))
+            .collect();
+        let _ = index.engine().with_threads(threads.max(1)).batch(&queries);
+    }
+    let snap = registry.snapshot();
+    if p.get("json").is_some() {
+        println!("{}", snap.to_json().trim_end());
+        return Ok(());
+    }
+    if p.get("prom").is_some() {
+        print!("{}", snap.to_prometheus());
+        return Ok(());
+    }
+    if p.get("slow").is_some() {
+        let slow = metrics.engine().slow_log();
+        let entries = slow.drain();
+        println!(
+            "slow queries (threshold {slow_threshold_us} µs): {} captured, {} total seen",
+            entries.len(),
+            slow.total_seen()
+        );
+        for e in entries {
+            println!(
+                "  #{:<4} {:>10.1} µs  k={} candidates={} pages={}{}  [{}]",
+                e.seq,
+                e.latency_ns as f64 / 1_000.0,
+                e.k,
+                e.candidates,
+                e.pages,
+                if e.fallback { " fallback" } else { "" },
+                e.point
+                    .iter()
+                    .map(|c| format!("{c:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        return Ok(());
+    }
+    // Human-readable summary.
+    println!("workload       : {n_q} queries (k={k}, threads={threads}, seed={seed})");
+    let get = |name: &str| snap.counter(name).unwrap_or(0);
+    println!(
+        "queries        : {} ok, {} error(s), {} scan fallback(s)",
+        get("nncell_queries_total") - get("nncell_query_errors_total"),
+        get("nncell_query_errors_total"),
+        get("nncell_query_fallback_total"),
+    );
+    if let Some(h) = snap.histogram("nncell_query_latency_ns") {
+        println!(
+            "latency        : p50 ≤ {:.1} µs, p90 ≤ {:.1} µs, p99 ≤ {:.1} µs, max {:.1} µs",
+            h.percentile(0.50) as f64 / 1_000.0,
+            h.percentile(0.90) as f64 / 1_000.0,
+            h.percentile(0.99) as f64 / 1_000.0,
+            h.max as f64 / 1_000.0,
+        );
+    }
+    if let Some(h) = snap.histogram("nncell_query_candidates") {
+        println!(
+            "candidates     : mean {:.1}, p99 ≤ {}, max {}",
+            h.mean(),
+            h.percentile(0.99),
+            h.max
+        );
+    }
+    if let Some(h) = snap.histogram("nncell_query_pages") {
+        println!(
+            "pages/query    : mean {:.1}, p99 ≤ {}, max {}",
+            h.mean(),
+            h.percentile(0.99),
+            h.max
+        );
+    }
+    println!(
+        "cell tree      : {} page read(s), {} cache hit(s), {} split(s), {} pages",
+        get("nncell_cell_tree_page_reads_total"),
+        get("nncell_cell_tree_cache_hits_total"),
+        get("nncell_cell_tree_splits_total"),
+        snap.gauge("nncell_cell_tree_pages").unwrap_or(0),
+    );
+    println!(
+        "LP (lifetime)  : {} LP call(s) over {} constraint(s), {} fallback(s), {} clamp(s)",
+        get("nncell_lp_calls_total"),
+        get("nncell_lp_constraints_total"),
+        get("nncell_lp_fallback_total"),
+        get("nncell_lp_clamped_extents_total"),
+    );
+    if snap.counter("nncell_wal_appends_total").is_some() {
+        println!(
+            "durability     : {} WAL append(s), {} fsync(s), {} replayed, {} dropped, {} rotation(s)",
+            get("nncell_wal_appends_total"),
+            get("nncell_wal_fsyncs_total"),
+            get("nncell_wal_replayed_total"),
+            get("nncell_wal_replay_dropped_total"),
+            get("nncell_snapshot_rotations_total"),
+        );
+    }
+    print_build_profile(&index.build_stats().profile);
+    Ok(())
+}
+
+/// Shared build-profile report (`build` prints it after construction,
+/// `stats` prints the lifetime totals carried by the snapshot).
+fn print_build_profile(profile: &nncell_core::BuildProfile) {
+    if profile.lp_solve.calls == 0 {
+        return;
+    }
+    println!(
+        "build profile  : constraints {:.3}s/{} cell(s), LP {:.3}s, decomposition {:.3}s/{}, \
+         bulk load {:.3}s",
+        profile.constraint_selection.seconds(),
+        profile.constraint_selection.calls,
+        profile.lp_solve.seconds(),
+        profile.decomposition.seconds(),
+        profile.decomposition.calls,
+        profile.bulk_load.seconds(),
+    );
+    if profile.batches > 0 {
+        println!(
+            "build batches  : {} batch(es), slowest {:.3}s of {:.3}s total",
+            profile.batches,
+            profile.batch_max_nanos as f64 / 1e9,
+            profile.batch_total_nanos as f64 / 1e9,
+        );
+    }
+}
+
 fn print_help() {
     println!(
         "nncell — exact NN search by indexing Voronoi-cell approximations (ICDE'98)
@@ -460,6 +665,13 @@ COMMANDS
   verify    --index FILE [--repair] [--out FILE]
   bench     --index FILE [--queries 200] [--seed 7] [--k 1] [--threads N]
             [--json FILE]
-  help"
+  stats     (--index FILE | --wal DIR) [--queries 200] [--seed 7] [--k 1]
+            [--threads 1] [--json | --prom | --slow [--slow-threshold-us N]]
+  help
+
+`stats` attaches a metrics registry, replays a generated workload, and
+reports query-latency percentiles, candidate/page histograms, tree and LP
+counters, and (for --wal) WAL/fsync/rotation counters. --json and --prom
+print the raw registry snapshot; --slow drains the slow-query ring."
     );
 }

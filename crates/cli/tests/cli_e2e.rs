@@ -143,6 +143,103 @@ fn durable_build_insert_remove_crash_recover_pipeline() {
 }
 
 #[test]
+fn stats_reports_metrics_snapshot_and_slow_queries() {
+    let pts = tmp("stats_pts.csv");
+    let idx = tmp("stats_idx.nncell");
+    bin()
+        .args(["generate", "--n", "150", "--dim", "4", "--seed", "3"])
+        .args(["--out", pts.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["build", "--points", pts.to_str().unwrap()])
+        .args(["--strategy", "sphere", "--out", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Human-readable summary: percentiles, counters, and the LP section.
+    let out = bin()
+        .args(["stats", "--index", idx.to_str().unwrap(), "--queries", "40"])
+        .output()
+        .expect("spawn stats");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("latency        : p50"), "{text}");
+    assert!(text.contains("40 queries"), "{text}");
+    assert!(text.contains("cell tree"), "{text}");
+
+    // --json prints the raw registry snapshot; the query counter matches
+    // the workload exactly (40 issued, 0 errors).
+    let out = bin()
+        .args(["stats", "--index", idx.to_str().unwrap()])
+        .args(["--queries", "40", "--k", "3", "--json"])
+        .output()
+        .expect("spawn stats --json");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        json.contains("\"nncell_queries_total\": {\"type\": \"counter\", \"value\": 40}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"nncell_query_errors_total\": {\"type\": \"counter\", \"value\": 0}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"nncell_live_points\": {\"type\": \"gauge\", \"value\": 150}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"nncell_query_latency_ns\": {\"type\": \"histogram\", \"count\": 40,"),
+        "{json}"
+    );
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+
+    // --prom renders Prometheus exposition text.
+    let out = bin()
+        .args(["stats", "--index", idx.to_str().unwrap()])
+        .args(["--queries", "10", "--prom"])
+        .output()
+        .expect("spawn stats --prom");
+    assert!(out.status.success());
+    let prom = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(prom.contains("# TYPE nncell_query_latency_ns histogram"), "{prom}");
+    assert!(prom.contains("nncell_queries_total 10"), "{prom}");
+
+    // --slow with threshold 0 captures every query in the ring.
+    let out = bin()
+        .args(["stats", "--index", idx.to_str().unwrap()])
+        .args(["--queries", "12", "--slow", "--slow-threshold-us", "0"])
+        .output()
+        .expect("spawn stats --slow");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("12 total seen"), "{text}");
+    assert!(text.contains("candidates="), "{text}");
+
+    // The durable surface adds WAL counters to the same snapshot.
+    let db = tmp("stats_db");
+    std::fs::remove_dir_all(&db).ok();
+    bin()
+        .args(["build", "--points", pts.to_str().unwrap()])
+        .args(["--strategy", "sphere", "--wal", db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = bin()
+        .args(["stats", "--wal", db.to_str().unwrap(), "--queries", "5"])
+        .output()
+        .expect("spawn stats --wal");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("durability"), "{text}");
+
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&idx).ok();
+    std::fs::remove_dir_all(&db).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     // Unknown command.
     let out = bin().arg("frobnicate").output().unwrap();

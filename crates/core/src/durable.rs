@@ -109,6 +109,16 @@ pub struct DurableIndex {
     wal: WalWriter,
     generation: u64,
     recovery: RecoveryReport,
+    metrics: Option<DurableMetrics>,
+}
+
+/// Registry handles kept by the durability layer itself. The WAL handles
+/// are retained so every rotation's fresh [`WalWriter`] can be re-bound.
+struct DurableMetrics {
+    wal: crate::wal::WalMetrics,
+    /// `nncell_snapshot_rotations_total` — checkpoints plus the dirty-tail
+    /// rotation recovery may perform at open.
+    snapshot_rotations: Arc<nncell_obs::Counter>,
 }
 
 impl std::ops::Deref for DurableIndex {
@@ -272,6 +282,7 @@ impl DurableIndex {
                 rotated: false,
                 initialized: true,
             },
+            metrics: None,
         })
     }
 
@@ -346,7 +357,36 @@ impl DurableIndex {
                 rotated,
                 initialized: false,
             },
+            metrics: None,
         })
+    }
+
+    /// Attaches a metrics registry to the whole durable stack: the index
+    /// and engine metrics (see [`NnCellIndex::attach_metrics`]) plus WAL
+    /// append/fsync counters, replay counters seeded from this handle's
+    /// [`RecoveryReport`], and a snapshot-rotation counter. Idempotent.
+    pub fn attach_metrics(&mut self, registry: Arc<nncell_obs::Registry>) {
+        if self.metrics.is_some() {
+            return;
+        }
+        self.index.attach_metrics(Arc::clone(&registry));
+        let wal_metrics = crate::wal::WalMetrics::register(&registry);
+        self.wal.set_metrics(wal_metrics.clone());
+        // Recovery already happened; publish what it found.
+        registry
+            .counter("nncell_wal_replayed_total")
+            .add(self.recovery.replayed as u64);
+        let dropped = self.recovery.skipped as u64
+            + u64::from(self.recovery.wal_tail != WalTail::Clean);
+        registry
+            .counter("nncell_wal_replay_dropped_total")
+            .add(dropped);
+        let snapshot_rotations = registry.counter("nncell_snapshot_rotations_total");
+        snapshot_rotations.add(u64::from(self.recovery.rotated));
+        self.metrics = Some(DurableMetrics {
+            wal: wal_metrics,
+            snapshot_rotations,
+        });
     }
 
     /// What recovery found when this handle was opened.
@@ -430,6 +470,10 @@ impl DurableIndex {
         let next = self.generation + 1;
         let wal = commit_generation(&self.vfs, &self.dir, &self.index, next)?;
         self.wal = wal;
+        if let Some(m) = &self.metrics {
+            self.wal.set_metrics(m.wal.clone());
+            m.snapshot_rotations.inc();
+        }
         self.generation = next;
         sweep_stale(&self.vfs, &self.dir, next);
         Ok(())

@@ -82,6 +82,9 @@ impl QueryScratch {
 pub struct QueryEngine<'a, M: Metric = Euclidean> {
     index: &'a NnCellIndex<M>,
     threads: usize,
+    /// When false, this engine skips metric recording even if the index has
+    /// a registry attached (overhead A/B runs; see the bench).
+    record_metrics: bool,
 }
 
 impl<'a, M: Metric> QueryEngine<'a, M> {
@@ -90,18 +93,33 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self { index, threads }
+        Self {
+            index,
+            threads,
+            record_metrics: true,
+        }
     }
 
     /// An engine that executes batches on the calling thread only.
     pub fn sequential(index: &'a NnCellIndex<M>) -> Self {
-        Self { index, threads: 1 }
+        Self {
+            index,
+            threads: 1,
+            record_metrics: true,
+        }
     }
 
     /// Overrides the batch worker-thread count (≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
         self.threads = threads;
+        self
+    }
+
+    /// Disables metric recording for this engine even when the index has a
+    /// registry attached — the control arm of overhead measurements.
+    pub fn without_metrics(mut self) -> Self {
+        self.record_metrics = false;
         self
     }
 
@@ -133,8 +151,51 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     }
 
     /// Executes one query reusing the caller's scratch buffers. Once the
-    /// scratch is warm this path performs no heap allocations for `k = 1`.
+    /// scratch is warm this path performs no heap allocations for `k = 1` —
+    /// with or without an attached metrics registry (recording is a handful
+    /// of relaxed atomics; the slow-query ring copies into preallocated
+    /// slots).
     pub fn execute_with(
+        &self,
+        scratch: &mut QueryScratch,
+        q: &Query,
+    ) -> Result<QueryResponse, QueryError> {
+        let metrics = if self.record_metrics {
+            self.index.engine_metrics()
+        } else {
+            None
+        };
+        let Some(m) = metrics else {
+            return self.execute_inner(scratch, q);
+        };
+        let start = std::time::Instant::now();
+        let result = self.execute_inner(scratch, q);
+        let latency_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        m.queries.inc();
+        match &result {
+            Ok(resp) => {
+                m.latency_ns.record(latency_ns);
+                m.candidates.record(resp.stats.candidates as u64);
+                m.pages.record(resp.stats.pages);
+                if resp.stats.fallback {
+                    m.fallbacks.inc();
+                }
+                m.slow.record(
+                    latency_ns,
+                    q.point(),
+                    q.k(),
+                    resp.stats.candidates,
+                    resp.stats.pages as usize,
+                    resp.stats.fallback,
+                );
+            }
+            Err(_) => m.query_errors.inc(),
+        }
+        result
+    }
+
+    /// The uninstrumented execution path shared by both arms.
+    fn execute_inner(
         &self,
         scratch: &mut QueryScratch,
         q: &Query,

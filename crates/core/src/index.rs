@@ -3,12 +3,15 @@
 use crate::config::{BuildConfig, InputPolicy, Strategy};
 use crate::decompose::decompose_cell;
 use crate::engine::QueryEngine;
+use crate::metrics::{EngineMetrics, IndexMetrics};
 use crate::query::Query;
 use crate::strategy::{gather_rival_ids, nearest_rivals};
 use nncell_geom::{DataSpace, Euclidean, Mbr, Metric, Point};
-use nncell_index::{IoStats, TreeConfig, XTree};
-use nncell_lp::{CellLpStats, VoronoiLp};
+use nncell_index::{IoStats, TreeConfig, TreeMetrics, XTree};
+use nncell_lp::{CellLpStats, LpMetrics, VoronoiLp};
+use nncell_obs::Registry;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Bits of the cell-tree item id reserved for the piece index; the rest is
@@ -17,8 +20,8 @@ use std::time::Instant;
 pub(crate) const PIECE_BITS: u32 = 10;
 pub(crate) const MAX_PIECES: usize = 1 << PIECE_BITS;
 
-/// One computed cell: pieces, LP counters, candidate count.
-type CellComputation = (Vec<Mbr>, CellLpStats, usize);
+/// One computed cell: pieces, LP counters, candidate count, phase timings.
+type CellComputation = (Vec<Mbr>, CellLpStats, usize, CellTimings);
 
 /// An exact nearest-neighbor answer.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,6 +59,82 @@ pub struct BuildStats {
     pub seconds: f64,
     /// Invalid input points dropped under [`InputPolicy::Skip`].
     pub skipped_points: usize,
+    /// Per-phase wall-clock profile (constraint selection, LP solves,
+    /// decomposition, bulk load) with per-batch timings.
+    pub profile: BuildProfile,
+}
+
+/// Wall-clock accumulator for one build phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTiming {
+    /// Total nanoseconds spent in the phase.
+    pub nanos: u64,
+    /// Times the phase ran (once per cell for the per-cell phases; once per
+    /// build for bulk load).
+    pub calls: u64,
+}
+
+impl PhaseTiming {
+    fn add(&mut self, nanos: u64) {
+        self.nanos += nanos;
+        self.calls += 1;
+    }
+
+    /// Total time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// Per-phase build profile, exposed via [`BuildStats::profile`] and reported
+/// by the CLI `build` and `stats` subcommands.
+///
+/// Dynamic updates keep accruing into the per-cell phases (insert and
+/// refresh recompute cells through the same path), so the profile describes
+/// the index's lifetime LP effort, not just the initial build. Batch
+/// counters describe the initial build's worker chunks only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildProfile {
+    /// Rival gathering and bisector assembly (for *CorrectPruned*, includes
+    /// the rough pre-solve that bounds the candidate set).
+    pub constraint_selection: PhaseTiming,
+    /// The `2·d` extent LPs per cell.
+    pub lp_solve: PhaseTiming,
+    /// MBR decomposition (zero calls when decomposition is off).
+    pub decomposition: PhaseTiming,
+    /// Tree population: point-tree inserts plus cell-piece stores.
+    pub bulk_load: PhaseTiming,
+    /// Cell-computation batches (worker chunks; 1 for a sequential build).
+    pub batches: u64,
+    /// Total nanoseconds across batches (≈ sum of worker wall-clocks).
+    pub batch_total_nanos: u64,
+    /// Slowest single batch in nanoseconds (the build's critical path).
+    pub batch_max_nanos: u64,
+}
+
+impl BuildProfile {
+    fn absorb_cell(&mut self, t: CellTimings) {
+        self.constraint_selection.add(t.constraint_ns);
+        self.lp_solve.add(t.lp_ns);
+        if t.decomposed {
+            self.decomposition.add(t.decomp_ns);
+        }
+    }
+
+    fn record_batch(&mut self, nanos: u64) {
+        self.batches += 1;
+        self.batch_total_nanos += nanos;
+        self.batch_max_nanos = self.batch_max_nanos.max(nanos);
+    }
+}
+
+/// Phase timings of one cell computation (build-profiler plumbing).
+#[derive(Clone, Copy, Debug, Default)]
+struct CellTimings {
+    constraint_ns: u64,
+    lp_ns: u64,
+    decomp_ns: u64,
+    decomposed: bool,
 }
 
 /// Outcome of [`NnCellIndex::verify_integrity`].
@@ -137,7 +216,8 @@ impl std::error::Error for BuildError {}
 ///
 /// See the crate docs for the approach; in short: `2·d` LPs per point
 /// approximate its Voronoi cell by an MBR (optionally decomposed), the MBRs
-/// live in an X-tree, and [`Self::nearest_neighbor`] is a point query plus a
+/// live in an X-tree, and a nearest-neighbor query
+/// ([`Self::engine`] + [`crate::Query::nn`]) is a point query plus a
 /// distance check — exact by construction.
 pub struct NnCellIndex<M: Metric = Euclidean> {
     cfg: BuildConfig,
@@ -155,6 +235,9 @@ pub struct NnCellIndex<M: Metric = Euclidean> {
     vlp: VoronoiLp<M>,
     build_stats: BuildStats,
     fallback_queries: std::sync::atomic::AtomicU64,
+    /// Registry bindings; `None` until [`Self::attach_metrics`] — every
+    /// recording site is a no-op without them.
+    metrics: Option<IndexMetrics>,
 }
 
 impl NnCellIndex<Euclidean> {
@@ -202,6 +285,7 @@ impl<M: Metric> NnCellIndex<M> {
             vlp,
             build_stats: BuildStats::default(),
             fallback_queries: std::sync::atomic::AtomicU64::new(0),
+            metrics: None,
         }
     }
 
@@ -256,9 +340,11 @@ impl<M: Metric> NnCellIndex<M> {
         let mut idx = Self::new_with_metric(dim, cfg, metric);
         idx.build_stats.skipped_points = skipped;
         // Phase 1: the data-point tree (the strategies query it).
+        let load_start = Instant::now();
         for (i, p) in accepted.iter().enumerate() {
             idx.point_tree.insert_point(p, i as u64);
         }
+        let mut load_nanos = elapsed_nanos(load_start);
         idx.points = accepted;
         idx.rebuild_flat();
         idx.alive = vec![true; idx.points.len()];
@@ -270,19 +356,26 @@ impl<M: Metric> NnCellIndex<M> {
         let n = idx.points.len();
         let threads = idx.cfg.threads.clamp(1, n.max(1));
         let results: Vec<CellComputation> = if threads == 1 {
-            (0..n).map(|id| idx.compute_cell_pieces(id)).collect()
+            let batch_start = Instant::now();
+            let r = (0..n).map(|id| idx.compute_cell_pieces(id)).collect();
+            idx.build_stats
+                .profile
+                .record_batch(elapsed_nanos(batch_start));
+            r
         } else {
             let idx_ref = &idx;
             let chunk = n.div_ceil(threads);
-            let partials: Vec<Vec<(usize, CellComputation)>> = std::thread::scope(|s| {
+            let partials: Vec<(Vec<(usize, CellComputation)>, u64)> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..threads)
                     .map(|w| {
                         s.spawn(move || {
+                            let batch_start = Instant::now();
                             let lo = w * chunk;
                             let hi = ((w + 1) * chunk).min(n);
-                            (lo..hi)
+                            let part: Vec<(usize, CellComputation)> = (lo..hi)
                                 .map(|id| (id, idx_ref.compute_cell_pieces(id)))
-                                .collect()
+                                .collect();
+                            (part, elapsed_nanos(batch_start))
                         })
                     })
                     .collect();
@@ -292,7 +385,10 @@ impl<M: Metric> NnCellIndex<M> {
                     .collect()
             });
             let mut collected: Vec<Option<CellComputation>> = (0..n).map(|_| None).collect();
-            for part in partials {
+            for (part, batch_nanos) in partials {
+                if !part.is_empty() {
+                    idx.build_stats.profile.record_batch(batch_nanos);
+                }
                 for (id, r) in part {
                     collected[id] = Some(r);
                 }
@@ -302,11 +398,15 @@ impl<M: Metric> NnCellIndex<M> {
                 .map(|r| r.expect("every id covered by exactly one worker"))
                 .collect()
         };
-        for (id, (pieces, stats, cands)) in results.into_iter().enumerate() {
+        let store_start = Instant::now();
+        for (id, (pieces, stats, cands, timings)) in results.into_iter().enumerate() {
             idx.build_stats.lp.merge(stats);
             idx.build_stats.candidates += cands;
+            idx.build_stats.profile.absorb_cell(timings);
             idx.store_cell(id, pieces);
         }
+        load_nanos += elapsed_nanos(store_start);
+        idx.build_stats.profile.bulk_load.add(load_nanos);
         idx.build_stats.seconds = start.elapsed().as_secs_f64();
         Ok(idx)
     }
@@ -385,6 +485,59 @@ impl<M: Metric> NnCellIndex<M> {
     pub fn reset_stats(&self) {
         self.cell_tree.reset_stats();
         self.point_tree.reset_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // observability
+    // ------------------------------------------------------------------
+
+    /// Attaches a metrics registry to this index: query latency, candidate
+    /// and page histograms, the slow-query ring, tree I/O counters, and the
+    /// LP aggregates all start recording into `registry`. Idempotent — a
+    /// second call is a no-op (the first registry wins).
+    ///
+    /// The [`CellLpStats`]-mirrored counters (`nncell_lp_calls_total` & co.)
+    /// are seeded with the build totals, so the registry agrees with
+    /// [`Self::build_stats`] from the first snapshot on; the tree counters
+    /// are seeded the same way inside [`nncell_index::CostTracker`].
+    pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        if self.metrics.is_some() {
+            return;
+        }
+        let m = IndexMetrics::register(registry.clone(), self.dim());
+        m.seed_lp_totals(&self.build_stats.lp);
+        self.cell_tree
+            .bind_metrics(TreeMetrics::register(&registry, "cell_tree"));
+        self.point_tree
+            .bind_metrics(TreeMetrics::register(&registry, "point_tree"));
+        self.vlp.set_metrics(LpMetrics::register(&registry));
+        self.metrics = Some(m);
+        self.refresh_gauges();
+    }
+
+    /// The attached metrics bundle, if any.
+    pub fn metrics(&self) -> Option<&IndexMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Query-path handles for the engine (`None` without a registry).
+    pub(crate) fn engine_metrics(&self) -> Option<&EngineMetrics> {
+        self.metrics.as_ref().map(IndexMetrics::engine)
+    }
+
+    /// Re-publishes the structural gauges after a mutation.
+    fn refresh_gauges(&self) {
+        if let Some(m) = &self.metrics {
+            m.live_points.set(self.live_count as i64);
+            m.cell_tree_pages.set(self.cell_tree.total_pages() as i64);
+        }
+    }
+
+    /// Mirrors one per-cell LP delta into the registry (no-op without one).
+    fn record_lp_delta(&self, delta: &CellLpStats) {
+        if let Some(m) = &self.metrics {
+            m.record_lp_stats(delta);
+        }
     }
 
     /// Enables a simulated LRU page cache of `pages` pages on the cell tree
@@ -582,9 +735,11 @@ impl<M: Metric> NnCellIndex<M> {
         self.cells.push(CellApprox::default());
         self.live_count += 1;
 
-        let (pieces, stats, cands) = self.compute_cell_pieces(id);
+        let (pieces, stats, cands, timings) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
+        self.build_stats.profile.absorb_cell(timings);
+        self.record_lp_delta(&stats);
         self.store_cell(id, pieces);
 
         if self.cfg.refine_on_insert && self.live_count > 1 {
@@ -612,6 +767,7 @@ impl<M: Metric> NnCellIndex<M> {
                 }
             }
         }
+        self.refresh_gauges();
         Ok(id)
     }
 
@@ -667,6 +823,7 @@ impl<M: Metric> NnCellIndex<M> {
             debug_assert!(removed, "cell tree out of sync");
         }
         if self.live_count == 0 {
+            self.refresh_gauges();
             return true;
         }
         // Every cell that could gain region intersects the removed cell's
@@ -686,6 +843,7 @@ impl<M: Metric> NnCellIndex<M> {
                 self.refresh_cell(pid);
             }
         }
+        self.refresh_gauges();
         true
     }
 
@@ -701,7 +859,9 @@ impl<M: Metric> NnCellIndex<M> {
         let d = self.dim();
         let seed = self.cfg.seed ^ ((id as u64).wrapping_mul(0x9e3779b97f4a7c15));
         let mut stats = CellLpStats::default();
+        let mut timings = CellTimings::default();
 
+        let phase_start = Instant::now();
         let cons = if self.cfg.strategy == Strategy::CorrectPruned && self.live_count > 4 * d + 1 {
             // Exactness-preserving two-step prune (see nncell-lp docs):
             // 1. rough superset MBR from the 4·d nearest rivals;
@@ -761,9 +921,11 @@ impl<M: Metric> NnCellIndex<M> {
                 .bisectors(p, rivals.iter().map(|&j| self.points[j].as_slice()))
         };
         let n_cands = cons.len();
+        timings.constraint_ns = elapsed_nanos(phase_start);
 
         // The Best–Ritter active-set backend wants a feasible start; the
         // data point is one (it lies strictly inside its own cell).
+        let phase_start = Instant::now();
         let solve = if self.cfg.solver == nncell_lp::SolverKind::ActiveSet {
             self.vlp.extents_from(&cons, p, seed)
         } else {
@@ -775,16 +937,20 @@ impl<M: Metric> NnCellIndex<M> {
                 .unwrap_or_else(|| self.vlp.extents_from(&cons, p, seed))
         };
         stats.merge(solve.stats);
+        timings.lp_ns = elapsed_nanos(phase_start);
 
         let pieces = match self.cfg.decompose_pieces {
             Some(k) if k > 1 => {
+                let phase_start = Instant::now();
                 let (pieces, dstats) = decompose_cell(&self.vlp, &cons, &solve, k, seed);
                 stats.merge(dstats);
+                timings.decomp_ns = elapsed_nanos(phase_start);
+                timings.decomposed = true;
                 pieces
             }
             _ => vec![solve.mbr],
         };
-        (pieces, stats, n_cands)
+        (pieces, stats, n_cands, timings)
     }
 
     /// Replaces `id`'s stored pieces in the cell tree.
@@ -825,9 +991,11 @@ impl<M: Metric> NnCellIndex<M> {
     }
 
     fn refresh_cell(&mut self, id: usize) {
-        let (pieces, stats, cands) = self.compute_cell_pieces(id);
+        let (pieces, stats, cands, timings) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
+        self.build_stats.profile.absorb_cell(timings);
+        self.record_lp_delta(&stats);
         let old = std::mem::take(&mut self.cells[id]);
         for (piece_idx, mbr) in old.pieces.iter().enumerate() {
             let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
@@ -841,6 +1009,11 @@ impl<M: Metric> NnCellIndex<M> {
 /// Seed salt distinguishing the CorrectPruned rough solve from the final
 /// solve ("rough" in ASCII).
 const ROUGH_SALT: u64 = 0x726f756768;
+
+/// Elapsed nanoseconds since `start`, saturating into `u64` (≈ 584 years).
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Validates one input point (dimensionality, finiteness, data-space
 /// membership). Duplicate detection happens at the call sites, which have

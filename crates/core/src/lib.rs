@@ -33,6 +33,7 @@ pub mod decompose;
 pub mod durable;
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod persist;
 pub mod query;
 pub mod quality;
@@ -44,12 +45,17 @@ pub mod wal;
 pub use config::{BuildConfig, InputPolicy, Strategy};
 pub use durable::{DurableError, DurableIndex, RecoveryReport};
 pub use engine::{QueryEngine, QueryScratch};
-pub use index::{BuildError, BuildStats, CellApprox, IntegrityReport, NnCellIndex, QueryResult};
+pub use index::{
+    BuildError, BuildProfile, BuildStats, CellApprox, IntegrityReport, NnCellIndex, PhaseTiming,
+    QueryResult,
+};
+pub use metrics::{EngineMetrics, IndexMetrics, SLOW_QUERY_CAPACITY};
+pub use nncell_obs::{Registry, SlowQueryEntry, SlowQueryLog, Snapshot};
 pub use query::{Query, QueryError, QueryResponse, QueryStats};
 pub use nncell_lp::SolverKind;
 pub use persist::PersistError;
 pub use vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};
-pub use wal::{read_wal, WalRecord, WalReplay, WalTail, WalWriter};
+pub use wal::{read_wal, WalMetrics, WalRecord, WalReplay, WalTail, WalWriter};
 pub use quality::{
     average_overlap, expected_candidates, measured_candidates, quality_to_performance,
 };

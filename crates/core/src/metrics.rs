@@ -1,0 +1,131 @@
+//! Registry bindings for the core layer: engine-side query metrics and
+//! index-side gauges and LP aggregates.
+//!
+//! Everything here is opt-in: an index built without
+//! [`crate::NnCellIndex::attach_metrics`] carries no registry, every
+//! recording site is a no-op, and the steady-state query path is untouched.
+//! With a registry attached, recording is a handful of relaxed atomic
+//! operations — no locks, no allocation (covered by the counting-allocator
+//! test).
+//!
+//! The LP counters mirrored from [`CellLpStats`] are deliberately driven by
+//! *this* layer, not by `nncell-lp`: they are seeded from
+//! [`crate::BuildStats::lp`] when the registry is attached and advanced with
+//! the exact per-cell deltas the index merges into its own stats, so the
+//! registry totals agree with `build_stats().lp` by construction. The lp
+//! crate's own live metrics ([`nncell_lp::LpMetrics`]) cover only what
+//! `CellLpStats` cannot see (per-attempt counts, fallback depth, clamp
+//! events).
+
+use nncell_lp::CellLpStats;
+use nncell_obs::{Counter, Gauge, Histogram, Registry, SlowQueryLog};
+use std::sync::Arc;
+
+/// Slow-query ring capacity. Fixed and small: the ring is a debugging
+/// aid (drained via `nncell stats --slow`), not a log.
+pub const SLOW_QUERY_CAPACITY: usize = 64;
+
+/// Query-path metric handles, resolved once at attach time so the hot path
+/// never touches the registry's name map.
+#[derive(Clone)]
+pub struct EngineMetrics {
+    /// `nncell_queries_total` — queries executed (including failed ones).
+    pub(crate) queries: Arc<Counter>,
+    /// `nncell_query_errors_total` — queries rejected with a typed error.
+    pub(crate) query_errors: Arc<Counter>,
+    /// `nncell_query_fallback_total` — queries answered by the exact
+    /// linear-scan fallback.
+    pub(crate) fallbacks: Arc<Counter>,
+    /// `nncell_query_latency_ns` — end-to-end latency histogram.
+    pub(crate) latency_ns: Arc<Histogram>,
+    /// `nncell_query_candidates` — candidate set size histogram.
+    pub(crate) candidates: Arc<Histogram>,
+    /// `nncell_query_pages` — cell-tree pages touched per query.
+    pub(crate) pages: Arc<Histogram>,
+    /// Fixed-size ring of queries slower than the configured threshold.
+    pub(crate) slow: Arc<SlowQueryLog>,
+}
+
+impl EngineMetrics {
+    /// Resolves (or creates) the query metrics in `registry`. `dim` sizes
+    /// the slow-ring point slots so recording a slow query never allocates.
+    pub fn register(registry: &Registry, dim: usize) -> Self {
+        Self {
+            queries: registry.counter("nncell_queries_total"),
+            query_errors: registry.counter("nncell_query_errors_total"),
+            fallbacks: registry.counter("nncell_query_fallback_total"),
+            latency_ns: registry.histogram("nncell_query_latency_ns"),
+            candidates: registry.histogram("nncell_query_candidates"),
+            pages: registry.histogram("nncell_query_pages"),
+            slow: Arc::new(SlowQueryLog::new(SLOW_QUERY_CAPACITY, dim)),
+        }
+    }
+
+    /// The slow-query ring (threshold-configurable, disabled by default).
+    pub fn slow_log(&self) -> &Arc<SlowQueryLog> {
+        &self.slow
+    }
+}
+
+/// Index-wide metric handles: the engine bundle plus structural gauges and
+/// the [`CellLpStats`]-mirrored LP aggregates.
+pub struct IndexMetrics {
+    registry: Arc<Registry>,
+    pub(crate) engine: EngineMetrics,
+    /// `nncell_live_points` — live points currently indexed.
+    pub(crate) live_points: Arc<Gauge>,
+    /// `nncell_cell_tree_pages` — simulated pages of the cell X-tree.
+    pub(crate) cell_tree_pages: Arc<Gauge>,
+    /// `nncell_lp_calls_total` — mirrors `CellLpStats::lp_calls`.
+    pub(crate) lp_calls: Arc<Counter>,
+    /// `nncell_lp_constraints_total` — mirrors `CellLpStats::constraints`.
+    pub(crate) lp_constraints: Arc<Counter>,
+    /// `nncell_lp_fallback_total` — mirrors `CellLpStats::fallback_lps`.
+    pub(crate) lp_fallback: Arc<Counter>,
+    /// `nncell_lp_clamped_extents_total` — mirrors
+    /// `CellLpStats::clamped_extents`.
+    pub(crate) lp_clamped: Arc<Counter>,
+}
+
+impl IndexMetrics {
+    /// Resolves (or creates) the index metrics in `registry`.
+    pub fn register(registry: Arc<Registry>, dim: usize) -> Self {
+        let engine = EngineMetrics::register(&registry, dim);
+        Self {
+            engine,
+            live_points: registry.gauge("nncell_live_points"),
+            cell_tree_pages: registry.gauge("nncell_cell_tree_pages"),
+            lp_calls: registry.counter("nncell_lp_calls_total"),
+            lp_constraints: registry.counter("nncell_lp_constraints_total"),
+            lp_fallback: registry.counter("nncell_lp_fallback_total"),
+            lp_clamped: registry.counter("nncell_lp_clamped_extents_total"),
+            registry,
+        }
+    }
+
+    /// The registry this bundle records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The query-path handles.
+    pub fn engine(&self) -> &EngineMetrics {
+        &self.engine
+    }
+
+    /// Advances the mirrored LP counters by one per-cell delta — called at
+    /// exactly the sites that merge into [`crate::BuildStats::lp`], so the
+    /// registry stays equal to the stats totals.
+    pub(crate) fn record_lp_stats(&self, delta: &CellLpStats) {
+        self.lp_calls.add(delta.lp_calls as u64);
+        self.lp_constraints.add(delta.constraints as u64);
+        self.lp_fallback.add(delta.fallback_lps as u64);
+        self.lp_clamped.add(delta.clamped_extents as u64);
+    }
+
+    /// Seeds the mirrored LP counters with the pre-attach totals (the build
+    /// already happened when the registry arrives).
+    pub(crate) fn seed_lp_totals(&self, totals: &CellLpStats) {
+        self.record_lp_stats(totals);
+    }
+}

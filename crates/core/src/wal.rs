@@ -200,6 +200,28 @@ pub struct WalWriter {
     file: Box<dyn VfsFile>,
     records: u64,
     poisoned: bool,
+    metrics: Option<WalMetrics>,
+}
+
+/// Registry handles for the write-ahead log (attached via
+/// [`crate::DurableIndex::attach_metrics`]).
+#[derive(Clone)]
+pub struct WalMetrics {
+    /// `nncell_wal_appends_total` — records acknowledged durable.
+    pub(crate) appends: std::sync::Arc<nncell_obs::Counter>,
+    /// `nncell_wal_fsyncs_total` — fsyncs issued by the log (one per
+    /// acknowledged append under the fsync-before-ack contract).
+    pub(crate) fsyncs: std::sync::Arc<nncell_obs::Counter>,
+}
+
+impl WalMetrics {
+    /// Resolves (or creates) the WAL counters in `registry`.
+    pub fn register(registry: &nncell_obs::Registry) -> Self {
+        Self {
+            appends: registry.counter("nncell_wal_appends_total"),
+            fsyncs: registry.counter("nncell_wal_fsyncs_total"),
+        }
+    }
 }
 
 impl WalWriter {
@@ -217,6 +239,7 @@ impl WalWriter {
             file,
             records: 0,
             poisoned: false,
+            metrics: None,
         })
     }
 
@@ -234,7 +257,13 @@ impl WalWriter {
             file: vfs.open_append(path)?,
             records,
             poisoned: false,
+            metrics: None,
         })
+    }
+
+    /// Attaches registry counters; appends and fsyncs record from now on.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Journals one record durably: frame, append, fsync. Returns only
@@ -262,6 +291,10 @@ impl WalWriter {
         match res {
             Ok(()) => {
                 self.records += 1;
+                if let Some(m) = &self.metrics {
+                    m.appends.inc();
+                    m.fsyncs.inc();
+                }
                 Ok(())
             }
             Err(e) => {

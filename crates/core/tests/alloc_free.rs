@@ -1,14 +1,16 @@
 //! Proves the engine's steady-state allocation contract with a counting
 //! global allocator: once a worker's [`nncell_core::QueryScratch`] is warm,
 //! `execute_with` performs **zero** heap allocations for `k = 1` queries and
-//! exactly one (the response's `rest` vector) for `k > 1`.
+//! exactly one (the response's `rest` vector) for `k > 1` — and the same
+//! holds with a **live metrics registry attached**, slow-query ring armed at
+//! threshold 0 (every query takes the ring's copy path).
 //!
 //! The counter is gated by an `AtomicBool` so the surrounding test harness
 //! (and index construction) does not pollute the count. This file contains a
 //! single `#[test]` — a second test running concurrently in this binary
 //! would allocate while the gate is open.
 
-use nncell_core::{BuildConfig, NnCellIndex, Query, QueryScratch, Strategy};
+use nncell_core::{BuildConfig, NnCellIndex, Query, QueryScratch, Registry, Strategy};
 use nncell_geom::Point;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,9 +63,8 @@ fn warm_scratch_queries_do_not_allocate() {
             ])
         })
         .collect();
-    let index =
+    let mut index =
         NnCellIndex::build(pts, BuildConfig::new(Strategy::CorrectPruned).with_seed(7)).unwrap();
-    let engine = index.engine().with_threads(1);
     let nn_queries: Vec<Query> = (0..64)
         .map(|i| {
             Query::nn(vec![
@@ -79,41 +80,88 @@ fn warm_scratch_queries_do_not_allocate() {
         .collect();
 
     let mut scratch = QueryScratch::new();
-    // Warm-up pass: buffers grow to their high-water mark.
-    for q in nn_queries.iter().chain(&knn_queries) {
-        engine.execute_with(&mut scratch, q).unwrap();
+    {
+        let engine = index.engine().with_threads(1);
+        // Warm-up pass: buffers grow to their high-water mark.
+        for q in nn_queries.iter().chain(&knn_queries) {
+            engine.execute_with(&mut scratch, q).unwrap();
+            assert!(
+                !engine.execute_with(&mut scratch, q).unwrap().stats.fallback,
+                "fallback would scan via a fresh Vec; this test wants the hot path"
+            );
+        }
+
+        // Steady state, k = 1: zero heap allocations.
+        let allocs = count_allocs(|| {
+            for q in &nn_queries {
+                let r = engine.execute_with(&mut scratch, q).unwrap();
+                assert!(r.rest.is_empty());
+                std::hint::black_box(&r);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "k=1 steady state must not allocate ({allocs} allocations over {} queries)",
+            nn_queries.len()
+        );
+
+        // Steady state, k > 1: exactly the response's `rest` vector per query.
+        let allocs = count_allocs(|| {
+            for q in &knn_queries {
+                let r = engine.execute_with(&mut scratch, q).unwrap();
+                assert_eq!(r.len(), 5);
+                std::hint::black_box(&r);
+            }
+        });
         assert!(
-            !engine.execute_with(&mut scratch, q).unwrap().stats.fallback,
-            "fallback would scan via a fresh Vec; this test wants the hot path"
+            allocs <= knn_queries.len() as u64,
+            "k>1 steady state allocates at most the `rest` vector per query \
+             ({allocs} allocations over {} queries)",
+            knn_queries.len()
         );
     }
 
-    // Steady state, k = 1: zero heap allocations.
+    // Same contract with a live registry: latency/candidate/page recording
+    // is relaxed atomics, and the slow-query ring (armed at threshold 0 so
+    // *every* query takes the capture path) copies into preallocated slots.
+    let registry = Registry::new();
+    index.attach_metrics(registry.clone());
+    let metrics_engine = index.engine().with_threads(1);
+    index
+        .metrics()
+        .expect("registry just attached")
+        .engine()
+        .slow_log()
+        .set_threshold_ns(0);
+    // One warm-up pass through the instrumented path (first recording of a
+    // histogram bucket touches no heap either, but keep symmetry).
+    for q in &nn_queries {
+        metrics_engine.execute_with(&mut scratch, q).unwrap();
+    }
     let allocs = count_allocs(|| {
         for q in &nn_queries {
-            let r = engine.execute_with(&mut scratch, q).unwrap();
+            let r = metrics_engine.execute_with(&mut scratch, q).unwrap();
             assert!(r.rest.is_empty());
             std::hint::black_box(&r);
         }
     });
     assert_eq!(
         allocs, 0,
-        "k=1 steady state must not allocate ({allocs} allocations over {} queries)",
+        "k=1 steady state with a live registry and armed slow-query ring \
+         must not allocate ({allocs} allocations over {} queries)",
         nn_queries.len()
     );
-
-    // Steady state, k > 1: exactly the response's `rest` vector per query.
-    let allocs = count_allocs(|| {
-        for q in &knn_queries {
-            let r = engine.execute_with(&mut scratch, q).unwrap();
-            assert_eq!(r.len(), 5);
-            std::hint::black_box(&r);
-        }
-    });
-    assert!(
-        allocs <= knn_queries.len() as u64,
-        "k>1 steady state allocates at most the `rest` vector per query \
-         ({allocs} allocations over {} queries)",
-        knn_queries.len()
+    // The recording actually happened: counters saw every instrumented query.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("nncell_queries_total"),
+        Some(2 * nn_queries.len() as u64)
     );
+    let slow = index
+        .metrics()
+        .expect("registry attached")
+        .engine()
+        .slow_log();
+    assert_eq!(slow.total_seen(), 2 * nn_queries.len() as u64);
+    assert!(!slow.drain().is_empty());
 }

@@ -1,0 +1,240 @@
+//! End-to-end observability checks: with a registry attached, every counter
+//! and histogram in the snapshot agrees with the ground truth the engine and
+//! index already report (`QueryResponse` stats, `BuildStats::lp`, the
+//! recovery report) — the registry is a mirror, never a second opinion.
+
+use nncell_core::{
+    BuildConfig, DurableIndex, NnCellIndex, Query, QueryScratch, Registry, Strategy,
+};
+use nncell_geom::Point;
+use std::sync::Arc;
+
+fn grid(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            Point::new(vec![
+                ((i * 37) % n) as f64 / n as f64 + 0.003,
+                ((i * 113) % n) as f64 / n as f64 + 0.003,
+            ])
+        })
+        .collect()
+}
+
+fn cfg() -> BuildConfig {
+    BuildConfig::new(Strategy::Sphere).with_seed(11)
+}
+
+#[test]
+fn registry_counters_agree_with_engine_and_lp_totals() {
+    let mut index = NnCellIndex::build(grid(120), cfg()).unwrap();
+    let registry = Registry::new();
+    index.attach_metrics(registry.clone());
+    // Attaching twice is a harmless no-op.
+    index.attach_metrics(registry.clone());
+
+    // Mixed workload: in-space queries, a k-NN, an out-of-space fallback,
+    // and two malformed queries.
+    let queries = vec![
+        Query::nn([0.21, 0.34]),
+        Query::nn([0.91, 0.13]),
+        Query::knn(vec![0.4, 0.6], 5),
+        Query::nn([2.5, 2.5]), // out of space → exact-scan fallback
+        Query::nn([f64::NAN, 0.2]),
+        Query::knn(vec![0.1, 0.2, 0.3], 2), // dim mismatch
+    ];
+    let engine = index.engine().with_threads(1);
+    let mut scratch = QueryScratch::new();
+    let results: Vec<_> = queries
+        .iter()
+        .map(|q| engine.execute_with(&mut scratch, q))
+        .collect();
+
+    let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let errors = results.iter().filter(|r| r.is_err()).count() as u64;
+    let fallbacks = ok.iter().filter(|r| r.stats.fallback).count() as u64;
+    let total_candidates: u64 = ok.iter().map(|r| r.stats.candidates as u64).sum();
+    let total_pages: u64 = ok.iter().map(|r| r.stats.pages).sum();
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("nncell_queries_total"),
+        Some(queries.len() as u64)
+    );
+    assert_eq!(snap.counter("nncell_query_errors_total"), Some(errors));
+    assert_eq!(snap.counter("nncell_query_fallback_total"), Some(fallbacks));
+    assert_eq!(snap.counter("nncell_query_fallback_total"), Some(engine.fallback_queries()));
+    let latency = snap.histogram("nncell_query_latency_ns").unwrap();
+    assert_eq!(latency.count(), ok.len() as u64);
+    assert!(latency.sum > 0);
+    let candidates = snap.histogram("nncell_query_candidates").unwrap();
+    assert_eq!(candidates.count(), ok.len() as u64);
+    assert_eq!(candidates.sum, total_candidates);
+    let pages = snap.histogram("nncell_query_pages").unwrap();
+    assert_eq!(pages.sum, total_pages);
+
+    // LP counters were seeded from the build and mirror CellLpStats exactly.
+    let lp = index.build_stats().lp;
+    assert_eq!(
+        snap.counter("nncell_lp_calls_total"),
+        Some(lp.lp_calls as u64)
+    );
+    assert_eq!(
+        snap.counter("nncell_lp_constraints_total"),
+        Some(lp.constraints as u64)
+    );
+    assert_eq!(
+        snap.counter("nncell_lp_fallback_total"),
+        Some(lp.fallback_lps as u64)
+    );
+    assert_eq!(
+        snap.counter("nncell_lp_clamped_extents_total"),
+        Some(lp.clamped_extents as u64)
+    );
+
+    // Structural gauges match the accessors.
+    assert_eq!(snap.gauge("nncell_live_points"), Some(index.len() as i64));
+    assert_eq!(
+        snap.gauge("nncell_cell_tree_pages"),
+        Some(index.cell_tree_pages() as i64)
+    );
+
+    // Dynamic updates keep the mirror in sync (insert + remove both
+    // recompute cells through the instrumented merge sites).
+    let id = index.insert(Point::new(vec![0.511, 0.377])).unwrap();
+    index.remove(id);
+    let snap = registry.snapshot();
+    let lp = index.build_stats().lp;
+    assert_eq!(
+        snap.counter("nncell_lp_calls_total"),
+        Some(lp.lp_calls as u64)
+    );
+    assert_eq!(
+        snap.counter("nncell_lp_constraints_total"),
+        Some(lp.constraints as u64)
+    );
+    assert_eq!(snap.gauge("nncell_live_points"), Some(index.len() as i64));
+    assert_eq!(
+        snap.gauge("nncell_cell_tree_pages"),
+        Some(index.cell_tree_pages() as i64)
+    );
+
+    // The live LP chain metrics start at attach time (the build pre-dates
+    // the registry), so only the insert/remove recomputations above show up
+    // — but they must show up. The tree counters mirror the cost trackers'
+    // lifetime totals (reads happened during the queries above).
+    assert!(snap.counter("nncell_lp_solver_attempts_total").unwrap() > 0);
+    assert!(snap.counter("nncell_cell_tree_page_reads_total").unwrap() > 0);
+
+    // Both render targets name every metric.
+    let prom = snap.to_prometheus();
+    let json = snap.to_json();
+    for name in [
+        "nncell_queries_total",
+        "nncell_query_latency_ns",
+        "nncell_lp_calls_total",
+        "nncell_live_points",
+        "nncell_cell_tree_page_reads_total",
+    ] {
+        assert!(prom.contains(name), "prometheus output missing {name}");
+        assert!(json.contains(name), "json output missing {name}");
+    }
+}
+
+#[test]
+fn engine_without_metrics_records_nothing() {
+    let mut index = NnCellIndex::build(grid(60), cfg()).unwrap();
+    let registry = Registry::new();
+    index.attach_metrics(registry.clone());
+    let engine = index.engine().with_threads(1).without_metrics();
+    engine.execute(&Query::nn([0.3, 0.4])).unwrap();
+    assert_eq!(registry.snapshot().counter("nncell_queries_total"), Some(0));
+}
+
+#[test]
+fn slow_query_ring_captures_over_threshold_queries() {
+    let mut index = NnCellIndex::build(grid(60), cfg()).unwrap();
+    let registry = Registry::new();
+    index.attach_metrics(registry.clone());
+    let slow = Arc::clone(index.metrics().unwrap().engine().slow_log());
+    slow.set_threshold_ns(0); // capture everything
+    let engine = index.engine().with_threads(1);
+    engine.execute(&Query::knn(vec![0.42, 0.17], 3)).unwrap();
+    engine.execute(&Query::nn([0.8, 0.8])).unwrap();
+    assert_eq!(slow.total_seen(), 2);
+    let entries = slow.drain();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].k, 3);
+    assert_eq!(entries[0].point, vec![0.42, 0.17]);
+    assert!(entries[0].candidates > 0);
+    // Errors never reach the ring.
+    assert!(engine.execute(&Query::nn([f64::NAN, 0.0])).is_err());
+    assert_eq!(slow.total_seen(), 2);
+}
+
+#[test]
+fn durable_stack_reports_wal_and_rotation_counters() {
+    let dir = std::env::temp_dir().join(format!(
+        "nncell-metrics-durable-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut d = NnCellIndex::open_durable(&dir, 2, cfg()).unwrap();
+    let registry = Registry::new();
+    d.attach_metrics(registry.clone());
+    for i in 0..6 {
+        d.insert(Point::new(vec![
+            (i as f64 + 0.5) / 7.0,
+            ((i * 3 % 7) as f64 + 0.5) / 7.0,
+        ]))
+        .unwrap();
+    }
+    d.remove(0).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("nncell_wal_appends_total"), Some(7));
+    assert_eq!(snap.counter("nncell_wal_fsyncs_total"), Some(7));
+    assert_eq!(snap.counter("nncell_wal_replayed_total"), Some(0));
+    assert_eq!(snap.counter("nncell_snapshot_rotations_total"), Some(0));
+
+    // Checkpoint rotates the WAL; the fresh writer stays instrumented.
+    d.checkpoint().unwrap();
+    d.insert(Point::new(vec![0.93, 0.61])).unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("nncell_snapshot_rotations_total"), Some(1));
+    assert_eq!(snap.counter("nncell_wal_appends_total"), Some(8));
+    drop(d);
+
+    // Reopen: the replay counters are seeded from the recovery report.
+    let mut d = DurableIndex::open(&dir).unwrap();
+    let registry = Registry::new();
+    d.attach_metrics(registry.clone());
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("nncell_wal_replayed_total"),
+        Some(d.recovery().replayed as u64)
+    );
+    assert_eq!(snap.counter("nncell_wal_replay_dropped_total"), Some(0));
+    assert_eq!(snap.gauge("nncell_live_points"), Some(d.len() as i64));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn build_profile_times_every_phase() {
+    let index = NnCellIndex::build(
+        grid(80),
+        BuildConfig::new(Strategy::Sphere)
+            .with_seed(3)
+            .with_threads(2),
+    )
+    .unwrap();
+    let profile = index.build_stats().profile;
+    assert_eq!(profile.constraint_selection.calls, 80);
+    assert_eq!(profile.lp_solve.calls, 80);
+    assert!(profile.lp_solve.nanos > 0);
+    assert_eq!(profile.decomposition.calls, 0); // decomposition off
+    assert_eq!(profile.bulk_load.calls, 1);
+    assert_eq!(profile.batches, 2);
+    assert!(profile.batch_max_nanos <= profile.batch_total_nanos);
+    assert!(profile.batch_max_nanos > 0);
+}

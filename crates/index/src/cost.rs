@@ -13,7 +13,39 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use nncell_obs::{Counter, Registry};
+use std::sync::Arc;
+
+/// Registry handles a [`CostTracker`] mirrors its events into. Bound at
+/// most once per tracker via [`CostTracker::bind_metrics`]; the registry
+/// counters are **monotonic for the life of the process** — unlike
+/// [`CostTracker::stats`], they are unaffected by [`CostTracker::reset`].
+#[derive(Debug, Clone)]
+pub struct TreeMetrics {
+    /// `nncell_<tree>_page_reads_total`
+    pub page_reads: Arc<Counter>,
+    /// `nncell_<tree>_page_writes_total`
+    pub page_writes: Arc<Counter>,
+    /// `nncell_<tree>_cache_hits_total`
+    pub cache_hits: Arc<Counter>,
+    /// `nncell_<tree>_splits_total`
+    pub splits: Arc<Counter>,
+}
+
+impl TreeMetrics {
+    /// Registers the four tree counters under
+    /// `nncell_<prefix>_…_total` names.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            page_reads: registry.counter(&format!("nncell_{prefix}_page_reads_total")),
+            page_writes: registry.counter(&format!("nncell_{prefix}_page_writes_total")),
+            cache_hits: registry.counter(&format!("nncell_{prefix}_cache_hits_total")),
+            splits: registry.counter(&format!("nncell_{prefix}_splits_total")),
+        }
+    }
+}
 
 /// LRU state: page → stamp and stamp → page, for O(log n) eviction.
 struct Lru {
@@ -56,17 +88,33 @@ impl Lru {
 /// Read/CPU counters. Interior-mutable (relaxed atomics) so read-only
 /// queries on a shared tree can be accounted — including from the parallel
 /// index build, where worker threads query one shared point tree.
+///
+/// The raw counters only ever **increase**; [`Self::stats`] reports them
+/// relative to per-counter baselines that [`Self::reset`] snapshots-and-
+/// swaps into place. A reset racing a batch therefore never loses or
+/// double-counts an increment: each counter's epoch boundary is the
+/// single atomic baseline store, and every event lands on exactly one
+/// side of it.
 #[derive(Default)]
 pub struct CostTracker {
     reads: AtomicU64,
     writes: AtomicU64,
     cpu_ops: AtomicU64,
     cache_hits: AtomicU64,
+    splits: AtomicU64,
+    /// Epoch baselines subtracted by [`Self::stats`]; written only by
+    /// [`Self::reset`].
+    reads_base: AtomicU64,
+    writes_base: AtomicU64,
+    cpu_ops_base: AtomicU64,
+    cache_hits_base: AtomicU64,
     /// Mirrors `cache.is_some()` so the hot no-cache path can skip the
     /// Mutex entirely — concurrent query threads would otherwise serialize
     /// on a lock they only take to discover there is nothing to do.
     cache_enabled: std::sync::atomic::AtomicBool,
     cache: Mutex<Option<Lru>>,
+    /// Registry mirror, bound at most once (see [`Self::bind_metrics`]).
+    metrics: OnceLock<TreeMetrics>,
 }
 
 impl std::fmt::Debug for CostTracker {
@@ -76,10 +124,28 @@ impl std::fmt::Debug for CostTracker {
 }
 
 impl CostTracker {
+    /// Mirrors this tracker's events into registry counters from now on.
+    /// The counters are seeded with the tracker's lifetime totals so the
+    /// registry reflects all history, then stay monotonic regardless of
+    /// [`Self::reset`]. A second bind is a no-op.
+    pub fn bind_metrics(&self, metrics: TreeMetrics) {
+        if self.metrics.set(metrics).is_ok() {
+            if let Some(m) = self.metrics.get() {
+                m.page_reads.add(self.reads.load(Ordering::Relaxed));
+                m.page_writes.add(self.writes.load(Ordering::Relaxed));
+                m.cache_hits.add(self.cache_hits.load(Ordering::Relaxed));
+                m.splits.add(self.splits.load(Ordering::Relaxed));
+            }
+        }
+    }
+
     /// Records `pages` page reads (a supernode touch costs its span).
     #[inline]
     pub fn read(&self, pages: u64) {
         self.reads.fetch_add(pages, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.page_reads.add(pages);
+        }
     }
 
     /// Records an access to a specific node's pages, honoring the LRU cache
@@ -98,14 +164,21 @@ impl CostTracker {
             }
             Some(lru) => {
                 let mut misses = 0;
+                let mut hits = 0;
                 for k in 0..span {
                     if lru.touch(node << 8 | k.min(255)) {
-                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        hits += 1;
                     } else {
                         misses += 1;
                     }
                 }
                 drop(guard);
+                if hits > 0 {
+                    self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.get() {
+                        m.cache_hits.add(hits);
+                    }
+                }
                 if misses > 0 {
                     self.read(misses);
                 }
@@ -132,6 +205,9 @@ impl CostTracker {
     #[inline]
     pub fn write(&self, pages: u64) {
         self.writes.fetch_add(pages, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.page_writes.add(pages);
+        }
     }
 
     /// Records `n` CPU operations (distance computations, heap ops, …).
@@ -140,23 +216,62 @@ impl CostTracker {
         self.cpu_ops.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshot of the counters.
-    pub fn stats(&self) -> IoStats {
-        IoStats {
-            page_reads: self.reads.load(Ordering::Relaxed),
-            page_writes: self.writes.load(Ordering::Relaxed),
-            cpu_ops: self.cpu_ops.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+    /// Records one node split.
+    #[inline]
+    pub fn split(&self) {
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.splits.inc();
         }
     }
 
-    /// Resets all counters to zero (the cache contents survive; call
+    /// Lifetime node-split count (not part of [`IoStats`], not reset).
+    pub fn splits(&self) -> u64 {
+        self.splits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the counters since the last [`Self::reset`].
+    pub fn stats(&self) -> IoStats {
+        // `saturating_sub` guards the benign race where a reset lands
+        // between loading a counter and its baseline.
+        IoStats {
+            page_reads: self
+                .reads
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.reads_base.load(Ordering::Relaxed)),
+            page_writes: self
+                .writes
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.writes_base.load(Ordering::Relaxed)),
+            cpu_ops: self
+                .cpu_ops
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.cpu_ops_base.load(Ordering::Relaxed)),
+            cache_hits: self
+                .cache_hits
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.cache_hits_base.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Starts a new accounting epoch (the cache contents survive; call
     /// [`Self::set_cache`] to repopulate from cold).
+    ///
+    /// Snapshot-and-swap: the live counters are never zeroed — each
+    /// current value is captured into its baseline, and [`Self::stats`]
+    /// reports the difference. Concurrent `access`/`read`/`write` calls
+    /// can therefore never be lost to a racing reset (the old `store(0)`
+    /// erased increments that landed between the reset's stores), and
+    /// bound registry metrics keep their monotonic lifetime totals.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.cpu_ops.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
+        self.reads_base
+            .store(self.reads.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.writes_base
+            .store(self.writes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.cpu_ops_base
+            .store(self.cpu_ops.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.cache_hits_base
+            .store(self.cache_hits.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 }
 
@@ -266,6 +381,71 @@ mod tests {
         t.set_cache(0);
         t.access(9, 3);
         assert_eq!(t.stats().cache_hits, 3, "cache disabled again");
+    }
+
+    #[test]
+    fn reset_starts_new_epoch_without_zeroing_lifetime() {
+        let t = CostTracker::default();
+        t.bind_metrics(TreeMetrics::register(&Registry::new(), "test_tree"));
+        let m = t.metrics.get().expect("bound").clone();
+        t.read(5);
+        t.write(2);
+        t.reset();
+        assert_eq!(t.stats(), IoStats::default(), "fresh epoch reads as zero");
+        t.read(3);
+        assert_eq!(t.stats().page_reads, 3, "only post-reset events");
+        // The registry mirror keeps the lifetime totals across resets.
+        assert_eq!(m.page_reads.get(), 8);
+        assert_eq!(m.page_writes.get(), 2);
+    }
+
+    #[test]
+    fn bind_metrics_seeds_lifetime_totals_and_binds_once() {
+        let t = CostTracker::default();
+        t.read(7);
+        t.split();
+        let r = Registry::new();
+        t.bind_metrics(TreeMetrics::register(&r, "seeded"));
+        assert_eq!(r.snapshot().counter("nncell_seeded_page_reads_total"), Some(7));
+        assert_eq!(r.snapshot().counter("nncell_seeded_splits_total"), Some(1));
+        // A second bind must not double-seed.
+        t.bind_metrics(TreeMetrics::register(&r, "seeded"));
+        assert_eq!(r.snapshot().counter("nncell_seeded_page_reads_total"), Some(7));
+        t.read(1);
+        assert_eq!(r.snapshot().counter("nncell_seeded_page_reads_total"), Some(8));
+    }
+
+    #[test]
+    fn concurrent_access_racing_reset_loses_nothing() {
+        // Under the old `store(0)` reset, increments landing between the
+        // reset's per-counter stores were erased; with baselines the
+        // lifetime total must equal exactly the events recorded.
+        let t = CostTracker::default();
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2_000 {
+                        t.access(1, 1);
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..200 {
+                    t.reset();
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        // No cache: every access is one read. The final epoch may hide
+        // pre-reset events from stats(), but the internal lifetime counter
+        // must have seen every single one.
+        assert_eq!(
+            t.reads.load(Ordering::Relaxed),
+            total.load(Ordering::Relaxed),
+            "a racing reset must never erase concurrent increments"
+        );
     }
 
     #[test]

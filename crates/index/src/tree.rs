@@ -156,9 +156,23 @@ impl Tree {
         }
     }
 
-    /// Resets the cost counters.
+    /// Resets the cost counters (snapshot-and-swap: a reset racing a
+    /// concurrent query batch never loses events — see
+    /// [`crate::CostTracker::reset`]).
     pub fn reset_stats(&self) {
         self.cost.reset();
+    }
+
+    /// Mirrors this tree's cost counters (page reads/writes, cache hits,
+    /// splits) into registry metrics from now on, seeding the counters
+    /// with the lifetime totals so far. Binds at most once.
+    pub fn bind_metrics(&self, metrics: crate::TreeMetrics) {
+        self.cost.bind_metrics(metrics);
+    }
+
+    /// Lifetime node-split count (never reset).
+    pub fn splits(&self) -> u64 {
+        self.cost.splits()
     }
 
     // ------------------------------------------------------------------
@@ -404,6 +418,7 @@ impl Tree {
         reinserted: &mut u64,
     ) {
         let id = *path.last().expect("split path is never empty");
+        self.cost.split();
         let level = self.node(id).level;
         let per_page = if level == 0 {
             self.cfg.max_leaf_entries()

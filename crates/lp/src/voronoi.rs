@@ -104,6 +104,40 @@ pub struct CellSolve {
     pub stats: CellLpStats,
 }
 
+/// Registry handles for live LP-chain instrumentation. Cheap to clone
+/// (shared `Arc` handles), so worker threads cloning the solver all
+/// record into the same counters.
+///
+/// These cover what [`CellLpStats`] does not: *per-attempt* and
+/// *per-depth* detail of the escalation chain. The aggregate counters
+/// that mirror `CellLpStats` (`lp_calls`, `fallback_lps`,
+/// `clamped_extents`) are exported by the index layer from its
+/// accumulated stats, so the two surfaces always agree.
+#[derive(Clone, Debug)]
+pub struct LpMetrics {
+    /// `nncell_lp_solver_attempts_total` — one per backend invocation,
+    /// successful or not.
+    pub solver_attempts: std::sync::Arc<nncell_obs::Counter>,
+    /// `nncell_lp_fallback_depth` — per extent LP, how many fallback
+    /// backends ran after the primary (0 = primary solved it; the chain
+    /// length + 1 marks exhaustion → data-space clamp).
+    pub fallback_depth: std::sync::Arc<nncell_obs::Histogram>,
+    /// `nncell_lp_clamp_events_total` — extents degraded to the
+    /// data-space bound.
+    pub clamps: std::sync::Arc<nncell_obs::Counter>,
+}
+
+impl LpMetrics {
+    /// Registers the LP-chain metrics under their `nncell_lp_…` names.
+    pub fn register(registry: &nncell_obs::Registry) -> Self {
+        Self {
+            solver_attempts: registry.counter("nncell_lp_solver_attempts_total"),
+            fallback_depth: registry.histogram("nncell_lp_fallback_depth"),
+            clamps: registry.counter("nncell_lp_clamp_events_total"),
+        }
+    }
+}
+
 /// The cell-extent solver: metric + data space + LP backend + work budget.
 #[derive(Clone, Debug)]
 pub struct VoronoiLp<M: Metric> {
@@ -111,6 +145,8 @@ pub struct VoronoiLp<M: Metric> {
     space: DataSpace,
     solver: SolverKind,
     budget: LpBudget,
+    /// Live chain instrumentation; `None` (the default) records nothing.
+    metrics: Option<LpMetrics>,
 }
 
 /// Outcome of one extent LP after the full fallback chain.
@@ -130,7 +166,14 @@ impl<M: Metric> VoronoiLp<M> {
             space,
             solver,
             budget: LpBudget::DEFAULT,
+            metrics: None,
         }
+    }
+
+    /// Attaches live chain instrumentation (solver attempts, fallback
+    /// depth, clamp events). Clones of this solver share the handles.
+    pub fn set_metrics(&mut self, metrics: LpMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Overrides the per-LP work budget (see [`LpBudget`]). A tiny budget
@@ -227,7 +270,13 @@ impl<M: Metric> VoronoiLp<M> {
         stats: &mut CellLpStats,
     ) -> ChainOutcome {
         let primary = self.resolve_primary(lp.num_constraints(), start.is_some());
+        if let Some(m) = &self.metrics {
+            m.solver_attempts.inc();
+        }
         if let Ok(r) = self.attempt(primary, lp, seed, start, dual_prob) {
+            if let Some(m) = &self.metrics {
+                m.fallback_depth.record(0);
+            }
             return ChainOutcome::Solved(r);
         }
         // Escalation order: randomized incremental first (immune to pivot
@@ -239,14 +288,27 @@ impl<M: Metric> VoronoiLp<M> {
             SolverKind::Simplex,
             SolverKind::DualSimplex,
         ];
+        let mut depth = 0u64;
         for kind in escalation {
             if kind == primary || (kind == SolverKind::ActiveSet && start.is_none()) {
                 continue;
             }
+            depth += 1;
+            if let Some(m) = &self.metrics {
+                m.solver_attempts.inc();
+            }
             if let Ok(r) = self.attempt(kind, lp, seed, start, dual_prob) {
                 stats.fallback_lps += 1;
+                if let Some(m) = &self.metrics {
+                    m.fallback_depth.record(depth);
+                }
                 return ChainOutcome::Solved(r);
             }
+        }
+        // Exhaustion: one past the deepest attempted fallback, so clamps
+        // are distinguishable from a last-backend save in the histogram.
+        if let Some(m) = &self.metrics {
+            m.fallback_depth.record(depth + 1);
         }
         ChainOutcome::Exhausted
     }
@@ -281,6 +343,9 @@ impl<M: Metric> VoronoiLp<M> {
                 let hi: Vec<f64> = (0..d).map(|i| self.space.hi(i)).collect();
                 let mut stats = CellLpStats::default();
                 stats.clamped_extents += 2 * d;
+                if let Some(m) = &self.metrics {
+                    m.clamps.add(2 * d as u64);
+                }
                 CellSolve {
                     mbr: Mbr::new(lo, hi),
                     vertices: Vec::new(),
@@ -339,6 +404,9 @@ impl<M: Metric> VoronoiLp<M> {
                         // superset of the true extent (Lemma 1), so the
                         // approximation stays valid — just fatter.
                         stats.clamped_extents += 1;
+                        if let Some(m) = &self.metrics {
+                            m.clamps.inc();
+                        }
                         if dir < 0.0 {
                             lo[i] = self.space.lo(i);
                         } else {

@@ -1,0 +1,343 @@
+//! Name → metric registry and point-in-time snapshots with
+//! Prometheus-text and JSON rendering (both hand-rolled, no serde).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Owns the name → metric map. The internal mutex is taken only when a
+/// handle is first registered and when a snapshot is rendered — the hot
+/// path works purely on the returned `Arc` handles.
+///
+/// Metric names follow the Prometheus convention
+/// (`nncell_<subsystem>_<what>[_total]`, snake_case).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use. If `name` is already taken by a different metric
+    /// kind, a detached (unexported) handle is returned instead of
+    /// panicking — instrumentation must never take down the data path.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Returns the gauge registered under `name` (see [`Registry::counter`]
+    /// for the kind-conflict policy).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Returns the histogram registered under `name` (see
+    /// [`Registry::counter`] for the kind-conflict policy).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Copies every registered metric into an immutable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Snapshot {
+            metrics: map
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                        Metric::Histogram(h) => {
+                            MetricSnapshot::Histogram(Box::new(h.snapshot()))
+                        }
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+///
+/// The histogram variant is boxed: a [`HistogramSnapshot`] carries its
+/// full bucket array (~0.5 KiB), which would otherwise inflate every
+/// counter and gauge entry to the same size.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in lexicographic name order.
+    pub metrics: Vec<(String, MetricSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// Convenience: the value of a counter, or `None` if absent or not
+    /// a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricSnapshot::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricSnapshot::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: a histogram snapshot.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricSnapshot::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms emit cumulative `_bucket{le="…"}` series (up to the
+    /// highest non-empty bucket, then `+Inf`), `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            match m {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let last = h
+                        .counts
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map_or(0, |i| (i + 1).min(BUCKETS - 1));
+                    let mut cum = 0u64;
+                    for i in 0..=last {
+                        cum += h.counts[i];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cum}",
+                            bucket_upper_bound(i)
+                        );
+                    }
+                    let count = h.count();
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {count}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object keyed by metric name.
+    /// Counters/gauges become `{"type":…,"value":…}`; histograms carry
+    /// count/sum/max/mean, the standard percentiles, and the non-empty
+    /// buckets as `[upper_bound, count]` pairs. Hand-rolled — metric
+    /// names are snake_case identifiers, so no string escaping is
+    /// needed beyond what [`json_escape`] provides.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            match m {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\": {{\"type\": \"counter\", \"value\": {v}}}{comma}",
+                        json_escape(name)
+                    );
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\": {{\"type\": \"gauge\", \"value\": {v}}}{comma}",
+                        json_escape(name)
+                    );
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| format!("[{}, {c}]", bucket_upper_bound(i)))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "  \"{}\": {{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                         \"buckets\": [{}]}}{comma}",
+                        json_escape(name),
+                        h.count(),
+                        h.sum,
+                        h.max,
+                        h.mean(),
+                        h.percentile(0.50),
+                        h.percentile(0.90),
+                        h.percentile(0.99),
+                        buckets.join(", ")
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("nncell_test_total");
+        let b = r.counter("nncell_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("nncell_test_total"), Some(3));
+    }
+
+    #[test]
+    fn kind_conflict_returns_detached_handle() {
+        let r = Registry::new();
+        let c = r.counter("nncell_thing");
+        c.add(5);
+        // Same name as a gauge: detached, does not clobber the counter.
+        let g = r.gauge("nncell_thing");
+        g.set(-1);
+        assert_eq!(r.snapshot().counter("nncell_thing"), Some(5));
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("nncell_queries_total").add(4);
+        r.gauge("nncell_live_points").set(100);
+        let h = r.histogram("nncell_query_latency_ns");
+        h.record(3);
+        h.record(5);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE nncell_queries_total counter"), "{text}");
+        assert!(text.contains("nncell_queries_total 4"), "{text}");
+        assert!(text.contains("nncell_live_points 100"), "{text}");
+        // Bucket 2 (ub 3) holds the 3; bucket 3 (ub 7) the 5; cumulative.
+        assert!(text.contains("nncell_query_latency_ns_bucket{le=\"3\"} 1"), "{text}");
+        assert!(text.contains("nncell_query_latency_ns_bucket{le=\"7\"} 2"), "{text}");
+        assert!(text.contains("nncell_query_latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("nncell_query_latency_ns_sum 8"), "{text}");
+        assert!(text.contains("nncell_query_latency_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.histogram("b_hist").record(100);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\n"), "{json}");
+        assert!(json.trim_end().ends_with('}'), "{json}");
+        assert!(json.contains("\"a_total\": {\"type\": \"counter\", \"value\": 1},"), "{json}");
+        assert!(json.contains("\"b_hist\": {\"type\": \"histogram\", \"count\": 1,"), "{json}");
+        assert!(json.contains("\"buckets\": [[127, 1]]"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_get_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("z_total").inc();
+        r.counter("a_total").add(7);
+        let s = r.snapshot();
+        assert_eq!(s.metrics[0].0, "a_total");
+        assert_eq!(s.counter("z_total"), Some(1));
+        assert!(s.get("missing").is_none());
+    }
+}

@@ -62,11 +62,18 @@
 //! atomically, so acknowledged updates survive `kill -9` — see
 //! `DESIGN.md` §9 and `tests/crash_recovery.rs`.
 //!
+//! The stack is observable end to end:
+//! [`core::NnCellIndex::attach_metrics`] wires query latency histograms,
+//! LP/tree/WAL counters, a build-phase profiler, and a slow-query ring
+//! into a lock-light [`core::Registry`] whose snapshots render Prometheus
+//! text or JSON — opt-in, allocation-free on the hot path (`DESIGN.md`
+//! §11).
+//!
 //! Runnable walkthroughs live in `examples/` (`quickstart`,
 //! `image_retrieval`, `molecular_screening`, `dynamic_updates`,
 //! `voronoi_2d`), and the `nncell` CLI (`crates/cli`) wraps generate /
-//! build / insert / remove / recover / query / info / bench flows for the
-//! shell.
+//! build / insert / remove / recover / query / info / stats / bench flows
+//! for the shell.
 
 pub use nncell_core as core;
 pub use nncell_data as data;
