@@ -36,6 +36,21 @@ NNCELL_N="${NNCELL_N:-8000}" NNCELL_DIM="${NNCELL_DIM:-8}" \
     NNCELL_QUERIES="${NNCELL_QUERIES:-5000}" \
     cargo bench -p nncell-bench --bench query_engine
 
+echo "== sharded bench smoke (S=1,2,4; writes BENCH_sharded.json) =="
+# Build + merged-batch QPS at several shard counts; the bench asserts every
+# sharded pass is bit-identical to the S=1 pass, so this doubles as an
+# end-to-end exactness check of the fan-out/merge path. Same smoke-scale
+# philosophy as the query-engine bench above.
+NNCELL_N="${NNCELL_SHARD_N:-8000}" NNCELL_DIM="${NNCELL_SHARD_DIM:-8}" \
+    NNCELL_QUERIES="${NNCELL_SHARD_QUERIES:-2000}" \
+    cargo bench -p nncell-bench --bench sharded
+
+echo "== public API surface gate =="
+# tests/api_surface.rs dumps every `pub` item and compares against the
+# committed snapshot; regenerate deliberately with
+#   NNCELL_BLESS=1 cargo test --test api_surface
+cargo test -q --test api_surface
+
 echo "== bench regression gate (sequential QPS vs committed baseline) =="
 # Compare the fresh run against the last committed BENCH_query_engine.json.
 # A drop of more than 25% in sequential QPS fails the gate; smaller swings

@@ -42,7 +42,7 @@ fn main() {
         for q in &queries {
             std::hint::black_box(rstar.nearest_neighbor(q));
             std::hint::black_box(xtree.nearest_neighbor(q));
-            std::hint::black_box(nncell.nearest_neighbor(q));
+            std::hint::black_box(nncell_bench::nn_query(&nncell, q));
         }
         let c_eff = rstar.config().max_leaf_entries();
         let predicted = expected_access_fraction(n, d, c_eff);

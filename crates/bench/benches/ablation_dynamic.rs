@@ -46,7 +46,7 @@ fn main() {
         let mut all = base.clone();
         all.extend(arrivals.iter().cloned());
         for q in &queries {
-            let got = index.nearest_neighbor(q).unwrap();
+            let got = nncell_bench::nn_query(&index, q).unwrap();
             let want = linear_scan_nn(&all, q).unwrap();
             assert!((got.dist - want.dist).abs() < 1e-9, "{label}: inexact");
         }

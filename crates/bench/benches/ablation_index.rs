@@ -33,7 +33,7 @@ fn main() {
         .expect("build");
         index.reset_stats();
         for q in &queries {
-            std::hint::black_box(index.nearest_neighbor(q).unwrap());
+            std::hint::black_box(nncell_bench::nn_query(&index, q).unwrap());
         }
         let st = index.cell_tree_stats();
         rows.push(vec![
@@ -104,7 +104,7 @@ fn main() {
         index.reset_stats();
         rstar.reset_stats();
         for q in &queries {
-            std::hint::black_box(index.nearest_neighbor(q).unwrap());
+            std::hint::black_box(nncell_bench::nn_query(&index, q).unwrap());
             std::hint::black_box(rstar.nearest_neighbor(q).unwrap());
         }
         let (sn, sr) = (index.cell_tree_stats(), rstar.stats());

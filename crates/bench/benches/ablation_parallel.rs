@@ -61,7 +61,7 @@ fn main() {
     // NN-cell row (sequential, one disk).
     nncell.reset_stats();
     for q in &queries {
-        std::hint::black_box(nncell.nearest_neighbor(q).unwrap());
+        std::hint::black_box(nncell_bench::nn_query(&nncell, q).unwrap());
     }
     rows.push(vec![
         "NN-cell point query (1 disk)".into(),

@@ -37,7 +37,7 @@ fn main() {
             let overlap = average_overlap(&cells_of(&index));
             // Sanity: exact answers regardless of strategy.
             for q in queries.iter().take(10) {
-                let got = index.nearest_neighbor(q).unwrap();
+                let got = nncell_bench::nn_query(&index, q).unwrap();
                 let want = nncell_core::linear_scan_nn(&points, q).unwrap();
                 assert_eq!(got.id, want.id, "{strategy:?} inexact at d={d}");
             }

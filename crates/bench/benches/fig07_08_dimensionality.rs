@@ -42,7 +42,7 @@ fn main() {
         let (nncell_ids, t_nncell) = timed(|| {
             queries
                 .iter()
-                .map(|q| nncell.nearest_neighbor(q).unwrap().id)
+                .map(|q| nncell_bench::nn_query(&nncell, q).unwrap().id)
                 .collect::<Vec<_>>()
         });
         let (rstar_ids, t_rstar) = timed(|| {

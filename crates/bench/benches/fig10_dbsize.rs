@@ -39,7 +39,7 @@ fn main() {
         xtree.reset_stats();
         let (_, t_n) = timed(|| {
             for q in &queries {
-                std::hint::black_box(nncell.nearest_neighbor(q).unwrap());
+                std::hint::black_box(nncell_bench::nn_query(&nncell, q).unwrap());
             }
         });
         let (_, t_r) = timed(|| {

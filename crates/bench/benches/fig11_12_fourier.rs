@@ -39,7 +39,7 @@ fn main() {
         let (ids_n, t_n) = timed(|| {
             queries
                 .iter()
-                .map(|q| nncell.nearest_neighbor(q).unwrap().id)
+                .map(|q| nncell_bench::nn_query(&nncell, q).unwrap().id)
                 .collect::<Vec<_>>()
         });
         let (ids_x, t_x) = timed(|| {

@@ -98,7 +98,7 @@ fn bench_nncell_query() {
     let mut k = 0;
     bench("nncell_point_query_d8_n2000", 64, || {
         k = (k + 1) % queries.len();
-        index.nearest_neighbor(&queries[k]).unwrap()
+        nncell_bench::nn_query(&index, &queries[k]).unwrap()
     });
 }
 

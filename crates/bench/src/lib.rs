@@ -8,9 +8,18 @@
 //! Results are printed as aligned tables — the same rows/series the paper
 //! plots — and recorded in `EXPERIMENTS.md`.
 
-use nncell_core::{CellApprox, NnCellIndex};
+use nncell_core::{CellApprox, NnCellIndex, Query, QueryEngine, QueryResult};
 use nncell_geom::{Metric, Point};
 use std::time::Instant;
+
+/// One NN query through the typed engine, with the `Option` shape the
+/// removed convenience shims had — what most figure benches need.
+pub fn nn_query<M: Metric>(index: &NnCellIndex<M>, q: &[f64]) -> Option<QueryResult> {
+    QueryEngine::sequential(index)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
 
 /// Reads a `usize` environment override.
 pub fn env_usize(name: &str, default: usize) -> usize {

@@ -25,7 +25,7 @@ mod csv;
 use args::Parsed;
 use nncell_core::wal::WalTail;
 use nncell_core::{
-    BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Registry, Strategy,
+    BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Registry, ShardedIndex, Strategy,
 };
 use nncell_geom::Point;
 use nncell_data::{
@@ -112,6 +112,7 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
         "threads",
         "out",
         "wal",
+        "shards",
         "skip-invalid",
         "lp-max-iterations",
     ])
@@ -139,6 +140,13 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
     let wal = p.get("wal");
     if out.is_none() && wal.is_none() {
         return Err("build needs --out FILE (plain snapshot), --wal DIR (durable directory), or both".into());
+    }
+    let shards: usize = p.get_or("shards", 1).map_err(|e| e.to_string())?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if shards > 1 {
+        return cmd_build_sharded(points, shards, cfg, out, wal);
     }
     let t = Instant::now();
     let index = NnCellIndex::build(points, cfg).map_err(|e| e.to_string())?;
@@ -177,31 +185,94 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// `build --shards N`: partition round-robin, build every shard in its own
+/// thread, and land in a sharded directory (plain via `--out`, durable via
+/// `--wal` — both work; the save happens before the durable conversion
+/// consumes the in-memory masters).
+fn cmd_build_sharded(
+    points: Vec<nncell_geom::Point>,
+    shards: usize,
+    cfg: BuildConfig,
+    out: Option<&str>,
+    wal: Option<&str>,
+) -> Result<(), String> {
+    let t = Instant::now();
+    let index = ShardedIndex::build(points, shards, cfg).map_err(|e| e.to_string())?;
+    let bs = index.build_stats();
+    let n_cells = index.len();
+    let n_pieces: usize = (0..shards).map(|i| index.shard(i).total_pieces()).sum();
+    let mut sinks = Vec::new();
+    if let Some(dir) = out {
+        index.save(dir).map_err(|e| e.to_string())?;
+        sinks.push(format!("saved sharded directory to {dir}"));
+    }
+    if let Some(dir) = wal {
+        index.into_durable(dir).map_err(|e| e.to_string())?;
+        sinks.push(format!("durable sharded directory initialized at {dir}"));
+    }
+    println!(
+        "built {n_cells} cells ({n_pieces} pieces) across {shards} shard(s) in {:.2}s — \
+         {} LPs over {} constraints — {}",
+        t.elapsed().as_secs_f64(),
+        bs.lp.lp_calls,
+        bs.lp.constraints,
+        sinks.join(", ")
+    );
+    if bs.skipped_points > 0 {
+        println!(
+            "skipped {} invalid input point(s) (--skip-invalid)",
+            bs.skipped_points
+        );
+    }
+    print_build_profile(&bs.profile);
+    Ok(())
+}
+
+/// Opens a sharded layout when the path carries a sharded manifest (plain
+/// or durable), regardless of which flag it arrived under.
+fn open_sharded_at(path: &str, durable_hint: bool) -> Result<Option<ShardedIndex>, String> {
+    if ShardedIndex::manifest_shards(path).is_none() {
+        return Ok(None);
+    }
+    let idx = if durable_hint {
+        ShardedIndex::open_durable_existing(path).map_err(|e| e.to_string())?
+    } else {
+        ShardedIndex::load(path).map_err(|e| e.to_string())?
+    };
+    Ok(Some(idx))
+}
+
 fn cmd_query(p: &Parsed) -> Result<(), String> {
     p.allow_only(&["index", "wal", "point", "k"])
         .map_err(|e| e.to_string())?;
-    let loaded;
-    let durable;
-    let index = match (p.get("index"), p.get("wal")) {
-        (Some(file), None) => {
-            loaded = NnCellIndex::load(file).map_err(|e| e.to_string())?;
-            &loaded
-        }
-        (None, Some(dir)) => {
-            durable = DurableIndex::open(dir).map_err(|e| e.to_string())?;
-            durable.index()
-        }
-        _ => return Err("query needs exactly one of --index FILE or --wal DIR".into()),
-    };
     let q = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
-    // Both surfaces (--index and --wal) route through the same engine, so a
-    // malformed query produces the same typed QueryError either way.
-    let resp = index
-        .engine()
-        .execute(&Query::knn(q, k))
-        .map_err(|e| e.to_string())?;
+    let query = Query::knn(q, k);
+    // All four surfaces (plain file, durable dir, and the sharded flavor
+    // of each — auto-detected from the on-disk manifest) route through the
+    // same engine semantics, so a malformed query produces the same typed
+    // QueryError everywhere.
+    let resp = match (p.get("index"), p.get("wal")) {
+        (Some(file), None) => match open_sharded_at(file, false)? {
+            Some(sharded) => sharded.query(&query).map_err(|e| e.to_string())?,
+            None => NnCellIndex::load(file)
+                .map_err(|e| e.to_string())?
+                .engine()
+                .execute(&query)
+                .map_err(|e| e.to_string())?,
+        },
+        (None, Some(dir)) => match open_sharded_at(dir, true)? {
+            Some(sharded) => sharded.query(&query).map_err(|e| e.to_string())?,
+            None => DurableIndex::open(dir)
+                .map_err(|e| e.to_string())?
+                .index()
+                .engine()
+                .execute(&query)
+                .map_err(|e| e.to_string())?,
+        },
+        _ => return Err("query needs exactly one of --index FILE or --wal DIR".into()),
+    };
     if k == 1 {
         println!(
             "nearest neighbor: #{} at distance {:.6}",
@@ -232,6 +303,17 @@ fn cmd_insert(p: &Parsed) -> Result<(), String> {
     let dir = p.require("wal").map_err(|e| e.to_string())?;
     let coords = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
+    if let Some(sharded) = open_sharded_at(dir, true)? {
+        let id = sharded.insert(Point::new(coords)).map_err(|e| e.to_string())?;
+        println!(
+            "inserted point #{id} into shard {} — journaled and fsynced \
+             ({} record(s) across {} shard journal(s))",
+            id % sharded.num_shards(),
+            sharded.wal_records(),
+            sharded.num_shards()
+        );
+        return maybe_checkpoint_sharded(p, sharded);
+    }
     let mut index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
     let id = index.insert(Point::new(coords)).map_err(|e| e.to_string())?;
     println!(
@@ -250,6 +332,20 @@ fn cmd_remove(p: &Parsed) -> Result<(), String> {
         .map_err(|e| e.to_string())?
         .parse()
         .map_err(|_| "bad --id (expected a point id)".to_string())?;
+    if let Some(sharded) = open_sharded_at(dir, true)? {
+        if sharded.remove(id).map_err(|e| e.to_string())? {
+            println!(
+                "removed point #{id} from shard {} — journaled and fsynced \
+                 ({} record(s) across {} shard journal(s))",
+                id % sharded.num_shards(),
+                sharded.wal_records(),
+                sharded.num_shards()
+            );
+        } else {
+            println!("point #{id} is not live; nothing journaled");
+        }
+        return maybe_checkpoint_sharded(p, sharded);
+    }
     let mut index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
     if index.remove(id).map_err(|e| e.to_string())? {
         println!(
@@ -262,12 +358,7 @@ fn cmd_remove(p: &Parsed) -> Result<(), String> {
     maybe_checkpoint(p, index)
 }
 
-fn cmd_recover(p: &Parsed) -> Result<(), String> {
-    p.allow_only(&["wal", "checkpoint"])
-        .map_err(|e| e.to_string())?;
-    let dir = p.require("wal").map_err(|e| e.to_string())?;
-    let index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
-    let rec = index.recovery().clone();
+fn print_recovery(rec: &nncell_core::RecoveryReport, generation: u64) {
     println!("generation     : {}", rec.generation);
     println!("records replayed: {}", rec.replayed);
     if rec.skipped > 0 {
@@ -283,13 +374,36 @@ fn cmd_recover(p: &Parsed) -> Result<(), String> {
         ),
     }
     if rec.rotated {
-        println!(
-            "rotated        : damaged journal retired; now at generation {}",
-            index.generation()
-        );
+        println!("rotated        : damaged journal retired; now at generation {generation}");
     }
+}
+
+fn cmd_recover(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["wal", "checkpoint"])
+        .map_err(|e| e.to_string())?;
+    let dir = p.require("wal").map_err(|e| e.to_string())?;
+    if let Some(sharded) = open_sharded_at(dir, true)? {
+        for (i, rec) in sharded.recovery().iter().enumerate() {
+            println!("--- shard {i} ---");
+            print_recovery(rec, rec.generation + u64::from(rec.rotated));
+        }
+        println!("live points    : {} across {} shard(s)", sharded.len(), sharded.num_shards());
+        return maybe_checkpoint_sharded(p, sharded);
+    }
+    let index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+    let rec = index.recovery().clone();
+    print_recovery(&rec, index.generation());
     println!("live points    : {}", index.len());
     maybe_checkpoint(p, index)
+}
+
+/// Shared `--checkpoint` tail for sharded durable directories.
+fn maybe_checkpoint_sharded(p: &Parsed, index: ShardedIndex) -> Result<(), String> {
+    if p.get("checkpoint").is_some() {
+        index.checkpoint().map_err(|e| e.to_string())?;
+        println!("checkpointed all {} shard(s) (journals reset)", index.num_shards());
+    }
+    Ok(())
 }
 
 /// Shared `--checkpoint` tail for the durable subcommands.
@@ -445,22 +559,31 @@ fn cmd_bench(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-/// Either surface the observability commands accept: a plain snapshot or a
-/// durable directory (whose WAL/rotation counters come along for free).
+/// Either surface the observability commands accept: a plain snapshot, a
+/// durable directory (whose WAL/rotation counters come along for free),
+/// or the sharded flavor of either — auto-detected from the manifest and
+/// reporting per-shard labeled series.
 enum LoadedIndex {
     Plain(Box<NnCellIndex>),
     Durable(Box<DurableIndex>),
+    Sharded(Box<ShardedIndex>),
 }
 
 impl LoadedIndex {
     fn open(p: &Parsed, cmd: &str) -> Result<Self, String> {
         match (p.get("index"), p.get("wal")) {
-            (Some(file), None) => Ok(LoadedIndex::Plain(Box::new(
-                NnCellIndex::load(file).map_err(|e| e.to_string())?,
-            ))),
-            (None, Some(dir)) => Ok(LoadedIndex::Durable(Box::new(
-                DurableIndex::open(dir).map_err(|e| e.to_string())?,
-            ))),
+            (Some(file), None) => Ok(match open_sharded_at(file, false)? {
+                Some(s) => LoadedIndex::Sharded(Box::new(s)),
+                None => LoadedIndex::Plain(Box::new(
+                    NnCellIndex::load(file).map_err(|e| e.to_string())?,
+                )),
+            }),
+            (None, Some(dir)) => Ok(match open_sharded_at(dir, true)? {
+                Some(s) => LoadedIndex::Sharded(Box::new(s)),
+                None => LoadedIndex::Durable(Box::new(
+                    DurableIndex::open(dir).map_err(|e| e.to_string())?,
+                )),
+            }),
             _ => Err(format!(
                 "{cmd} needs exactly one of --index FILE or --wal DIR"
             )),
@@ -471,13 +594,70 @@ impl LoadedIndex {
         match self {
             LoadedIndex::Plain(i) => i.attach_metrics(registry),
             LoadedIndex::Durable(d) => d.attach_metrics(registry),
+            LoadedIndex::Sharded(s) => s.attach_metrics(registry),
         }
     }
 
-    fn index(&self) -> &NnCellIndex {
+    fn dim(&self) -> usize {
         match self {
-            LoadedIndex::Plain(i) => i,
-            LoadedIndex::Durable(d) => d.index(),
+            LoadedIndex::Plain(i) => i.dim(),
+            LoadedIndex::Durable(d) => d.index().dim(),
+            LoadedIndex::Sharded(s) => s.dim(),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            LoadedIndex::Sharded(s) => s.num_shards(),
+            _ => 1,
+        }
+    }
+
+    fn run_batch(&self, queries: &[Query], threads: usize) {
+        match self {
+            LoadedIndex::Plain(i) => {
+                let _ = i.engine().with_threads(threads).batch(queries);
+            }
+            LoadedIndex::Durable(d) => {
+                let _ = d.index().engine().with_threads(threads).batch(queries);
+            }
+            // Sharding is the concurrency story here: the fan-out across
+            // shard engines replaces the single engine's thread pool.
+            LoadedIndex::Sharded(s) => {
+                let _ = s.batch(queries);
+            }
+        }
+    }
+
+    /// Slow-query rings, one per shard (exactly one for unsharded).
+    fn slow_logs(&self) -> Vec<std::sync::Arc<nncell_core::SlowQueryLog>> {
+        use std::sync::Arc;
+        match self {
+            LoadedIndex::Plain(i) => i
+                .metrics()
+                .map(|m| Arc::clone(m.engine().slow_log()))
+                .into_iter()
+                .collect(),
+            LoadedIndex::Durable(d) => d
+                .index()
+                .metrics()
+                .map(|m| Arc::clone(m.engine().slow_log()))
+                .into_iter()
+                .collect(),
+            LoadedIndex::Sharded(s) => (0..s.num_shards())
+                .filter_map(|i| {
+                    let shard = s.shard(i);
+                    shard.metrics().map(|m| Arc::clone(m.engine().slow_log()))
+                })
+                .collect(),
+        }
+    }
+
+    fn build_profile(&self) -> nncell_core::BuildProfile {
+        match self {
+            LoadedIndex::Plain(i) => i.build_stats().profile,
+            LoadedIndex::Durable(d) => d.index().build_stats().profile,
+            LoadedIndex::Sharded(s) => s.build_stats().profile,
         }
     }
 }
@@ -499,7 +679,6 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
     let registry = Registry::new();
     let mut loaded = LoadedIndex::open(p, "stats")?;
     loaded.attach_metrics(registry.clone());
-    let index = loaded.index();
     let n_q: usize = p.get_or("queries", 200).map_err(|e| e.to_string())?;
     let seed: u64 = p.get_or("seed", 7).map_err(|e| e.to_string())?;
     let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
@@ -507,20 +686,19 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
     let slow_threshold_us: u64 = p
         .get_or("slow-threshold-us", 0)
         .map_err(|e| e.to_string())?;
-    let metrics = index.metrics().expect("metrics attached above");
+    let slow_logs = loaded.slow_logs();
     if p.get("slow").is_some() {
-        metrics
-            .engine()
-            .slow_log()
-            .set_threshold_ns(slow_threshold_us.saturating_mul(1_000));
+        for log in &slow_logs {
+            log.set_threshold_ns(slow_threshold_us.saturating_mul(1_000));
+        }
     }
     if n_q > 0 {
-        let queries: Vec<Query> = UniformGenerator::new(index.dim())
+        let queries: Vec<Query> = UniformGenerator::new(loaded.dim())
             .generate(n_q, seed)
             .iter()
             .map(|pt| Query::knn(pt.as_slice(), k))
             .collect();
-        let _ = index.engine().with_threads(threads.max(1)).batch(&queries);
+        loaded.run_batch(&queries, threads.max(1));
     }
     let snap = registry.snapshot();
     if p.get("json").is_some() {
@@ -532,63 +710,110 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
         return Ok(());
     }
     if p.get("slow").is_some() {
-        let slow = metrics.engine().slow_log();
-        let entries = slow.drain();
-        println!(
-            "slow queries (threshold {slow_threshold_us} µs): {} captured, {} total seen",
-            entries.len(),
-            slow.total_seen()
-        );
-        for e in entries {
+        let sharded = slow_logs.len() > 1;
+        for (i, slow) in slow_logs.iter().enumerate() {
+            let entries = slow.drain();
+            let scope = if sharded {
+                format!("shard {i}: ")
+            } else {
+                String::new()
+            };
             println!(
-                "  #{:<4} {:>10.1} µs  k={} candidates={} pages={}{}  [{}]",
-                e.seq,
-                e.latency_ns as f64 / 1_000.0,
-                e.k,
-                e.candidates,
-                e.pages,
-                if e.fallback { " fallback" } else { "" },
-                e.point
-                    .iter()
-                    .map(|c| format!("{c:.4}"))
-                    .collect::<Vec<_>>()
-                    .join(","),
+                "{scope}slow queries (threshold {slow_threshold_us} µs): {} captured, {} total seen",
+                entries.len(),
+                slow.total_seen()
             );
+            for e in entries {
+                println!(
+                    "  #{:<4} {:>10.1} µs  k={} candidates={} pages={}{}  [{}]",
+                    e.seq,
+                    e.latency_ns as f64 / 1_000.0,
+                    e.k,
+                    e.candidates,
+                    e.pages,
+                    if e.fallback { " fallback" } else { "" },
+                    e.point
+                        .iter()
+                        .map(|c| format!("{c:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                );
+            }
         }
         return Ok(());
     }
-    // Human-readable summary.
-    println!("workload       : {n_q} queries (k={k}, threads={threads}, seed={seed})");
-    let get = |name: &str| snap.counter(name).unwrap_or(0);
+    // Human-readable summary. Sharded indexes register per-shard labeled
+    // series (`name{shard="i"}`); sum_counters/sum_gauges fold a whole
+    // family into one number either way.
+    let shards = loaded.num_shards();
+    println!(
+        "workload       : {n_q} queries (k={k}, threads={threads}, seed={seed}){}",
+        if shards > 1 {
+            format!(" fanned out across {shards} shards")
+        } else {
+            String::new()
+        }
+    );
+    let get = |name: &str| snap.sum_counters(name).unwrap_or(0);
     println!(
         "queries        : {} ok, {} error(s), {} scan fallback(s)",
         get("nncell_queries_total") - get("nncell_query_errors_total"),
         get("nncell_query_errors_total"),
         get("nncell_query_fallback_total"),
     );
-    if let Some(h) = snap.histogram("nncell_query_latency_ns") {
-        println!(
-            "latency        : p50 ≤ {:.1} µs, p90 ≤ {:.1} µs, p99 ≤ {:.1} µs, max {:.1} µs",
-            h.percentile(0.50) as f64 / 1_000.0,
-            h.percentile(0.90) as f64 / 1_000.0,
-            h.percentile(0.99) as f64 / 1_000.0,
-            h.max as f64 / 1_000.0,
-        );
+    // Latency histograms stay per shard: there is one series per engine,
+    // labeled when sharded.
+    let latency_series: Vec<(String, &str)> = if shards > 1 {
+        (0..shards)
+            .map(|i| {
+                (
+                    format!("nncell_query_latency_ns{{shard=\"{i}\"}}"),
+                    "latency",
+                )
+            })
+            .collect()
+    } else {
+        vec![("nncell_query_latency_ns".to_string(), "latency")]
+    };
+    for (i, (name, _)) in latency_series.iter().enumerate() {
+        if let Some(h) = snap.histogram(name) {
+            let label = if shards > 1 {
+                format!("latency (s{i})  ")
+            } else {
+                "latency        ".to_string()
+            };
+            println!(
+                "{label}: p50 ≤ {:.1} µs, p90 ≤ {:.1} µs, p99 ≤ {:.1} µs, max {:.1} µs",
+                h.percentile(0.50) as f64 / 1_000.0,
+                h.percentile(0.90) as f64 / 1_000.0,
+                h.percentile(0.99) as f64 / 1_000.0,
+                h.max as f64 / 1_000.0,
+            );
+        }
     }
-    if let Some(h) = snap.histogram("nncell_query_candidates") {
+    let hist = |name: &str| {
+        if shards > 1 {
+            snap.histogram(&format!("{name}{{shard=\"0\"}}"))
+        } else {
+            snap.histogram(name)
+        }
+    };
+    if let Some(h) = hist("nncell_query_candidates") {
         println!(
-            "candidates     : mean {:.1}, p99 ≤ {}, max {}",
+            "candidates     : mean {:.1}, p99 ≤ {}, max {}{}",
             h.mean(),
             h.percentile(0.99),
-            h.max
+            h.max,
+            if shards > 1 { " (shard 0)" } else { "" }
         );
     }
-    if let Some(h) = snap.histogram("nncell_query_pages") {
+    if let Some(h) = hist("nncell_query_pages") {
         println!(
-            "pages/query    : mean {:.1}, p99 ≤ {}, max {}",
+            "pages/query    : mean {:.1}, p99 ≤ {}, max {}{}",
             h.mean(),
             h.percentile(0.99),
-            h.max
+            h.max,
+            if shards > 1 { " (shard 0)" } else { "" }
         );
     }
     println!(
@@ -596,7 +821,7 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
         get("nncell_cell_tree_page_reads_total"),
         get("nncell_cell_tree_cache_hits_total"),
         get("nncell_cell_tree_splits_total"),
-        snap.gauge("nncell_cell_tree_pages").unwrap_or(0),
+        snap.sum_gauges("nncell_cell_tree_pages").unwrap_or(0),
     );
     println!(
         "LP (lifetime)  : {} LP call(s) over {} constraint(s), {} fallback(s), {} clamp(s)",
@@ -605,7 +830,7 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
         get("nncell_lp_fallback_total"),
         get("nncell_lp_clamped_extents_total"),
     );
-    if snap.counter("nncell_wal_appends_total").is_some() {
+    if snap.sum_counters("nncell_wal_appends_total").is_some() {
         println!(
             "durability     : {} WAL append(s), {} fsync(s), {} replayed, {} dropped, {} rotation(s)",
             get("nncell_wal_appends_total"),
@@ -615,7 +840,7 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
             get("nncell_snapshot_rotations_total"),
         );
     }
-    print_build_profile(&index.build_stats().profile);
+    print_build_profile(&loaded.build_profile());
     Ok(())
 }
 
@@ -656,7 +881,7 @@ COMMANDS
             [--n 1000] [--dim 8] [--seed 42] [--clusters 8] [--sigma 0.05]
   build     --points FILE (--out FILE | --wal DIR) [--strategy correct|
             correct-pruned|point|sphere|nn-direction] [--decompose K] [--seed S]
-            [--threads T] [--skip-invalid] [--lp-max-iterations N]
+            [--threads T] [--shards S] [--skip-invalid] [--lp-max-iterations N]
   query     (--index FILE | --wal DIR) --point x,y,... [--k K]
   insert    --wal DIR --point x,y,... [--checkpoint]
   remove    --wal DIR --id N [--checkpoint]
@@ -668,6 +893,12 @@ COMMANDS
   stats     (--index FILE | --wal DIR) [--queries 200] [--seed 7] [--k 1]
             [--threads 1] [--json | --prom | --slow [--slow-threshold-us N]]
   help
+
+`build --shards S` (S > 1) partitions points round-robin into S shards,
+builds them in parallel, and writes a sharded directory (plain with --out,
+durable with --wal). query/insert/remove/recover/stats auto-detect sharded
+layouts from the on-disk manifest; sharded answers are bit-identical to
+unsharded ones, and sharded metrics register per-shard `shard=\"i\"` series.
 
 `stats` attaches a metrics registry, replays a generated workload, and
 reports query-latency percentiles, candidate/page histograms, tree and LP

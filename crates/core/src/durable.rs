@@ -366,10 +366,23 @@ impl DurableIndex {
     /// append/fsync counters, replay counters seeded from this handle's
     /// [`RecoveryReport`], and a snapshot-rotation counter. Idempotent.
     pub fn attach_metrics(&mut self, registry: Arc<nncell_obs::Registry>) {
+        self.attach_metrics_labeled(registry, &[]);
+    }
+
+    /// Like [`Self::attach_metrics`] but the index/engine/tree series carry
+    /// the given label set (e.g. `shard="1"`). The WAL and rotation
+    /// counters stay unlabeled — shards of one sharded index share them as
+    /// whole-stack totals.
+    pub fn attach_metrics_labeled(
+        &mut self,
+        registry: Arc<nncell_obs::Registry>,
+        labels: &[(&str, &str)],
+    ) {
         if self.metrics.is_some() {
             return;
         }
-        self.index.attach_metrics(Arc::clone(&registry));
+        self.index
+            .attach_metrics_labeled(Arc::clone(&registry), labels);
         let wal_metrics = crate::wal::WalMetrics::register(&registry);
         self.wal.set_metrics(wal_metrics.clone());
         // Recovery already happened; publish what it found.
@@ -491,7 +504,6 @@ impl DurableIndex {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
     use crate::config::Strategy;
@@ -523,7 +535,11 @@ mod tests {
             .collect();
         for k in 0..30 {
             let q = vec![(k as f64 * 7.3) % 1.0, (k as f64 * 3.7) % 1.0];
-            match (idx.nearest_neighbor(&q), linear_scan_nn(&live, &q)) {
+            let got = crate::engine::QueryEngine::sequential(idx)
+                .execute(&crate::query::Query::nn(q.clone()))
+                .ok()
+                .map(|r| r.best);
+            match (got, linear_scan_nn(&live, &q)) {
                 (Some(got), Some(want)) => {
                     assert!((got.dist - want.dist).abs() < 1e-9, "q={q:?}")
                 }

@@ -1,0 +1,137 @@
+//! One error surface for the whole stack.
+//!
+//! Each layer keeps its own precise error type — [`BuildError`] for index
+//! construction and updates, [`QueryError`] for malformed queries,
+//! [`PersistError`] for storage, [`DurableError`] for the journaled
+//! update path — and this module re-exports them all plus the umbrella
+//! [`Error`] that any of them converts into with `?`. Code that handles
+//! failure modes individually matches on the sub-errors; code that just
+//! propagates uses `Result<_, nncell::Error>`.
+
+pub use crate::durable::DurableError;
+pub use crate::index::BuildError;
+pub use crate::persist::PersistError;
+pub use crate::query::QueryError;
+
+/// Any failure the nncell stack can report, by domain.
+///
+/// [`DurableError`] deliberately has no variant of its own: it is a
+/// two-way split of build-rule violations and storage failures, so its
+/// conversion flattens into [`Error::Build`] or [`Error::Persist`] and
+/// callers match one set of variants regardless of which index flavor
+/// produced the failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Constructing or mutating an index: invalid input points,
+    /// dimension mismatches, duplicates, empty databases.
+    Build(BuildError),
+    /// Executing a query: malformed request or an empty index.
+    Query(QueryError),
+    /// Saving, loading, journaling, or recovering: I/O failures and
+    /// corrupt on-disk state.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "build error: {e}"),
+            Error::Query(e) => write!(f, "query error: {e}"),
+            Error::Persist(e) => write!(f, "persistence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e)
+    }
+}
+
+impl From<DurableError> for Error {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Invalid(b) => Error::Build(b),
+            DurableError::Persist(p) => Error::Persist(p),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Persist(PersistError::Io(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sub_error_converts_with_question_mark() {
+        fn build() -> Result<(), Error> {
+            Err(BuildError::EmptyDatabase)?
+        }
+        fn query() -> Result<(), Error> {
+            Err(QueryError::ZeroK)?
+        }
+        fn persist() -> Result<(), Error> {
+            Err(PersistError::Corrupt("x".into()))?
+        }
+        fn durable_invalid() -> Result<(), Error> {
+            Err(DurableError::Invalid(BuildError::EmptyDatabase))?
+        }
+        fn durable_persist() -> Result<(), Error> {
+            Err(DurableError::Persist(PersistError::Corrupt("x".into())))?
+        }
+        assert!(matches!(build(), Err(Error::Build(_))));
+        assert!(matches!(query(), Err(Error::Query(_))));
+        assert!(matches!(persist(), Err(Error::Persist(_))));
+        // DurableError flattens: no third layer of nesting to unwrap.
+        assert!(matches!(
+            durable_invalid(),
+            Err(Error::Build(BuildError::EmptyDatabase))
+        ));
+        assert!(matches!(
+            durable_persist(),
+            Err(Error::Persist(PersistError::Corrupt(_)))
+        ));
+    }
+
+    #[test]
+    fn display_is_prefixed_by_domain_and_chains_source() {
+        let e = Error::from(QueryError::ZeroK);
+        let msg = e.to_string();
+        assert!(msg.starts_with("query error: "), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = Error::from(BuildError::EmptyDatabase);
+        assert!(e.to_string().starts_with("build error: "));
+        let e = Error::from(PersistError::Corrupt("bad magic".into()));
+        let msg = e.to_string();
+        assert!(msg.starts_with("persistence error: "), "{msg}");
+        assert!(msg.contains("bad magic"), "{msg}");
+    }
+}

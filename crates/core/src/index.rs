@@ -4,7 +4,6 @@ use crate::config::{BuildConfig, InputPolicy, Strategy};
 use crate::decompose::decompose_cell;
 use crate::engine::QueryEngine;
 use crate::metrics::{EngineMetrics, IndexMetrics};
-use crate::query::Query;
 use crate::strategy::{gather_rival_ids, nearest_rivals};
 use nncell_geom::{DataSpace, Euclidean, Mbr, Metric, Point};
 use nncell_index::{IoStats, TreeConfig, TreeMetrics, XTree};
@@ -303,40 +302,7 @@ impl<M: Metric> NnCellIndex<M> {
         };
         let dim = first.dim();
         let start = Instant::now();
-        let space = DataSpace::unit(dim);
-        // Input validation (NaN/∞, dimensionality, data-space membership,
-        // bit-exact duplicates). Under `InputPolicy::Skip` offenders are
-        // dropped and counted; ids are assigned to the survivors.
-        let mut accepted: Vec<Point> = Vec::with_capacity(points.len());
-        let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(points.len());
-        let mut first_seen: Vec<usize> = Vec::with_capacity(points.len());
-        let mut skipped = 0usize;
-        for (id, p) in points.into_iter().enumerate() {
-            let verdict = validate_point(&p, id, dim, &space).and_then(|()| {
-                let bits: Vec<u64> = p.as_slice().iter().map(|c| c.to_bits()).collect();
-                if seen.insert(bits) {
-                    Ok(())
-                } else {
-                    let of = accepted
-                        .iter()
-                        .position(|q| q.as_slice() == p.as_slice())
-                        .map(|i| first_seen[i])
-                        .unwrap_or(id);
-                    Err(BuildError::DuplicatePoint { id, of })
-                }
-            });
-            match (verdict, cfg.input_policy) {
-                (Ok(()), _) => {
-                    accepted.push(p);
-                    first_seen.push(id);
-                }
-                (Err(e), InputPolicy::Reject) => return Err(e),
-                (Err(_), InputPolicy::Skip) => skipped += 1,
-            }
-        }
-        if accepted.is_empty() {
-            return Err(BuildError::EmptyDatabase);
-        }
+        let (accepted, skipped) = validate_build_inputs(points, dim, cfg.input_policy)?;
         let mut idx = Self::new_with_metric(dim, cfg, metric);
         idx.build_stats.skipped_points = skipped;
         // Phase 1: the data-point tree (the strategies query it).
@@ -499,17 +465,27 @@ impl<M: Metric> NnCellIndex<M> {
     /// The [`CellLpStats`]-mirrored counters (`nncell_lp_calls_total` & co.)
     /// are seeded with the build totals, so the registry agrees with
     /// [`Self::build_stats`] from the first snapshot on; the tree counters
-    /// are seeded the same way inside [`nncell_index::CostTracker`].
+    /// are seeded the same way inside `nncell_index::CostTracker`.
     pub fn attach_metrics(&mut self, registry: Arc<Registry>) {
+        self.attach_metrics_labeled(registry, &[]);
+    }
+
+    /// Like [`Self::attach_metrics`] but the engine, gauge, and tree series
+    /// carry the given label set (e.g. `shard="2"` — see
+    /// [`nncell_obs::format_labels`]). The LP solver-chain and
+    /// [`CellLpStats`] mirror counters stay unlabeled: per-shard builds sum
+    /// into exactly the unsharded totals, so one shared family preserves
+    /// the registry == `build_stats().lp` invariant.
+    pub fn attach_metrics_labeled(&mut self, registry: Arc<Registry>, labels: &[(&str, &str)]) {
         if self.metrics.is_some() {
             return;
         }
-        let m = IndexMetrics::register(registry.clone(), self.dim());
+        let m = IndexMetrics::register_labeled(registry.clone(), self.dim(), labels);
         m.seed_lp_totals(&self.build_stats.lp);
         self.cell_tree
-            .bind_metrics(TreeMetrics::register(&registry, "cell_tree"));
+            .bind_metrics(TreeMetrics::register_labeled(&registry, "cell_tree", labels));
         self.point_tree
-            .bind_metrics(TreeMetrics::register(&registry, "point_tree"));
+            .bind_metrics(TreeMetrics::register_labeled(&registry, "point_tree", labels));
         self.vlp.set_metrics(LpMetrics::register(&registry));
         self.metrics = Some(m);
         self.refresh_gauges();
@@ -557,7 +533,7 @@ impl<M: Metric> NnCellIndex<M> {
     }
 
     // ------------------------------------------------------------------
-    // queries (deprecated shims — execution lives in the QueryEngine)
+    // queries (execution lives in the QueryEngine)
     // ------------------------------------------------------------------
 
     /// A parallel [`QueryEngine`] session over this index — the query API.
@@ -565,46 +541,6 @@ impl<M: Metric> NnCellIndex<M> {
     /// may run concurrently.
     pub fn engine(&self) -> QueryEngine<'_, M> {
         QueryEngine::new(self)
-    }
-
-    /// Exact nearest neighbor of `q`. `None` when the index is empty **or**
-    /// the query is malformed — callers cannot tell which.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QueryEngine::execute(&Query::nn(q))` for typed errors and per-query stats"
-    )]
-    pub fn nearest_neighbor(&self, q: &[f64]) -> Option<QueryResult> {
-        QueryEngine::sequential(self)
-            .execute(&Query::nn(q))
-            .ok()
-            .map(|r| r.best)
-    }
-
-    /// Like `nearest_neighbor`, also returning the candidate count — now a
-    /// regular field of [`crate::QueryStats`] on every response.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QueryEngine::execute`; the candidate count is `QueryResponse::stats.candidates`"
-    )]
-    pub fn nearest_neighbor_with_candidates(&self, q: &[f64]) -> Option<(QueryResult, usize)> {
-        QueryEngine::sequential(self)
-            .execute(&Query::nn(q))
-            .ok()
-            .map(|r| (r.best, r.stats.candidates))
-    }
-
-    /// k nearest neighbors, answered from the cell index. Empty on a
-    /// malformed query, an empty index, or `k == 0` — callers cannot tell
-    /// which.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `QueryEngine::execute(&Query::knn(q, k))` for typed errors and per-query stats"
-    )]
-    pub fn knn(&self, q: &[f64], k: usize) -> Vec<QueryResult> {
-        match QueryEngine::sequential(self).execute(&Query::knn(q, k)) {
-            Ok(r) => r.into_results(),
-            Err(_) => Vec::new(),
-        }
     }
 
     // ------------------------------------------------------------------
@@ -781,22 +717,28 @@ impl<M: Metric> NnCellIndex<M> {
     pub fn validate_insert(&self, p: &Point) -> Result<(), BuildError> {
         let id = self.points.len();
         validate_point(p, id, self.dim(), self.vlp.space())?;
-        // Exact-duplicate check against live points: a bit-identical point
-        // is at metric distance zero from its twin.
-        if self.live_count > 0 {
-            if let Some(nn) = self
-                .point_tree
-                .knn_best_first(p, 1)
-                .into_iter()
-                .find(|n| self.alive[n.id as usize])
-            {
-                let of = nn.id as usize;
-                if self.points[of].as_slice() == p.as_slice() {
-                    return Err(BuildError::DuplicatePoint { id, of });
-                }
-            }
+        if let Some(of) = self.find_live_duplicate(p) {
+            return Err(BuildError::DuplicatePoint { id, of });
         }
         Ok(())
+    }
+
+    /// The id of a live point bit-identical to `p`, if one exists. A
+    /// bit-identical point is at metric distance zero from its twin, so the
+    /// nearest live point suffices as the only candidate. Shared by
+    /// [`Self::validate_insert`] and the cross-shard duplicate check of
+    /// [`crate::ShardedIndex`].
+    pub(crate) fn find_live_duplicate(&self, p: &Point) -> Option<usize> {
+        if self.live_count == 0 {
+            return None;
+        }
+        let nn = self
+            .point_tree
+            .knn_best_first(p, 1)
+            .into_iter()
+            .find(|n| self.alive[n.id as usize])?;
+        let of = nn.id as usize;
+        (self.points[of].as_slice() == p.as_slice()).then_some(of)
     }
 
     /// Removes point `id`. The cells that bordered it are recomputed — when
@@ -1006,6 +948,33 @@ impl<M: Metric> NnCellIndex<M> {
     }
 }
 
+/// Deep copy used by the copy-on-write shard snapshots
+/// ([`crate::ShardedIndex`]): point storage and both tree arenas are
+/// cloned, the fallback counter's value is carried over, and an attached
+/// metrics bundle keeps recording into the same registry series (every
+/// handle is an `Arc`; cloning never re-seeds a counter).
+impl<M: Metric> Clone for NnCellIndex<M> {
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            points: self.points.clone(),
+            points_flat: self.points_flat.clone(),
+            alive: self.alive.clone(),
+            live_count: self.live_count,
+            cells: self.cells.clone(),
+            point_tree: self.point_tree.clone(),
+            cell_tree: self.cell_tree.clone(),
+            vlp: self.vlp.clone(),
+            build_stats: self.build_stats,
+            fallback_queries: std::sync::atomic::AtomicU64::new(
+                self.fallback_queries
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            ),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
 /// Seed salt distinguishing the CorrectPruned rough solve from the final
 /// solve ("rough" in ASCII).
 const ROUGH_SALT: u64 = 0x726f756768;
@@ -1015,10 +984,53 @@ fn elapsed_nanos(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Input validation shared by the unsharded and sharded builds: NaN/∞,
+/// dimensionality, data-space membership, bit-exact duplicates. Under
+/// [`InputPolicy::Skip`] offenders are dropped and counted; ids are assigned
+/// to the survivors in input order. Returns `(accepted, skipped)`.
+pub(crate) fn validate_build_inputs(
+    points: Vec<Point>,
+    dim: usize,
+    policy: InputPolicy,
+) -> Result<(Vec<Point>, usize), BuildError> {
+    let space = DataSpace::unit(dim);
+    let mut accepted: Vec<Point> = Vec::with_capacity(points.len());
+    let mut seen: HashSet<Vec<u64>> = HashSet::with_capacity(points.len());
+    let mut first_seen: Vec<usize> = Vec::with_capacity(points.len());
+    let mut skipped = 0usize;
+    for (id, p) in points.into_iter().enumerate() {
+        let verdict = validate_point(&p, id, dim, &space).and_then(|()| {
+            let bits: Vec<u64> = p.as_slice().iter().map(|c| c.to_bits()).collect();
+            if seen.insert(bits) {
+                Ok(())
+            } else {
+                let of = accepted
+                    .iter()
+                    .position(|q| q.as_slice() == p.as_slice())
+                    .map(|i| first_seen[i])
+                    .unwrap_or(id);
+                Err(BuildError::DuplicatePoint { id, of })
+            }
+        });
+        match (verdict, policy) {
+            (Ok(()), _) => {
+                accepted.push(p);
+                first_seen.push(id);
+            }
+            (Err(e), InputPolicy::Reject) => return Err(e),
+            (Err(_), InputPolicy::Skip) => skipped += 1,
+        }
+    }
+    if accepted.is_empty() {
+        return Err(BuildError::EmptyDatabase);
+    }
+    Ok((accepted, skipped))
+}
+
 /// Validates one input point (dimensionality, finiteness, data-space
 /// membership). Duplicate detection happens at the call sites, which have
 /// the surrounding point set.
-fn validate_point(
+pub(crate) fn validate_point(
     p: &Point,
     id: usize,
     dim: usize,
@@ -1040,12 +1052,29 @@ fn validate_point(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
+    use crate::engine::QueryEngine;
+    use crate::query::Query;
     use crate::scan::linear_scan_nn;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+
+    /// NN through the typed engine, with the old shim's `Option` shape.
+    fn nn<M: Metric>(idx: &NnCellIndex<M>, q: &[f64]) -> Option<QueryResult> {
+        QueryEngine::sequential(idx)
+            .execute(&Query::nn(q))
+            .ok()
+            .map(|r| r.best)
+    }
+
+    /// k-NN through the typed engine; empty on any query error.
+    fn knn<M: Metric>(idx: &NnCellIndex<M>, q: &[f64], k: usize) -> Vec<QueryResult> {
+        QueryEngine::sequential(idx)
+            .execute(&Query::knn(q, k))
+            .map(crate::query::QueryResponse::into_results)
+            .unwrap_or_default()
+    }
 
     fn uniform(n: usize, d: usize, seed: u64) -> Vec<Point> {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -1063,7 +1092,7 @@ mod tests {
 
     fn assert_exact<M: Metric>(idx: &NnCellIndex<M>, pts: &[Point], qs: &[Vec<f64>]) {
         for q in qs {
-            let got = idx.nearest_neighbor(q).expect("non-empty");
+            let got = nn(idx, q).expect("non-empty");
             let want = linear_scan_nn(pts, q).unwrap();
             // Distances must agree exactly (ids may differ only on perfect
             // ties, which have probability zero for random data).
@@ -1193,7 +1222,7 @@ mod tests {
         assert_eq!(idx.len(), live.len());
         // Compare distances against a scan of the survivors.
         for q in queries(50, 2, 14) {
-            let got = idx.nearest_neighbor(&q).unwrap();
+            let got = nn(&idx, &q).unwrap();
             let want = linear_scan_nn(&live, &q).unwrap();
             assert!((got.dist - want.dist).abs() < 1e-9, "q={q:?}");
             assert!(!removed.contains(&got.id), "returned a removed point");
@@ -1205,7 +1234,7 @@ mod tests {
         let cfg = BuildConfig::new(Strategy::Sphere);
         let mut idx = NnCellIndex::new(3, cfg);
         assert!(idx.is_empty());
-        assert!(idx.nearest_neighbor(&[0.5; 3]).is_none());
+        assert!(nn(&idx, &[0.5; 3]).is_none());
         let pts = uniform(40, 3, 15);
         for p in &pts {
             idx.insert(p.clone()).unwrap();
@@ -1221,7 +1250,7 @@ mod tests {
             assert!(idx.remove(id));
         }
         assert!(idx.is_empty());
-        assert!(idx.nearest_neighbor(&[0.5, 0.5]).is_none());
+        assert!(nn(&idx, &[0.5, 0.5]).is_none());
     }
 
     #[test]
@@ -1229,7 +1258,7 @@ mod tests {
         let pts = uniform(50, 2, 18);
         let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
         let q = [1.5, -0.2];
-        let got = idx.nearest_neighbor(&q).unwrap();
+        let got = nn(&idx, &q).unwrap();
         let want = linear_scan_nn(&pts, &q).unwrap();
         assert_eq!(got.id, want.id);
         assert_eq!(idx.fallback_queries(), 1);
@@ -1343,14 +1372,14 @@ mod tests {
     fn malformed_queries_return_empty_not_panic() {
         let pts = uniform(30, 2, 46);
         let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Sphere)).unwrap();
-        assert!(idx.nearest_neighbor(&[0.5]).is_none(), "wrong dimension");
-        assert!(idx.nearest_neighbor(&[0.5, 0.5, 0.5]).is_none());
-        assert!(idx.nearest_neighbor(&[f64::NAN, 0.5]).is_none());
-        assert!(idx.nearest_neighbor(&[0.5, f64::INFINITY]).is_none());
-        assert!(idx.knn(&[0.5], 3).is_empty());
-        assert!(idx.knn(&[f64::NAN, 0.5], 3).is_empty());
+        assert!(nn(&idx, &[0.5]).is_none(), "wrong dimension");
+        assert!(nn(&idx, &[0.5, 0.5, 0.5]).is_none());
+        assert!(nn(&idx, &[f64::NAN, 0.5]).is_none());
+        assert!(nn(&idx, &[0.5, f64::INFINITY]).is_none());
+        assert!(knn(&idx, &[0.5], 3).is_empty());
+        assert!(knn(&idx, &[f64::NAN, 0.5], 3).is_empty());
         // Sane queries still work afterwards.
-        assert!(idx.nearest_neighbor(&[0.5, 0.5]).is_some());
+        assert!(nn(&idx, &[0.5, 0.5]).is_some());
     }
 
     #[test]
@@ -1376,17 +1405,17 @@ mod tests {
         let pts = uniform(100, 3, 19);
         let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
         let q = [0.3, 0.7, 0.5];
-        let knn = idx.knn(&q, 5);
-        assert_eq!(knn.len(), 5);
-        assert_eq!(knn[0].id, idx.nearest_neighbor(&q).unwrap().id);
-        for w in knn.windows(2) {
+        let top5 = knn(&idx, &q, 5);
+        assert_eq!(top5.len(), 5);
+        assert_eq!(top5[0].id, nn(&idx, &q).unwrap().id);
+        for w in top5.windows(2) {
             assert!(w[0].dist <= w[1].dist + 1e-12);
         }
         // Exactness against a scan, for several k and queries.
         let qs = queries(20, 3, 77);
         for q in &qs {
             for k in [2usize, 5, 20, 99, 150] {
-                let got = idx.knn(q, k);
+                let got = knn(&idx, q, k);
                 let want = crate::scan::linear_scan_knn(idx.points(), q, k.min(idx.len()));
                 assert_eq!(got.len(), want.len());
                 for (g, w) in got.iter().zip(want.iter()) {
@@ -1408,7 +1437,7 @@ mod tests {
         )
         .unwrap();
         for q in queries(40, 3, 21) {
-            let got = idx.nearest_neighbor(&q).unwrap();
+            let got = nn(&idx, &q).unwrap();
             let want = pts
                 .iter()
                 .enumerate()
@@ -1509,7 +1538,12 @@ mod tests {
         let cells: Vec<CellApprox> = (0..16).map(|i| idx.cell(i).unwrap().clone()).collect();
         let total: f64 = cells.iter().map(CellApprox::volume).sum();
         assert!((total - 1.0).abs() < 1e-6, "grid cells must tile: {total}");
-        let (_, cands) = idx.nearest_neighbor_with_candidates(&[0.3, 0.6]).unwrap();
-        assert_eq!(cands, 1, "grid point query returns exactly one cell");
+        let resp = QueryEngine::sequential(&idx)
+            .execute(&Query::nn(vec![0.3, 0.6]))
+            .unwrap();
+        assert_eq!(
+            resp.stats.candidates, 1,
+            "grid point query returns exactly one cell"
+        );
     }
 }

@@ -32,12 +32,15 @@ pub mod config;
 pub mod decompose;
 pub mod durable;
 pub mod engine;
+pub mod error;
 pub mod index;
 pub mod metrics;
 pub mod persist;
 pub mod query;
 pub mod quality;
 pub mod scan;
+pub mod shard;
+pub mod snapshot;
 pub mod strategy;
 pub mod vfs;
 pub mod wal;
@@ -45,6 +48,7 @@ pub mod wal;
 pub use config::{BuildConfig, InputPolicy, Strategy};
 pub use durable::{DurableError, DurableIndex, RecoveryReport};
 pub use engine::{QueryEngine, QueryScratch};
+pub use error::Error;
 pub use index::{
     BuildError, BuildProfile, BuildStats, CellApprox, IntegrityReport, NnCellIndex, PhaseTiming,
     QueryResult,
@@ -52,6 +56,8 @@ pub use index::{
 pub use metrics::{EngineMetrics, IndexMetrics, SLOW_QUERY_CAPACITY};
 pub use nncell_obs::{Registry, SlowQueryEntry, SlowQueryLog, Snapshot};
 pub use query::{Query, QueryError, QueryResponse, QueryStats};
+pub use shard::ShardedIndex;
+pub use snapshot::SnapshotCell;
 pub use nncell_lp::SolverKind;
 pub use persist::PersistError;
 pub use vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs, VfsFile};

@@ -50,13 +50,21 @@ impl EngineMetrics {
     /// Resolves (or creates) the query metrics in `registry`. `dim` sizes
     /// the slow-ring point slots so recording a slow query never allocates.
     pub fn register(registry: &Registry, dim: usize) -> Self {
+        Self::register_labeled(registry, dim, &[])
+    }
+
+    /// Like [`EngineMetrics::register`] but every series carries the given
+    /// label set (rendered via [`nncell_obs::format_labels`]); a sharded
+    /// index registers one bundle per shard under `shard="<i>"`.
+    pub fn register_labeled(registry: &Registry, dim: usize, labels: &[(&str, &str)]) -> Self {
+        let l = nncell_obs::format_labels(labels);
         Self {
-            queries: registry.counter("nncell_queries_total"),
-            query_errors: registry.counter("nncell_query_errors_total"),
-            fallbacks: registry.counter("nncell_query_fallback_total"),
-            latency_ns: registry.histogram("nncell_query_latency_ns"),
-            candidates: registry.histogram("nncell_query_candidates"),
-            pages: registry.histogram("nncell_query_pages"),
+            queries: registry.counter(&format!("nncell_queries_total{l}")),
+            query_errors: registry.counter(&format!("nncell_query_errors_total{l}")),
+            fallbacks: registry.counter(&format!("nncell_query_fallback_total{l}")),
+            latency_ns: registry.histogram(&format!("nncell_query_latency_ns{l}")),
+            candidates: registry.histogram(&format!("nncell_query_candidates{l}")),
+            pages: registry.histogram(&format!("nncell_query_pages{l}")),
             slow: Arc::new(SlowQueryLog::new(SLOW_QUERY_CAPACITY, dim)),
         }
     }
@@ -69,6 +77,11 @@ impl EngineMetrics {
 
 /// Index-wide metric handles: the engine bundle plus structural gauges and
 /// the [`CellLpStats`]-mirrored LP aggregates.
+///
+/// Cloning shares every handle (all are `Arc`s into the registry); the
+/// copy-on-write shard snapshots rely on this so a published snapshot
+/// keeps recording into the same series as its master.
+#[derive(Clone)]
 pub struct IndexMetrics {
     registry: Arc<Registry>,
     pub(crate) engine: EngineMetrics,
@@ -90,11 +103,25 @@ pub struct IndexMetrics {
 impl IndexMetrics {
     /// Resolves (or creates) the index metrics in `registry`.
     pub fn register(registry: Arc<Registry>, dim: usize) -> Self {
-        let engine = EngineMetrics::register(&registry, dim);
+        Self::register_labeled(registry, dim, &[])
+    }
+
+    /// Like [`IndexMetrics::register`] but every series carries the given
+    /// label set (e.g. `shard="<i>"`). The LP mirror counters stay
+    /// **unlabeled** on purpose: they mirror `build_stats().lp`, and the
+    /// per-shard builds sum into exactly the unsharded totals, so one
+    /// shared family keeps the registry == stats invariant.
+    pub fn register_labeled(
+        registry: Arc<Registry>,
+        dim: usize,
+        labels: &[(&str, &str)],
+    ) -> Self {
+        let engine = EngineMetrics::register_labeled(&registry, dim, labels);
+        let l = nncell_obs::format_labels(labels);
         Self {
             engine,
-            live_points: registry.gauge("nncell_live_points"),
-            cell_tree_pages: registry.gauge("nncell_cell_tree_pages"),
+            live_points: registry.gauge(&format!("nncell_live_points{l}")),
+            cell_tree_pages: registry.gauge(&format!("nncell_cell_tree_pages{l}")),
             lp_calls: registry.counter("nncell_lp_calls_total"),
             lp_constraints: registry.counter("nncell_lp_constraints_total"),
             lp_fallback: registry.counter("nncell_lp_fallback_total"),

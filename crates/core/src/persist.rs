@@ -432,12 +432,21 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // shims stay covered until removal
 mod tests {
     use super::*;
+    use crate::engine::QueryEngine;
+    use crate::query::Query;
     use crate::scan::linear_scan_nn;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+
+    /// NN through the typed engine, with the old shim's `Option` shape.
+    fn nn(idx: &NnCellIndex, q: &[f64]) -> Option<crate::index::QueryResult> {
+        QueryEngine::sequential(idx)
+            .execute(&Query::nn(q))
+            .ok()
+            .map(|r| r.best)
+    }
 
     fn uniform(n: usize, d: usize, seed: u64) -> Vec<Point> {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -491,7 +500,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         for _ in 0..40 {
             let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
-            let got = loaded.nearest_neighbor(&q).unwrap();
+            let got = nn(&loaded, &q).unwrap();
             let want = linear_scan_nn(&pts, &q).unwrap();
             assert_eq!(got.id, want.id);
         }
@@ -561,7 +570,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..30 {
             let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..1.0)).collect();
-            let got = loaded.nearest_neighbor(&q).unwrap();
+            let got = nn(&loaded, &q).unwrap();
             assert!(got.id != 5 && got.id != 17);
         }
     }
@@ -576,7 +585,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
         let new_id = loaded.insert(Point::new(vec![0.123, 0.456])).unwrap();
         assert_eq!(new_id, 30);
-        let got = loaded.nearest_neighbor(&[0.123, 0.456]).unwrap();
+        let got = nn(&loaded, &[0.123, 0.456]).unwrap();
         assert_eq!(got.id, new_id);
     }
 
@@ -661,7 +670,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(14);
         for _ in 0..40 {
             let q: Vec<f64> = (0..2).map(|_| rng.gen_range(0.0..1.0)).collect();
-            let got = loaded.nearest_neighbor(&q).unwrap();
+            let got = nn(&loaded, &q).unwrap();
             let want = linear_scan_nn(&pts, &q).unwrap();
             assert_eq!(got.id, want.id, "q={q:?}");
         }

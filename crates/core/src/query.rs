@@ -6,8 +6,9 @@
 //! conflated "the index is empty", "the query is malformed", and "you asked
 //! for nothing" into one silent `None`/`[]`. Every response now carries
 //! per-query execution statistics ([`QueryStats`]), and every failure is a
-//! typed [`QueryError`]. Execution happens in [`crate::QueryEngine`]; the
-//! old methods survive as deprecated shims that route through it.
+//! typed [`QueryError`]. Execution happens in [`crate::QueryEngine`] (or
+//! fans out across shards in [`crate::ShardedIndex`]); the deprecated
+//! shims have been removed.
 
 use crate::index::QueryResult;
 

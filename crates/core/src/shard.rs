@@ -1,0 +1,970 @@
+//! Sharded concurrent serving layer: S independent [`NnCellIndex`] shards
+//! behind one exact query surface.
+//!
+//! # Partitioning and exactness
+//!
+//! Points are partitioned **round-robin** by global id: global id `g`
+//! lives in shard `g % S` at local id `g / S` (so `global = local·S +
+//! shard`, a bijection). The NN-cell method is exact under partitioning:
+//! each shard's cell approximations are supersets of that shard's true
+//! Voronoi cells (Lemma 1 holds per shard — dropping rivals only *grows*
+//! cells), so each shard returns its exact local k nearest neighbors, and
+//! the k smallest of the union — merged by `(distance, global id)` — are
+//! exactly the unsharded answer, tie ordering included. The id mapping
+//! preserves order: within a shard, ascending local id means ascending
+//! global id, so per-shard `(dist, local id)` ordering merges into the
+//! global `(dist, global id)` ordering without re-sorting.
+//!
+//! # Concurrency: copy-on-write snapshots, single-writer log
+//!
+//! Each shard is wrapped in a [`SnapshotCell`]: readers
+//! ([`ShardedIndex::query`] / [`ShardedIndex::batch`], `&self`) load the
+//! current immutable snapshot `Arc` and run entirely on it. Writers
+//! ([`ShardedIndex::insert`] / [`ShardedIndex::remove`], also `&self`)
+//! serialize on one writer mutex, apply the mutation to the shard's
+//! authoritative *master* index (journaling through the shard's WAL
+//! first in durable mode), then **publish** a fresh clone. Readers never
+//! block on a write and never observe a half-applied mutation; a query
+//! overlapping a publish simply answers from the version it loaded.
+//!
+//! # Durable layout
+//!
+//! ```text
+//! dir/CURRENT        "sharded <S>"      (atomically written manifest)
+//! dir/shard-0/       a full PR-2 durable directory (CURRENT, snapshot.G, wal.G)
+//! dir/shard-1/       …
+//! ```
+//!
+//! The top-level `CURRENT` only records the shard count (written once at
+//! initialization via the same `write_atomic` tmp+fsync+rename path);
+//! each shard directory keeps its own generation machinery, so crash
+//! recovery is per-shard WAL replay. Round-robin assignment makes the
+//! global id watermark recoverable: acknowledged inserts are a prefix of
+//! the global id sequence, so `next_global` is the sum of per-shard slot
+//! counts.
+
+use crate::config::BuildConfig;
+use crate::durable::{DurableError, RecoveryReport};
+use crate::index::{
+    validate_build_inputs, validate_point, BuildError, BuildStats, NnCellIndex, QueryResult,
+};
+use crate::persist::PersistError;
+use crate::query::{Query, QueryError, QueryResponse, QueryStats};
+use crate::snapshot::SnapshotCell;
+use crate::vfs::{write_atomic, StdVfs, Vfs};
+use nncell_geom::{DataSpace, Euclidean, Point};
+use nncell_obs::Registry;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// File name of the plain (non-durable) sharded directory manifest.
+const PLAIN_MANIFEST: &str = "MANIFEST";
+/// Magic of the plain manifest: `nncell-sharded <S>`.
+const PLAIN_MAGIC: &str = "nncell-sharded";
+/// Magic of the durable `CURRENT` manifest: `sharded <S>`. Deliberately
+/// not a number, so a plain [`crate::DurableIndex::open`] on a sharded
+/// directory fails with a typed corrupt-manifest error instead of
+/// misreading it as a generation.
+const DURABLE_MAGIC: &str = "sharded";
+
+/// The authoritative (writer-side) copy of one shard.
+enum ShardWriter {
+    /// In-memory shard.
+    Mem(NnCellIndex<Euclidean>),
+    /// Crash-consistent shard: journal-before-apply through its own WAL.
+    Durable(crate::durable::DurableIndex),
+}
+
+impl ShardWriter {
+    fn index(&self) -> &NnCellIndex<Euclidean> {
+        match self {
+            ShardWriter::Mem(idx) => idx,
+            ShardWriter::Durable(d) => d.index(),
+        }
+    }
+}
+
+/// Writer-side state, guarded by the single writer mutex.
+struct Writer {
+    shards: Vec<ShardWriter>,
+    /// The next unassigned global id. Round-robin: acknowledged ids are
+    /// exactly `0..next_global`.
+    next_global: usize,
+}
+
+/// S independent NN-cell shards behind one exact, concurrently servable
+/// query API. See the module docs for the partitioning and snapshot
+/// protocol. Built over the Euclidean metric (the durable layer's
+/// contract).
+///
+/// All methods take `&self`: queries run on copy-on-write snapshots,
+/// updates serialize on an internal single-writer lock — share a
+/// `ShardedIndex` (or an `Arc` of one) across threads freely.
+pub struct ShardedIndex {
+    dim: usize,
+    cfg: BuildConfig,
+    /// Published read snapshots, one cell per shard.
+    snaps: Vec<SnapshotCell<NnCellIndex<Euclidean>>>,
+    writer: Mutex<Writer>,
+    /// Wall-clock seconds of the initial sharded build (0 for loads).
+    build_seconds: f64,
+    /// Points dropped by the global input validation under
+    /// [`crate::InputPolicy::Skip`].
+    skipped_points: usize,
+    /// Merged queries answered (in any shard) by the exact scan fallback.
+    fallback_queries: AtomicU64,
+    /// Per-shard recovery reports from a durable open (empty otherwise).
+    recovery: Vec<RecoveryReport>,
+    durable: bool,
+}
+
+impl ShardedIndex {
+    // ------------------------------------------------------------------
+    // construction
+    // ------------------------------------------------------------------
+
+    /// Builds a sharded index over `points`: global input validation
+    /// (identical to [`NnCellIndex::build`], including
+    /// [`crate::InputPolicy`] handling and error ids), round-robin
+    /// partitioning, then one [`NnCellIndex::build`] per shard — each
+    /// running in its own thread, each reusing the per-worker build
+    /// batching configured by [`BuildConfig::with_threads`].
+    ///
+    /// # Errors
+    /// The same [`BuildError`] contract as the unsharded build, with ids
+    /// referring to positions in the global input.
+    pub fn build(points: Vec<Point>, shards: usize, cfg: BuildConfig) -> Result<Self, BuildError> {
+        assert!(shards >= 1, "need at least one shard");
+        let Some(first) = points.first() else {
+            return Err(BuildError::EmptyDatabase);
+        };
+        let dim = first.dim();
+        let start = Instant::now();
+        let (accepted, skipped) = validate_build_inputs(points, dim, cfg.input_policy)?;
+        let next_global = accepted.len();
+        let mut parts: Vec<Vec<Point>> = (0..shards)
+            .map(|_| Vec::with_capacity(accepted.len() / shards + 1))
+            .collect();
+        for (g, p) in accepted.into_iter().enumerate() {
+            parts[g % shards].push(p);
+        }
+        let built: Vec<Result<NnCellIndex<Euclidean>, BuildError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|part| {
+                    let cfg = cfg.clone();
+                    s.spawn(move || {
+                        if part.is_empty() {
+                            Ok(NnCellIndex::new(dim, cfg))
+                        } else {
+                            NnCellIndex::build(part, cfg)
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build worker panicked"))
+                .collect()
+        });
+        let mut masters = Vec::with_capacity(shards);
+        for r in built {
+            masters.push(ShardWriter::Mem(r?));
+        }
+        Ok(Self::assemble(
+            dim,
+            cfg,
+            masters,
+            next_global,
+            start.elapsed().as_secs_f64(),
+            skipped,
+            Vec::new(),
+            false,
+        ))
+    }
+
+    /// An empty sharded index of dimensionality `dim`, grown via
+    /// [`Self::insert`].
+    pub fn new(dim: usize, shards: usize, cfg: BuildConfig) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let masters = (0..shards)
+            .map(|_| ShardWriter::Mem(NnCellIndex::new(dim, cfg.clone())))
+            .collect();
+        Self::assemble(dim, cfg, masters, 0, 0.0, 0, Vec::new(), false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dim: usize,
+        cfg: BuildConfig,
+        masters: Vec<ShardWriter>,
+        next_global: usize,
+        build_seconds: f64,
+        skipped_points: usize,
+        recovery: Vec<RecoveryReport>,
+        durable: bool,
+    ) -> Self {
+        let snaps = masters
+            .iter()
+            .map(|m| SnapshotCell::new(m.index().clone()))
+            .collect();
+        Self {
+            dim,
+            cfg,
+            snaps,
+            writer: Mutex::new(Writer {
+                shards: masters,
+                next_global,
+            }),
+            build_seconds,
+            skipped_points,
+            fallback_queries: AtomicU64::new(0),
+            recovery,
+            durable,
+        }
+    }
+
+    /// The writer lock. A poisoned lock is taken over: masters are only
+    /// mutated through `insert`/`remove`, whose underlying operations
+    /// keep the index consistent on failure.
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The build configuration shards were built with.
+    pub fn config(&self) -> &BuildConfig {
+        &self.cfg
+    }
+
+    /// Total live points across all shards (reads the current snapshots).
+    pub fn len(&self) -> usize {
+        self.snaps.iter().map(|c| c.load().len()).sum()
+    }
+
+    /// Whether no shard holds a live point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether updates are journaled through per-shard WALs.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// The current published snapshot of shard `i` (a stable read-only
+    /// view; concurrent writes publish new versions without affecting it).
+    ///
+    /// # Panics
+    /// Panics if `i >= num_shards()`.
+    pub fn shard(&self, i: usize) -> Arc<NnCellIndex<Euclidean>> {
+        self.snaps[i].load()
+    }
+
+    /// Aggregated construction counters: LP work, candidates, and phase
+    /// profiles summed over the shard masters' lifetimes (dynamic updates
+    /// included), with `seconds` the wall clock of the initial sharded
+    /// build and `skipped_points` from the global input validation.
+    pub fn build_stats(&self) -> BuildStats {
+        let mut agg = BuildStats {
+            seconds: self.build_seconds,
+            skipped_points: self.skipped_points,
+            ..BuildStats::default()
+        };
+        for cell in &self.snaps {
+            let snap = cell.load();
+            let s = snap.build_stats();
+            agg.lp.merge(s.lp);
+            agg.candidates += s.candidates;
+            agg.skipped_points += s.skipped_points;
+            let p = &s.profile;
+            agg.profile.constraint_selection.nanos += p.constraint_selection.nanos;
+            agg.profile.constraint_selection.calls += p.constraint_selection.calls;
+            agg.profile.lp_solve.nanos += p.lp_solve.nanos;
+            agg.profile.lp_solve.calls += p.lp_solve.calls;
+            agg.profile.decomposition.nanos += p.decomposition.nanos;
+            agg.profile.decomposition.calls += p.decomposition.calls;
+            agg.profile.bulk_load.nanos += p.bulk_load.nanos;
+            agg.profile.bulk_load.calls += p.bulk_load.calls;
+            agg.profile.batches += p.batches;
+            agg.profile.batch_total_nanos += p.batch_total_nanos;
+            agg.profile.batch_max_nanos = agg.profile.batch_max_nanos.max(p.batch_max_nanos);
+        }
+        agg
+    }
+
+    /// Merged queries (via [`Self::query`] / [`Self::batch`]) in which any
+    /// shard answered by the exact scan fallback. Note that a shard can
+    /// legitimately fall back where the unsharded index would not — e.g.
+    /// `k ≥` that shard's live count — so this is an upper bound on what
+    /// the equivalent unsharded index would report.
+    pub fn fallback_queries(&self) -> u64 {
+        self.fallback_queries.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard scan-fallback counters summed across the current
+    /// snapshots (each shard counts exactly like an unsharded index).
+    pub fn shard_fallback_queries(&self) -> u64 {
+        self.snaps.iter().map(|c| c.load().fallback_queries()).sum()
+    }
+
+    /// Per-shard recovery reports from a durable open; empty for
+    /// in-memory indexes.
+    pub fn recovery(&self) -> &[RecoveryReport] {
+        &self.recovery
+    }
+
+    /// Records sitting in the shards' active WALs (0 when not durable).
+    pub fn wal_records(&self) -> u64 {
+        let w = self.lock_writer();
+        w.shards
+            .iter()
+            .map(|s| match s {
+                ShardWriter::Mem(_) => 0,
+                ShardWriter::Durable(d) => d.wal_records(),
+            })
+            .sum()
+    }
+
+    /// Attaches a metrics registry: every shard's engine, gauge, and tree
+    /// series is registered under a `shard="<i>"` label (the LP and WAL
+    /// families stay unlabeled, shared as whole-index totals — see
+    /// [`NnCellIndex::attach_metrics_labeled`]). New snapshots are
+    /// published so concurrent readers start recording immediately.
+    /// Idempotent per shard.
+    pub fn attach_metrics(&self, registry: Arc<Registry>) {
+        let mut w = self.lock_writer();
+        for (i, sw) in w.shards.iter_mut().enumerate() {
+            let tag = i.to_string();
+            let labels: [(&str, &str); 1] = [("shard", tag.as_str())];
+            match sw {
+                ShardWriter::Mem(idx) => {
+                    idx.attach_metrics_labeled(Arc::clone(&registry), &labels);
+                }
+                ShardWriter::Durable(d) => {
+                    d.attach_metrics_labeled(Arc::clone(&registry), &labels);
+                }
+            }
+            self.snaps[i].store(Arc::new(sw.index().clone()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // id mapping
+    // ------------------------------------------------------------------
+
+    /// `(shard, local id)` of a global id.
+    fn locate(&self, global: usize) -> (usize, usize) {
+        let s = self.num_shards();
+        (global % s, global / s)
+    }
+
+    /// Global id of `(shard, local id)`.
+    fn global_of(&self, shard: usize, local: usize) -> usize {
+        local * self.num_shards() + shard
+    }
+
+    // ------------------------------------------------------------------
+    // queries
+    // ------------------------------------------------------------------
+
+    /// The same validation [`crate::QueryEngine::execute`] applies, in the
+    /// same precedence order, so a sharded index rejects malformed input
+    /// identically to an unsharded one.
+    fn validate_query(&self, q: &Query) -> Result<(), QueryError> {
+        let p = q.point();
+        if p.len() != self.dim {
+            return Err(QueryError::DimMismatch {
+                expected: self.dim,
+                got: p.len(),
+            });
+        }
+        if p.iter().any(|c| !c.is_finite()) {
+            return Err(QueryError::NonFiniteQuery);
+        }
+        if q.k() == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        Ok(())
+    }
+
+    /// Executes one typed query: fan out to every non-empty shard on its
+    /// current snapshot, merge the per-shard answers by
+    /// `(distance, global id)`. Exact, including tie ordering (see the
+    /// module docs). Candidate and page counts are summed across shards;
+    /// `fallback` is set if any shard fell back to its exact scan.
+    ///
+    /// # Errors
+    /// The [`QueryError`] contract of [`crate::QueryEngine::execute`].
+    pub fn query(&self, q: &Query) -> Result<QueryResponse, QueryError> {
+        self.validate_query(q)?;
+        let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
+            self.snaps.iter().map(SnapshotCell::load).collect();
+        if snaps.iter().all(|s| s.is_empty()) {
+            return Err(QueryError::EmptyIndex);
+        }
+        let mut per: Vec<(usize, QueryResponse)> = Vec::with_capacity(snaps.len());
+        for (i, snap) in snaps.iter().enumerate() {
+            if snap.is_empty() {
+                continue;
+            }
+            // Sequential per shard: one query has no intra-shard
+            // parallelism to exploit, and the fan-out itself is the
+            // concurrency story (batch() adds the thread pool).
+            per.push((i, crate::engine::QueryEngine::sequential(snap).execute(q)?));
+        }
+        Ok(self.merge(q.k(), per))
+    }
+
+    /// Executes a batch of typed queries: each non-empty shard runs the
+    /// whole batch through its own [`crate::QueryEngine::batch`] thread
+    /// pool on its current snapshot, then per-query answers are merged as
+    /// in [`Self::query`]. Results come back in input order with the
+    /// engine's per-query error contract.
+    pub fn batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
+            self.snaps.iter().map(SnapshotCell::load).collect();
+        let any_live = snaps.iter().any(|s| !s.is_empty());
+        let shard_results: Vec<(usize, Vec<Result<QueryResponse, QueryError>>)> = snaps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (i, s.engine().batch(queries)))
+            .collect();
+        queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                self.validate_query(q)?;
+                if !any_live {
+                    return Err(QueryError::EmptyIndex);
+                }
+                let mut per: Vec<(usize, QueryResponse)> =
+                    Vec::with_capacity(shard_results.len());
+                for (shard, results) in &shard_results {
+                    match &results[qi] {
+                        Ok(r) => per.push((*shard, r.clone())),
+                        // A validated query against a non-empty shard
+                        // cannot fail; propagate defensively if it does.
+                        Err(e) => return Err(*e),
+                    }
+                }
+                Ok(self.merge(q.k(), per))
+            })
+            .collect()
+    }
+
+    /// k-way merge of per-shard answers via a small binary heap keyed by
+    /// `(distance, global id)` — each shard's list is already sorted, so
+    /// the heap holds one head per shard and pops `k` times.
+    fn merge(&self, k: usize, per: Vec<(usize, QueryResponse)>) -> QueryResponse {
+        debug_assert!(!per.is_empty(), "merge of zero non-empty shards");
+        let mut stats = QueryStats::default();
+        let mut lists: Vec<(usize, Vec<QueryResult>)> = Vec::with_capacity(per.len());
+        for (shard, resp) in per {
+            stats.candidates += resp.stats.candidates;
+            stats.pages += resp.stats.pages;
+            stats.fallback |= resp.stats.fallback;
+            lists.push((shard, resp.into_results()));
+        }
+        if stats.fallback {
+            self.fallback_queries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Heap entry: the current head of one shard's sorted list.
+        struct Head {
+            dist: f64,
+            gid: usize,
+            slot: usize,
+            pos: usize,
+        }
+        impl PartialEq for Head {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == CmpOrdering::Equal
+            }
+        }
+        impl Eq for Head {}
+        impl Ord for Head {
+            fn cmp(&self, other: &Self) -> CmpOrdering {
+                // Min-heap via Reverse at the push sites; ascending
+                // (dist, global id) — the unsharded ranking order.
+                self.dist
+                    .total_cmp(&other.dist)
+                    .then_with(|| self.gid.cmp(&other.gid))
+            }
+        }
+        impl PartialOrd for Head {
+            fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap: BinaryHeap<std::cmp::Reverse<Head>> =
+            BinaryHeap::with_capacity(lists.len());
+        for (slot, (shard, list)) in lists.iter().enumerate() {
+            if let Some(r) = list.first() {
+                heap.push(std::cmp::Reverse(Head {
+                    dist: r.dist,
+                    gid: self.global_of(*shard, r.id),
+                    slot,
+                    pos: 0,
+                }));
+            }
+        }
+        let mut merged: Vec<QueryResult> = Vec::with_capacity(k.min(64));
+        while merged.len() < k {
+            let Some(std::cmp::Reverse(head)) = heap.pop() else {
+                break;
+            };
+            merged.push(QueryResult {
+                id: head.gid,
+                dist: head.dist,
+            });
+            let (shard, list) = &lists[head.slot];
+            if let Some(r) = list.get(head.pos + 1) {
+                heap.push(std::cmp::Reverse(Head {
+                    dist: r.dist,
+                    gid: self.global_of(*shard, r.id),
+                    slot: head.slot,
+                    pos: head.pos + 1,
+                }));
+            }
+        }
+        let best = merged[0];
+        let rest = merged[1..].to_vec();
+        QueryResponse { best, rest, stats }
+    }
+
+    // ------------------------------------------------------------------
+    // updates (single writer, copy-on-write publish)
+    // ------------------------------------------------------------------
+
+    /// Inserts a point: assign the next global id, validate (including a
+    /// cross-shard exact-duplicate check), apply to the owning shard's
+    /// master (journal-first in durable mode), publish a fresh snapshot.
+    /// Returns the global id. Readers are never blocked; queries started
+    /// before the publish answer from the previous version.
+    ///
+    /// # Errors
+    /// [`DurableError::Invalid`] with the same [`BuildError`] variants an
+    /// unsharded insert rejects (ids are global);
+    /// [`DurableError::Persist`] when a durable shard's journal write
+    /// fails — nothing is applied or published in either case.
+    pub fn insert(&self, p: Point) -> Result<usize, DurableError> {
+        let mut w = self.lock_writer();
+        let g = w.next_global;
+        validate_point(&p, g, self.dim, &DataSpace::unit(self.dim))
+            .map_err(DurableError::Invalid)?;
+        // Cross-shard duplicate check against the masters (the
+        // authoritative state — snapshots may trail by the publish gap).
+        for (si, sw) in w.shards.iter().enumerate() {
+            if let Some(local) = sw.index().find_live_duplicate(&p) {
+                return Err(DurableError::Invalid(BuildError::DuplicatePoint {
+                    id: g,
+                    of: self.global_of(si, local),
+                }));
+            }
+        }
+        let (shard, expected_local) = self.locate(g);
+        let local = match &mut w.shards[shard] {
+            ShardWriter::Mem(idx) => idx.insert(p).map_err(DurableError::Invalid)?,
+            ShardWriter::Durable(d) => d.insert(p)?,
+        };
+        debug_assert_eq!(local, expected_local, "round-robin id mapping out of sync");
+        self.snaps[shard].store(Arc::new(w.shards[shard].index().clone()));
+        w.next_global += 1;
+        Ok(self.global_of(shard, local))
+    }
+
+    /// Removes the point with global id `global`. Returns `false` when no
+    /// such point is live (never-assigned ids included). On `true`, the
+    /// owning shard republished its snapshot (journal-first in durable
+    /// mode).
+    ///
+    /// # Errors
+    /// Journal I/O failures in durable mode; nothing applied on error.
+    pub fn remove(&self, global: usize) -> Result<bool, PersistError> {
+        let mut w = self.lock_writer();
+        if global >= w.next_global {
+            return Ok(false);
+        }
+        let (shard, local) = self.locate(global);
+        let removed = match &mut w.shards[shard] {
+            ShardWriter::Mem(idx) => idx.remove(local),
+            ShardWriter::Durable(d) => d.remove(local)?,
+        };
+        if removed {
+            self.snaps[shard].store(Arc::new(w.shards[shard].index().clone()));
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // persistence
+    // ------------------------------------------------------------------
+
+    /// Saves every shard master plus a manifest into `dir`
+    /// (`MANIFEST` + `shard-<i>.nncell`, all through the atomic write
+    /// path). Point-in-time consistent: the writer lock is held across
+    /// the save.
+    ///
+    /// # Errors
+    /// I/O failures of the underlying writes.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_with_vfs(&StdVfs, dir.as_ref())
+    }
+
+    /// [`Self::save`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// See [`Self::save`].
+    pub fn save_with_vfs(&self, vfs: &dyn Vfs, dir: &Path) -> Result<(), PersistError> {
+        let w = self.lock_writer();
+        vfs.create_dir_all(dir)?;
+        for (i, sw) in w.shards.iter().enumerate() {
+            sw.index()
+                .save_with_vfs(vfs, &dir.join(format!("shard-{i}.nncell")))?;
+        }
+        // Manifest last: a crash mid-save leaves either the old manifest
+        // (old index intact) or no manifest (load fails typed), never a
+        // manifest pointing at missing shard files.
+        write_atomic(
+            vfs,
+            &dir.join(PLAIN_MANIFEST),
+            format!("{PLAIN_MAGIC} {}\n", w.shards.len()).as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// Loads a directory written by [`Self::save`].
+    ///
+    /// # Errors
+    /// I/O failures, a missing or corrupt manifest, or shard files that
+    /// disagree on dimensionality.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::load_with_vfs(&StdVfs, dir.as_ref())
+    }
+
+    /// [`Self::load`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// See [`Self::load`].
+    pub fn load_with_vfs(vfs: &dyn Vfs, dir: &Path) -> Result<Self, PersistError> {
+        let text = manifest_text(vfs.read(&dir.join(PLAIN_MANIFEST))?)?;
+        let shards = parse_manifest(&text, PLAIN_MAGIC).ok_or_else(|| {
+            PersistError::Corrupt(format!("sharded manifest holds {text:?}"))
+        })?;
+        let mut masters = Vec::with_capacity(shards);
+        let mut next_global = 0usize;
+        for i in 0..shards {
+            let idx =
+                NnCellIndex::load_with_vfs(vfs, &dir.join(format!("shard-{i}.nncell")))?;
+            next_global += idx.points().len();
+            masters.push(ShardWriter::Mem(idx));
+        }
+        let (dim, cfg) = check_shard_agreement(&masters)?;
+        Ok(Self::assemble(
+            dim,
+            cfg,
+            masters,
+            next_global,
+            0.0,
+            0,
+            Vec::new(),
+            false,
+        ))
+    }
+
+    /// Opens (or initializes) a crash-consistent sharded index: a
+    /// top-level `CURRENT` manifest recording the shard count, one full
+    /// durable directory (`shard-<i>/`) per shard. On open, each shard
+    /// recovers independently (snapshot load + WAL replay; see
+    /// [`Self::recovery`]); `shards` must match the manifest.
+    ///
+    /// # Errors
+    /// I/O failures, a corrupt manifest, or a shard-count/dimensionality
+    /// mismatch with an existing directory.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        dim: usize,
+        shards: usize,
+        cfg: BuildConfig,
+    ) -> Result<Self, PersistError> {
+        Self::open_durable_with_vfs(Arc::new(StdVfs), dir.as_ref(), dim, shards, cfg)
+    }
+
+    /// [`Self::open_durable`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// See [`Self::open_durable`].
+    pub fn open_durable_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        dim: usize,
+        shards: usize,
+        cfg: BuildConfig,
+    ) -> Result<Self, PersistError> {
+        assert!(shards >= 1, "need at least one shard");
+        vfs.create_dir_all(dir)?;
+        let manifest = dir.join("CURRENT");
+        let shard_count = if vfs.exists(&manifest) {
+            let text = manifest_text(vfs.read(&manifest)?)?;
+            let stored = parse_manifest(&text, DURABLE_MAGIC).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "sharded CURRENT holds {text:?} (expected `{DURABLE_MAGIC} <count>`)"
+                ))
+            })?;
+            if stored != shards {
+                return Err(PersistError::Corrupt(format!(
+                    "directory {dir:?} is sharded {stored} ways, caller expected {shards}"
+                )));
+            }
+            stored
+        } else {
+            write_atomic(
+                vfs.as_ref(),
+                &manifest,
+                format!("{DURABLE_MAGIC} {shards}\n").as_bytes(),
+            )?;
+            shards
+        };
+        let mut masters = Vec::with_capacity(shard_count);
+        let mut recovery = Vec::with_capacity(shard_count);
+        let mut next_global = 0usize;
+        for i in 0..shard_count {
+            let d = NnCellIndex::open_durable_with_vfs(
+                Arc::clone(&vfs),
+                &dir.join(format!("shard-{i}")),
+                dim,
+                cfg.clone(),
+            )?;
+            recovery.push(d.recovery().clone());
+            next_global += d.index().points().len();
+            masters.push(ShardWriter::Durable(d));
+        }
+        let (dim, cfg) = check_shard_agreement(&masters)?;
+        Ok(Self::assemble(
+            dim,
+            cfg,
+            masters,
+            next_global,
+            0.0,
+            0,
+            recovery,
+            true,
+        ))
+    }
+
+    /// Opens an **existing** durable sharded directory, taking the shard
+    /// count from the top-level `CURRENT` manifest and dimensionality and
+    /// configuration from the shards' committed generations — the
+    /// counterpart of [`crate::DurableIndex::open`] for directories the
+    /// CLI auto-detects via [`Self::manifest_shards`].
+    ///
+    /// # Errors
+    /// I/O failures, a missing or corrupt manifest, no committed shard
+    /// generations, or shards that disagree on dimensionality.
+    pub fn open_durable_existing(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_durable_existing_with_vfs(Arc::new(StdVfs), dir.as_ref())
+    }
+
+    /// [`Self::open_durable_existing`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// See [`Self::open_durable_existing`].
+    pub fn open_durable_existing_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<Self, PersistError> {
+        let text = manifest_text(vfs.read(&dir.join("CURRENT"))?)?;
+        let shards = parse_manifest(&text, DURABLE_MAGIC).ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "sharded CURRENT holds {text:?} (expected `{DURABLE_MAGIC} <count>`)"
+            ))
+        })?;
+        let mut masters = Vec::with_capacity(shards);
+        let mut recovery = Vec::with_capacity(shards);
+        let mut next_global = 0usize;
+        for i in 0..shards {
+            let d = crate::durable::DurableIndex::open_with_vfs(
+                Arc::clone(&vfs),
+                &dir.join(format!("shard-{i}")),
+            )?;
+            recovery.push(d.recovery().clone());
+            next_global += d.index().points().len();
+            masters.push(ShardWriter::Durable(d));
+        }
+        let (dim, cfg) = check_shard_agreement(&masters)?;
+        Ok(Self::assemble(
+            dim,
+            cfg,
+            masters,
+            next_global,
+            0.0,
+            0,
+            recovery,
+            true,
+        ))
+    }
+
+    /// Converts an in-memory sharded index into a crash-consistent one:
+    /// each shard master becomes the generation-0 snapshot of its own
+    /// durable directory (`dir/shard-<i>/`) and the top-level `CURRENT`
+    /// records the shard count. Build stats carry over; subsequent
+    /// updates journal through the per-shard WALs.
+    ///
+    /// # Errors
+    /// I/O failures, an already-initialized target directory, or calling
+    /// this on an index that is already durable.
+    pub fn into_durable(self, dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        self.into_durable_with_vfs(Arc::new(StdVfs), dir.as_ref())
+    }
+
+    /// [`Self::into_durable`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// See [`Self::into_durable`].
+    pub fn into_durable_with_vfs(
+        self,
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+    ) -> Result<Self, PersistError> {
+        if self.durable {
+            return Err(PersistError::Corrupt(
+                "index is already durable; open it in place instead".into(),
+            ));
+        }
+        let w = match self.writer.into_inner() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        vfs.create_dir_all(dir)?;
+        let shards = w.shards.len();
+        let mut masters = Vec::with_capacity(shards);
+        for (i, sw) in w.shards.into_iter().enumerate() {
+            let ShardWriter::Mem(idx) = sw else {
+                unreachable!("non-durable index holds only Mem shards");
+            };
+            masters.push(ShardWriter::Durable(crate::durable::DurableIndex::create_with_vfs(
+                Arc::clone(&vfs),
+                &dir.join(format!("shard-{i}")),
+                idx,
+            )?));
+        }
+        // Manifest last, as in save(): a crash mid-conversion leaves no
+        // CURRENT, so the half-written directory fails typed on open.
+        write_atomic(
+            vfs.as_ref(),
+            &dir.join("CURRENT"),
+            format!("{DURABLE_MAGIC} {shards}\n").as_bytes(),
+        )?;
+        Ok(Self::assemble(
+            self.dim,
+            self.cfg,
+            masters,
+            w.next_global,
+            self.build_seconds,
+            self.skipped_points,
+            Vec::new(),
+            true,
+        ))
+    }
+
+    /// The shard count recorded in a sharded directory's manifest — plain
+    /// ([`Self::save`]) or durable ([`Self::open_durable`]) — or `None`
+    /// when `dir` holds neither. How the CLI auto-detects sharded layouts.
+    pub fn manifest_shards(dir: impl AsRef<Path>) -> Option<usize> {
+        let dir = dir.as_ref();
+        let try_file = |name: &str, magic: &str| -> Option<usize> {
+            let text = String::from_utf8(std::fs::read(dir.join(name)).ok()?).ok()?;
+            parse_manifest(&text, magic)
+        };
+        try_file("CURRENT", DURABLE_MAGIC).or_else(|| try_file(PLAIN_MANIFEST, PLAIN_MAGIC))
+    }
+
+    /// Checkpoints every durable shard (snapshot + fresh WAL + `CURRENT`
+    /// flip, per shard). A no-op for in-memory indexes.
+    ///
+    /// # Errors
+    /// I/O failures; already-checkpointed shards stay checkpointed, the
+    /// failing shard keeps its previous generation intact.
+    pub fn checkpoint(&self) -> Result<(), PersistError> {
+        let mut w = self.lock_writer();
+        for sw in &mut w.shards {
+            if let ShardWriter::Durable(d) = sw {
+                d.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoints every durable shard and consumes the handle — the
+    /// clean-shutdown path leaving zero replay debt.
+    ///
+    /// # Errors
+    /// See [`Self::checkpoint`].
+    pub fn close(self) -> Result<(), PersistError> {
+        let w = match self.writer.into_inner() {
+            Ok(w) => w,
+            Err(p) => p.into_inner(),
+        };
+        for sw in w.shards {
+            if let ShardWriter::Durable(d) = sw {
+                d.close()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// UTF-8-decodes a manifest file.
+fn manifest_text(bytes: Vec<u8>) -> Result<String, PersistError> {
+    String::from_utf8(bytes)
+        .map_err(|_| PersistError::Corrupt("sharded manifest is not UTF-8".into()))
+}
+
+/// Parses `"<magic> <count>"`, requiring `count >= 1`.
+fn parse_manifest(text: &str, magic: &str) -> Option<usize> {
+    let rest = text.trim().strip_prefix(magic)?;
+    let count: usize = rest.trim().parse().ok()?;
+    (count >= 1).then_some(count)
+}
+
+/// Every shard must agree on dimensionality and configuration; returns
+/// the common `(dim, cfg)`.
+fn check_shard_agreement(masters: &[ShardWriter]) -> Result<(usize, BuildConfig), PersistError> {
+    let first = masters
+        .first()
+        .ok_or_else(|| PersistError::Corrupt("sharded manifest names zero shards".into()))?
+        .index();
+    let dim = first.dim();
+    for (i, sw) in masters.iter().enumerate().skip(1) {
+        if sw.index().dim() != dim {
+            return Err(PersistError::Corrupt(format!(
+                "shard {i} is {}-dimensional, shard 0 is {dim}-dimensional",
+                sw.index().dim()
+            )));
+        }
+    }
+    Ok((dim, first.config().clone()))
+}

@@ -32,7 +32,11 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// One open file: sequential writes plus fsync.
-pub trait VfsFile {
+///
+/// `Send` so a [`crate::DurableIndex`] (which owns its WAL file) can sit
+/// behind the single-writer mutex of a [`crate::ShardedIndex`] and be
+/// driven from any thread.
+pub trait VfsFile: Send {
     /// Appends `buf` at the end of the file.
     ///
     /// # Errors

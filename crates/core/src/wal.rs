@@ -34,7 +34,7 @@ use nncell_geom::Point;
 use std::path::Path;
 
 /// Magic prefix of a WAL file.
-pub const WAL_MAGIC: &[u8; 8] = b"NNWAL001";
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"NNWAL001";
 
 /// Largest accepted record payload: one point at the format's maximum
 /// dimensionality (`2^16`), with headroom. Anything larger is corruption —

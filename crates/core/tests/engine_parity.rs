@@ -1,14 +1,11 @@
 //! The query engine's core contract, property-checked:
 //!
 //! * `QueryEngine::batch` is **bit-identical** for 1, 2, and N worker
-//!   threads, and identical to the deprecated sequential shims and to a
-//!   linear scan — including duplicate-distance tie-breaking (ascending
-//!   point id).
+//!   threads, and identical to a linear scan — including
+//!   duplicate-distance tie-breaking (ascending point id).
 //! * Concurrent readers are safe: batches racing `reset_stats` /
 //!   `enable_cache` from another thread still return exact answers.
 //! * All scan-fallback paths are counted in one place.
-
-#![allow(deprecated)] // the shims are part of the parity contract
 
 use nncell_core::{
     linear_scan_knn, linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryError,
@@ -40,8 +37,8 @@ fn point_set(d: usize, min: usize, max: usize) -> impl Strategy<Value = Vec<Poin
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// One batch, three thread counts, one linear scan, two shims — all
-    /// bit-identical (not approximately equal: `==` on every field).
+    /// One batch, three thread counts, one linear scan — all bit-identical
+    /// (not approximately equal: `==` on every field).
     #[test]
     fn batch_is_bit_identical_across_thread_counts_and_to_scan(
         pts in point_set(3, 4, 40),
@@ -71,10 +68,7 @@ proptest! {
             let want = linear_scan_knn(&pts, q, k);
             let got: Vec<_> = r.iter().collect();
             prop_assert_eq!(&got, &want, "{:?} k={} q={:?}", strategy, k, q);
-            // The deprecated shims route through the engine — same bits.
-            prop_assert_eq!(r.best, index.nearest_neighbor(q).unwrap());
             prop_assert_eq!(r.best, linear_scan_nn(&pts, q).unwrap());
-            prop_assert_eq!(&got, &index.knn(q, k));
         }
     }
 
@@ -258,8 +252,4 @@ fn typed_errors_replace_silent_none() {
         empty.engine().execute(&Query::nn([0.5, 0.5])).unwrap_err(),
         QueryError::EmptyIndex
     );
-    // The deprecated shims map those to their old silent values.
-    assert_eq!(index.nearest_neighbor(&[0.5]), None);
-    assert_eq!(index.knn(&[0.5, 0.5], 0), Vec::new());
-    assert_eq!(empty.nearest_neighbor(&[0.5, 0.5]), None);
 }

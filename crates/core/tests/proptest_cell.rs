@@ -1,10 +1,18 @@
 //! Property-based tests of the paper's two lemmas on the full index.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
-use nncell_core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy as BuildStrategy};
+use nncell_core::{
+    linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, Strategy as BuildStrategy,
+};
 use nncell_geom::{dist_sq, Point};
 use proptest::prelude::*;
+
+/// NN through the typed engine, with the removed shim's `Option` shape.
+fn nn(idx: &NnCellIndex, q: &[f64]) -> Option<nncell_core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
 
 fn coord() -> impl Strategy<Value = f64> {
     (0..=1000u32).prop_map(|v| v as f64 / 1000.0)
@@ -43,7 +51,7 @@ proptest! {
         }
         let index = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for q in &queries {
-            let got = index.nearest_neighbor(q).unwrap();
+            let got = nn(&index, q).unwrap();
             let want = linear_scan_nn(&pts, q).unwrap();
             prop_assert!(
                 (got.dist - want.dist).abs() < 1e-9,
@@ -105,7 +113,7 @@ proptest! {
         }
         let reference: Vec<Point> = live.iter().map(|(_, p)| p.clone()).collect();
         for q in &queries {
-            match (index.nearest_neighbor(q), linear_scan_nn(&reference, q)) {
+            match (nn(&index, q), linear_scan_nn(&reference, q)) {
                 (Some(got), Some(want)) => prop_assert!(
                     (got.dist - want.dist).abs() < 1e-9,
                     "dynamic mix inexact at {q:?}"

@@ -4,13 +4,20 @@
 //! case the index either returns a typed error or agrees with a linear
 //! scan — never a panic, never a wrong answer.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell_core::{
-    linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex, Strategy as BuildStrategy,
+    linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex, Query, QueryEngine,
+    Strategy as BuildStrategy,
 };
 use nncell_geom::{dist_sq, Point};
 use proptest::prelude::*;
+
+/// NN through the typed engine, with the removed shim's `Option` shape.
+fn nn(idx: &NnCellIndex, q: &[f64]) -> Option<nncell_core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
 
 fn coord() -> impl Strategy<Value = f64> {
     (0..=1000u32).prop_map(|v| v as f64 / 1000.0)
@@ -40,7 +47,7 @@ proptest! {
         let strategy = BuildStrategy::ALL[strat_pick];
         let index = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy).with_seed(5)).unwrap();
         for &q in &queries {
-            let got = index.nearest_neighbor(&[q]).unwrap();
+            let got = nn(&index, &[q]).unwrap();
             let want = linear_scan_nn(&pts, &[q]).unwrap();
             prop_assert!(
                 (got.dist - want.dist).abs() < 1e-9,
@@ -71,7 +78,7 @@ proptest! {
         }
         let index = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for q in &queries {
-            let got = index.nearest_neighbor(q).unwrap();
+            let got = nn(&index, q).unwrap();
             let want = linear_scan_nn(&pts, q).unwrap();
             prop_assert!(
                 (got.dist - want.dist).abs() < 1e-9,
@@ -100,7 +107,7 @@ proptest! {
         let strategy = BuildStrategy::ALL[strat_pick];
         let index = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy).with_seed(8)).unwrap();
         for q in &queries {
-            let got = index.nearest_neighbor(q).unwrap();
+            let got = nn(&index, q).unwrap();
             let want = linear_scan_nn(&pts, q).unwrap();
             prop_assert!(
                 (got.dist - want.dist).abs() < 1e-9,
@@ -153,7 +160,7 @@ proptest! {
         prop_assert_eq!(index.build_stats().skipped_points, n_dups);
         prop_assert_eq!(index.len(), base.len());
         for q in &queries {
-            let got = index.nearest_neighbor(q).unwrap();
+            let got = nn(&index, q).unwrap();
             let want = linear_scan_nn(&base, q).unwrap();
             prop_assert!(
                 (got.dist - want.dist).abs() < 1e-9,

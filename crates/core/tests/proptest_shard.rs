@@ -1,0 +1,289 @@
+//! ShardedIndex parity: for any shard count the sharded index must be
+//! bit-identical to the unsharded one — same ids, same distance bits,
+//! same ranking, tie ordering included.
+//!
+//! Points are drawn from a deliberately coarse lattice so equidistant
+//! rivals (ties) are common and the merge's `(distance, global id)`
+//! ordering is actually exercised, not vacuously satisfied.
+
+use nncell_core::{
+    BuildConfig, NnCellIndex, Query, QueryEngine, QueryResponse, ShardedIndex,
+    Strategy as BuildStrategy,
+};
+use nncell_geom::{dist_sq, Point};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Coarse lattice coordinate: 9 levels per axis ⇒ frequent exact ties.
+fn coarse_coord() -> impl Strategy<Value = f64> {
+    (0..=8u32).prop_map(|v| v as f64 / 8.0)
+}
+
+fn lattice_points(d: usize, min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(coarse_coord(), d), min..max).prop_filter_map(
+        "distinct points",
+        |pts| {
+            for (i, p) in pts.iter().enumerate() {
+                for q in pts.iter().skip(i + 1) {
+                    if dist_sq(p, q) == 0.0 {
+                        return None;
+                    }
+                }
+            }
+            Some(pts.into_iter().map(Point::new).collect())
+        },
+    )
+}
+
+/// Full-response equality: winner, ranking, ids, and distance *bits*.
+fn assert_bit_identical(
+    sharded: &QueryResponse,
+    whole: &QueryResponse,
+    ctx: &str,
+) -> Result<(), TestCaseError> {
+    let s: Vec<_> = sharded.iter().collect();
+    let w: Vec<_> = whole.iter().collect();
+    prop_assert_eq!(s.len(), w.len(), "result count: {}", ctx);
+    for (rank, (a, b)) in s.iter().zip(&w).enumerate() {
+        prop_assert_eq!(a.id, b.id, "id at rank {}: {}", rank, ctx);
+        prop_assert_eq!(
+            a.dist.to_bits(),
+            b.dist.to_bits(),
+            "distance bits at rank {}: {}",
+            rank,
+            ctx
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_nn_and_knn_match_unsharded(
+        pts in lattice_points(2, 4, 26),
+        queries in prop::collection::vec(prop::collection::vec(coarse_coord(), 2), 5),
+        shards in 1usize..=4,
+        k in 1usize..=6,
+    ) {
+        let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(7);
+        let whole = NnCellIndex::build(pts.clone(), cfg.clone()).unwrap();
+        let engine = QueryEngine::sequential(&whole);
+        let sharded = ShardedIndex::build(pts.clone(), shards, cfg).unwrap();
+        prop_assert_eq!(sharded.len(), pts.len());
+        let k = k.min(pts.len());
+        for q in &queries {
+            let ctx = format!("S={shards} q={q:?}");
+            let nn_q = Query::nn(q.clone());
+            assert_bit_identical(
+                &sharded.query(&nn_q).unwrap(),
+                &engine.execute(&nn_q).unwrap(),
+                &ctx,
+            )?;
+            let knn_q = Query::knn(q.clone(), k);
+            assert_bit_identical(
+                &sharded.query(&knn_q).unwrap(),
+                &engine.execute(&knn_q).unwrap(),
+                &ctx,
+            )?;
+        }
+        // The batch path merges the same way.
+        let batch: Vec<Query> = queries.iter().map(|q| Query::knn(q.clone(), k)).collect();
+        for (sr, q) in sharded.batch(&batch).into_iter().zip(&batch) {
+            assert_bit_identical(&sr.unwrap(), &engine.execute(q).unwrap(), "batch")?;
+        }
+    }
+
+    #[test]
+    fn sharded_then_inserted_matches_rebuilt_whole(
+        pts in lattice_points(3, 6, 20),
+        shards in 2usize..=4,
+    ) {
+        // Build from a prefix, insert the rest dynamically: global ids must
+        // still equal input positions and answers must match a fresh
+        // unsharded build of the full set.
+        let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(11);
+        let split = pts.len() / 2;
+        let sharded =
+            ShardedIndex::build(pts[..split].to_vec(), shards, cfg.clone()).unwrap();
+        for (g, p) in pts.iter().enumerate().skip(split) {
+            let got = sharded.query(&Query::nn(p.as_slice())).unwrap();
+            prop_assert!(got.best.id < g, "pre-insert winner must be an older point");
+            let assigned = sharded.insert(p.clone()).unwrap();
+            prop_assert_eq!(assigned, g, "round-robin ids track input positions");
+        }
+        let whole = NnCellIndex::build(pts.clone(), cfg).unwrap();
+        let engine = QueryEngine::sequential(&whole);
+        for (g, p) in pts.iter().enumerate() {
+            let q = Query::nn(p.as_slice());
+            let got = sharded.query(&q).unwrap();
+            prop_assert_eq!(got.best.id, g, "every point is its own nearest neighbor");
+            assert_bit_identical(&got, &engine.execute(&q).unwrap(), "post-insert")?;
+        }
+    }
+}
+
+#[test]
+fn single_shard_fallback_counts_match_unsharded() {
+    // k ≥ live count forces the exact-scan fallback; with S=1 the sharded
+    // counters must agree exactly with the unsharded index (for S>1 a
+    // shard can fall back where the whole index would not, which is why
+    // parity is asserted on results, not stats — DESIGN.md §12).
+    let pts: Vec<Point> = (0..6)
+        .map(|i| Point::new(vec![i as f64 / 8.0, (i * 3 % 7) as f64 / 8.0]))
+        .collect();
+    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(5);
+    let whole = NnCellIndex::build(pts.clone(), cfg.clone()).unwrap();
+    let engine = QueryEngine::sequential(&whole);
+    let sharded = ShardedIndex::build(pts.clone(), 1, cfg).unwrap();
+    let queries = [
+        Query::knn(vec![0.5, 0.5], pts.len()), // k == n → fallback
+        Query::nn(vec![0.1, 0.9]),             // in-space NN → no fallback
+        Query::knn(vec![0.3, 0.3], 2),
+        Query::nn(vec![2.0, 2.0]), // outside the unit space → fallback
+    ];
+    for q in &queries {
+        let a = sharded.query(q).unwrap();
+        let b = engine.execute(q).unwrap();
+        assert_eq!(a.stats.fallback, b.stats.fallback, "{q:?}");
+        assert_eq!(a.best.id, b.best.id, "{q:?}");
+    }
+    assert!(whole.fallback_queries() > 0, "test must exercise the fallback");
+    assert_eq!(sharded.shard_fallback_queries(), whole.fallback_queries());
+    assert_eq!(sharded.fallback_queries(), whole.fallback_queries());
+}
+
+/// Distinct deterministic points on a 100×100 lattice, off the boundary.
+fn grid_point(i: usize) -> Point {
+    Point::new(vec![
+        (i % 97) as f64 / 100.0 + 0.005,
+        (i / 97 % 97) as f64 / 100.0 + 0.005,
+    ])
+}
+
+#[test]
+fn save_load_round_trips_through_a_manifest() {
+    let pts: Vec<Point> = (0..17).map(grid_point).collect();
+    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(9);
+    let sharded = ShardedIndex::build(pts.clone(), 3, cfg).unwrap();
+    let dir = std::env::temp_dir().join(format!("nncell_shard_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    sharded.save(&dir).unwrap();
+    assert_eq!(
+        ShardedIndex::manifest_shards(&dir),
+        Some(3),
+        "the CLI's layout auto-detection reads this manifest"
+    );
+    let loaded = ShardedIndex::load(&dir).unwrap();
+    assert_eq!(loaded.num_shards(), 3);
+    assert_eq!(loaded.len(), pts.len());
+    for (g, p) in pts.iter().enumerate() {
+        let r = loaded.query(&Query::nn(p.as_slice())).unwrap();
+        assert_eq!(r.best.id, g, "global ids survive the round trip");
+    }
+    // Inserts keep numbering where the save left off.
+    assert_eq!(loaded.insert(grid_point(17)).unwrap(), 17);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn durable_shards_recover_acknowledged_updates() {
+    use nncell_core::{FaultSchedule, FaultVfs, PersistError, Vfs};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let fault = FaultVfs::new(FaultSchedule::none(11));
+    let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+    let dir = PathBuf::from("/db");
+    let cfg = || BuildConfig::new(BuildStrategy::Sphere).with_seed(13);
+
+    let sharded =
+        ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), &dir, 2, 3, cfg()).unwrap();
+    assert!(sharded.is_durable());
+    for i in 0..11 {
+        assert_eq!(sharded.insert(grid_point(i)).unwrap(), i);
+    }
+    assert!(sharded.remove(4).unwrap());
+    assert!(sharded.wal_records() > 0, "updates must be journaled");
+    drop(sharded); // crash: no checkpoint, no close — WAL replay must cover it
+
+    let recovered =
+        ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), &dir, 2, 3, cfg()).unwrap();
+    assert_eq!(recovered.len(), 10);
+    assert_eq!(recovered.recovery().len(), 3);
+    for i in 0..11 {
+        if i == 4 {
+            continue;
+        }
+        let p = grid_point(i);
+        let r = recovered.query(&Query::nn(p.as_slice())).unwrap();
+        assert_eq!(r.best.id, i, "acknowledged insert {i} must survive the crash");
+    }
+    // Numbering resumes after the recovered watermark.
+    assert_eq!(recovered.insert(grid_point(11)).unwrap(), 11);
+    recovered.close().unwrap();
+
+    // A shard-count mismatch is a typed corruption, not silent resharding.
+    match ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), &dir, 2, 4, cfg()) {
+        Err(PersistError::Corrupt(_)) => {}
+        Err(e) => panic!("expected Corrupt, got {e:?}"),
+        Ok(_) => panic!("shard-count mismatch must not open"),
+    }
+}
+
+#[test]
+fn queries_run_concurrently_with_inserts() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Deterministic distinct points in the unit square via an LCG.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut coord = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX >> 1) as f64
+    };
+    let pts: Vec<Point> = (0..64)
+        .map(|_| Point::new(vec![coord(), coord(), coord()]))
+        .collect();
+
+    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    let sharded = ShardedIndex::build(pts[..8].to_vec(), 3, cfg).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for reader in 0..2 {
+            let sharded = &sharded;
+            let stop = &stop;
+            let probe = pts[reader].as_slice().to_vec();
+            s.spawn(move || {
+                let mut served = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    // Readers must never block, error, or observe a
+                    // half-applied insert: every response is a live point.
+                    let r = sharded.query(&Query::nn(probe.clone())).unwrap();
+                    assert!(r.best.dist.is_finite());
+                    assert!(r.best.id < 64, "id {} was never assigned", r.best.id);
+                    served += 1;
+                }
+                assert!(served > 0, "reader never ran");
+            });
+        }
+        for p in &pts[8..] {
+            sharded.insert(p.clone()).unwrap();
+        }
+        // Removals publish snapshots under readers too.
+        assert!(sharded.remove(10).unwrap());
+        assert!(sharded.remove(33).unwrap());
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(sharded.len(), 62);
+    // Quiesced: every live point answers itself.
+    for (g, p) in pts.iter().enumerate() {
+        if g == 10 || g == 33 {
+            continue;
+        }
+        let r = sharded.query(&Query::nn(p.as_slice())).unwrap();
+        assert_eq!(r.best.id, g, "point {g} must be its own nearest neighbor");
+    }
+}

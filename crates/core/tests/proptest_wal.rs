@@ -11,11 +11,11 @@
 //! very same cell computations from the same empty starting state — the
 //! same [`CellLpStats`] counters to the last LP call.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell_core::durable::DurableError;
 use nncell_core::vfs::{FaultSchedule, FaultVfs, Vfs};
-use nncell_core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy as BuildStrategy};
+use nncell_core::{
+    linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, Strategy as BuildStrategy,
+};
 use nncell_geom::{Euclidean, Point};
 use proptest::prelude::*;
 use proptest::TestCaseError;
@@ -173,7 +173,11 @@ proptest! {
             .collect();
         for q in &queries {
             let q: Vec<f64> = q.iter().map(|&v| v as f64 / 100.0).collect();
-            match (recovered.nearest_neighbor(&q), linear_scan_nn(&live, &q)) {
+            let got = QueryEngine::sequential(recovered.index())
+                .execute(&Query::nn(q.clone()))
+                .ok()
+                .map(|r| r.best);
+            match (got, linear_scan_nn(&live, &q)) {
                 (Some(got), Some(want)) => prop_assert!(
                     (got.dist - want.dist).abs() < 1e-9,
                     "query {:?}: {} vs scan {}", q, got.dist, want.dist

@@ -18,36 +18,48 @@ use std::sync::{Mutex, OnceLock};
 use nncell_obs::{Counter, Registry};
 use std::sync::Arc;
 
-/// Registry handles a [`CostTracker`] mirrors its events into. Bound at
-/// most once per tracker via [`CostTracker::bind_metrics`]; the registry
+/// Registry handles a `CostTracker` mirrors its events into. Bound at
+/// most once per tracker via `CostTracker::bind_metrics`; the registry
 /// counters are **monotonic for the life of the process** — unlike
-/// [`CostTracker::stats`], they are unaffected by [`CostTracker::reset`].
+/// `CostTracker::stats`, they are unaffected by `CostTracker::reset`.
 #[derive(Debug, Clone)]
 pub struct TreeMetrics {
     /// `nncell_<tree>_page_reads_total`
-    pub page_reads: Arc<Counter>,
+    pub(crate) page_reads: Arc<Counter>,
     /// `nncell_<tree>_page_writes_total`
-    pub page_writes: Arc<Counter>,
+    pub(crate) page_writes: Arc<Counter>,
     /// `nncell_<tree>_cache_hits_total`
-    pub cache_hits: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
     /// `nncell_<tree>_splits_total`
-    pub splits: Arc<Counter>,
+    pub(crate) splits: Arc<Counter>,
 }
 
 impl TreeMetrics {
     /// Registers the four tree counters under
     /// `nncell_<prefix>_…_total` names.
     pub fn register(registry: &Registry, prefix: &str) -> Self {
+        Self::register_labeled(registry, prefix, &[])
+    }
+
+    /// Like [`TreeMetrics::register`] but every series carries the given
+    /// label set (e.g. `shard="3"` for one shard of a sharded index).
+    pub fn register_labeled(
+        registry: &Registry,
+        prefix: &str,
+        labels: &[(&str, &str)],
+    ) -> Self {
+        let l = nncell_obs::format_labels(labels);
         Self {
-            page_reads: registry.counter(&format!("nncell_{prefix}_page_reads_total")),
-            page_writes: registry.counter(&format!("nncell_{prefix}_page_writes_total")),
-            cache_hits: registry.counter(&format!("nncell_{prefix}_cache_hits_total")),
-            splits: registry.counter(&format!("nncell_{prefix}_splits_total")),
+            page_reads: registry.counter(&format!("nncell_{prefix}_page_reads_total{l}")),
+            page_writes: registry.counter(&format!("nncell_{prefix}_page_writes_total{l}")),
+            cache_hits: registry.counter(&format!("nncell_{prefix}_cache_hits_total{l}")),
+            splits: registry.counter(&format!("nncell_{prefix}_splits_total{l}")),
         }
     }
 }
 
 /// LRU state: page → stamp and stamp → page, for O(log n) eviction.
+#[derive(Clone)]
 struct Lru {
     capacity: usize,
     clock: u64,
@@ -96,7 +108,7 @@ impl Lru {
 /// single atomic baseline store, and every event lands on exactly one
 /// side of it.
 #[derive(Default)]
-pub struct CostTracker {
+pub(crate) struct CostTracker {
     reads: AtomicU64,
     writes: AtomicU64,
     cpu_ops: AtomicU64,
@@ -115,6 +127,38 @@ pub struct CostTracker {
     cache: Mutex<Option<Lru>>,
     /// Registry mirror, bound at most once (see [`Self::bind_metrics`]).
     metrics: OnceLock<TreeMetrics>,
+}
+
+/// Cloning a tracker copies the counter values and cache state at the
+/// moment of the clone and **shares** any bound [`TreeMetrics`] handles
+/// (they are `Arc`s into the registry, and the already-initialized
+/// binding means the clone never re-seeds the registry totals). Used by
+/// the copy-on-write shard snapshots in `nncell-core`.
+impl Clone for CostTracker {
+    fn clone(&self) -> Self {
+        let cache = match self.cache.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        let metrics = OnceLock::new();
+        if let Some(m) = self.metrics.get() {
+            let _ = metrics.set(m.clone());
+        }
+        Self {
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
+            cpu_ops: AtomicU64::new(self.cpu_ops.load(Ordering::Relaxed)),
+            cache_hits: AtomicU64::new(self.cache_hits.load(Ordering::Relaxed)),
+            splits: AtomicU64::new(self.splits.load(Ordering::Relaxed)),
+            reads_base: AtomicU64::new(self.reads_base.load(Ordering::Relaxed)),
+            writes_base: AtomicU64::new(self.writes_base.load(Ordering::Relaxed)),
+            cpu_ops_base: AtomicU64::new(self.cpu_ops_base.load(Ordering::Relaxed)),
+            cache_hits_base: AtomicU64::new(self.cache_hits_base.load(Ordering::Relaxed)),
+            cache_enabled: std::sync::atomic::AtomicBool::new(cache.is_some()),
+            cache: Mutex::new(cache),
+            metrics,
+        }
+    }
 }
 
 impl std::fmt::Debug for CostTracker {

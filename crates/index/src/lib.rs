@@ -33,7 +33,7 @@ pub mod xtree;
 
 pub use bulk::bulk_load;
 pub use config::{SplitPolicy, TreeConfig};
-pub use cost::{CostTracker, IoStats, TreeMetrics};
+pub use cost::{IoStats, TreeMetrics};
 pub use linear::LinearScan;
 pub use node::{Entry, ItemId, Node, PageId};
 pub use parallel::DeclusteredScan;

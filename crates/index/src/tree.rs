@@ -11,7 +11,7 @@
 //!   dimension; if that would be unbalanced, no split at all: the node grows
 //!   into a **supernode** spanning one more disk page \[BKK 96\].
 //!
-//! Every node touch is billed to the [`CostTracker`] (a supernode costs its
+//! Every node touch is billed to the `CostTracker` (a supernode costs its
 //! page span), and every distance/heap operation is billed as a CPU op, so
 //! benches can report the same two cost axes as the paper's figures 9 / 12.
 
@@ -45,6 +45,11 @@ pub struct Neighbor {
 ///
 /// Use the [`crate::RStarTree`] / [`crate::XTree`] wrappers for a
 /// policy-labelled API; this type is the shared engine.
+///
+/// `Clone` deep-copies the page arena; the cost tracker's counter values
+/// are carried over and any bound registry metrics stay shared (see
+/// `CostTracker`).
+#[derive(Clone)]
 pub struct Tree {
     cfg: TreeConfig,
     nodes: Vec<Option<Node>>,
@@ -158,7 +163,7 @@ impl Tree {
 
     /// Resets the cost counters (snapshot-and-swap: a reset racing a
     /// concurrent query batch never loses events — see
-    /// [`crate::CostTracker::reset`]).
+    /// `CostTracker::reset`).
     pub fn reset_stats(&self) {
         self.cost.reset();
     }

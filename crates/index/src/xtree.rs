@@ -12,6 +12,7 @@ use std::ops::Deref;
 /// data permits.
 ///
 /// Dereferences to [`Tree`], so every query of the core is available.
+#[derive(Clone)]
 pub struct XTree {
     inner: Tree,
 }

@@ -104,6 +104,35 @@ impl Registry {
     }
 }
 
+/// Renders a label set as a Prometheus-style series suffix:
+/// `&[("shard", "3")]` → `{shard="3"}`, the empty slice → `""`.
+/// Append the result to a base metric name to form a registry key —
+/// [`Snapshot::to_prometheus`] and [`Snapshot::sum_counters`] understand
+/// keys of this shape.
+pub fn format_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry key into `(base_name, label_block)` where the label
+/// block includes the braces (`""` when the key carries no labels).
+fn split_series(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) if key.ends_with('}') => (&key[..i], &key[i..]),
+        _ => (key, ""),
+    }
+}
+
 /// One metric's value inside a [`Snapshot`].
 ///
 /// The histogram variant is boxed: a [`HistogramSnapshot`] carries its
@@ -157,21 +186,78 @@ impl Snapshot {
         }
     }
 
+    /// Sums every counter series whose base name is `base` — the bare
+    /// `base` key plus any labeled `base{…}` variants (e.g. the per-shard
+    /// `nncell_queries_total{shard="…"}` family). Returns `None` when no
+    /// such counter exists at all.
+    pub fn sum_counters(&self, base: &str) -> Option<u64> {
+        let mut total = 0u64;
+        let mut seen = false;
+        for (name, m) in &self.metrics {
+            if let MetricSnapshot::Counter(v) = m {
+                if split_series(name).0 == base {
+                    total += v;
+                    seen = true;
+                }
+            }
+        }
+        seen.then_some(total)
+    }
+
+    /// Sums every gauge series with base name `base` (see
+    /// [`Snapshot::sum_counters`]).
+    pub fn sum_gauges(&self, base: &str) -> Option<i64> {
+        let mut total = 0i64;
+        let mut seen = false;
+        for (name, m) in &self.metrics {
+            if let MetricSnapshot::Gauge(v) = m {
+                if split_series(name).0 == base {
+                    total += v;
+                    seen = true;
+                }
+            }
+        }
+        seen.then_some(total)
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format.
     /// Histograms emit cumulative `_bucket{le="…"}` series (up to the
     /// highest non-empty bucket, then `+Inf`), `_sum`, and `_count`.
+    ///
+    /// Registry keys may carry a label block (`name{shard="0"}`, see
+    /// [`format_labels`]): the `# TYPE` comment is emitted once per base
+    /// name (series of one family sort adjacently), and histogram labels
+    /// are merged into the `le` block of each `_bucket` line.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_base: Option<String> = None;
         for (name, m) in &self.metrics {
+            let (base, labels) = split_series(name);
+            // `,shard="0"` when labeled, `""` when not — appended after
+            // the `le` label inside bucket braces.
+            let inner = if labels.is_empty() {
+                String::new()
+            } else {
+                format!(",{}", &labels[1..labels.len() - 1])
+            };
+            let new_family = last_base.as_deref() != Some(base);
             match m {
                 MetricSnapshot::Counter(v) => {
-                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {base} counter");
+                    }
+                    let _ = writeln!(out, "{base}{labels} {v}");
                 }
                 MetricSnapshot::Gauge(v) => {
-                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                    }
+                    let _ = writeln!(out, "{base}{labels} {v}");
                 }
                 MetricSnapshot::Histogram(h) => {
-                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    if new_family {
+                        let _ = writeln!(out, "# TYPE {base} histogram");
+                    }
                     let last = h
                         .counts
                         .iter()
@@ -182,16 +268,17 @@ impl Snapshot {
                         cum += h.counts[i];
                         let _ = writeln!(
                             out,
-                            "{name}_bucket{{le=\"{}\"}} {cum}",
+                            "{base}_bucket{{le=\"{}\"{inner}}} {cum}",
                             bucket_upper_bound(i)
                         );
                     }
                     let count = h.count();
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
-                    let _ = writeln!(out, "{name}_sum {}", h.sum);
-                    let _ = writeln!(out, "{name}_count {count}");
+                    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"{inner}}} {count}");
+                    let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+                    let _ = writeln!(out, "{base}_count{labels} {count}");
                 }
             }
+            last_base = Some(base.to_string());
         }
         out
     }
@@ -315,6 +402,51 @@ mod tests {
         assert!(text.contains("nncell_query_latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("nncell_query_latency_ns_sum 8"), "{text}");
         assert!(text.contains("nncell_query_latency_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn labeled_series_render_with_shared_type_line() {
+        let r = Registry::new();
+        let labels = format_labels(&[("shard", "0")]);
+        assert_eq!(labels, "{shard=\"0\"}");
+        r.counter("nncell_queries_total").add(2);
+        r.counter(&format!("nncell_queries_total{labels}")).add(3);
+        r.counter(&format!("nncell_queries_total{}", format_labels(&[("shard", "1")])))
+            .add(4);
+        let h = r.histogram(&format!("nncell_query_latency_ns{labels}"));
+        h.record(3);
+        let text = r.snapshot().to_prometheus();
+        // One TYPE line for the whole family, three series.
+        assert_eq!(text.matches("# TYPE nncell_queries_total counter").count(), 1, "{text}");
+        assert!(text.contains("nncell_queries_total 2"), "{text}");
+        assert!(text.contains("nncell_queries_total{shard=\"0\"} 3"), "{text}");
+        assert!(text.contains("nncell_queries_total{shard=\"1\"} 4"), "{text}");
+        // Histogram labels merge into the le block.
+        assert!(
+            text.contains("nncell_query_latency_ns_bucket{le=\"3\",shard=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nncell_query_latency_ns_bucket{le=\"+Inf\",shard=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("nncell_query_latency_ns_sum{shard=\"0\"} 3"), "{text}");
+        assert!(text.contains("nncell_query_latency_ns_count{shard=\"0\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn sum_counters_aggregates_label_family() {
+        let r = Registry::new();
+        r.counter("nncell_x_total").add(1);
+        r.counter("nncell_x_total{shard=\"0\"}").add(2);
+        r.counter("nncell_x_total{shard=\"1\"}").add(3);
+        r.counter("nncell_x_total_other").add(100);
+        r.gauge("nncell_live{shard=\"0\"}").set(5);
+        r.gauge("nncell_live{shard=\"1\"}").set(7);
+        let s = r.snapshot();
+        assert_eq!(s.sum_counters("nncell_x_total"), Some(6));
+        assert_eq!(s.sum_counters("nncell_missing"), None);
+        assert_eq!(s.sum_gauges("nncell_live"), Some(12));
     }
 
     #[test]

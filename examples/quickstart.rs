@@ -5,8 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Query, Strategy};
+use nncell::core::linear_scan_nn;
 use nncell::data::{Generator, UniformGenerator};
+use nncell::prelude::*;
 
 fn main() {
     let dim = 8;

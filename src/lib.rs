@@ -80,3 +80,29 @@ pub use nncell_data as data;
 pub use nncell_geom as geom;
 pub use nncell_index as index;
 pub use nncell_lp as lp;
+
+pub use nncell_core::error;
+pub use nncell_core::Error;
+
+/// The names almost every nncell program needs, importable in one line:
+///
+/// ```
+/// use nncell::prelude::*;
+///
+/// let points = vec![
+///     geom::Point::new(vec![0.2, 0.3]),
+///     geom::Point::new(vec![0.7, 0.8]),
+/// ];
+/// # // (the prelude also exports `Point` directly)
+/// let index = NnCellIndex::build(points, BuildConfig::new(Strategy::Sphere)).unwrap();
+/// let hit = index.engine().execute(&Query::nn([0.25, 0.25])).unwrap();
+/// assert_eq!(hit.best.id, 0);
+/// ```
+pub mod prelude {
+    pub use crate::geom;
+    pub use nncell_core::{
+        BuildConfig, Error, NnCellIndex, Query, QueryEngine, QueryResponse, Registry,
+        ShardedIndex, Strategy,
+    };
+    pub use nncell_geom::Point;
+}

@@ -21,11 +21,9 @@
 //! via `NNCELL_FAULT_SEED` (ci.sh pins it; set it locally to explore other
 //! tear patterns).
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell::core::durable::DurableError;
 use nncell::core::vfs::{FaultSchedule, FaultVfs, Vfs};
-use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Strategy};
+use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, Strategy};
 use nncell::geom::{Euclidean, Point};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -149,7 +147,11 @@ fn assert_queries_exact(idx: &NnCellIndex<Euclidean>, tag: &str) {
         let q: Vec<f64> = (0..DIM)
             .map(|j| ((k * 17 + j * 29) % 100) as f64 / 100.0)
             .collect();
-        match (idx.nearest_neighbor(&q), linear_scan_nn(&live, &q)) {
+        let got = QueryEngine::sequential(idx)
+            .execute(&Query::nn(q.clone()))
+            .ok()
+            .map(|r| r.best);
+        match (got, linear_scan_nn(&live, &q)) {
             (Some(got), Some(want)) => assert!(
                 (got.dist - want.dist).abs() < 1e-9,
                 "{tag}: query {q:?} returned dist {} but scan found {}",

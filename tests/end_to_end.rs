@@ -1,9 +1,8 @@
 //! Cross-crate integration tests: full pipelines from generator to query.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell::core::{
-    average_overlap, linear_scan_nn, BuildConfig, CellApprox, NnCellIndex, Strategy,
+    average_overlap, linear_scan_nn, BuildConfig, CellApprox, NnCellIndex, Query, QueryEngine,
+    Strategy,
 };
 use nncell::data::{
     ClusteredGenerator, FourierGenerator, Generator, GridGenerator, SparseGenerator,
@@ -11,6 +10,14 @@ use nncell::data::{
 };
 use nncell::geom::Point;
 use nncell::index::{LinearScan, RStarTree, XTree};
+
+/// NN through the typed engine, with the removed shim's `Option` shape.
+fn nn(idx: &NnCellIndex, q: &[f64]) -> Option<nncell::core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
 
 fn queries(gen: &dyn Generator, n: usize, seed: u64) -> Vec<Vec<f64>> {
     gen.generate(n, seed)
@@ -21,7 +28,7 @@ fn queries(gen: &dyn Generator, n: usize, seed: u64) -> Vec<Vec<f64>> {
 
 fn assert_index_exact(index: &NnCellIndex, points: &[Point], qs: &[Vec<f64>], label: &str) {
     for q in qs {
-        let got = index.nearest_neighbor(q).expect("non-empty index");
+        let got = nn(index, q).expect("non-empty index");
         let want = linear_scan_nn(points, q).unwrap();
         assert!(
             (got.dist - want.dist).abs() < 1e-9,
@@ -112,7 +119,7 @@ fn all_engines_agree_on_fourier_workload() {
         scan.insert(p, i as u64);
     }
     for q in &qs {
-        let a = nncell.nearest_neighbor(q).unwrap();
+        let a = nn(&nncell, q).unwrap();
         let b = xtree.nearest_neighbor(q).unwrap();
         let c = rstar.nearest_neighbor(q).unwrap();
         let d = scan.nearest_neighbor(q).unwrap();
@@ -149,9 +156,11 @@ fn nncell_beats_tree_nn_on_search_time_high_dim() {
     let ids_n: Vec<usize> = qs
         .iter()
         .map(|q| {
-            let (r, c) = nncell.nearest_neighbor_with_candidates(q).unwrap();
-            total_candidates += c;
-            r.id
+            let r = QueryEngine::sequential(&nncell)
+                .execute(&Query::nn(q.clone()))
+                .unwrap();
+            total_candidates += r.stats.candidates;
+            r.best.id
         })
         .collect();
     let t_nncell = t0.elapsed();
@@ -201,7 +210,7 @@ fn grow_shrink_grow_lifecycle() {
 
     let live: Vec<Point> = reference.iter().map(|(_, p)| p.clone()).collect();
     for q in queries(&gen, 60, 602) {
-        let got = index.nearest_neighbor(&q).unwrap();
+        let got = nn(&index, &q).unwrap();
         let want = linear_scan_nn(&live, &q).unwrap();
         assert!((got.dist - want.dist).abs() < 1e-9, "lifecycle inexact");
     }

@@ -1,14 +1,28 @@
 //! Extended integration tests: persistence, kNN, weighted metrics, CLI-less
 //! end-to-end flows, and failure paths.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell::core::{
     linear_scan_knn, linear_scan_nn, BuildConfig, BuildError, InputPolicy, NnCellIndex,
-    PersistError, Strategy,
+    PersistError, Query, QueryEngine, Strategy,
 };
 use nncell::data::{FourierGenerator, Generator, UniformGenerator};
 use nncell::geom::{Metric, Point, WeightedEuclidean};
+
+/// NN through the typed engine, with the removed shim's `Option` shape.
+fn nn<M: Metric>(idx: &NnCellIndex<M>, q: &[f64]) -> Option<nncell::core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
+
+/// k-NN through the typed engine; empty on any query error.
+fn knn<M: Metric>(idx: &NnCellIndex<M>, q: &[f64], k: usize) -> Vec<nncell::core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::knn(q, k))
+        .map(|r| r.into_results())
+        .unwrap_or_default()
+}
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("nncell_it_{name}_{}", std::process::id()))
@@ -33,7 +47,7 @@ fn persistence_roundtrip_preserves_exactness_and_updates() {
     // Identical answers without any LP rerun.
     let mut all = points.clone();
     for q in gen.generate(60, 701) {
-        let got = loaded.nearest_neighbor(&q).unwrap();
+        let got = nn(&loaded, &q).unwrap();
         let want = linear_scan_nn(&all, &q).unwrap();
         assert_eq!(got.id, want.id);
     }
@@ -43,7 +57,7 @@ fn persistence_roundtrip_preserves_exactness_and_updates() {
         all.push(p);
     }
     for q in gen.generate(30, 703) {
-        let got = loaded.nearest_neighbor(&q).unwrap();
+        let got = nn(&loaded, &q).unwrap();
         let want = linear_scan_nn(&all, &q).unwrap();
         assert!((got.dist - want.dist).abs() < 1e-9);
     }
@@ -56,7 +70,7 @@ fn knn_results_match_scan_ordering() {
     let index =
         NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
     for q in gen.generate(20, 801) {
-        let got = index.knn(&q, 7);
+        let got = knn(&index, &q, 7);
         let want = linear_scan_knn(&points, &q, 7);
         assert_eq!(got.len(), want.len());
         for (g, w) in got.iter().zip(want.iter()) {
@@ -76,7 +90,7 @@ fn weighted_metric_pipeline_with_decomposition() {
     )
     .unwrap();
     for q in UniformGenerator::new(3).generate(60, 901) {
-        let got = index.nearest_neighbor(&q).unwrap();
+        let got = nn(&index, &q).unwrap();
         let want = points
             .iter()
             .enumerate()
@@ -134,7 +148,7 @@ fn duplicate_points_do_not_break_exactness() {
     .unwrap();
     assert_eq!(index.build_stats().skipped_points, 2);
     for q in UniformGenerator::new(3).generate(40, 1101) {
-        let got = index.nearest_neighbor(&q).unwrap();
+        let got = nn(&index, &q).unwrap();
         let want = linear_scan_nn(&points, &q).unwrap();
         assert!(
             (got.dist - want.dist).abs() < 1e-9,
@@ -150,7 +164,7 @@ fn single_point_database() {
         BuildConfig::new(Strategy::Correct),
     )
     .unwrap();
-    let r = index.nearest_neighbor(&[0.9, 0.1]).unwrap();
+    let r = nn(&index, &[0.9, 0.1]).unwrap();
     assert_eq!(r.id, 0);
     // The lone cell must be the whole data space.
     let cell = index.cell(0).unwrap();
@@ -166,10 +180,10 @@ fn malformed_queries_return_none_not_panic() {
     .unwrap();
     // Wrong dimension, NaN, and infinity have no meaningful answer; the
     // panic-free contract maps them to "no result".
-    assert!(index.nearest_neighbor(&[0.5]).is_none());
-    assert!(index.nearest_neighbor(&[0.5, f64::NAN]).is_none());
-    assert!(index.nearest_neighbor(&[f64::INFINITY, 0.5]).is_none());
-    assert!(index.knn(&[0.5], 3).is_empty());
+    assert!(nn(&index, &[0.5]).is_none());
+    assert!(nn(&index, &[0.5, f64::NAN]).is_none());
+    assert!(nn(&index, &[f64::INFINITY, 0.5]).is_none());
+    assert!(knn(&index, &[0.5], 3).is_empty());
     // A well-formed query still works.
-    assert!(index.nearest_neighbor(&[0.5, 0.5]).is_some());
+    assert!(nn(&index, &[0.5, 0.5]).is_some());
 }

@@ -2,15 +2,23 @@
 //! random corruptions must never panic the loader and must never produce
 //! an index that silently disagrees with the original.
 
-#![allow(deprecated)] // legacy shims stay under test until removal
-
 use nncell::core::vfs::StdVfs;
 use nncell::core::wal::{read_wal, WalRecord, WalTail, WalWriter};
-use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, PersistError, Strategy};
+use nncell::core::{
+    linear_scan_nn, BuildConfig, NnCellIndex, PersistError, Query, QueryEngine, Strategy,
+};
 use nncell::data::{Generator, UniformGenerator};
 use nncell::geom::Point;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// NN through the typed engine, with the removed shim's `Option` shape.
+fn nn(idx: &NnCellIndex, q: &[f64]) -> Option<nncell::core::QueryResult> {
+    QueryEngine::sequential(idx)
+        .execute(&Query::nn(q))
+        .ok()
+        .map(|r| r.best)
+}
 
 fn tmp(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -41,7 +49,7 @@ fn corrupted_index_files_never_panic_and_never_disagree() {
         .collect();
     let expected: Vec<usize> = queries
         .iter()
-        .map(|q| index.nearest_neighbor(q).unwrap().id)
+        .map(|q| nn(&index, q).unwrap().id)
         .collect();
 
     let path = tmp("fuzz");
@@ -59,7 +67,7 @@ fn corrupted_index_files_never_panic_and_never_disagree() {
             Ok(loaded) => {
                 // A mutation that loads must be semantically harmless.
                 for (q, &want) in queries.iter().zip(&expected) {
-                    let got = loaded.nearest_neighbor(q).unwrap();
+                    let got = nn(&loaded, q).unwrap();
                     let scan = linear_scan_nn(&points, q).unwrap();
                     assert_eq!(got.id, want, "{what}: loaded index disagrees at {q:?}");
                     assert!(
@@ -219,8 +227,8 @@ fn pristine_file_roundtrips_exactly() {
     for q in gen.generate(40, 911) {
         let q = q.into_vec();
         assert_eq!(
-            loaded.nearest_neighbor(&q).unwrap().id,
-            index.nearest_neighbor(&q).unwrap().id
+            nn(&loaded, &q).unwrap().id,
+            nn(&index, &q).unwrap().id
         );
     }
 }
