@@ -23,8 +23,17 @@ cargo test -q
 echo "== crash injection (kill-at-every-syscall, seed ${NNCELL_FAULT_SEED:=424242}) =="
 NNCELL_FAULT_SEED="$NNCELL_FAULT_SEED" cargo test -q --test crash_recovery
 
+echo "== server robustness E2E (storm/shed, kill -9 recovery, SIGTERM drain) =="
+# Subprocess tests against the real binary: admission control sheds a
+# 2x-capacity storm with 429s, SIGKILL mid-write-storm recovers every
+# acked insert bit-identically, SIGTERM drains and checkpoints leaving
+# zero WAL replay debt. (Also run by `cargo test -q` above; repeated
+# here so a red run names the failing robustness claim directly.)
+cargo test -q -p nncell-cli --test server_e2e
+cargo test -q -p nncell-server
+
 echo "== clippy (panic-free library crates) =="
-cargo clippy -p nncell-obs -p nncell-lp -p nncell-core --lib -- -D warnings -D clippy::unwrap_used
+cargo clippy -p nncell-obs -p nncell-lp -p nncell-core -p nncell-server --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =="
 # Sequential vs parallel batch QPS on one fixed-seed workload; the bench
@@ -44,6 +53,16 @@ echo "== sharded bench smoke (S=1,2,4; writes BENCH_sharded.json) =="
 NNCELL_N="${NNCELL_SHARD_N:-8000}" NNCELL_DIM="${NNCELL_SHARD_DIM:-8}" \
     NNCELL_QUERIES="${NNCELL_SHARD_QUERIES:-2000}" \
     cargo bench -p nncell-bench --bench sharded
+
+echo "== server bench smoke (HTTP QPS/p99/shed rate; writes BENCH_server.json) =="
+# End-to-end serving throughput over real sockets plus overload behaviour
+# at 2x capacity; the bench asserts every refused request is a clean
+# `429 Retry-After`, never a dropped connection. Same smoke-scale
+# philosophy as the benches above.
+NNCELL_N="${NNCELL_SERVER_N:-4000}" NNCELL_DIM="${NNCELL_SERVER_DIM:-8}" \
+    NNCELL_QUERIES="${NNCELL_SERVER_QUERIES:-800}" \
+    NNCELL_SERVER_OVERLOAD_MS="${NNCELL_SERVER_OVERLOAD_MS:-800}" \
+    cargo bench -p nncell-bench --bench server
 
 echo "== public API surface gate =="
 # tests/api_surface.rs dumps every `pub` item and compares against the
@@ -74,6 +93,30 @@ if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
     }'
 else
     echo "bench gate: no committed BENCH_query_engine.json baseline; skipping"
+fi
+
+echo "== server bench gate (HTTP QPS vs committed baseline) =="
+# Same idea as above for the serving layer, with a looser 50% floor: the
+# end-to-end number includes connection setup, JSON parsing, and thread
+# scheduling, so it is noisier than the in-process QPS gate.
+if baseline_json=$(git show HEAD:BENCH_server.json 2>/dev/null); then
+    extract_http_qps() { grep -o '"qps": *[0-9.]*' | tr -dc '0-9.\n' | head -n1; }
+    old_qps=$(printf '%s' "$baseline_json" | extract_http_qps)
+    cur_qps=$(extract_http_qps < BENCH_server.json)
+    if [ -z "$old_qps" ] || [ -z "$cur_qps" ]; then
+        echo "server bench gate: could not parse qps (old='$old_qps' cur='$cur_qps')" >&2
+        exit 1
+    fi
+    awk -v old="$old_qps" -v cur="$cur_qps" 'BEGIN {
+        floor = 0.50 * old;
+        printf "server bench gate: qps %.2f vs baseline %.2f (floor %.2f)\n", cur, old, floor;
+        if (cur < floor) {
+            printf "server bench gate: FAIL — HTTP QPS dropped more than 50%%\n";
+            exit 1;
+        }
+    }'
+else
+    echo "server bench gate: no committed BENCH_server.json baseline; skipping"
 fi
 
 echo "ci: all green"

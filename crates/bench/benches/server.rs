@@ -1,0 +1,210 @@
+//! HTTP serving-layer throughput and overload behaviour, written as
+//! JSON for CI trend tracking (`BENCH_server.json`).
+//!
+//! Two passes against an in-process [`nncell_server::Server`] over real
+//! TCP sockets:
+//!
+//! 1. **Capacity**: as many client threads as worker threads fire
+//!    `/query` requests back-to-back with raw (no-retry) clients —
+//!    reports end-to-end QPS and p99 latency, connection setup and
+//!    JSON round trip included.
+//! 2. **Overload**: offered concurrency is doubled past total capacity
+//!    (workers + admission queue) for a fixed window — reports the shed
+//!    rate. Every non-200 must be a `429` carrying `Retry-After`; any
+//!    other status (or a transport error) fails the bench, so this
+//!    doubles as an end-to-end check that overload degrades *gracefully*
+//!    rather than by dropped connections.
+//!
+//! Defaults are sized for real hardware; CI runs a smoke scale via the
+//! usual env overrides (`NNCELL_N`, `NNCELL_DIM`, `NNCELL_QUERIES`,
+//! `NNCELL_SERVER_THREADS`, `NNCELL_BENCH_OUT` for the JSON path).
+
+use nncell_bench::{env_usize, timed};
+use nncell_core::{BuildConfig, Registry, ShardedIndex, Strategy};
+use nncell_data::{Generator, UniformGenerator};
+use nncell_server::{Client, Server, ServerConfig, ServeIndex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Starts an in-process server on a fresh port; returns the address,
+/// the shutdown handle, and the join handle of the serving thread.
+fn start(
+    index: ShardedIndex,
+    threads: usize,
+    queue_depth: usize,
+) -> (
+    String,
+    nncell_server::ServerHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads,
+        queue_depth,
+        deadline: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, ServeIndex::Sharded(index), Registry::new())
+        .expect("bind bench server");
+    let addr = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().expect("bench server run");
+    });
+    (addr, handle, join)
+}
+
+fn query_body(coords: &[f64]) -> String {
+    let nums: Vec<String> = coords.iter().map(|c| format!("{c}")).collect();
+    format!("{{\"point\":[{}],\"k\":3}}", nums.join(","))
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn main() {
+    let n = env_usize("NNCELL_N", 40_000);
+    let d = env_usize("NNCELL_DIM", 16);
+    let n_q = env_usize("NNCELL_QUERIES", 4_000);
+    let threads = env_usize("NNCELL_SERVER_THREADS", 2);
+    let out = std::env::var("NNCELL_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").to_string()
+    });
+    println!("# HTTP serving layer (N={n}, d={d}, {n_q} queries, {threads} server threads)");
+
+    let points = UniformGenerator::new(d).generate(n, 7);
+    let bodies: Vec<String> = UniformGenerator::new(d)
+        .generate(n_q, 8)
+        .iter()
+        .map(|p| query_body(p.as_slice()))
+        .collect();
+    let cfg = BuildConfig::new(Strategy::NnDirection).with_seed(7);
+    let index = ShardedIndex::build(points, 2, cfg.clone()).expect("build index");
+
+    // ----- pass 1: capacity (client threads == worker threads) -------
+    let (addr, handle, join) = start(index, threads, 64);
+    let bodies = Arc::new(bodies);
+    {
+        // Warm-up outside the timed window.
+        let c = Client::new(addr.clone());
+        for b in bodies.iter().take(64) {
+            assert_eq!(c.post("/query", b).expect("warm-up").status, 200);
+        }
+    }
+    let (latencies, elapsed_s) = timed(|| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let addr = addr.clone();
+                    let bodies = Arc::clone(&bodies);
+                    s.spawn(move || {
+                        let mut c = Client::new(addr);
+                        c.max_attempts = 1;
+                        let mut lat = Vec::with_capacity(bodies.len() / threads + 1);
+                        for b in bodies.iter().skip(t).step_by(threads) {
+                            let t0 = Instant::now();
+                            let r = c.post("/query", b).expect("bench query");
+                            assert_eq!(r.status, 200, "capacity pass must not shed");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = Vec::with_capacity(n_q);
+            for h in handles {
+                all.extend(h.join().expect("client thread"));
+            }
+            all
+        })
+    });
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let qps = latencies.len() as f64 / elapsed_s;
+    let p50_ms = percentile(&sorted, 0.50);
+    let p99_ms = percentile(&sorted, 0.99);
+    println!("capacity: {qps:.0} q/s end-to-end, p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms");
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    // ----- pass 2: overload at 2x capacity ---------------------------
+    // Total capacity is workers + queue slots; offer twice that in
+    // concurrent no-retry clients for a fixed window. Everything the
+    // server refuses must be a clean 429 + Retry-After.
+    let queue_depth = threads.max(1);
+    let capacity = threads + queue_depth;
+    let offered = 2 * capacity;
+    let window = Duration::from_millis(
+        env_usize("NNCELL_SERVER_OVERLOAD_MS", 2_000) as u64,
+    );
+    let points = UniformGenerator::new(d).generate(n, 7);
+    let index = ShardedIndex::build(points, 2, cfg).expect("rebuild index");
+    let (addr, handle, join) = start(index, threads, queue_depth);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let gate = Barrier::new(offered);
+    std::thread::scope(|s| {
+        for t in 0..offered {
+            let addr = addr.clone();
+            let bodies = Arc::clone(&bodies);
+            let (ok, shed, stop, gate) = (&ok, &shed, &stop, &gate);
+            s.spawn(move || {
+                let mut c = Client::new(addr);
+                c.max_attempts = 1;
+                gate.wait();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = c
+                        .post("/query", &bodies[i % bodies.len()])
+                        .expect("overload pass: connection must not be dropped");
+                    match r.status {
+                        200 => ok.fetch_add(1, Ordering::Relaxed),
+                        429 => {
+                            assert!(
+                                r.header("retry-after").is_some(),
+                                "shed without Retry-After"
+                            );
+                            shed.fetch_add(1, Ordering::Relaxed)
+                        }
+                        other => panic!("overload pass: unexpected status {other}"),
+                    };
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (ok, shed) = (ok.into_inner(), shed.into_inner());
+    let total = ok + shed;
+    let shed_rate = if total == 0 {
+        0.0
+    } else {
+        shed as f64 / total as f64
+    };
+    println!(
+        "overload: {offered} clients vs capacity {capacity}: {ok} served, {shed} shed \
+         ({:.1}% shed rate), server sheds {} total",
+        shed_rate * 100.0,
+        handle.sheds()
+    );
+    handle.shutdown();
+    join.join().expect("server thread");
+
+    let json = format!(
+        "{{\n  \"n\": {n},\n  \"dim\": {d},\n  \"queries\": {},\n  \"server_threads\": {threads},\n  \
+         \"qps\": {qps:.2},\n  \"p50_ms\": {p50_ms:.3},\n  \"p99_ms\": {p99_ms:.3},\n  \
+         \"overload\": {{\n    \"offered_concurrency\": {offered},\n    \"capacity\": {capacity},\n    \
+         \"served\": {ok},\n    \"shed\": {shed},\n    \"shed_rate\": {shed_rate:.4}\n  }}\n}}\n",
+        latencies.len()
+    );
+    std::fs::write(&out, json).expect("write bench json");
+    println!("wrote {out}");
+}

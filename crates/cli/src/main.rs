@@ -13,6 +13,9 @@
 //! nncell verify   --index idx.nncell [--repair]
 //! nncell bench    --index idx.nncell --queries 200 --seed 7
 //! nncell stats    --index idx.nncell [--json | --prom | --slow]
+//! nncell stats    --server 127.0.0.1:8321
+//! nncell serve    (--index idx.nncell | --wal idx.db) [--addr HOST:PORT]
+//!                 [--threads 4] [--queue-depth 64] [--deadline-ms 2000]
 //! ```
 //!
 //! `--wal DIR` commands operate on a crash-consistent directory: every
@@ -63,6 +66,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "verify" => cmd_verify(&p),
         "bench" => cmd_bench(&p),
         "stats" => cmd_stats(&p),
+        "serve" => cmd_serve(&p),
         other => Err(format!("unknown command {other:?}; try `nncell help`")),
     }
 }
@@ -662,10 +666,161 @@ impl LoadedIndex {
     }
 }
 
+/// Builds the [`nncell_server::ServeIndex`] for `serve` from the same
+/// `--index FILE`/`--wal DIR` surfaces the other commands accept, with
+/// the extra twist that a missing `--wal` directory is initialized
+/// fresh (requires `--dim`; `--shards` > 1 makes it sharded).
+fn open_serve_index(p: &Parsed) -> Result<nncell_server::ServeIndex, String> {
+    use nncell_server::ServeIndex;
+    match (p.get("index"), p.get("wal")) {
+        (Some(file), None) => Ok(match open_sharded_at(file, false)? {
+            Some(s) => ServeIndex::Sharded(s),
+            None => ServeIndex::Plain(NnCellIndex::load(file).map_err(|e| e.to_string())?),
+        }),
+        (None, Some(dir)) => {
+            if let Some(s) = open_sharded_at(dir, true)? {
+                return Ok(ServeIndex::Sharded(s));
+            }
+            if std::path::Path::new(dir).join("CURRENT").exists() {
+                return Ok(ServeIndex::Durable(std::sync::Mutex::new(
+                    DurableIndex::open(dir).map_err(|e| e.to_string())?,
+                )));
+            }
+            // Fresh directory: initialize an empty durable index.
+            let dim: usize = p
+                .get("dim")
+                .ok_or("--wal DIR does not exist yet; --dim N is required to initialize it")?
+                .parse()
+                .map_err(|_| "bad --dim".to_string())?;
+            let shards: usize = p.get_or("shards", 1).map_err(|e| e.to_string())?;
+            let cfg = BuildConfig::new(Strategy::CorrectPruned);
+            if shards > 1 {
+                Ok(ServeIndex::Sharded(
+                    ShardedIndex::open_durable(dir, dim, shards, cfg)
+                        .map_err(|e| e.to_string())?,
+                ))
+            } else {
+                Ok(ServeIndex::Durable(std::sync::Mutex::new(
+                    NnCellIndex::open_durable(dir, dim, cfg).map_err(|e| e.to_string())?,
+                )))
+            }
+        }
+        _ => Err("serve needs exactly one of --index FILE or --wal DIR".into()),
+    }
+}
+
+fn cmd_serve(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&[
+        "index",
+        "wal",
+        "addr",
+        "threads",
+        "queue-depth",
+        "deadline-ms",
+        "retry-after",
+        "slow-ms",
+        "dim",
+        "shards",
+        "chaos",
+    ])
+    .map_err(|e| e.to_string())?;
+    let index = open_serve_index(p)?;
+    let config = nncell_server::ServerConfig {
+        addr: p.get("addr").unwrap_or("127.0.0.1:8321").to_string(),
+        threads: p.get_or("threads", 4).map_err(|e| e.to_string())?,
+        queue_depth: p.get_or("queue-depth", 64).map_err(|e| e.to_string())?,
+        deadline: std::time::Duration::from_millis(
+            p.get_or("deadline-ms", 2_000).map_err(|e| e.to_string())?,
+        ),
+        retry_after_secs: p.get_or("retry-after", 1).map_err(|e| e.to_string())?,
+        slow_ms: p.get_or("slow-ms", 100).map_err(|e| e.to_string())?,
+        chaos: p.get("chaos").is_some(),
+        ..nncell_server::ServerConfig::default()
+    };
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    // One registry serves both the index families (queries, WAL, trees)
+    // and the HTTP families — /metrics exposes the whole picture.
+    let registry = Registry::new();
+    let mut index = index;
+    match &mut index {
+        nncell_server::ServeIndex::Sharded(s) => s.attach_metrics(registry.clone()),
+        nncell_server::ServeIndex::Durable(m) => match m.lock() {
+            Ok(mut d) => d.attach_metrics(registry.clone()),
+            Err(p) => p.into_inner().attach_metrics(registry.clone()),
+        },
+        nncell_server::ServeIndex::Plain(i) => i.attach_metrics(registry.clone()),
+    }
+    let server = nncell_server::Server::bind(config, index, registry)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    nncell_server::install_signal_handlers();
+    // The E2E harness starts us with --addr 127.0.0.1:0 and parses this
+    // line for the real port, so flush it through any pipe buffering.
+    println!("listening on {}", server.local_addr());
+    println!("serving: POST /query /batch /insert /remove — GET /metrics /healthz /readyz");
+    println!("shutdown: SIGTERM/ctrl-c drains in-flight requests, then checkpoints");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| format!("final checkpoint failed: {e}"))?;
+    println!("drained and checkpointed; bye");
+    Ok(())
+}
+
+/// The `stats --server ADDR` shed-pressure view: scrapes `/metrics` off
+/// a running server and surfaces admission-control numbers (queue
+/// depth, sheds, Retry-After) without the operator parsing Prometheus
+/// text by hand.
+fn cmd_stats_server(addr: &str) -> Result<(), String> {
+    let client = nncell_server::Client::new(addr);
+    let resp = client
+        .get("/metrics")
+        .map_err(|e| format!("scrape of http://{addr}/metrics failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/metrics answered {}", resp.status));
+    }
+    let text = resp.text();
+    let value = |base: &str| -> u64 {
+        text.lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| {
+                let (name, v) = l.split_once(' ')?;
+                let series_base = name.split('{').next().unwrap_or(name);
+                (series_base == base).then(|| v.trim().parse::<f64>().ok())?
+            })
+            .sum::<f64>() as u64
+    };
+    let ready = matches!(client.get("/readyz"), Ok(r) if r.status == 200);
+    println!("server         : {addr} ({})", if ready { "ready" } else { "draining/not ready" });
+    println!(
+        "admission      : queue depth {}, {} in flight, {} shed (429) total",
+        value("nncell_http_queue_depth"),
+        value("nncell_http_inflight"),
+        value("nncell_http_shed_total"),
+    );
+    println!(
+        "backpressure   : Retry-After {}s advertised on 429",
+        value("nncell_http_retry_after_seconds"),
+    );
+    println!(
+        "failures       : {} deadline-exceeded (503), {} isolated panic(s) (500)",
+        value("nncell_http_deadline_exceeded_total"),
+        value("nncell_http_panics_total"),
+    );
+    println!(
+        "requests       : {} completed",
+        value("nncell_http_requests_total"),
+    );
+    Ok(())
+}
+
 fn cmd_stats(p: &Parsed) -> Result<(), String> {
     p.allow_only(&[
         "index",
         "wal",
+        "server",
         "queries",
         "seed",
         "k",
@@ -676,6 +831,9 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
         "slow-threshold-us",
     ])
     .map_err(|e| e.to_string())?;
+    if let Some(addr) = p.get("server") {
+        return cmd_stats_server(addr);
+    }
     let registry = Registry::new();
     let mut loaded = LoadedIndex::open(p, "stats")?;
     loaded.attach_metrics(registry.clone());
@@ -892,6 +1050,10 @@ COMMANDS
             [--json FILE]
   stats     (--index FILE | --wal DIR) [--queries 200] [--seed 7] [--k 1]
             [--threads 1] [--json | --prom | --slow [--slow-threshold-us N]]
+  stats     --server HOST:PORT     (shed-pressure view of a running server)
+  serve     (--index FILE | --wal DIR) [--addr 127.0.0.1:8321] [--threads 4]
+            [--queue-depth 64] [--deadline-ms 2000] [--retry-after 1]
+            [--slow-ms 100] [--dim N --shards S  (fresh --wal init)]
   help
 
 `build --shards S` (S > 1) partitions points round-robin into S shards,
@@ -903,6 +1065,12 @@ unsharded ones, and sharded metrics register per-shard `shard=\"i\"` series.
 `stats` attaches a metrics registry, replays a generated workload, and
 reports query-latency percentiles, candidate/page histograms, tree and LP
 counters, and (for --wal) WAL/fsync/rotation counters. --json and --prom
-print the raw registry snapshot; --slow drains the slow-query ring."
+print the raw registry snapshot; --slow drains the slow-query ring.
+
+`serve` runs the fault-tolerant HTTP layer: bounded admission queue
+(full → 429 + Retry-After), per-request deadlines (exceeded → 503),
+panicking requests isolated to a 500, and SIGTERM/ctrl-c draining
+in-flight work before a final WAL checkpoint. `stats --server ADDR`
+scrapes /metrics off a running server for the shed-pressure summary."
     );
 }

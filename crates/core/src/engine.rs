@@ -85,6 +85,8 @@ pub struct QueryEngine<'a, M: Metric = Euclidean> {
     /// When false, this engine skips metric recording even if the index has
     /// a registry attached (overhead A/B runs; see the bench).
     record_metrics: bool,
+    /// Optional per-request time budget (see [`QueryEngine::with_deadline`]).
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'a, M: Metric> QueryEngine<'a, M> {
@@ -97,6 +99,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             index,
             threads,
             record_metrics: true,
+            deadline: None,
         }
     }
 
@@ -106,6 +109,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             index,
             threads: 1,
             record_metrics: true,
+            deadline: None,
         }
     }
 
@@ -121,6 +125,32 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     pub fn without_metrics(mut self) -> Self {
         self.record_metrics = false;
         self
+    }
+
+    /// Attaches a per-request time budget: once `deadline` passes, queries
+    /// return [`QueryError::DeadlineExceeded`] instead of continuing to
+    /// consume the worker. The budget is checked **between** units of
+    /// bounded work — before a query starts, between the candidate-growth
+    /// sphere queries of the k-NN kernel, and between the queries of a
+    /// batch — so an answer already in hand is never discarded, and an
+    /// expensive straggler stops at its next checkpoint rather than running
+    /// to completion. With no deadline (the default) behavior is unchanged
+    /// and bit-identical across thread counts.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
+    /// Whether the configured budget (if any) has run out.
+    #[inline]
+    fn out_of_budget(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// The configured batch worker-thread count.
@@ -218,10 +248,13 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         if idx.is_empty() {
             return Err(QueryError::EmptyIndex);
         }
+        if self.out_of_budget() {
+            return Err(QueryError::DeadlineExceeded);
+        }
         if q.k() == 1 {
             Ok(self.run_nn(scratch, p))
         } else {
-            Ok(self.run_knn(scratch, p, q.k()))
+            self.run_knn(scratch, p, q.k())
         }
     }
 
@@ -337,11 +370,19 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     /// Exact k-NN from the cell index (see `DESIGN.md` §3.4): grow a
     /// candidate set to ≥ k points via sphere queries, take the k-th best
     /// candidate distance as a proven upper bound, and resolve with one
-    /// final sphere query at that bound.
-    fn run_knn(&self, scratch: &mut QueryScratch, p: &[f64], k: usize) -> QueryResponse {
+    /// final sphere query at that bound. The configured budget (if any) is
+    /// checked between candidate batches: each sphere query is one bounded
+    /// unit of work, and a budget that runs out between them surfaces as
+    /// [`QueryError::DeadlineExceeded`] instead of hogging the worker.
+    fn run_knn(
+        &self,
+        scratch: &mut QueryScratch,
+        p: &[f64],
+        k: usize,
+    ) -> Result<QueryResponse, QueryError> {
         let idx = self.index;
         if k >= idx.len() || !idx.space().contains(p) {
-            return self.scan_knn(p, k);
+            return Ok(self.scan_knn(p, k));
         }
         let tree = idx.cell_tree();
         let mut pages = tree.point_query_with(p, &mut scratch.stack, &mut scratch.hits);
@@ -353,29 +394,35 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         };
         let mut guard = 0;
         while scratch.cand.len() < k {
+            if self.out_of_budget() {
+                return Err(QueryError::DeadlineExceeded);
+            }
             pages += tree.sphere_query_with(p, radius, &mut scratch.stack, &mut scratch.hits);
             decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
             radius *= 2.0;
             guard += 1;
             if guard > 64 {
-                return self.scan_knn(p, k); // numerically degenerate space
+                return Ok(self.scan_knn(p, k)); // numerically degenerate space
             }
         }
         let metric = idx.metric();
         rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
         let bound = scratch.ranked[k - 1].dist;
+        if self.out_of_budget() {
+            return Err(QueryError::DeadlineExceeded);
+        }
         // One exact sphere query with the proven bound.
         pages += tree.sphere_query_with(p, bound + 1e-12, &mut scratch.stack, &mut scratch.hits);
         decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
         if scratch.cand.is_empty() {
             // Unreachable by Lemma 2 (the bound query is a superset of the
             // growth query), but the library contract is degrade-not-panic.
-            return self.scan_knn(p, k);
+            return Ok(self.scan_knn(p, k));
         }
         let candidates = scratch.cand.len();
         rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
         scratch.ranked.truncate(k);
-        QueryResponse {
+        Ok(QueryResponse {
             best: scratch.ranked[0],
             rest: scratch.ranked[1..].to_vec(),
             stats: QueryStats {
@@ -383,7 +430,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 pages,
                 fallback: false,
             },
-        }
+        })
     }
 
     // ------------------------------------------------------------------

@@ -143,6 +143,11 @@ pub enum QueryError {
     EmptyIndex,
     /// `k == 0` asks for nothing.
     ZeroK,
+    /// The query's time budget ran out before an answer was proven (see
+    /// [`crate::QueryEngine::with_deadline`]). The serving layer maps this
+    /// to `503 deadline_exceeded`; retrying with a fresh budget is safe —
+    /// queries have no side effects.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for QueryError {
@@ -157,6 +162,9 @@ impl std::fmt::Display for QueryError {
             }
             QueryError::EmptyIndex => write!(f, "index holds no live points"),
             QueryError::ZeroK => write!(f, "k must be at least 1"),
+            QueryError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded before an answer was proven")
+            }
         }
     }
 }
@@ -202,5 +210,6 @@ mod tests {
         assert!(QueryError::NonFiniteQuery.to_string().contains("NaN"));
         assert!(QueryError::EmptyIndex.to_string().contains("no live"));
         assert!(QueryError::ZeroK.to_string().contains("at least 1"));
+        assert!(QueryError::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

@@ -417,6 +417,23 @@ impl ShardedIndex {
     /// # Errors
     /// The [`QueryError`] contract of [`crate::QueryEngine::execute`].
     pub fn query(&self, q: &Query) -> Result<QueryResponse, QueryError> {
+        self.query_with_deadline(q, None)
+    }
+
+    /// [`Self::query`] under an optional time budget: the deadline is
+    /// threaded into every per-shard engine (see
+    /// [`crate::QueryEngine::with_deadline`]), so a budget that runs out
+    /// mid-fan-out surfaces as [`QueryError::DeadlineExceeded`] instead of
+    /// finishing the remaining shards.
+    ///
+    /// # Errors
+    /// The [`QueryError`] contract of [`Self::query`], plus
+    /// [`QueryError::DeadlineExceeded`].
+    pub fn query_with_deadline(
+        &self,
+        q: &Query,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResponse, QueryError> {
         self.validate_query(q)?;
         let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
             self.snaps.iter().map(SnapshotCell::load).collect();
@@ -431,7 +448,11 @@ impl ShardedIndex {
             // Sequential per shard: one query has no intra-shard
             // parallelism to exploit, and the fan-out itself is the
             // concurrency story (batch() adds the thread pool).
-            per.push((i, crate::engine::QueryEngine::sequential(snap).execute(q)?));
+            let mut engine = crate::engine::QueryEngine::sequential(snap);
+            if let Some(d) = deadline {
+                engine = engine.with_deadline(d);
+            }
+            per.push((i, engine.execute(q)?));
         }
         Ok(self.merge(q.k(), per))
     }
@@ -442,6 +463,19 @@ impl ShardedIndex {
     /// in [`Self::query`]. Results come back in input order with the
     /// engine's per-query error contract.
     pub fn batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        self.batch_with_deadline(queries, None)
+    }
+
+    /// [`Self::batch`] under an optional time budget: every shard engine
+    /// checks the deadline between the queries of the batch (and inside the
+    /// k-NN candidate loop), so queries past the budget come back as
+    /// per-query [`QueryError::DeadlineExceeded`] results while answers
+    /// already computed are kept.
+    pub fn batch_with_deadline(
+        &self,
+        queries: &[Query],
+        deadline: Option<Instant>,
+    ) -> Vec<Result<QueryResponse, QueryError>> {
         let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
             self.snaps.iter().map(SnapshotCell::load).collect();
         let any_live = snaps.iter().any(|s| !s.is_empty());
@@ -449,7 +483,13 @@ impl ShardedIndex {
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.is_empty())
-            .map(|(i, s)| (i, s.engine().batch(queries)))
+            .map(|(i, s)| {
+                let mut engine = s.engine();
+                if let Some(d) = deadline {
+                    engine = engine.with_deadline(d);
+                }
+                (i, engine.batch(queries))
+            })
             .collect();
         queries
             .iter()

@@ -81,6 +81,54 @@ mod tests {
         assert_eq!(*cell.load(), "v1");
     }
 
+    /// The one way the slot mutex can actually poison: `store` drops the
+    /// *previous* version while holding the guard, and a panicking `Drop`
+    /// unwinds through the lock. The cell must keep serving: the slot
+    /// still holds a valid `Arc` (the store's single assignment completed
+    /// or never started), so `load` and later `store`s take over the
+    /// poisoned lock instead of propagating the panic.
+    #[test]
+    fn poisoned_cell_still_loads_and_stores() {
+        struct Grenade {
+            armed: bool,
+            version: u64,
+        }
+        impl Drop for Grenade {
+            fn drop(&mut self) {
+                if self.armed && !std::thread::panicking() {
+                    panic!("drop of displaced version panics under the slot lock");
+                }
+            }
+        }
+
+        let cell = SnapshotCell::new(Grenade {
+            armed: true,
+            version: 0,
+        });
+        // No reader holds v0, so publishing v1 drops v0 inside `store`,
+        // panicking while the guard is held and poisoning the mutex.
+        let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cell.store(Arc::new(Grenade {
+                armed: false,
+                version: 1,
+            }));
+        }));
+        assert!(publish.is_err(), "the displaced version's drop must panic");
+
+        // Reads after the poisoning panic still serve the published value.
+        let held = cell.load();
+        assert_eq!(held.version, 1, "poisoned cell serves the last publish");
+
+        // The single writer also recovers: a later publish succeeds and
+        // becomes visible, with the earlier reader unaffected.
+        cell.store(Arc::new(Grenade {
+            armed: false,
+            version: 2,
+        }));
+        assert_eq!(cell.load().version, 2);
+        assert_eq!(held.version, 1, "in-flight read survives the publish");
+    }
+
     #[test]
     fn concurrent_loads_and_stores_only_see_published_versions() {
         // Versions are monotonically numbered; a reader must never see a

@@ -33,5 +33,5 @@ mod registry;
 mod slowlog;
 
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use registry::{format_labels, MetricSnapshot, Registry, Snapshot};
+pub use registry::{escape_label_value, format_labels, MetricSnapshot, Registry, Snapshot};
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};

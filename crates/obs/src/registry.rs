@@ -23,6 +23,9 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Base metric name → `# HELP` text (optional, set via
+    /// [`Registry::describe`]).
+    helps: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -80,9 +83,25 @@ impl Registry {
         }
     }
 
+    /// Attaches `# HELP` text to a metric family (identified by its
+    /// **base** name, without any label block). Rendered once per family
+    /// by [`Snapshot::to_prometheus`], immediately before the `# TYPE`
+    /// line. Re-describing a family replaces its text.
+    pub fn describe(&self, base: &str, help: &str) {
+        let mut helps = match self.helps.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        helps.insert(base.to_string(), help.to_string());
+    }
+
     /// Copies every registered metric into an immutable [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         let map = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let helps = match self.helps.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
@@ -100,6 +119,7 @@ impl Registry {
                     (name.clone(), v)
                 })
                 .collect(),
+            helps: helps.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
     }
 }
@@ -118,9 +138,38 @@ pub fn format_labels(labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out.push('}');
+    out
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and newline become `\\`, `\"`, `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the Prometheus text exposition format:
+/// backslash and newline become `\\` and `\n` (quotes stay literal).
+fn escape_help_text(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -150,9 +199,20 @@ pub enum MetricSnapshot {
 pub struct Snapshot {
     /// `(name, value)` pairs in lexicographic name order.
     pub metrics: Vec<(String, MetricSnapshot)>,
+    /// `(base_name, help_text)` pairs in lexicographic name order, from
+    /// [`Registry::describe`].
+    pub helps: Vec<(String, String)>,
 }
 
 impl Snapshot {
+    /// Looks up the `# HELP` text attached to a family base name.
+    fn help_for(&self, base: &str) -> Option<&str> {
+        self.helps
+            .binary_search_by(|(n, _)| n.as_str().cmp(base))
+            .ok()
+            .map(|i| self.helps[i].1.as_str())
+    }
+
     /// Looks up a metric by name.
     pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
         self.metrics
@@ -241,6 +301,11 @@ impl Snapshot {
                 format!(",{}", &labels[1..labels.len() - 1])
             };
             let new_family = last_base.as_deref() != Some(base);
+            if new_family {
+                if let Some(help) = self.help_for(base) {
+                    let _ = writeln!(out, "# HELP {base} {}", escape_help_text(help));
+                }
+            }
             match m {
                 MetricSnapshot::Counter(v) => {
                     if new_family {
@@ -432,6 +497,49 @@ mod tests {
         );
         assert!(text.contains("nncell_query_latency_ns_sum{shard=\"0\"} 3"), "{text}");
         assert!(text.contains("nncell_query_latency_ns_count{shard=\"0\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(
+            format_labels(&[("path", "a\\b\"c\nd")]),
+            "{path=\"a\\\\b\\\"c\\nd\"}"
+        );
+        let r = Registry::new();
+        r.counter(&format!(
+            "nncell_esc_total{}",
+            format_labels(&[("route", "/query\"x\"")])
+        ))
+        .inc();
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("nncell_esc_total{route=\"/query\\\"x\\\"\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn help_rendered_once_per_family_before_type() {
+        let r = Registry::new();
+        r.describe("nncell_h_total", "Requests handled.\nSecond line \\ done.");
+        r.counter("nncell_h_total").inc();
+        r.counter("nncell_h_total{shard=\"0\"}").add(2);
+        r.counter("nncell_h_total{shard=\"1\"}").add(3);
+        r.counter("nncell_undescribed_total").inc();
+        let text = r.snapshot().to_prometheus();
+        // Exactly one HELP and one TYPE line for the whole family, with
+        // HELP first and newline/backslash escaped.
+        assert_eq!(text.matches("# HELP nncell_h_total").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE nncell_h_total counter").count(), 1, "{text}");
+        let help_pos = text.find("# HELP nncell_h_total").unwrap();
+        let type_pos = text.find("# TYPE nncell_h_total").unwrap();
+        assert!(help_pos < type_pos, "{text}");
+        assert!(
+            text.contains("# HELP nncell_h_total Requests handled.\\nSecond line \\\\ done."),
+            "{text}"
+        );
+        // Families without a describe() get no HELP line.
+        assert!(!text.contains("# HELP nncell_undescribed_total"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,845 @@
+//! The fault-tolerant serving layer: a fixed worker pool behind a
+//! bounded admission queue, per-request deadlines, panic isolation, and
+//! a graceful drain that ends in a final WAL checkpoint.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept ──► admission queue (bounded) ──► worker ──► response
+//!    │              │ full                    │ panic        │
+//!    │              ▼                         ▼              │
+//!    │         429 Retry-After           500 (pool lives)    │
+//!    ▼
+//! shutdown flag set: stop accepting, drain queue + in-flight,
+//! final checkpoint, exit
+//! ```
+//!
+//! The deadline clock starts at **admission**, not at dequeue: time a
+//! request spends queued counts against its budget, so a backed-up
+//! server sheds stale work with `503` instead of computing answers
+//! nobody is waiting for anymore.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nncell_core::{
+    DurableError, DurableIndex, NnCellIndex, PersistError, Query, QueryEngine, QueryError,
+    QueryResponse, Registry, ShardedIndex, SlowQueryLog, SLOW_QUERY_CAPACITY,
+};
+use nncell_geom::Point;
+
+use crate::http::{self, Request};
+use crate::json::{self, Json};
+
+/// Tunables for [`Server`]. `Default` is sized for tests and small
+/// deployments; the CLI maps `--threads/--queue-depth/--deadline-ms`
+/// onto the corresponding fields.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`"127.0.0.1:0"` picks a free port; read it back
+    /// via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub threads: usize,
+    /// Admission-queue capacity. Connections beyond
+    /// `threads`-in-flight + this many queued are shed with `429`.
+    pub queue_depth: usize,
+    /// Per-request budget, measured from admission. Spent budget means
+    /// `503 deadline_exceeded` — checked before parsing, before query
+    /// execution, and between candidate batches inside the engine.
+    pub deadline: Duration,
+    /// Seconds advertised in the `Retry-After` header on `429`.
+    pub retry_after_secs: u64,
+    /// Socket read/write timeout (slow-loris guard; the effective read
+    /// timeout is the smaller of this and the remaining deadline).
+    pub io_timeout: Duration,
+    /// Latency threshold for the slow-request ring, in milliseconds.
+    pub slow_ms: u64,
+    /// Enables the `/admin/panic` and `/admin/sleep` chaos endpoints
+    /// used by robustness tests. Off by default.
+    pub chaos: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::from("127.0.0.1:0"),
+            threads: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+            retry_after_secs: 1,
+            io_timeout: Duration::from_secs(10),
+            slow_ms: 100,
+            chaos: false,
+        }
+    }
+}
+
+/// The index behind the server. Reads never block each other on any
+/// variant; writes are serialized ([`ShardedIndex`] by its single
+/// writer, [`DurableIndex`] by the wrapping mutex, and the plain
+/// variant is read-only).
+pub enum ServeIndex {
+    /// Sharded (optionally durable) index: lock-free snapshot reads,
+    /// single-writer updates — the intended serving configuration.
+    Sharded(ShardedIndex),
+    /// A single durable index. Queries and writes share one mutex, so
+    /// reads serialize; fine for light traffic, use shards otherwise.
+    Durable(Mutex<DurableIndex>),
+    /// An in-memory index served read-only (`/insert` and `/remove`
+    /// answer `403 read_only`).
+    Plain(NnCellIndex),
+}
+
+impl ServeIndex {
+    fn dim(&self) -> usize {
+        match self {
+            ServeIndex::Sharded(s) => s.dim(),
+            ServeIndex::Durable(m) => lock(m).index().dim(),
+            ServeIndex::Plain(i) => i.dim(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ServeIndex::Sharded(s) => s.len(),
+            ServeIndex::Durable(m) => lock(m).index().len(),
+            ServeIndex::Plain(i) => i.len(),
+        }
+    }
+
+    fn query(&self, q: &Query, deadline: Instant) -> Result<QueryResponse, QueryError> {
+        match self {
+            ServeIndex::Sharded(s) => s.query_with_deadline(q, Some(deadline)),
+            ServeIndex::Durable(m) => {
+                let g = lock(m);
+                QueryEngine::sequential(g.index())
+                    .with_deadline(deadline)
+                    .execute(q)
+            }
+            ServeIndex::Plain(i) => QueryEngine::sequential(i).with_deadline(deadline).execute(q),
+        }
+    }
+
+    fn batch(
+        &self,
+        queries: &[Query],
+        deadline: Instant,
+    ) -> Vec<Result<QueryResponse, QueryError>> {
+        match self {
+            ServeIndex::Sharded(s) => s.batch_with_deadline(queries, Some(deadline)),
+            ServeIndex::Durable(m) => {
+                let g = lock(m);
+                let engine = QueryEngine::sequential(g.index()).with_deadline(deadline);
+                queries.iter().map(|q| engine.execute(q)).collect()
+            }
+            ServeIndex::Plain(i) => {
+                let engine = QueryEngine::sequential(i).with_deadline(deadline);
+                queries.iter().map(|q| engine.execute(q)).collect()
+            }
+        }
+    }
+
+    fn insert(&self, p: Point) -> Result<usize, WriteError> {
+        match self {
+            ServeIndex::Sharded(s) => s.insert(p).map_err(WriteError::Durable),
+            ServeIndex::Durable(m) => lock(m).insert(p).map_err(WriteError::Durable),
+            ServeIndex::Plain(_) => Err(WriteError::ReadOnly),
+        }
+    }
+
+    fn remove(&self, id: usize) -> Result<bool, WriteError> {
+        match self {
+            ServeIndex::Sharded(s) => s.remove(id).map_err(WriteError::Persist),
+            ServeIndex::Durable(m) => lock(m).remove(id).map_err(WriteError::Persist),
+            ServeIndex::Plain(_) => Err(WriteError::ReadOnly),
+        }
+    }
+
+    /// The clean-shutdown checkpoint: rotate every WAL so a subsequent
+    /// open replays nothing. No-op for in-memory variants.
+    fn final_checkpoint(&self) -> Result<(), PersistError> {
+        match self {
+            ServeIndex::Sharded(s) => s.checkpoint(),
+            ServeIndex::Durable(m) => lock(m).checkpoint(),
+            ServeIndex::Plain(_) => Ok(()),
+        }
+    }
+}
+
+enum WriteError {
+    ReadOnly,
+    Durable(DurableError),
+    Persist(PersistError),
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Registers `# HELP` text for every HTTP metric family. Called by
+/// [`Server::bind`]; exposed so the golden `/metrics` test renders the
+/// exact same exposition without running a server.
+pub fn describe_http_metrics(registry: &Registry) {
+    registry.describe(
+        "nncell_http_requests_total",
+        "HTTP requests completed, by route and status code.",
+    );
+    registry.describe(
+        "nncell_http_shed_total",
+        "Connections shed with 429 because the admission queue was full.",
+    );
+    registry.describe(
+        "nncell_http_queue_depth",
+        "Connections currently waiting in the admission queue.",
+    );
+    registry.describe(
+        "nncell_http_inflight",
+        "Requests currently executing on worker threads.",
+    );
+    registry.describe(
+        "nncell_http_panics_total",
+        "Request handlers that panicked and were isolated (pool survived).",
+    );
+    registry.describe(
+        "nncell_http_deadline_exceeded_total",
+        "Requests that ran out of budget and answered 503 deadline_exceeded.",
+    );
+    registry.describe(
+        "nncell_http_request_latency_ns",
+        "End-to-end request latency (admission to response written).",
+    );
+    registry.describe(
+        "nncell_http_retry_after_seconds",
+        "Configured Retry-After value advertised on 429 responses.",
+    );
+}
+
+/// Pre-created metric handles (hot-path metrics avoid the registry
+/// lock; the per-route/per-code counters go through it, which is fine
+/// at HTTP rates).
+struct HttpMetrics {
+    registry: Arc<Registry>,
+    shed: Arc<nncell_obs::Counter>,
+    queue_depth: Arc<nncell_obs::Gauge>,
+    inflight: Arc<nncell_obs::Gauge>,
+    panics: Arc<nncell_obs::Counter>,
+    deadline: Arc<nncell_obs::Counter>,
+    latency: Arc<nncell_obs::Histogram>,
+}
+
+impl HttpMetrics {
+    fn new(registry: Arc<Registry>, retry_after_secs: u64) -> Self {
+        describe_http_metrics(&registry);
+        registry
+            .gauge("nncell_http_retry_after_seconds")
+            .set(i64::try_from(retry_after_secs).unwrap_or(i64::MAX));
+        Self {
+            shed: registry.counter("nncell_http_shed_total"),
+            queue_depth: registry.gauge("nncell_http_queue_depth"),
+            inflight: registry.gauge("nncell_http_inflight"),
+            panics: registry.counter("nncell_http_panics_total"),
+            deadline: registry.counter("nncell_http_deadline_exceeded_total"),
+            latency: registry.histogram("nncell_http_request_latency_ns"),
+            registry,
+        }
+    }
+
+    fn count_request(&self, route: &str, status: u16) {
+        let labels = nncell_obs::format_labels(&[
+            ("route", route),
+            ("code", &status.to_string()),
+        ]);
+        self.registry
+            .counter(&format!("nncell_http_requests_total{labels}"))
+            .inc();
+    }
+}
+
+/// One admitted connection waiting for a worker.
+struct Admitted {
+    stream: TcpStream,
+    /// When the connection was admitted — the deadline epoch.
+    at: Instant,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    index: ServeIndex,
+    metrics: HttpMetrics,
+    slowlog: SlowQueryLog,
+    queue: Mutex<VecDeque<Admitted>>,
+    queue_cv: Condvar,
+    /// Set once: stop accepting, drain, exit.
+    draining: AtomicBool,
+    /// `/readyz` gate — true once workers are up.
+    ready: AtomicBool,
+    /// Where the listener actually lives (for the shutdown self-wake).
+    local_addr: SocketAddr,
+    /// Requests fully processed (responses written), for drain asserts.
+    served: AtomicU64,
+}
+
+/// A cloneable handle for poking a running [`Server`]: graceful
+/// shutdown, queue stats, slow-request drain.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins graceful shutdown: stop accepting, drain the queue and
+    /// in-flight requests, checkpoint, return from [`Server::run`].
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue_cv.notify_all();
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.local_addr);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Total connections shed with `429` so far.
+    pub fn sheds(&self) -> u64 {
+        self.shared.metrics.shed.get()
+    }
+
+    /// Total requests fully served (response written).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::SeqCst)
+    }
+
+    /// Drains the slow-request ring (entries over `slow_ms`).
+    pub fn slow_requests(&self) -> Vec<nncell_obs::SlowQueryEntry> {
+        self.shared.slowlog.drain()
+    }
+}
+
+/// The server: bind, then [`run`](Server::run) until a shutdown signal
+/// or [`ServerHandle::shutdown`] drains it.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. The index starts
+    /// serving only once [`Server::run`] is called.
+    pub fn bind(
+        cfg: ServerConfig,
+        index: ServeIndex,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = HttpMetrics::new(registry, cfg.retry_after_secs);
+        let slowlog = SlowQueryLog::new(SLOW_QUERY_CAPACITY, index.dim());
+        slowlog.set_threshold_ns(cfg.slow_ms.saturating_mul(1_000_000));
+        let shared = Arc::new(Shared {
+            cfg,
+            index,
+            metrics,
+            slowlog,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            local_addr,
+            served: AtomicU64::new(0),
+        });
+        Ok(Self { shared, listener })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A handle usable from other threads while `run` blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until graceful shutdown completes: accept → admit →
+    /// workers; on shutdown, drains every admitted request, joins the
+    /// pool, and writes the final checkpoint. Returns the checkpoint
+    /// result — queries have no durability debt, so this is the only
+    /// fallible step of a clean exit.
+    pub fn run(self) -> Result<(), PersistError> {
+        let shared = self.shared;
+        let mut workers = Vec::with_capacity(shared.cfg.threads.max(1));
+        for i in 0..shared.cfg.threads.max(1) {
+            let s = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("nncell-http-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .map_err(PersistError::Io)?,
+            );
+        }
+        // Watch for the process-level signal flag (SIGTERM/SIGINT set it
+        // from the async-signal-safe handler; this thread turns it into
+        // a graceful drain).
+        {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(String::from("nncell-http-signals"))
+                .spawn(move || loop {
+                    if s.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if SIGNAL_FLAG.load(Ordering::SeqCst) {
+                        ServerHandle { shared: s }.shutdown();
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                })
+                .map_err(PersistError::Io)?;
+        }
+        shared.ready.store(true, Ordering::SeqCst);
+
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(x) => x,
+                Err(_) if shared.draining.load(Ordering::SeqCst) => break,
+                Err(_) => continue,
+            };
+            if shared.draining.load(Ordering::SeqCst) {
+                // Includes the self-wake connection from shutdown();
+                // real stragglers get a best-effort 503.
+                shed_connection(&shared, stream, 503, "shutting_down");
+                break;
+            }
+            admit(&shared, stream);
+        }
+
+        // Drain: workers finish the queue (the condvar loop exits once
+        // the queue is empty and draining is set), then exit.
+        shared.ready.store(false, Ordering::SeqCst);
+        shared.queue_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        shared.index.final_checkpoint()
+    }
+}
+
+/// Admission control: under the cap the connection is queued; over it,
+/// the accept thread itself writes `429 Retry-After` (with a short
+/// write timeout so a dead client cannot stall accepts) and closes.
+fn admit(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut q = lock(&shared.queue);
+    if q.len() >= shared.cfg.queue_depth {
+        drop(q);
+        shared.metrics.shed.inc();
+        shared.metrics.count_request("(shed)", 429);
+        shed_connection(shared, stream, 429, "overloaded");
+        return;
+    }
+    q.push_back(Admitted {
+        stream,
+        at: Instant::now(),
+    });
+    let depth = q.len();
+    drop(q);
+    set_gauge(&shared.metrics.queue_depth, depth);
+    shared.queue_cv.notify_one();
+}
+
+fn shed_connection(shared: &Arc<Shared>, mut stream: TcpStream, status: u16, code: &str) {
+    // Drain what the client already sent (one segment covers any normal
+    // request) before writing and closing: closing a socket with unread
+    // data makes the kernel send RST, which can discard the 429/503
+    // response before the client reads it. The 50ms cap bounds how long
+    // a slow client can hold the accept thread here.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut drain = [0u8; 4096];
+    let _ = std::io::Read::read(&mut stream, &mut drain);
+    let mut headers = Vec::new();
+    if status == 429 {
+        headers.push(format!("Retry-After: {}", shared.cfg.retry_after_secs));
+    }
+    let body = format!("{{\"error\":\"{code}\"}}");
+    let _ = http::write_response(
+        &mut stream,
+        Duration::from_millis(250),
+        status,
+        "application/json",
+        &headers,
+        body.as_bytes(),
+    );
+}
+
+fn set_gauge(g: &nncell_obs::Gauge, v: usize) {
+    g.set(i64::try_from(v).unwrap_or(i64::MAX));
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let admitted = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(a) = q.pop_front() {
+                    set_gauge(&shared.metrics.queue_depth, q.len());
+                    break a;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = match shared.queue_cv.wait(q) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        };
+        shared.metrics.inflight.add(1);
+        serve_connection(shared, admitted);
+        shared.metrics.inflight.add(-1);
+        shared.served.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A fully-formed response ready to write.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<String>,
+    body: Vec<u8>,
+    /// Route label for metrics (static so panics can't corrupt it).
+    route: &'static str,
+    /// Query point for the slow-request ring, when the request had one.
+    slow_point: Vec<f64>,
+    slow_k: usize,
+}
+
+fn json_reply(status: u16, route: &'static str, body: String) -> Reply {
+    Reply {
+        status,
+        content_type: "application/json",
+        headers: Vec::new(),
+        body: body.into_bytes(),
+        route,
+        slow_point: Vec::new(),
+        slow_k: 0,
+    }
+}
+
+fn error_reply(status: u16, route: &'static str, code: &str) -> Reply {
+    json_reply(status, route, format!("{{\"error\":\"{}\"}}", json::escape(code)))
+}
+
+/// Reads, dispatches, and answers one connection. The handler runs
+/// under `catch_unwind`: a panicking request answers `500 panic` and
+/// the worker thread survives to take the next connection.
+fn serve_connection(shared: &Arc<Shared>, admitted: Admitted) {
+    let Admitted { mut stream, at } = admitted;
+    let deadline = at + shared.cfg.deadline;
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        handle_request(shared, &mut stream, deadline)
+    }));
+    let reply = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            shared.metrics.panics.inc();
+            error_reply(500, "(panic)", "panic")
+        }
+    };
+
+    if reply.status == 503 {
+        shared.metrics.deadline.inc();
+    }
+    let _ = http::write_response(
+        &mut stream,
+        shared.cfg.io_timeout,
+        reply.status,
+        reply.content_type,
+        &reply.headers,
+        &reply.body,
+    );
+    let latency_ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.metrics.latency.record(latency_ns);
+    shared.metrics.count_request(reply.route, reply.status);
+    shared
+        .slowlog
+        .record(latency_ns, &reply.slow_point, reply.slow_k, 0, 0, false);
+}
+
+fn handle_request(shared: &Arc<Shared>, stream: &mut TcpStream, deadline: Instant) -> Reply {
+    // Always read the request, even with the budget already spent: an
+    // unread request in the socket buffer turns close() into RST and the
+    // client never sees the 503. The floor keeps an already-arrived
+    // request readable; a genuinely slow sender still times out.
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    let read_to = shared
+        .cfg
+        .io_timeout
+        .min(remaining.max(Duration::from_millis(25)));
+    let req = match http::read_request(stream, read_to) {
+        Ok(r) => r,
+        Err(http::RecvError::TooLarge(_)) => return error_reply(413, "(read)", "too_large"),
+        Err(http::RecvError::BadRequest(_)) => return error_reply(400, "(read)", "bad_request"),
+        Err(http::RecvError::Io(_)) => {
+            // Read timeout or peer reset; if the budget is gone this is
+            // the deadline firing at the transport layer.
+            return if Instant::now() >= deadline {
+                error_reply(503, "(read)", "deadline_exceeded")
+            } else {
+                error_reply(400, "(read)", "read_failed")
+            };
+        }
+    };
+    // Admission-to-now over budget: shed stale work before computing.
+    if Instant::now() >= deadline {
+        return error_reply(503, "(expired)", "deadline_exceeded");
+    }
+    route(shared, &req, deadline)
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => json_reply(200, "/healthz", String::from("{\"ok\":true}")),
+        ("GET", "/readyz") => {
+            if shared.ready.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
+                json_reply(200, "/readyz", String::from("{\"ready\":true}"))
+            } else {
+                error_reply(503, "/readyz", "not_ready")
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics.registry.snapshot().to_prometheus();
+            Reply {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                headers: Vec::new(),
+                body: text.into_bytes(),
+                route: "/metrics",
+                slow_point: Vec::new(),
+                slow_k: 0,
+            }
+        }
+        ("POST", "/query") => handle_query(shared, &req.body, deadline),
+        ("POST", "/batch") => handle_batch(shared, &req.body, deadline),
+        ("POST", "/insert") => handle_insert(shared, &req.body),
+        ("POST", "/remove") => handle_remove(shared, &req.body),
+        ("POST", "/admin/shutdown") => {
+            // Trigger the drain from a worker thread: the response for
+            // *this* request is still written (we are in-flight, and
+            // in-flight requests drain).
+            ServerHandle {
+                shared: Arc::clone(shared),
+            }
+            .shutdown();
+            json_reply(200, "/admin/shutdown", String::from("{\"draining\":true}"))
+        }
+        ("POST", "/admin/panic") if shared.cfg.chaos => {
+            panic!("chaos endpoint: deliberate handler panic");
+        }
+        ("POST", "/admin/sleep") if shared.cfg.chaos => {
+            let ms = json::parse(&String::from_utf8_lossy(&req.body))
+                .ok()
+                .and_then(|v| v.get("ms").and_then(Json::as_usize))
+                .unwrap_or(0)
+                .min(5_000);
+            std::thread::sleep(Duration::from_millis(ms as u64));
+            json_reply(200, "/admin/sleep", format!("{{\"slept_ms\":{ms}}}"))
+        }
+        ("GET" | "POST", _) => error_reply(404, "(unknown)", "not_found"),
+        _ => error_reply(405, "(unknown)", "method_not_allowed"),
+    }
+}
+
+/// Parses `{"point": [...], "k": n}` (k defaults to 1).
+fn parse_query(v: &Json) -> Result<Query, &'static str> {
+    let point = v
+        .get("point")
+        .and_then(Json::as_f64_vec)
+        .ok_or("point must be an array of numbers")?;
+    let k = match v.get("k") {
+        None => 1,
+        Some(k) => k.as_usize().ok_or("k must be a non-negative integer")?,
+    };
+    Ok(Query::knn(point, k))
+}
+
+fn body_json(body: &[u8]) -> Result<Json, Reply> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| error_reply(400, "(body)", "body_not_utf8"))?;
+    json::parse(text).map_err(|_| error_reply(400, "(body)", "body_not_json"))
+}
+
+fn render_response(resp: &QueryResponse) -> String {
+    let mut out = String::from("{\"results\":[");
+    for (i, r) in resp.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"dist\":{}}}",
+            r.id,
+            json::num(r.dist)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"stats\":{{\"candidates\":{},\"pages\":{},\"fallback\":{}}}}}",
+        resp.stats.candidates, resp.stats.pages, resp.stats.fallback
+    ));
+    out
+}
+
+fn query_error_reply(route: &'static str, e: QueryError) -> Reply {
+    match e {
+        QueryError::DeadlineExceeded => error_reply(503, route, "deadline_exceeded"),
+        QueryError::EmptyIndex => error_reply(404, route, "empty_index"),
+        other => error_reply(400, route, &other.to_string()),
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
+    let v = match body_json(body) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let q = match parse_query(&v) {
+        Ok(q) => q,
+        Err(w) => return error_reply(400, "/query", w),
+    };
+    let mut reply = match shared.index.query(&q, deadline) {
+        Ok(resp) => json_reply(200, "/query", render_response(&resp)),
+        Err(e) => query_error_reply("/query", e),
+    };
+    reply.slow_point = q.point().to_vec();
+    reply.slow_k = q.k();
+    reply
+}
+
+fn handle_batch(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
+    let v = match body_json(body) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(items) = v.get("queries").and_then(Json::as_arr) else {
+        return error_reply(400, "/batch", "queries must be an array");
+    };
+    let mut queries = Vec::with_capacity(items.len());
+    for item in items {
+        match parse_query(item) {
+            Ok(q) => queries.push(q),
+            Err(w) => return error_reply(400, "/batch", w),
+        }
+    }
+    let results = shared.index.batch(&queries, deadline);
+    let mut out = String::from("{\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match r {
+            Ok(resp) => out.push_str(&render_response(resp)),
+            Err(e) => {
+                out.push_str(&format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string())));
+            }
+        }
+    }
+    out.push_str("]}");
+    json_reply(200, "/batch", out)
+}
+
+fn handle_insert(shared: &Arc<Shared>, body: &[u8]) -> Reply {
+    let v = match body_json(body) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(coords) = v.get("point").and_then(Json::as_f64_vec) else {
+        return error_reply(400, "/insert", "point must be an array of numbers");
+    };
+    match shared.index.insert(Point::new(coords)) {
+        Ok(id) => json_reply(200, "/insert", format!("{{\"id\":{id}}}")),
+        Err(WriteError::ReadOnly) => error_reply(403, "/insert", "read_only"),
+        Err(WriteError::Durable(DurableError::Invalid(e))) => {
+            error_reply(400, "/insert", &e.to_string())
+        }
+        Err(WriteError::Durable(DurableError::Persist(e)) | WriteError::Persist(e)) => {
+            error_reply(500, "/insert", &e.to_string())
+        }
+    }
+}
+
+fn handle_remove(shared: &Arc<Shared>, body: &[u8]) -> Reply {
+    let v = match body_json(body) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(id) = v.get("id").and_then(Json::as_usize) else {
+        return error_reply(400, "/remove", "id must be a non-negative integer");
+    };
+    match shared.index.remove(id) {
+        Ok(removed) => json_reply(200, "/remove", format!("{{\"removed\":{removed}}}")),
+        Err(WriteError::ReadOnly) => error_reply(403, "/remove", "read_only"),
+        Err(WriteError::Durable(DurableError::Invalid(e))) => {
+            error_reply(400, "/remove", &e.to_string())
+        }
+        Err(WriteError::Durable(DurableError::Persist(e)) | WriteError::Persist(e)) => {
+            error_reply(500, "/remove", &e.to_string())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal handling (std-only: glibc's `signal` is already linked in).
+
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store. The watcher
+    // thread inside `Server::run` converts it into a graceful drain.
+    SIGNAL_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain of
+/// every running [`Server`] in this process. Call once before
+/// [`Server::run`]. Safe to call multiple times.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `signal` with a handler that only performs an atomic
+    // store is async-signal-safe; both signal numbers are valid.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Whether a shutdown signal has been observed (for embedders that run
+/// their own loop around [`Server::run`]).
+pub fn signal_received() -> bool {
+    SIGNAL_FLAG.load(Ordering::SeqCst)
+}
+
+/// The number of live points currently served (for the CLI banner).
+pub fn index_len(index: &ServeIndex) -> usize {
+    index.len()
+}

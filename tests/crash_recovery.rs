@@ -23,7 +23,9 @@
 
 use nncell::core::durable::DurableError;
 use nncell::core::vfs::{FaultSchedule, FaultVfs, Vfs};
-use nncell::core::{linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, Strategy};
+use nncell::core::{
+    linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, ShardedIndex, Strategy,
+};
 use nncell::geom::{Euclidean, Point};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -223,6 +225,160 @@ fn every_crash_point_recovers_a_prefix_consistent_index() {
             hi.len()
         );
         assert_queries_exact(&recovered, &format!("crash point {k}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The same sweep over the sharded durable layout: crash points now land
+// inside per-shard WAL appends, per-shard checkpoints, and the top-level
+// "sharded S" manifest write.
+
+const SHARDS: usize = 2;
+
+/// Runs the workload against a sharded durable directory; returns acked
+/// op count (same contract as [`run_workload`]).
+fn run_sharded_workload(vfs: Arc<dyn Vfs>, dir: &Path, ops: &[Op]) -> usize {
+    let s = match ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), dir, DIM, SHARDS, cfg()) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let mut acked = 0usize;
+    for op in ops {
+        let ok = match op {
+            Op::Insert(p) => match s.insert(p.clone()) {
+                Ok(_) => true,
+                Err(DurableError::Invalid(e)) => {
+                    panic!("workload points are valid by construction: {e}")
+                }
+                Err(DurableError::Persist(_)) => false,
+            },
+            Op::Remove(id) => s.remove(*id).is_ok(),
+            Op::Checkpoint => s.checkpoint().is_ok(),
+        };
+        if !ok {
+            return acked;
+        }
+        acked += 1;
+    }
+    let _ = s.close();
+    acked
+}
+
+/// Global live slots of a sharded index. Inserts are strictly
+/// round-robin (global id `g` lives in shard `g % S` at local slot
+/// `g / S`), so the global view reassembles from the per-shard arrays.
+fn sharded_live_slots(idx: &ShardedIndex) -> Vec<Option<Point>> {
+    let shards = idx.num_shards();
+    let handles: Vec<_> = (0..shards).map(|i| idx.shard(i)).collect();
+    let total: usize = handles.iter().map(|h| h.points().len()).sum();
+    (0..total)
+        .map(|g| {
+            let h = &handles[g % shards];
+            let local = g / shards;
+            h.is_live(local).then(|| h.points()[local].clone())
+        })
+        .collect()
+}
+
+fn assert_sharded_queries_exact(idx: &ShardedIndex, tag: &str) {
+    let live: Vec<Point> = sharded_live_slots(idx).into_iter().flatten().collect();
+    for k in 0..12 {
+        let q: Vec<f64> = (0..DIM)
+            .map(|j| ((k * 17 + j * 29) % 100) as f64 / 100.0)
+            .collect();
+        let got = idx.query(&Query::nn(q.clone())).ok().map(|r| r.best);
+        match (got, linear_scan_nn(&live, &q)) {
+            (Some(got), Some(want)) => assert!(
+                (got.dist - want.dist).abs() < 1e-9,
+                "{tag}: query {q:?} returned dist {} but scan found {}",
+                got.dist,
+                want.dist
+            ),
+            (None, None) => {}
+            (got, want) => panic!("{tag}: query {q:?} disagreement: {got:?} vs {want:?}"),
+        }
+    }
+}
+
+/// Kill-at-every-syscall over the sharded layout (PR 5): per-shard WALs
+/// journal independently but acks still serialize through the single
+/// writer, so recovery must land on the state after the acked prefix
+/// (possibly plus one in-flight op) — crashing between one shard's WAL
+/// fsync and the manifest write must neither resurrect a shard's old
+/// generation into the global answer nor lose an acked op in another
+/// shard. Recovery opens through the same manifest-first path operators
+/// use, so a torn manifest write would fail loudly here.
+#[test]
+fn every_crash_point_recovers_a_prefix_consistent_sharded_index() {
+    let seed = fault_seed().wrapping_mul(5);
+    let dir = Path::new("/sharded-db");
+    let ops = workload(seed, 18);
+    let states = model_states(&ops);
+
+    // Fault-free baseline: count syscalls, check the final state.
+    let clean = FaultVfs::new(FaultSchedule::none(seed));
+    let acked = run_sharded_workload(Arc::new(clean.clone()), dir, &ops);
+    assert_eq!(acked, ops.len(), "fault-free run must acknowledge every op");
+    let total_ops = clean.ops();
+    assert!(!clean.crashed());
+    assert!(
+        total_ops >= 60,
+        "sharded workload shrank to {total_ops} syscalls — the sweep no longer proves much"
+    );
+    let reopened = ShardedIndex::open_durable_with_vfs(
+        Arc::new(clean.survivor(FaultSchedule::none(seed))),
+        dir,
+        DIM,
+        SHARDS,
+        cfg(),
+    )
+    .expect("clean reopen");
+    assert!(
+        states_equal(&sharded_live_slots(&reopened), &states[ops.len()]),
+        "fault-free run must end in the full-workload state"
+    );
+
+    // Crash at every syscall.
+    for k in 0..total_ops {
+        let fault = FaultVfs::new(FaultSchedule::crash_at(seed, k));
+        let acked = run_sharded_workload(Arc::new(fault.clone()), dir, &ops);
+        assert!(
+            fault.crashed(),
+            "crash point {k} < {total_ops} must have fired"
+        );
+
+        let survivor = fault.survivor(FaultSchedule::none(seed.wrapping_add(k)));
+        let recovered = ShardedIndex::open_durable_with_vfs(
+            Arc::new(survivor),
+            dir,
+            DIM,
+            SHARDS,
+            cfg(),
+        )
+        .unwrap_or_else(|e| panic!("crash point {k}: sharded recovery failed: {e}"));
+
+        // The manifest can never claim a shard layout that does not
+        // exist on disk (manifest-last ordering): recovery reopened all
+        // S shards or it would have errored above.
+        assert_eq!(recovered.num_shards(), SHARDS, "crash point {k}");
+        assert_eq!(recovered.recovery().len(), SHARDS, "crash point {k}");
+
+        // Prefix consistency across the *global* id space: no shard
+        // resurrection (a removed point reappearing from a stale shard
+        // generation) and no lost acked op in any shard.
+        let got = sharded_live_slots(&recovered);
+        let lo = &states[acked];
+        let hi = &states[(acked + 1).min(ops.len())];
+        assert!(
+            states_equal(&got, lo) || states_equal(&got, hi),
+            "crash point {k}: recovered sharded state matches neither the state \
+             after the {acked} acknowledged ops nor one in-flight op beyond it\n\
+             recovered: {} slots, expected {} or {} slots",
+            got.len(),
+            lo.len(),
+            hi.len()
+        );
+        assert_sharded_queries_exact(&recovered, &format!("sharded crash point {k}"));
     }
 }
 
