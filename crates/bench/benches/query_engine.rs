@@ -12,10 +12,27 @@
 //! measure observability overhead (`seq_qps_metrics` / `metrics_overhead`
 //! in the JSON). That pass must also be bit-identical — instrumentation
 //! may cost nanoseconds, never answers.
+//!
+//! Every timed pass runs twice and reports the *minimum* elapsed time:
+//! at CI smoke scale a single pass lasts well under a second, so one
+//! scheduler preemption or page-cache miss lands entirely in the
+//! numerator and once inflated the measured metrics overhead to double
+//! digits (the in-process microbenches in `crates/obs` put the true
+//! per-record cost at tens of nanoseconds). The min of two runs discards
+//! such one-off stalls while leaving real regressions visible.
 
 use nncell_bench::{env_usize, timed};
 use nncell_core::{BuildConfig, NnCellIndex, Query, Registry, Strategy};
 use nncell_data::{Generator, UniformGenerator};
+
+/// Runs `f` twice and keeps the faster elapsed time (the result is
+/// asserted identical across passes by the callers' determinism checks,
+/// so returning the second value loses nothing).
+fn best_of_two<T, F: FnMut() -> T>(mut f: F) -> (T, f64) {
+    let (_, first_s) = timed(&mut f);
+    let (v, second_s) = timed(&mut f);
+    (v, first_s.min(second_s))
+}
 
 fn main() {
     let n = env_usize("NNCELL_N", 100_000);
@@ -57,8 +74,8 @@ fn main() {
     engine_seq.batch(&queries[..n_q.min(512)]);
     engine_par.batch(&queries[..n_q.min(512)]);
 
-    let (seq, seq_s) = timed(|| engine_seq.batch(&queries));
-    let (par, par_s) = timed(|| engine_par.batch(&queries));
+    let (seq, seq_s) = best_of_two(|| engine_seq.batch(&queries));
+    let (par, par_s) = best_of_two(|| engine_par.batch(&queries));
     assert_eq!(seq, par, "parallel batch diverged from sequential");
     drop(engine_seq);
     drop(engine_par);
@@ -70,7 +87,7 @@ fn main() {
     index.attach_metrics(registry.clone());
     let engine_obs = index.engine().with_threads(1);
     engine_obs.batch(&queries[..n_q.min(512)]);
-    let (obs, obs_s) = timed(|| engine_obs.batch(&queries));
+    let (obs, obs_s) = best_of_two(|| engine_obs.batch(&queries));
     assert_eq!(seq, obs, "metrics-attached batch diverged from sequential");
     let recorded = registry.snapshot().counter("nncell_queries_total");
     assert!(
@@ -93,7 +110,8 @@ fn main() {
     let par_qps = n_q as f64 / par_s;
     let obs_qps = n_q as f64 / obs_s;
     // Overhead of the instrumented pass relative to the plain sequential
-    // pass; reported (not asserted) because single-run timings are noisy.
+    // pass, both best-of-two; reported (not asserted) because even the
+    // min of two short runs carries some machine noise.
     let metrics_overhead = obs_s / seq_s.max(f64::MIN_POSITIVE) - 1.0;
     let mean_cands = cands as f64 / answered.max(1) as f64;
     println!(

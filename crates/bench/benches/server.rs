@@ -9,11 +9,15 @@
 //!    reports end-to-end QPS and p99 latency, connection setup and
 //!    JSON round trip included.
 //! 2. **Overload**: offered concurrency is doubled past total capacity
-//!    (workers + admission queue) for a fixed window — reports the shed
-//!    rate. Every non-200 must be a `429` carrying `Retry-After`; any
-//!    other status (or a transport error) fails the bench, so this
-//!    doubles as an end-to-end check that overload degrades *gracefully*
-//!    rather than by dropped connections.
+//!    (workers + admission queue) for a fixed window, with clients that
+//!    honor `Retry-After` under full-jitter backoff — the way a real
+//!    well-behaved client responds to a shed. Accounting is per *offered
+//!    request* (one logical request, however many retries it takes), so
+//!    a retry storm can no longer inflate the denominator and launder
+//!    the shed rate. Every non-200 must be a `429` carrying
+//!    `Retry-After`; any other status (or a transport error) fails the
+//!    bench, so this doubles as an end-to-end check that overload
+//!    degrades *gracefully* rather than by dropped connections.
 //!
 //! Defaults are sized for real hardware; CI runs a smoke scale via the
 //! usual env overrides (`NNCELL_N`, `NNCELL_DIM`, `NNCELL_QUERIES`,
@@ -135,46 +139,75 @@ fn main() {
 
     // ----- pass 2: overload at 2x capacity ---------------------------
     // Total capacity is workers + queue slots; offer twice that in
-    // concurrent no-retry clients for a fixed window. Everything the
-    // server refuses must be a clean 429 + Retry-After.
+    // concurrent clients for a fixed window. A shed is honored the way a
+    // well-behaved client honors it: sleep a full-jitter fraction of the
+    // advertised Retry-After, then retry the *same* logical request.
+    // Everything the server refuses must be a clean 429 + Retry-After.
     let queue_depth = threads.max(1);
     let capacity = threads + queue_depth;
-    let offered = 2 * capacity;
+    let offered_clients = 2 * capacity;
     let window = Duration::from_millis(
         env_usize("NNCELL_SERVER_OVERLOAD_MS", 2_000) as u64,
     );
     let points = UniformGenerator::new(d).generate(n, 7);
     let index = ShardedIndex::build(points, 2, cfg).expect("rebuild index");
     let (addr, handle, join) = start(index, threads, queue_depth);
-    let ok = AtomicU64::new(0);
-    let shed = AtomicU64::new(0);
+    let offered = AtomicU64::new(0); // logical requests started
+    let served = AtomicU64::new(0); // logical requests answered 200
+    let retries = AtomicU64::new(0); // 429s absorbed by backoff
+    let abandoned = AtomicU64::new(0); // still retrying when the window closed
     let stop = AtomicBool::new(false);
-    let gate = Barrier::new(offered);
+    let gate = Barrier::new(offered_clients);
     std::thread::scope(|s| {
-        for t in 0..offered {
+        for t in 0..offered_clients {
             let addr = addr.clone();
             let bodies = Arc::clone(&bodies);
-            let (ok, shed, stop, gate) = (&ok, &shed, &stop, &gate);
+            let (offered, served, retries, abandoned) = (&offered, &served, &retries, &abandoned);
+            let (stop, gate) = (&stop, &gate);
             s.spawn(move || {
+                use rand::{rngs::SmallRng, Rng, SeedableRng};
+                let mut rng = SmallRng::seed_from_u64(0x0ff3_4ed0 ^ t as u64);
                 let mut c = Client::new(addr);
                 c.max_attempts = 1;
                 gate.wait();
                 let mut i = t;
-                while !stop.load(Ordering::Relaxed) {
-                    let r = c
-                        .post("/query", &bodies[i % bodies.len()])
-                        .expect("overload pass: connection must not be dropped");
-                    match r.status {
-                        200 => ok.fetch_add(1, Ordering::Relaxed),
-                        429 => {
-                            assert!(
-                                r.header("retry-after").is_some(),
-                                "shed without Retry-After"
-                            );
-                            shed.fetch_add(1, Ordering::Relaxed)
+                'logical: while !stop.load(Ordering::Relaxed) {
+                    offered.fetch_add(1, Ordering::Relaxed);
+                    loop {
+                        let r = c
+                            .post("/query", &bodies[i % bodies.len()])
+                            .expect("overload pass: connection must not be dropped");
+                        match r.status {
+                            200 => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            429 => {
+                                let hint_s: u64 = r
+                                    .header("retry-after")
+                                    .expect("shed without Retry-After")
+                                    .trim()
+                                    .parse()
+                                    .expect("non-numeric Retry-After");
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                // Full jitter over the advertised hint,
+                                // sliced so the window close interrupts
+                                // the backoff promptly.
+                                let mut left =
+                                    rng.gen_range(0..=hint_s.max(1).saturating_mul(1_000));
+                                while left > 0 {
+                                    if stop.load(Ordering::Relaxed) {
+                                        abandoned.fetch_add(1, Ordering::Relaxed);
+                                        break 'logical;
+                                    }
+                                    let slice = left.min(10);
+                                    std::thread::sleep(Duration::from_millis(slice));
+                                    left -= slice;
+                                }
+                            }
+                            other => panic!("overload pass: unexpected status {other}"),
                         }
-                        other => panic!("overload pass: unexpected status {other}"),
-                    };
+                    }
                     i += 1;
                 }
             });
@@ -182,18 +215,25 @@ fn main() {
         std::thread::sleep(window);
         stop.store(true, Ordering::Relaxed);
     });
-    let (ok, shed) = (ok.into_inner(), shed.into_inner());
-    let total = ok + shed;
-    let shed_rate = if total == 0 {
+    let (offered, served) = (offered.into_inner(), served.into_inner());
+    let (retries, abandoned) = (retries.into_inner(), abandoned.into_inner());
+    // Sheds per offered request: how many 429s the average logical
+    // request absorbed before being served (or abandoned at the close).
+    let sheds_per_offered = if offered == 0 {
         0.0
     } else {
-        shed as f64 / total as f64
+        retries as f64 / offered as f64
     };
     println!(
-        "overload: {offered} clients vs capacity {capacity}: {ok} served, {shed} shed \
-         ({:.1}% shed rate), server sheds {} total",
-        shed_rate * 100.0,
+        "overload: {offered_clients} clients vs capacity {capacity}: {offered} offered, \
+         {served} served, {retries} shed-then-retried ({sheds_per_offered:.2} sheds/offered), \
+         {abandoned} abandoned at window close, server sheds {} total",
         handle.sheds()
+    );
+    assert_eq!(
+        served + abandoned,
+        offered,
+        "every offered request must end served or abandoned"
     );
     handle.shutdown();
     join.join().expect("server thread");
@@ -201,8 +241,9 @@ fn main() {
     let json = format!(
         "{{\n  \"n\": {n},\n  \"dim\": {d},\n  \"queries\": {},\n  \"server_threads\": {threads},\n  \
          \"qps\": {qps:.2},\n  \"p50_ms\": {p50_ms:.3},\n  \"p99_ms\": {p99_ms:.3},\n  \
-         \"overload\": {{\n    \"offered_concurrency\": {offered},\n    \"capacity\": {capacity},\n    \
-         \"served\": {ok},\n    \"shed\": {shed},\n    \"shed_rate\": {shed_rate:.4}\n  }}\n}}\n",
+         \"overload\": {{\n    \"offered_concurrency\": {offered_clients},\n    \"capacity\": {capacity},\n    \
+         \"offered_requests\": {offered},\n    \"served\": {served},\n    \"retries\": {retries},\n    \
+         \"abandoned\": {abandoned},\n    \"sheds_per_offered\": {sheds_per_offered:.4}\n  }}\n}}\n",
         latencies.len()
     );
     std::fs::write(&out, json).expect("write bench json");

@@ -9,6 +9,7 @@
 //! nncell insert   --wal idx.db --point 0.1,0.2,...
 //! nncell remove   --wal idx.db --id 17
 //! nncell recover  --wal idx.db [--checkpoint]
+//! nncell flush    --wal idx.db
 //! nncell info     --index idx.nncell
 //! nncell verify   --index idx.nncell [--repair]
 //! nncell bench    --index idx.nncell --queries 200 --seed 7
@@ -28,7 +29,8 @@ mod csv;
 use args::Parsed;
 use nncell_core::wal::WalTail;
 use nncell_core::{
-    BuildConfig, DurableIndex, InputPolicy, NnCellIndex, Query, Registry, ShardedIndex, Strategy,
+    BuildConfig, DurableIndex, FoldConfig, InputPolicy, NnCellIndex, Query, Registry, ShardedIndex,
+    Strategy,
 };
 use nncell_geom::Point;
 use nncell_data::{
@@ -62,6 +64,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "insert" => cmd_insert(&p),
         "remove" => cmd_remove(&p),
         "recover" => cmd_recover(&p),
+        "flush" => cmd_flush(&p),
         "info" => cmd_info(&p),
         "verify" => cmd_verify(&p),
         "bench" => cmd_bench(&p),
@@ -401,6 +404,34 @@ fn cmd_recover(p: &Parsed) -> Result<(), String> {
     maybe_checkpoint(p, index)
 }
 
+/// `flush --wal DIR`: land every journaled record in the snapshot and
+/// reset the journals. Opening the directory already replays the WAL
+/// into the in-memory masters (the offline equivalent of folding the
+/// memtable tail); `flush` makes that state the new on-disk baseline so
+/// the next open carries zero replay debt.
+fn cmd_flush(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["wal"]).map_err(|e| e.to_string())?;
+    let dir = p.require("wal").map_err(|e| e.to_string())?;
+    if let Some(sharded) = open_sharded_at(dir, true)? {
+        let replayed: usize = sharded.recovery().iter().map(|r| r.replayed).sum();
+        sharded.checkpoint().map_err(|e| e.to_string())?;
+        println!(
+            "flushed {replayed} journaled record(s) into the snapshot across {} shard(s); \
+             journals reset",
+            sharded.num_shards()
+        );
+        return Ok(());
+    }
+    let mut index = DurableIndex::open(dir).map_err(|e| e.to_string())?;
+    let replayed = index.recovery().replayed;
+    index.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "flushed {replayed} journaled record(s) into the snapshot (generation {}); journal reset",
+        index.generation()
+    );
+    Ok(())
+}
+
 /// Shared `--checkpoint` tail for sharded durable directories.
 fn maybe_checkpoint_sharded(p: &Parsed, index: ShardedIndex) -> Result<(), String> {
     if p.get("checkpoint").is_some() {
@@ -670,16 +701,34 @@ impl LoadedIndex {
 /// `--index FILE`/`--wal DIR` surfaces the other commands accept, with
 /// the extra twist that a missing `--wal` directory is initialized
 /// fresh (requires `--dim`; `--shards` > 1 makes it sharded).
+///
+/// Sharded indexes get the journaled memtable tail (O(1) write acks, a
+/// supervised background folder) unless `--tail-max 0` asks for the
+/// synchronous write path.
 fn open_serve_index(p: &Parsed) -> Result<nncell_server::ServeIndex, String> {
     use nncell_server::ServeIndex;
+    let tail_max: usize = p.get_or("tail-max", 4096).map_err(|e| e.to_string())?;
+    let fold_interval_ms: u64 = p
+        .get_or("fold-interval-ms", 20)
+        .map_err(|e| e.to_string())?;
+    let memtable = |s: ShardedIndex| -> ServeIndex {
+        if tail_max == 0 {
+            return ServeIndex::Sharded(s);
+        }
+        ServeIndex::Sharded(s.with_memtable(FoldConfig {
+            tail_max,
+            poll_interval: std::time::Duration::from_millis(fold_interval_ms.max(1)),
+            ..FoldConfig::default()
+        }))
+    };
     match (p.get("index"), p.get("wal")) {
         (Some(file), None) => Ok(match open_sharded_at(file, false)? {
-            Some(s) => ServeIndex::Sharded(s),
+            Some(s) => memtable(s),
             None => ServeIndex::Plain(NnCellIndex::load(file).map_err(|e| e.to_string())?),
         }),
         (None, Some(dir)) => {
             if let Some(s) = open_sharded_at(dir, true)? {
-                return Ok(ServeIndex::Sharded(s));
+                return Ok(memtable(s));
             }
             if std::path::Path::new(dir).join("CURRENT").exists() {
                 return Ok(ServeIndex::Durable(std::sync::Mutex::new(
@@ -695,7 +744,7 @@ fn open_serve_index(p: &Parsed) -> Result<nncell_server::ServeIndex, String> {
             let shards: usize = p.get_or("shards", 1).map_err(|e| e.to_string())?;
             let cfg = BuildConfig::new(Strategy::CorrectPruned);
             if shards > 1 {
-                Ok(ServeIndex::Sharded(
+                Ok(memtable(
                     ShardedIndex::open_durable(dir, dim, shards, cfg)
                         .map_err(|e| e.to_string())?,
                 ))
@@ -721,6 +770,8 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         "slow-ms",
         "dim",
         "shards",
+        "tail-max",
+        "fold-interval-ms",
         "chaos",
     ])
     .map_err(|e| e.to_string())?;
@@ -759,6 +810,19 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     // line for the real port, so flush it through any pipe buffering.
     println!("listening on {}", server.local_addr());
     println!("serving: POST /query /batch /insert /remove — GET /metrics /healthz /readyz");
+    match server.index() {
+        nncell_server::ServeIndex::Sharded(s) if s.memtable_enabled() => {
+            let max = s.fold_config().map_or(0, |c| c.tail_max);
+            println!(
+                "write path: journaled memtable tail (O(1) acks, background folder, \
+                 backpressure past {max} unfolded ops)"
+            );
+        }
+        nncell_server::ServeIndex::Sharded(_) => {
+            println!("write path: synchronous snapshot publish (--tail-max 0)");
+        }
+        _ => {}
+    }
     println!("shutdown: SIGTERM/ctrl-c drains in-flight requests, then checkpoints");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
@@ -813,6 +877,27 @@ fn cmd_stats_server(addr: &str) -> Result<(), String> {
         "requests       : {} completed",
         value("nncell_http_requests_total"),
     );
+    // The memtable write-path family only exists when the server runs
+    // with a journaled tail (sharded serve, --tail-max > 0).
+    if text.contains("nncell_tail_depth") {
+        println!(
+            "write path     : {} unfolded tail op(s), {} fold(s) ({} record(s)), \
+             {} backpressure shed(s)",
+            value("nncell_tail_depth"),
+            value("nncell_fold_total"),
+            value("nncell_fold_records_total"),
+            value("nncell_tail_backpressure_total"),
+        );
+        println!(
+            "folder         : {}, {} fold failure(s)",
+            if value("nncell_fold_degraded") > 0 {
+                "DEGRADED (folds failing; tail absorbing writes, queries exact)"
+            } else {
+                "healthy"
+            },
+            value("nncell_fold_failures_total"),
+        );
+    }
     Ok(())
 }
 
@@ -1044,6 +1129,7 @@ COMMANDS
   insert    --wal DIR --point x,y,... [--checkpoint]
   remove    --wal DIR --id N [--checkpoint]
   recover   --wal DIR [--checkpoint]
+  flush     --wal DIR              (land journaled records, reset journals)
   info      --index FILE
   verify    --index FILE [--repair] [--out FILE]
   bench     --index FILE [--queries 200] [--seed 7] [--k 1] [--threads N]
@@ -1053,7 +1139,8 @@ COMMANDS
   stats     --server HOST:PORT     (shed-pressure view of a running server)
   serve     (--index FILE | --wal DIR) [--addr 127.0.0.1:8321] [--threads 4]
             [--queue-depth 64] [--deadline-ms 2000] [--retry-after 1]
-            [--slow-ms 100] [--dim N --shards S  (fresh --wal init)]
+            [--slow-ms 100] [--tail-max 4096] [--fold-interval-ms 20]
+            [--dim N --shards S  (fresh --wal init)]
   help
 
 `build --shards S` (S > 1) partitions points round-robin into S shards,
@@ -1071,6 +1158,16 @@ print the raw registry snapshot; --slow drains the slow-query ring.
 (full → 429 + Retry-After), per-request deadlines (exceeded → 503),
 panicking requests isolated to a 500, and SIGTERM/ctrl-c draining
 in-flight work before a final WAL checkpoint. `stats --server ADDR`
-scrapes /metrics off a running server for the shed-pressure summary."
+scrapes /metrics off a running server for the shed-pressure summary.
+
+Sharded serving uses the LSM-style write path: inserts/removes are
+journaled and land in a small unindexed memtable tail (fsync, then an
+O(1) ack — no cell construction on the write path); a supervised
+background folder folds the tail into the NN-cells. Queries merge the
+tail by linear scan and stay exact throughout, even while the folder is
+failing (visible as `nncell_fold_*` metrics and in /readyz). A tail past
+--tail-max unfolded ops sheds writes with 429 + Retry-After;
+--tail-max 0 restores the synchronous write path. `flush` folds a
+directory's journal into the snapshot offline."
     );
 }

@@ -53,6 +53,17 @@ pub enum DurableError {
     /// Journaling failed (I/O or a poisoned WAL); the in-memory index was
     /// **not** mutated — the update is not acknowledged.
     Persist(PersistError),
+    /// The memtable tail is at its high-watermark (the background folder
+    /// is behind or degraded). Nothing was journaled; the write is safe to
+    /// retry after a backoff. Only memtable-enabled indexes
+    /// ([`crate::ShardedIndex::with_memtable`]) return this; the serving
+    /// layer maps it to HTTP 429 + `Retry-After`.
+    Backpressure {
+        /// Unfolded tail operations at rejection time.
+        tail: usize,
+        /// The configured high-watermark ([`crate::FoldConfig::tail_max`]).
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for DurableError {
@@ -60,6 +71,11 @@ impl std::fmt::Display for DurableError {
         match self {
             DurableError::Invalid(e) => write!(f, "invalid update: {e}"),
             DurableError::Persist(e) => write!(f, "journaling failed: {e}"),
+            DurableError::Backpressure { tail, max } => write!(
+                f,
+                "write backpressure: memtable tail at {tail}/{max} unfolded operations; \
+                 retry after a backoff"
+            ),
         }
     }
 }
@@ -165,8 +181,25 @@ fn commit_generation(
     index: &NnCellIndex<Euclidean>,
     generation: u64,
 ) -> Result<WalWriter, PersistError> {
+    commit_generation_with_tail(vfs, dir, index, generation, &[])
+}
+
+/// [`commit_generation`] with a journaled-but-unapplied suffix: `tail`
+/// records are re-journaled (one batched fsync) into the fresh WAL
+/// *before* the `CURRENT` flip, so replay of the committed generation
+/// reconstructs snapshot + tail. The memtable checkpoint path uses this
+/// to rotate generations without synchronously folding the tail — an
+/// acked write stays durable even while the folder is broken.
+fn commit_generation_with_tail(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    index: &NnCellIndex<Euclidean>,
+    generation: u64,
+    tail: &[WalRecord],
+) -> Result<WalWriter, PersistError> {
     index.save_with_vfs(vfs.as_ref(), &snapshot_path(dir, generation))?;
-    let wal = WalWriter::create(vfs.as_ref(), &wal_path(dir, generation))?;
+    let mut wal = WalWriter::create(vfs.as_ref(), &wal_path(dir, generation))?;
+    wal.append_batch(tail)?;
     vfs.sync_dir(dir)?;
     write_atomic(
         vfs.as_ref(),
@@ -480,8 +513,21 @@ impl DurableIndex {
     /// I/O failures. On error the previous generation remains committed
     /// and intact; the handle stays usable (checkpoint can be retried).
     pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        self.checkpoint_with_tail(&[])
+    }
+
+    /// [`Self::checkpoint`] carrying a journaled-but-unapplied memtable
+    /// tail: the fresh generation's snapshot is the in-memory index as-is
+    /// and `tail` is re-journaled into the fresh WAL before the commit
+    /// flip, so the rotation preserves every acked-but-unfolded write
+    /// without doing any folding itself. Replay debt after the rotation
+    /// is exactly `tail.len()` records.
+    ///
+    /// # Errors
+    /// See [`Self::checkpoint`].
+    pub fn checkpoint_with_tail(&mut self, tail: &[WalRecord]) -> Result<(), PersistError> {
         let next = self.generation + 1;
-        let wal = commit_generation(&self.vfs, &self.dir, &self.index, next)?;
+        let wal = commit_generation_with_tail(&self.vfs, &self.dir, &self.index, next, tail)?;
         self.wal = wal;
         if let Some(m) = &self.metrics {
             self.wal.set_metrics(m.wal.clone());
@@ -490,6 +536,26 @@ impl DurableIndex {
         self.generation = next;
         sweep_stale(&self.vfs, &self.dir, next);
         Ok(())
+    }
+
+    /// Journals one record durably **without applying it** — the
+    /// memtable write path: the record lands in the WAL (fsynced) and in
+    /// the in-memory tail; the background folder applies it to the index
+    /// later. Callers own the invariant that the journaled suffix and the
+    /// tail stay in lockstep.
+    ///
+    /// # Errors
+    /// Journal I/O failures; nothing is acknowledged.
+    pub(crate) fn journal(&mut self, rec: &WalRecord) -> Result<(), PersistError> {
+        self.wal.append(rec)
+    }
+
+    /// Replaces the in-memory index with a folded version (same logical
+    /// state as replaying the journaled suffix on top of the old one).
+    /// Purely in-memory: the disk state is untouched, so crash recovery
+    /// is unaffected by when — or whether — folds happen.
+    pub(crate) fn replace_index(&mut self, index: NnCellIndex<Euclidean>) {
+        self.index = index;
     }
 
     /// Checkpoints and consumes the handle — the clean-shutdown path that

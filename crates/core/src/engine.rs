@@ -87,6 +87,9 @@ pub struct QueryEngine<'a, M: Metric = Euclidean> {
     record_metrics: bool,
     /// Optional per-request time budget (see [`QueryEngine::with_deadline`]).
     deadline: Option<std::time::Instant>,
+    /// Optional unindexed memtable tail merged into every answer (see
+    /// [`QueryEngine::with_tail`]).
+    tail: Option<&'a crate::memtable::TailSnapshot>,
 }
 
 impl<'a, M: Metric> QueryEngine<'a, M> {
@@ -100,6 +103,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             threads,
             record_metrics: true,
             deadline: None,
+            tail: None,
         }
     }
 
@@ -110,6 +114,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             threads: 1,
             record_metrics: true,
             deadline: None,
+            tail: None,
         }
     }
 
@@ -144,6 +149,19 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     /// The configured deadline, if any.
     pub fn deadline(&self) -> Option<std::time::Instant> {
         self.deadline
+    }
+
+    /// Merges an unindexed memtable tail into every answer: the indexed
+    /// kernel is over-fetched by the tail's tombstone count, tombstoned
+    /// ids are filtered out, live tail points are brought in by a
+    /// deadline-aware linear scan, and the union is re-ranked by
+    /// `(distance, id)`. Exactness is the Lemma 1 covering-superset
+    /// argument — every live point is either in the index or in the tail —
+    /// and the extra work is counted in [`QueryStats::tail`]. With an
+    /// empty tail the plain (zero-allocation) path runs unchanged.
+    pub fn with_tail(mut self, tail: &'a crate::memtable::TailSnapshot) -> Self {
+        self.tail = Some(tail);
+        self
     }
 
     /// Whether the configured budget (if any) has run out.
@@ -245,6 +263,15 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         if q.k() == 0 {
             return Err(QueryError::ZeroK);
         }
+        if let Some(tail) = self.tail.filter(|t| !t.is_empty()) {
+            if idx.is_empty() && tail.inserts.is_empty() {
+                return Err(QueryError::EmptyIndex);
+            }
+            if self.out_of_budget() {
+                return Err(QueryError::DeadlineExceeded);
+            }
+            return self.run_with_tail(scratch, p, q.k(), tail);
+        }
         if idx.is_empty() {
             return Err(QueryError::EmptyIndex);
         }
@@ -255,6 +282,68 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             Ok(self.run_nn(scratch, p))
         } else {
             self.run_knn(scratch, p, q.k())
+        }
+    }
+
+    /// The merged kernel for a non-empty tail. The indexed side asks for
+    /// `k + tombstones` neighbors: at most that many of its top results
+    /// can be knocked out by tail tombstones, so the survivors still
+    /// contain the true indexed top-k (when fewer live points exist the
+    /// kernel already degrades to a complete scan). Tail inserts are then
+    /// scanned linearly (bounded by the configured tail high-watermark,
+    /// budget-checked) and the union re-ranked. An id present on both
+    /// sides — a fold published between the tail copy and the snapshot
+    /// load — sorts adjacently (same point, bit-identical distance) and is
+    /// deduplicated, so the race cannot double-count.
+    fn run_with_tail(
+        &self,
+        scratch: &mut QueryScratch,
+        p: &[f64],
+        k: usize,
+        tail: &crate::memtable::TailSnapshot,
+    ) -> Result<QueryResponse, QueryError> {
+        let idx = self.index;
+        let mut stats = QueryStats::default();
+        let mut merged: Vec<QueryResult> = Vec::new();
+        if !idx.is_empty() {
+            let k_eff = k + tail.removed.len();
+            let resp = if k_eff == 1 {
+                self.run_nn(scratch, p)
+            } else {
+                self.run_knn(scratch, p, k_eff)?
+            };
+            stats = resp.stats;
+            merged = resp.into_results();
+            if !tail.removed.is_empty() {
+                merged.retain(|r| !tail.removed.contains(&r.id));
+            }
+        }
+        let metric = idx.metric();
+        merged.reserve(tail.inserts.len());
+        for (i, (id, pt)) in tail.inserts.iter().enumerate() {
+            if i % 256 == 255 && self.out_of_budget() {
+                return Err(QueryError::DeadlineExceeded);
+            }
+            merged.push(QueryResult {
+                id: *id,
+                dist: metric.dist(p, pt.as_slice()),
+            });
+        }
+        stats.candidates += tail.inserts.len();
+        stats.tail = tail.inserts.len();
+        merged.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.dedup_by(|a, b| a.id == b.id);
+        merged.truncate(k);
+        let mut it = merged.into_iter();
+        match it.next() {
+            // Every indexed point tombstoned and no tail inserts: the
+            // live set is genuinely empty.
+            None => Err(QueryError::EmptyIndex),
+            Some(best) => Ok(QueryResponse {
+                best,
+                rest: it.collect(),
+                stats,
+            }),
         }
     }
 
@@ -357,6 +446,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                     candidates,
                     pages,
                     fallback: false,
+                    tail: 0,
                 },
             },
             None => {
@@ -429,6 +519,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 candidates,
                 pages,
                 fallback: false,
+                tail: 0,
             },
         })
     }
@@ -466,6 +557,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 candidates: idx.len(),
                 pages: 0,
                 fallback: true,
+                tail: 0,
             },
         }
     }
@@ -500,6 +592,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 candidates: idx.len(),
                 pages: 0,
                 fallback: true,
+                tail: 0,
             },
         }
     }

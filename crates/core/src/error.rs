@@ -15,11 +15,11 @@ pub use crate::query::QueryError;
 
 /// Any failure the nncell stack can report, by domain.
 ///
-/// [`DurableError`] deliberately has no variant of its own: it is a
-/// two-way split of build-rule violations and storage failures, so its
-/// conversion flattens into [`Error::Build`] or [`Error::Persist`] and
-/// callers match one set of variants regardless of which index flavor
-/// produced the failure.
+/// [`DurableError`] deliberately has no variant of its own: it splits
+/// into build-rule violations, storage failures, and transient overload,
+/// so its conversion flattens into [`Error::Build`], [`Error::Persist`],
+/// or [`Error::Backpressure`] and callers match one set of variants
+/// regardless of which index flavor produced the failure.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Error {
@@ -31,6 +31,14 @@ pub enum Error {
     /// Saving, loading, journaling, or recovering: I/O failures and
     /// corrupt on-disk state.
     Persist(PersistError),
+    /// Transient write refusal: the memtable tail is at its
+    /// high-watermark; retry after a backoff.
+    Backpressure {
+        /// Unfolded tail operations at rejection time.
+        tail: usize,
+        /// The configured high-watermark.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -39,6 +47,10 @@ impl std::fmt::Display for Error {
             Error::Build(e) => write!(f, "build error: {e}"),
             Error::Query(e) => write!(f, "query error: {e}"),
             Error::Persist(e) => write!(f, "persistence error: {e}"),
+            Error::Backpressure { tail, max } => write!(
+                f,
+                "write backpressure: memtable tail at {tail}/{max} unfolded operations"
+            ),
         }
     }
 }
@@ -49,6 +61,7 @@ impl std::error::Error for Error {
             Error::Build(e) => Some(e),
             Error::Query(e) => Some(e),
             Error::Persist(e) => Some(e),
+            Error::Backpressure { .. } => None,
         }
     }
 }
@@ -76,6 +89,7 @@ impl From<DurableError> for Error {
         match e {
             DurableError::Invalid(b) => Error::Build(b),
             DurableError::Persist(p) => Error::Persist(p),
+            DurableError::Backpressure { tail, max } => Error::Backpressure { tail, max },
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod memtable;
 pub mod metrics;
 pub mod persist;
 pub mod query;
@@ -53,6 +54,7 @@ pub use index::{
     BuildError, BuildProfile, BuildStats, CellApprox, IntegrityReport, NnCellIndex, PhaseTiming,
     QueryResult,
 };
+pub use memtable::{FoldConfig, FoldError, FoldStatus, TailSnapshot};
 pub use metrics::{EngineMetrics, IndexMetrics, SLOW_QUERY_CAPACITY};
 pub use nncell_obs::{Registry, SlowQueryEntry, SlowQueryLog, Snapshot};
 pub use query::{Query, QueryError, QueryResponse, QueryStats};

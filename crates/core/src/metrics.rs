@@ -100,6 +100,72 @@ pub struct IndexMetrics {
     pub(crate) lp_clamped: Arc<Counter>,
 }
 
+/// Registry handles for the memtable fold pipeline (`nncell_fold_*`,
+/// `nncell_tail_*`), registered when a memtable-enabled
+/// [`crate::ShardedIndex`] attaches a registry. One unlabeled family per
+/// index: the folder is a single supervised loop over all shards, so
+/// per-shard labels would only split its health signal.
+#[derive(Clone)]
+pub(crate) struct FoldMetrics {
+    /// `nncell_tail_depth` — journaled-but-unfolded operations.
+    pub(crate) tail_depth: Arc<Gauge>,
+    /// `nncell_fold_total` — successful folds.
+    pub(crate) folds: Arc<Counter>,
+    /// `nncell_fold_records_total` — operations folded into NN-cells.
+    pub(crate) folded_records: Arc<Counter>,
+    /// `nncell_fold_failures_total` — folds that panicked and were kept
+    /// for retry.
+    pub(crate) failures: Arc<Counter>,
+    /// `nncell_fold_latency_ns` — wall time of successful folds.
+    pub(crate) latency_ns: Arc<Histogram>,
+    /// `nncell_fold_degraded` — 1 while `degrade_after` consecutive folds
+    /// have failed (tail still absorbs writes, queries stay exact).
+    pub(crate) degraded: Arc<Gauge>,
+    /// `nncell_tail_backpressure_total` — writes refused at the tail
+    /// high-watermark.
+    pub(crate) backpressure: Arc<Counter>,
+}
+
+impl FoldMetrics {
+    /// Resolves (or creates) the fold family in `registry`, with HELP text.
+    pub(crate) fn register(registry: &Registry) -> Self {
+        registry.describe(
+            "nncell_tail_depth",
+            "Journaled-but-unfolded memtable operations across all shards.",
+        );
+        registry.describe("nncell_fold_total", "Successful memtable folds.");
+        registry.describe(
+            "nncell_fold_records_total",
+            "Operations folded from the memtable tail into NN-cells.",
+        );
+        registry.describe(
+            "nncell_fold_failures_total",
+            "Fold attempts that panicked; the batch is kept and retried.",
+        );
+        registry.describe(
+            "nncell_fold_latency_ns",
+            "Wall-clock nanoseconds per successful fold.",
+        );
+        registry.describe(
+            "nncell_fold_degraded",
+            "1 while consecutive fold failures exceed the degrade threshold.",
+        );
+        registry.describe(
+            "nncell_tail_backpressure_total",
+            "Writes refused because the memtable tail hit its high-watermark.",
+        );
+        Self {
+            tail_depth: registry.gauge("nncell_tail_depth"),
+            folds: registry.counter("nncell_fold_total"),
+            folded_records: registry.counter("nncell_fold_records_total"),
+            failures: registry.counter("nncell_fold_failures_total"),
+            latency_ns: registry.histogram("nncell_fold_latency_ns"),
+            degraded: registry.gauge("nncell_fold_degraded"),
+            backpressure: registry.counter("nncell_tail_backpressure_total"),
+        }
+    }
+}
+
 impl IndexMetrics {
     /// Resolves (or creates) the index metrics in `registry`.
     pub fn register(registry: Arc<Registry>, dim: usize) -> Self {

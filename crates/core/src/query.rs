@@ -79,6 +79,11 @@ pub struct QueryStats {
     /// search, or a boundary query slipping between EPS-closed MBRs). All
     /// fallback paths are counted here — and nowhere else.
     pub fallback: bool,
+    /// Unindexed memtable-tail points merged into this answer by linear
+    /// scan (0 whenever the write path is synchronous or the tail was
+    /// empty). Tail points are also counted in `candidates`; this field
+    /// isolates how much of the work the un-folded tail caused.
+    pub tail: usize,
 }
 
 /// An exact answer: the nearest neighbor, any further requested neighbors,

@@ -48,18 +48,21 @@ use crate::durable::{DurableError, RecoveryReport};
 use crate::index::{
     validate_build_inputs, validate_point, BuildError, BuildStats, NnCellIndex, QueryResult,
 };
+use crate::memtable::{FoldConfig, FoldError, FoldStatus, Memtable, TailOp, TailSnapshot};
+use crate::metrics::FoldMetrics;
 use crate::persist::PersistError;
 use crate::query::{Query, QueryError, QueryResponse, QueryStats};
 use crate::snapshot::SnapshotCell;
 use crate::vfs::{write_atomic, StdVfs, Vfs};
+use crate::wal::WalRecord;
 use nncell_geom::{DataSpace, Euclidean, Point};
 use nncell_obs::Registry;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// File name of the plain (non-durable) sharded directory manifest.
 const PLAIN_MANIFEST: &str = "MANIFEST";
@@ -96,6 +99,125 @@ struct Writer {
     next_global: usize,
 }
 
+/// Memtable-tier state ([`ShardedIndex::with_memtable`]): per-shard
+/// unindexed tails plus folder supervision bookkeeping.
+///
+/// Lock order everywhere: `fold_lock` → writer mutex → tail mutexes.
+/// Queries take only tail mutexes (for a bounded snapshot clone), writers
+/// take writer → tail with O(1)/O(tail) holds, and the folder's heavy LP
+/// work happens with **no** lock held — only its freeze and publish steps
+/// touch the mutexes, both O(tail) at worst.
+struct TailState {
+    cfg: FoldConfig,
+    tails: Vec<Mutex<Memtable>>,
+    /// Serializes folds, flushes, checkpoints, and metric attachment so a
+    /// snapshot publish can never interleave with a generation rotation
+    /// or another fold.
+    fold_lock: Mutex<()>,
+    /// Unfolded operations across all shards (the backpressure input).
+    depth: AtomicUsize,
+    degraded: AtomicBool,
+    consecutive_failures: AtomicU32,
+    folds: AtomicU64,
+    folded_records: AtomicU64,
+    failures: AtomicU64,
+    metrics: Mutex<Option<FoldMetrics>>,
+}
+
+impl TailState {
+    fn new(cfg: FoldConfig, shards: usize) -> Self {
+        Self {
+            cfg,
+            tails: (0..shards).map(|_| Mutex::new(Memtable::default())).collect(),
+            fold_lock: Mutex::new(()),
+            depth: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+            folds: AtomicU64::new(0),
+            folded_records: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    fn with_metrics(&self, f: impl FnOnce(&FoldMetrics)) {
+        let guard = match self.metrics.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(m) = guard.as_ref() {
+            f(m);
+        }
+    }
+
+    fn add_depth(&self, n: usize) {
+        let now = self.depth.fetch_add(n, Ordering::AcqRel) + n;
+        self.with_metrics(|m| m.tail_depth.set(now as i64));
+    }
+
+    fn sub_depth(&self, n: usize) {
+        let now = self.depth.fetch_sub(n, Ordering::AcqRel).saturating_sub(n);
+        self.with_metrics(|m| m.tail_depth.set(now as i64));
+    }
+
+    fn count_backpressure(&self) {
+        self.with_metrics(|m| m.backpressure.inc());
+    }
+
+    fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::AcqRel);
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        self.with_metrics(|m| m.failures.inc());
+        if streak >= self.cfg.degrade_after && !self.degraded.swap(true, Ordering::AcqRel) {
+            self.with_metrics(|m| m.degraded.set(1));
+        }
+    }
+
+    fn record_success(&self, records: usize, elapsed: Duration) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        if self.degraded.swap(false, Ordering::AcqRel) {
+            self.with_metrics(|m| m.degraded.set(0));
+        }
+        self.folds.fetch_add(1, Ordering::AcqRel);
+        self.folded_records.fetch_add(records as u64, Ordering::AcqRel);
+        self.with_metrics(|m| {
+            m.folds.inc();
+            m.folded_records.add(records as u64);
+            m.latency_ns.record_duration(elapsed);
+        });
+    }
+}
+
+/// Poison-tolerant lock on a shard's memtable. Every critical section is
+/// a handful of `Vec` pushes or a bounded clone — state stays consistent
+/// even if a recording site panicked while holding the guard.
+fn lock_mem(m: &Mutex<Memtable>) -> MutexGuard<'_, Memtable> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Poison-tolerant lock on the (state-free) fold serialization mutex.
+fn lock_fold(m: &Mutex<()>) -> MutexGuard<'_, ()> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Sleeps for `dur` in small slices, returning early once `stop` is set —
+/// keeps folder backoffs (up to the configured cap) from delaying
+/// shutdown.
+fn sleep_interruptible(stop: &AtomicBool, dur: Duration) {
+    let mut left = dur;
+    while !stop.load(Ordering::Acquire) && !left.is_zero() {
+        let nap = left.min(Duration::from_millis(10));
+        std::thread::sleep(nap);
+        left = left.saturating_sub(nap);
+    }
+}
+
 /// S independent NN-cell shards behind one exact, concurrently servable
 /// query API. See the module docs for the partitioning and snapshot
 /// protocol. Built over the Euclidean metric (the durable layer's
@@ -120,6 +242,9 @@ pub struct ShardedIndex {
     /// Per-shard recovery reports from a durable open (empty otherwise).
     recovery: Vec<RecoveryReport>,
     durable: bool,
+    /// Memtable tier ([`Self::with_memtable`]); `None` keeps the original
+    /// synchronous apply-then-publish write path.
+    tail: Option<TailState>,
 }
 
 impl ShardedIndex {
@@ -225,7 +350,71 @@ impl ShardedIndex {
             fallback_queries: AtomicU64::new(0),
             recovery,
             durable,
+            tail: None,
         }
+    }
+
+    /// Enables the LSM-style memtable write path: inserts and removes
+    /// journal (in durable mode), land in a small unindexed per-shard
+    /// tail, and acknowledge in O(1) — no LP solve, no snapshot clone on
+    /// the ack path. Queries stay exact by merging the tail via linear
+    /// scan; a supervised folder ([`Self::run_folder`] or explicit
+    /// [`Self::fold_once`] / [`Self::flush`] calls) applies the tail to
+    /// the NN-cells off the write path.
+    ///
+    /// Call at construction time, before the index is shared.
+    ///
+    /// # Panics
+    /// Panics if a memtable is already enabled.
+    #[must_use]
+    pub fn with_memtable(mut self, cfg: FoldConfig) -> Self {
+        assert!(self.tail.is_none(), "memtable already enabled");
+        let shards = self.num_shards();
+        self.tail = Some(TailState::new(cfg, shards));
+        self
+    }
+
+    /// Whether the memtable write path is enabled.
+    pub fn memtable_enabled(&self) -> bool {
+        self.tail.is_some()
+    }
+
+    /// Journaled-but-unfolded operations across all shards (0 without a
+    /// memtable).
+    pub fn tail_depth(&self) -> usize {
+        self.tail
+            .as_ref()
+            .map_or(0, |t| t.depth.load(Ordering::Acquire))
+    }
+
+    /// Whether the folder has failed [`FoldConfig::degrade_after`]
+    /// consecutive times. Writes keep landing in the tail (up to the
+    /// high-watermark) and queries stay exact while degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.tail
+            .as_ref()
+            .is_some_and(|t| t.degraded.load(Ordering::Acquire))
+    }
+
+    /// A point-in-time view of the folder's health (all zeros without a
+    /// memtable).
+    pub fn fold_status(&self) -> FoldStatus {
+        let Some(ts) = &self.tail else {
+            return FoldStatus::default();
+        };
+        FoldStatus {
+            tail_depth: ts.depth.load(Ordering::Acquire),
+            degraded: ts.degraded.load(Ordering::Acquire),
+            consecutive_failures: ts.consecutive_failures.load(Ordering::Acquire),
+            folds: ts.folds.load(Ordering::Acquire),
+            folded_records: ts.folded_records.load(Ordering::Acquire),
+            failures: ts.failures.load(Ordering::Acquire),
+        }
+    }
+
+    /// The memtable configuration, when enabled.
+    pub fn fold_config(&self) -> Option<&FoldConfig> {
+        self.tail.as_ref().map(|t| &t.cfg)
     }
 
     /// The writer lock. A poisoned lock is taken over: masters are only
@@ -257,9 +446,27 @@ impl ShardedIndex {
         &self.cfg
     }
 
-    /// Total live points across all shards (reads the current snapshots).
+    /// Total live points across all shards. Without a memtable this reads
+    /// the current snapshots; with one it counts against the masters plus
+    /// the unfolded tails (under the writer lock, so acked writes are
+    /// always reflected even before they fold).
     pub fn len(&self) -> usize {
-        self.snaps.iter().map(|c| c.load().len()).sum()
+        let Some(ts) = &self.tail else {
+            return self.snaps.iter().map(|c| c.load().len()).sum();
+        };
+        let w = self.lock_writer();
+        let mut total = 0usize;
+        for (i, sw) in w.shards.iter().enumerate() {
+            let master = sw.index();
+            let m = lock_mem(&ts.tails[i]);
+            let master_dead = m
+                .removed_ids()
+                .iter()
+                .filter(|&&local| master.is_live(local))
+                .count();
+            total += master.len() + m.live_inserts() - master_dead;
+        }
+        total
     }
 
     /// Whether no shard holds a live point.
@@ -353,6 +560,10 @@ impl ShardedIndex {
     /// published so concurrent readers start recording immediately.
     /// Idempotent per shard.
     pub fn attach_metrics(&self, registry: Arc<Registry>) {
+        // Fold lock first (the global lock order): a fold publishing
+        // between our store and its own would otherwise clobber the
+        // metrics-attached snapshots with pre-attach clones.
+        let _fold = self.tail.as_ref().map(|ts| lock_fold(&ts.fold_lock));
         let mut w = self.lock_writer();
         for (i, sw) in w.shards.iter_mut().enumerate() {
             let tag = i.to_string();
@@ -366,6 +577,24 @@ impl ShardedIndex {
                 }
             }
             self.snaps[i].store(Arc::new(sw.index().clone()));
+        }
+        if let Some(ts) = &self.tail {
+            let mut slot = match ts.metrics.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if slot.is_none() {
+                let fm = FoldMetrics::register(&registry);
+                // Seed with the pre-attach totals so registry values are
+                // correct even when the registry arrives late.
+                fm.tail_depth.set(ts.depth.load(Ordering::Acquire) as i64);
+                fm.degraded
+                    .set(i64::from(ts.degraded.load(Ordering::Acquire)));
+                fm.folds.add(ts.folds.load(Ordering::Acquire));
+                fm.folded_records.add(ts.folded_records.load(Ordering::Acquire));
+                fm.failures.add(ts.failures.load(Ordering::Acquire));
+                *slot = Some(fm);
+            }
         }
     }
 
@@ -435,14 +664,16 @@ impl ShardedIndex {
         deadline: Option<Instant>,
     ) -> Result<QueryResponse, QueryError> {
         self.validate_query(q)?;
+        // Tails first, snapshots second: an operation folded between the
+        // two reads then appears in *both* views and is deduplicated by id
+        // at merge time; reading in the other order could miss it in both.
+        let tails = self.tail_snapshots();
         let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
             self.snaps.iter().map(SnapshotCell::load).collect();
-        if snaps.iter().all(|s| s.is_empty()) {
-            return Err(QueryError::EmptyIndex);
-        }
         let mut per: Vec<(usize, QueryResponse)> = Vec::with_capacity(snaps.len());
         for (i, snap) in snaps.iter().enumerate() {
-            if snap.is_empty() {
+            let tail_i = tails.as_ref().map(|t| &t[i]).filter(|t| !t.is_empty());
+            if snap.is_empty() && tail_i.is_none() {
                 continue;
             }
             // Sequential per shard: one query has no intra-shard
@@ -452,9 +683,32 @@ impl ShardedIndex {
             if let Some(d) = deadline {
                 engine = engine.with_deadline(d);
             }
-            per.push((i, engine.execute(q)?));
+            if let Some(t) = tail_i {
+                engine = engine.with_tail(t);
+            }
+            match engine.execute(q) {
+                Ok(r) => per.push((i, r)),
+                // Every point of this shard is tombstoned in the tail:
+                // the shard contributes nothing, which is not a failure
+                // of the fan-out.
+                Err(QueryError::EmptyIndex) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if per.is_empty() {
+            return Err(QueryError::EmptyIndex);
         }
         Ok(self.merge(q.k(), per))
+    }
+
+    /// Bounded-clone views of every shard's unfolded tail (`None` without
+    /// a memtable). Each clone is taken under its shard's tail mutex; the
+    /// combined view may straddle a concurrent ack, which is fine — a
+    /// query is only promised the writes acked before it started.
+    fn tail_snapshots(&self) -> Option<Vec<TailSnapshot>> {
+        self.tail
+            .as_ref()
+            .map(|ts| ts.tails.iter().map(|m| lock_mem(m).snapshot()).collect())
     }
 
     /// Executes a batch of typed queries: each non-empty shard runs the
@@ -476,19 +730,27 @@ impl ShardedIndex {
         queries: &[Query],
         deadline: Option<Instant>,
     ) -> Vec<Result<QueryResponse, QueryError>> {
+        // Tails before snapshots — same dedup-by-id rationale as
+        // query_with_deadline.
+        let tails = self.tail_snapshots();
         let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
             self.snaps.iter().map(SnapshotCell::load).collect();
-        let any_live = snaps.iter().any(|s| !s.is_empty());
         let shard_results: Vec<(usize, Vec<Result<QueryResponse, QueryError>>)> = snaps
             .iter()
             .enumerate()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(i, s)| {
+            .filter_map(|(i, s)| {
+                let tail_i = tails.as_ref().map(|t| &t[i]).filter(|t| !t.is_empty());
+                if s.is_empty() && tail_i.is_none() {
+                    return None;
+                }
                 let mut engine = s.engine();
                 if let Some(d) = deadline {
                     engine = engine.with_deadline(d);
                 }
-                (i, engine.batch(queries))
+                if let Some(t) = tail_i {
+                    engine = engine.with_tail(t);
+                }
+                Some((i, engine.batch(queries)))
             })
             .collect();
         queries
@@ -496,18 +758,19 @@ impl ShardedIndex {
             .enumerate()
             .map(|(qi, q)| {
                 self.validate_query(q)?;
-                if !any_live {
-                    return Err(QueryError::EmptyIndex);
-                }
                 let mut per: Vec<(usize, QueryResponse)> =
                     Vec::with_capacity(shard_results.len());
                 for (shard, results) in &shard_results {
                     match &results[qi] {
                         Ok(r) => per.push((*shard, r.clone())),
-                        // A validated query against a non-empty shard
-                        // cannot fail; propagate defensively if it does.
+                        // A shard whose live set the tail has fully
+                        // tombstoned contributes nothing — not a failure.
+                        Err(QueryError::EmptyIndex) => continue,
                         Err(e) => return Err(*e),
                     }
+                }
+                if per.is_empty() {
+                    return Err(QueryError::EmptyIndex);
                 }
                 Ok(self.merge(q.k(), per))
             })
@@ -524,6 +787,7 @@ impl ShardedIndex {
         for (shard, resp) in per {
             stats.candidates += resp.stats.candidates;
             stats.pages += resp.stats.pages;
+            stats.tail += resp.stats.tail;
             stats.fallback |= resp.stats.fallback;
             lists.push((shard, resp.into_results()));
         }
@@ -600,21 +864,28 @@ impl ShardedIndex {
     // ------------------------------------------------------------------
 
     /// Inserts a point: assign the next global id, validate (including a
-    /// cross-shard exact-duplicate check), apply to the owning shard's
-    /// master (journal-first in durable mode), publish a fresh snapshot.
-    /// Returns the global id. Readers are never blocked; queries started
-    /// before the publish answer from the previous version.
+    /// cross-shard exact-duplicate check), then either apply to the owning
+    /// shard's master and publish a fresh snapshot (synchronous mode), or
+    /// journal and land in the shard's memtable tail (memtable mode —
+    /// O(1) ack, the folder indexes it later). Returns the global id.
+    /// Readers are never blocked; queries started before the publish
+    /// answer from the previous version (plus, in memtable mode, the
+    /// tail merge).
     ///
     /// # Errors
     /// [`DurableError::Invalid`] with the same [`BuildError`] variants an
     /// unsharded insert rejects (ids are global);
     /// [`DurableError::Persist`] when a durable shard's journal write
-    /// fails — nothing is applied or published in either case.
+    /// fails; [`DurableError::Backpressure`] when the memtable tail is at
+    /// its high-watermark — nothing is applied or published in any case.
     pub fn insert(&self, p: Point) -> Result<usize, DurableError> {
         let mut w = self.lock_writer();
         let g = w.next_global;
         validate_point(&p, g, self.dim, &DataSpace::unit(self.dim))
             .map_err(DurableError::Invalid)?;
+        if let Some(ts) = &self.tail {
+            return self.insert_memtable(ts, &mut w, g, p);
+        }
         // Cross-shard duplicate check against the masters (the
         // authoritative state — snapshots may trail by the publish gap).
         for (si, sw) in w.shards.iter().enumerate() {
@@ -636,27 +907,241 @@ impl ShardedIndex {
         Ok(self.global_of(shard, local))
     }
 
+    /// The memtable ack path: duplicate check against masters *and* tails,
+    /// backpressure check, journal, tail push. No LP work, no snapshot
+    /// clone — the writer-lock hold is O(log n) (the duplicate probe)
+    /// plus an O(1) push, so ack latency is independent of index size.
+    fn insert_memtable(
+        &self,
+        ts: &TailState,
+        w: &mut Writer,
+        g: usize,
+        p: Point,
+    ) -> Result<usize, DurableError> {
+        for (si, sw) in w.shards.iter().enumerate() {
+            let m = lock_mem(&ts.tails[si]);
+            if let Some(local) = sw.index().find_live_duplicate(&p) {
+                // A master duplicate tombstoned in the tail is dead.
+                if !m.is_removed(local) {
+                    return Err(DurableError::Invalid(BuildError::DuplicatePoint {
+                        id: g,
+                        of: self.global_of(si, local),
+                    }));
+                }
+            }
+            if let Some(local) = m.find_live_duplicate(&p) {
+                return Err(DurableError::Invalid(BuildError::DuplicatePoint {
+                    id: g,
+                    of: self.global_of(si, local),
+                }));
+            }
+        }
+        let depth = ts.depth.load(Ordering::Acquire);
+        if depth >= ts.cfg.tail_max {
+            ts.count_backpressure();
+            return Err(DurableError::Backpressure {
+                tail: depth,
+                max: ts.cfg.tail_max,
+            });
+        }
+        let (shard, local) = self.locate(g);
+        if let ShardWriter::Durable(d) = &mut w.shards[shard] {
+            // Journal-first: the fsync happens here, before the ack. A
+            // failure leaves the tail untouched.
+            d.journal(&WalRecord::Insert(p.clone()))?;
+        }
+        lock_mem(&ts.tails[shard]).push_insert(local, p);
+        ts.add_depth(1);
+        w.next_global += 1;
+        Ok(self.global_of(shard, local))
+    }
+
     /// Removes the point with global id `global`. Returns `false` when no
-    /// such point is live (never-assigned ids included). On `true`, the
-    /// owning shard republished its snapshot (journal-first in durable
-    /// mode).
+    /// such point is live (never-assigned ids included). On `true`, in
+    /// synchronous mode the owning shard republished its snapshot
+    /// (journal-first in durable mode); in memtable mode a tombstone
+    /// landed in the shard's tail (journal-first) and queries stop
+    /// returning the point immediately.
     ///
     /// # Errors
-    /// Journal I/O failures in durable mode; nothing applied on error.
-    pub fn remove(&self, global: usize) -> Result<bool, PersistError> {
+    /// Journal I/O failures in durable mode, or
+    /// [`DurableError::Backpressure`] at the memtable high-watermark;
+    /// nothing applied on error.
+    pub fn remove(&self, global: usize) -> Result<bool, DurableError> {
         let mut w = self.lock_writer();
         if global >= w.next_global {
             return Ok(false);
         }
         let (shard, local) = self.locate(global);
+        if let Some(ts) = &self.tail {
+            let live = {
+                let m = lock_mem(&ts.tails[shard]);
+                (w.shards[shard].index().is_live(local) && !m.is_removed(local))
+                    || m.has_live_insert(local)
+            };
+            if !live {
+                return Ok(false);
+            }
+            let depth = ts.depth.load(Ordering::Acquire);
+            if depth >= ts.cfg.tail_max {
+                ts.count_backpressure();
+                return Err(DurableError::Backpressure {
+                    tail: depth,
+                    max: ts.cfg.tail_max,
+                });
+            }
+            if let ShardWriter::Durable(d) = &mut w.shards[shard] {
+                d.journal(&WalRecord::Remove(local as u64))?;
+            }
+            lock_mem(&ts.tails[shard]).push_remove(local);
+            ts.add_depth(1);
+            return Ok(true);
+        }
         let removed = match &mut w.shards[shard] {
             ShardWriter::Mem(idx) => idx.remove(local),
-            ShardWriter::Durable(d) => d.remove(local)?,
+            ShardWriter::Durable(d) => d.remove(local).map_err(DurableError::Persist)?,
         };
         if removed {
             self.snaps[shard].store(Arc::new(w.shards[shard].index().clone()));
         }
         Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // folding (memtable → NN-cells, off the write path)
+    // ------------------------------------------------------------------
+
+    /// Folds every shard's frozen-plus-active tail into its NN-cell index
+    /// and publishes the results. Returns the number of operations folded
+    /// (0 without a memtable or with empty tails). Heavy LP work runs with
+    /// no lock held; only the freeze and publish steps touch the mutexes.
+    ///
+    /// # Errors
+    /// [`FoldError::Panicked`] when a shard's fold panicked (the batch
+    /// stays frozen and merges into the next attempt; shards folded
+    /// before the failing one stay folded).
+    pub fn fold_once(&self) -> Result<usize, FoldError> {
+        let Some(ts) = &self.tail else {
+            return Ok(0);
+        };
+        let _fold = lock_fold(&ts.fold_lock);
+        let mut total = 0usize;
+        for shard in 0..self.num_shards() {
+            total += self.fold_shard(ts, shard)?;
+        }
+        Ok(total)
+    }
+
+    /// Folds one shard's tail: freeze the batch, deep-clone the published
+    /// snapshot, re-apply the batch in ack order off-lock (under
+    /// `catch_unwind` — a panicking fold, injected or organic, keeps the
+    /// batch for retry and never corrupts the index), then publish master
+    /// and snapshot under the writer lock. Folding performs **zero**
+    /// syscalls: the WAL already holds every record, so crash recovery
+    /// never depends on fold progress and a fold can never double-apply
+    /// into durable state.
+    fn fold_shard(&self, ts: &TailState, shard: usize) -> Result<usize, FoldError> {
+        let batch = lock_mem(&ts.tails[shard]).freeze();
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let start = Instant::now();
+        // Invariant (memtable mode): the published snapshot equals the
+        // master — both only change under fold_lock + writer lock, which
+        // we hold / will take. Cloning the snapshot instead of the master
+        // keeps the writer lock free during the expensive apply.
+        let base = self.snaps[shard].load();
+        let chaos = ts.cfg.fault_fold_panic.clone();
+        let folded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert!(
+                !chaos.as_ref().is_some_and(|f| f.load(Ordering::Acquire)),
+                "injected fold fault"
+            );
+            let mut idx = (*base).clone();
+            for op in &batch {
+                match op {
+                    TailOp::Insert { local, point } => {
+                        // Re-applying a journaled op in ack order against
+                        // exactly the state it was validated on must
+                        // succeed; a failure here is a logic bug, and
+                        // surfacing it as a caught panic degrades service
+                        // instead of corrupting the index.
+                        let got = idx.insert(point.clone()).unwrap_or_else(|e| {
+                            panic!("fold re-apply of acked insert failed: {e}")
+                        });
+                        assert_eq!(got, *local, "fold slot diverged from ack-time slot");
+                    }
+                    TailOp::Remove { local } => {
+                        idx.remove(*local);
+                    }
+                }
+            }
+            idx
+        }));
+        let folded = match folded {
+            Ok(idx) => idx,
+            Err(_) => {
+                ts.record_failure();
+                return Err(FoldError::Panicked { shard });
+            }
+        };
+        let records = batch.len();
+        let master_copy = folded.clone();
+        {
+            let mut w = self.lock_writer();
+            match &mut w.shards[shard] {
+                ShardWriter::Mem(idx) => *idx = master_copy,
+                ShardWriter::Durable(d) => d.replace_index(master_copy),
+            }
+            self.snaps[shard].store(Arc::new(folded));
+            lock_mem(&ts.tails[shard]).clear_frozen();
+            ts.sub_depth(records);
+        }
+        ts.record_success(records, start.elapsed());
+        Ok(records)
+    }
+
+    /// Folds until the tail is empty (used by clean shutdown and the CLI
+    /// `flush` subcommand). Returns the total operations folded.
+    ///
+    /// # Errors
+    /// [`FoldError`] from the first failing fold.
+    pub fn flush(&self) -> Result<usize, FoldError> {
+        let mut total = 0usize;
+        loop {
+            if self.tail_depth() == 0 {
+                return Ok(total);
+            }
+            total += self.fold_once()?;
+        }
+    }
+
+    /// The supervised folder loop: fold whenever the tail is non-empty,
+    /// sleep [`FoldConfig::poll_interval`] when idle, back off
+    /// exponentially (capped at [`FoldConfig::retry_cap`]) after a failed
+    /// fold. Returns promptly once `stop` is set. Run it from a dedicated
+    /// thread with a shared `Arc<ShardedIndex>`; a no-op without a
+    /// memtable. All failure accounting (consecutive-failure streaks, the
+    /// degraded flag, `nncell_fold_*` metrics) happens inside
+    /// [`Self::fold_once`], so manual folds and the loop agree.
+    pub fn run_folder(&self, stop: &AtomicBool) {
+        let Some(ts) = &self.tail else {
+            return;
+        };
+        let mut backoff = ts.cfg.retry_base;
+        while !stop.load(Ordering::Acquire) {
+            if ts.depth.load(Ordering::Acquire) == 0 {
+                sleep_interruptible(stop, ts.cfg.poll_interval);
+                continue;
+            }
+            match self.fold_once() {
+                Ok(_) => backoff = ts.cfg.retry_base,
+                Err(_) => {
+                    sleep_interruptible(stop, backoff);
+                    backoff = (backoff * 2).min(ts.cfg.retry_cap);
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -679,7 +1164,31 @@ impl ShardedIndex {
     /// # Errors
     /// See [`Self::save`].
     pub fn save_with_vfs(&self, vfs: &dyn Vfs, dir: &Path) -> Result<(), PersistError> {
-        let w = self.lock_writer();
+        // With a memtable the masters trail the acked state by the tail;
+        // fold everything in first so the saved files hold every ack.
+        // Fold lock before writer lock (the global order); the tail-empty
+        // check happens *under* the writer lock, so no write can sneak in
+        // between the final fold and the save.
+        let _fold = self.tail.as_ref().map(|ts| lock_fold(&ts.fold_lock));
+        let w = loop {
+            let w = self.lock_writer();
+            // Authoritative emptiness check under the writer lock (reads
+            // the tails themselves, not the depth counter).
+            let drained = self.tail.as_ref().is_none_or(|ts| {
+                ts.tails.iter().all(|m| lock_mem(m).len() == 0)
+            });
+            if drained {
+                break w;
+            }
+            drop(w);
+            if let Some(ts) = &self.tail {
+                for shard in 0..self.num_shards() {
+                    self.fold_shard(ts, shard).map_err(|e| {
+                        PersistError::Corrupt(format!("memtable flush before save failed: {e}"))
+                    })?;
+                }
+            }
+        };
         vfs.create_dir_all(dir)?;
         for (i, sw) in w.shards.iter().enumerate() {
             sw.index()
@@ -894,6 +1403,16 @@ impl ShardedIndex {
                 "index is already durable; open it in place instead".into(),
             ));
         }
+        // Fold any unindexed tail into the masters first: we own `self`
+        // exclusively here, so the tail is quiescent after the flush. The
+        // memtable (with its configuration) carries over to the durable
+        // index.
+        if self.tail.is_some() {
+            self.flush().map_err(|e| {
+                PersistError::Corrupt(format!("memtable flush before conversion failed: {e}"))
+            })?;
+        }
+        let tail_cfg = self.tail.as_ref().map(|t| t.cfg.clone());
         let w = match self.writer.into_inner() {
             Ok(w) => w,
             Err(p) => p.into_inner(),
@@ -918,7 +1437,7 @@ impl ShardedIndex {
             &dir.join("CURRENT"),
             format!("{DURABLE_MAGIC} {shards}\n").as_bytes(),
         )?;
-        Ok(Self::assemble(
+        let out = Self::assemble(
             self.dim,
             self.cfg,
             masters,
@@ -927,7 +1446,11 @@ impl ShardedIndex {
             self.skipped_points,
             Vec::new(),
             true,
-        ))
+        );
+        Ok(match tail_cfg {
+            Some(cfg) => out.with_memtable(cfg),
+            None => out,
+        })
     }
 
     /// The shard count recorded in a sharded directory's manifest — plain
@@ -945,25 +1468,53 @@ impl ShardedIndex {
     /// Checkpoints every durable shard (snapshot + fresh WAL + `CURRENT`
     /// flip, per shard). A no-op for in-memory indexes.
     ///
+    /// In memtable mode the fresh WAL is seeded with the shard's unfolded
+    /// tail (one batched fsync) before the `CURRENT` flip, preserving the
+    /// invariant *disk snapshot + disk WAL ≡ master + tail*: a checkpoint
+    /// taken while the folder is behind (or broken) still recovers every
+    /// acked write, and because folding performs no syscalls, nothing can
+    /// double-apply.
+    ///
     /// # Errors
     /// I/O failures; already-checkpointed shards stay checkpointed, the
     /// failing shard keeps its previous generation intact.
     pub fn checkpoint(&self) -> Result<(), PersistError> {
+        // Fold lock first: a checkpoint interleaved with an in-flight
+        // fold could otherwise snapshot a master missing the frozen batch
+        // while seeding the WAL without it either.
+        let _fold = self.tail.as_ref().map(|ts| lock_fold(&ts.fold_lock));
         let mut w = self.lock_writer();
-        for sw in &mut w.shards {
+        for (i, sw) in w.shards.iter_mut().enumerate() {
             if let ShardWriter::Durable(d) = sw {
-                d.checkpoint()?;
+                let tail_recs = match &self.tail {
+                    Some(ts) => lock_mem(&ts.tails[i]).wal_records(),
+                    None => Vec::new(),
+                };
+                d.checkpoint_with_tail(&tail_recs)?;
             }
         }
         Ok(())
     }
 
     /// Checkpoints every durable shard and consumes the handle — the
-    /// clean-shutdown path leaving zero replay debt.
+    /// clean-shutdown path leaving zero replay debt (in memtable mode:
+    /// zero debt when the final flush folds everything; a tail stranded
+    /// by a broken folder is re-journaled by the tail-aware checkpoint
+    /// and replayed on the next open).
     ///
     /// # Errors
     /// See [`Self::checkpoint`].
     pub fn close(self) -> Result<(), PersistError> {
+        if self.tail.is_some() {
+            // Best-effort fold: a degraded folder must not block
+            // shutdown, and the tail-aware checkpoint below preserves
+            // whatever stays unfolded.
+            let _ = self.flush();
+            self.checkpoint()?;
+            // Not d.close(): that would checkpoint again with an empty
+            // tail, discarding any unfolded acked writes.
+            return Ok(());
+        }
         let w = match self.writer.into_inner() {
             Ok(w) => w,
             Err(p) => p.into_inner(),

@@ -304,6 +304,51 @@ impl WalWriter {
         }
     }
 
+    /// Journals a batch of records with a **single** fsync covering all of
+    /// them — the checkpoint path uses this to re-journal an unfolded
+    /// memtable tail into a fresh log without paying one fsync per record.
+    /// The batch is durable as a whole: on error nothing in it may be
+    /// treated as acknowledged, and the writer poisons itself exactly as
+    /// [`WalWriter::append`] does.
+    ///
+    /// # Errors
+    /// I/O (including injected fsync) failures; the writer is poisoned.
+    pub fn append_batch(&mut self, recs: &[WalRecord]) -> Result<(), PersistError> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(PersistError::Corrupt(
+                "WAL writer poisoned by an earlier append failure; checkpoint to rotate".into(),
+            ));
+        }
+        let mut frames = Vec::new();
+        for rec in recs {
+            let payload = rec.encode();
+            frames.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frames.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frames.extend_from_slice(&payload);
+        }
+        let res = self
+            .file
+            .write_all(&frames)
+            .and_then(|()| self.file.sync());
+        match res {
+            Ok(()) => {
+                self.records += recs.len() as u64;
+                if let Some(m) = &self.metrics {
+                    m.appends.add(recs.len() as u64);
+                    m.fsyncs.inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(PersistError::Io(e))
+            }
+        }
+    }
+
     /// Records acknowledged through this writer (including the replayed
     /// prefix it was opened with).
     pub fn records(&self) -> u64 {
@@ -347,6 +392,28 @@ mod tests {
         let replay = read_wal(&vfs, &path).unwrap();
         assert_eq!(replay.tail, WalTail::Clean);
         assert_eq!(replay.records, sample_records());
+    }
+
+    #[test]
+    fn append_batch_is_byte_identical_to_one_by_one_appends() {
+        let (vfs, path) = mem();
+        let mut one = WalWriter::create(&vfs, &path).unwrap();
+        for r in sample_records() {
+            one.append(&r).unwrap();
+        }
+        let per_record = vfs.read(&path).unwrap();
+
+        let vfs2 = FaultVfs::new(FaultSchedule::none(2));
+        let mut batch = WalWriter::create(&vfs2, &path).unwrap();
+        batch.append_batch(&sample_records()).unwrap();
+        assert_eq!(batch.records(), 5);
+        assert_eq!(vfs2.read(&path).unwrap(), per_record);
+        let replay = read_wal(&vfs2, &path).unwrap();
+        assert_eq!(replay.tail, WalTail::Clean);
+        assert_eq!(replay.records, sample_records());
+        // Empty batches are free and never touch the file.
+        batch.append_batch(&[]).unwrap();
+        assert_eq!(batch.records(), 5);
     }
 
     #[test]

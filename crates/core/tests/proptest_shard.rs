@@ -7,10 +7,10 @@
 //! ordering is actually exercised, not vacuously satisfied.
 
 use nncell_core::{
-    BuildConfig, NnCellIndex, Query, QueryEngine, QueryResponse, ShardedIndex,
-    Strategy as BuildStrategy,
+    linear_scan_knn, BuildConfig, FoldConfig, NnCellIndex, Query, QueryEngine, QueryResponse,
+    ShardedIndex, Strategy as BuildStrategy,
 };
-use nncell_geom::{dist_sq, Point};
+use nncell_geom::{dist, dist_sq, Point};
 use proptest::prelude::*;
 use proptest::TestCaseError;
 
@@ -286,4 +286,172 @@ fn queries_run_concurrently_with_inserts() {
         let r = sharded.query(&Query::nn(p.as_slice())).unwrap();
         assert_eq!(r.best.id, g, "point {g} must be its own nearest neighbor");
     }
+}
+
+/// Deterministic distinct points in the unit cube via an LCG.
+fn lcg_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed;
+    let mut coord = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX >> 1) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(vec![coord(), coord(), coord()]))
+        .collect()
+}
+
+/// A remove-only writer racing parity-checking readers: every concurrent
+/// answer must be explainable by some monotone prefix of the removal
+/// sequence, with linear-scan agreement on distance *bits*.
+///
+/// The writer deletes ids `0..n_remove` ascending and publishes a
+/// watermark *after* each acked remove. A reader brackets each query with
+/// watermark loads `w0`/`w1`; monotone removal then pins what the query
+/// could have observed:
+///
+/// * ids `< w0` were dead before the query started — none may appear;
+/// * ids `> w1` could not have been removed during the query — any such
+///   point strictly closer (by the merge's `(distance, id)` order) than
+///   the worst returned result would have won, so none may exist outside
+///   the response, and a short response (fewer than `k` results) must
+///   contain every one of them.
+fn assert_remove_during_query_parity(idx: &ShardedIndex, pts: &[Point], n_remove: usize) {
+    use std::cmp::Ordering as Cmp;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let n = pts.len();
+    let watermark = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    // Memtable removes are journal-only and outrun thread startup; the
+    // barrier makes sure every reader brackets at least the storm's tail.
+    let start = std::sync::Barrier::new(3);
+    std::thread::scope(|s| {
+        if idx.memtable_enabled() {
+            let (idx, stop) = (&idx, &stop);
+            s.spawn(move || idx.run_folder(stop));
+        }
+        for reader in 0..2 {
+            // Probe near a survivor so the live set is never empty.
+            let probe: Vec<f64> = pts[n - 1 - reader].as_slice().to_vec();
+            let (idx, watermark, stop, pts, start) = (&idx, &watermark, &stop, &pts, &start);
+            s.spawn(move || {
+                let strictly_closer = |d: f64, id: usize, worst_d: f64, worst_id: usize| {
+                    d.total_cmp(&worst_d).then(id.cmp(&worst_id)) == Cmp::Less
+                };
+                let mut served = 0usize;
+                start.wait();
+                loop {
+                    let k = 1 + served % 3;
+                    let w0 = watermark.load(Ordering::Acquire);
+                    let resp = idx.query(&Query::knn(probe.clone(), k)).unwrap();
+                    let w1 = watermark.load(Ordering::Acquire);
+                    served += 1;
+
+                    let results: Vec<_> = resp.iter().collect();
+                    assert!(
+                        !results.is_empty() && results.len() <= k,
+                        "k={k} returned {} results",
+                        results.len()
+                    );
+                    for w in results.windows(2) {
+                        assert!(
+                            strictly_closer(w[0].dist, w[0].id, w[1].dist, w[1].id),
+                            "response not strictly ordered: {:?} vs {:?}",
+                            (w[0].dist, w[0].id),
+                            (w[1].dist, w[1].id)
+                        );
+                    }
+                    for r in &results {
+                        assert!(r.id < n, "id {} was never assigned", r.id);
+                        assert!(
+                            r.id >= w0,
+                            "id {} was removed before the query started (w0={w0})",
+                            r.id
+                        );
+                        let want = dist(&probe, pts[r.id].as_slice());
+                        assert_eq!(
+                            r.dist.to_bits(),
+                            want.to_bits(),
+                            "id {}: distance {} diverged from the linear-scan metric {}",
+                            r.id,
+                            r.dist,
+                            want
+                        );
+                    }
+                    // Sandwich: points the writer provably never touched
+                    // during the query window behave as in an offline scan.
+                    let worst = results.last().expect("nonempty");
+                    for pid in (w1 + 1).min(n)..n {
+                        if results.iter().any(|r| r.id == pid) {
+                            continue;
+                        }
+                        assert_eq!(
+                            results.len(),
+                            k,
+                            "short response omitted live id {pid} (w1={w1})"
+                        );
+                        let d = dist(&probe, pts[pid].as_slice());
+                        assert!(
+                            !strictly_closer(d, pid, worst.dist, worst.id),
+                            "live id {pid} at {d} beats returned worst \
+                             ({}, id {}) yet was omitted (w0={w0}, w1={w1})",
+                            worst.dist,
+                            worst.id
+                        );
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                assert!(served > 0, "reader never ran");
+            });
+        }
+        start.wait();
+        for id in 0..n_remove {
+            assert!(idx.remove(id).unwrap(), "id {id} was live");
+            watermark.store(id + 1, Ordering::Release);
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    // Quiesced: bit-exact linear-scan parity over the survivors.
+    assert_eq!(idx.len(), n - n_remove);
+    let survivors: Vec<Point> = pts[n_remove..].to_vec();
+    let probe: Vec<f64> = vec![0.5, 0.5, 0.5];
+    for k in [1, 3, 7] {
+        let got = idx.query(&Query::knn(probe.clone(), k)).unwrap();
+        let want = linear_scan_knn(&survivors, &probe, k);
+        assert_eq!(got.iter().count(), want.len(), "k={k}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.id, n_remove + w.id, "k={k}: ranking diverged");
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "k={k}: distance bits");
+        }
+    }
+}
+
+#[test]
+fn removes_race_queries_with_linear_scan_parity() {
+    let pts = lcg_points(160, 0x5eed_0007);
+    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    let sharded = ShardedIndex::build(pts.clone(), 3, cfg).unwrap();
+    assert_remove_during_query_parity(&sharded, &pts, 150);
+}
+
+#[test]
+fn removes_race_queries_through_the_memtable_tail() {
+    let pts = lcg_points(160, 0x5eed_0011);
+    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    // Seed the cells with a prefix, push the rest through the journaled
+    // tail, then race the same removal storm against a live folder: the
+    // merge must stay indistinguishable from the synchronous path.
+    let sharded = ShardedIndex::build(pts[..16].to_vec(), 3, cfg)
+        .unwrap()
+        .with_memtable(FoldConfig::default());
+    for (i, p) in pts.iter().enumerate().skip(16) {
+        assert_eq!(sharded.insert(p.clone()).unwrap(), i);
+    }
+    assert_remove_during_query_parity(&sharded, &pts, 150);
 }

@@ -121,6 +121,13 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Records a wall-clock duration in nanoseconds (the unit every
+    /// `*_ns` histogram in the stack uses), saturating past ~584 years.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// Copies the current counts into an owned, immutable snapshot.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -223,6 +230,17 @@ mod tests {
         }
         assert_eq!(bucket_upper_bound(0), 0);
         assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_duration_lands_in_the_nanosecond_bucket() {
+        let h = Histogram::new();
+        h.record_duration(std::time::Duration::from_nanos(1000));
+        h.record_duration(std::time::Duration::from_micros(1));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum, 2000);
+        assert_eq!(s.max, 1000);
     }
 
     #[test]

@@ -154,17 +154,22 @@ impl ServeIndex {
 
     fn remove(&self, id: usize) -> Result<bool, WriteError> {
         match self {
-            ServeIndex::Sharded(s) => s.remove(id).map_err(WriteError::Persist),
+            ServeIndex::Sharded(s) => s.remove(id).map_err(WriteError::Durable),
             ServeIndex::Durable(m) => lock(m).remove(id).map_err(WriteError::Persist),
             ServeIndex::Plain(_) => Err(WriteError::ReadOnly),
         }
     }
 
     /// The clean-shutdown checkpoint: rotate every WAL so a subsequent
-    /// open replays nothing. No-op for in-memory variants.
+    /// open replays nothing. No-op for in-memory variants. A sharded
+    /// index folds its memtable tail first (best-effort — the tail-aware
+    /// checkpoint re-journals whatever a broken folder left behind).
     fn final_checkpoint(&self) -> Result<(), PersistError> {
         match self {
-            ServeIndex::Sharded(s) => s.checkpoint(),
+            ServeIndex::Sharded(s) => {
+                let _ = s.flush();
+                s.checkpoint()
+            }
             ServeIndex::Durable(m) => lock(m).checkpoint(),
             ServeIndex::Plain(_) => Ok(()),
         }
@@ -373,6 +378,11 @@ impl Server {
         self.shared.local_addr
     }
 
+    /// The index being served (read-only; banners and introspection).
+    pub fn index(&self) -> &ServeIndex {
+        &self.shared.index
+    }
+
     /// A handle usable from other threads while `run` blocks.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
@@ -416,6 +426,26 @@ impl Server {
                 })
                 .map_err(PersistError::Io)?;
         }
+        // Supervised folder for a memtable-enabled sharded index: folds
+        // the tail into NN-cells off the write path until the drain flag
+        // (doubling as its stop signal) is set. Panics inside a fold are
+        // caught by fold_once itself; the loop only paces retries.
+        let folder = match &shared.index {
+            ServeIndex::Sharded(s) if s.memtable_enabled() => {
+                let s = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name(String::from("nncell-folder"))
+                        .spawn(move || {
+                            if let ServeIndex::Sharded(idx) = &s.index {
+                                idx.run_folder(&s.draining);
+                            }
+                        })
+                        .map_err(PersistError::Io)?,
+                )
+            }
+            _ => None,
+        };
         shared.ready.store(true, Ordering::SeqCst);
 
         loop {
@@ -439,6 +469,9 @@ impl Server {
         shared.queue_cv.notify_all();
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(f) = folder {
+            let _ = f.join();
         }
         shared.index.final_checkpoint()
     }
@@ -621,7 +654,20 @@ fn route(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Reply {
         ("GET", "/healthz") => json_reply(200, "/healthz", String::from("{\"ok\":true}")),
         ("GET", "/readyz") => {
             if shared.ready.load(Ordering::SeqCst) && !shared.draining.load(Ordering::SeqCst) {
-                json_reply(200, "/readyz", String::from("{\"ready\":true}"))
+                // Degraded-but-serving is still ready (writes land in the
+                // tail, queries stay exact); the body carries the folder
+                // health so probes and operators can see it.
+                let body = match &shared.index {
+                    ServeIndex::Sharded(s) if s.is_degraded() => {
+                        let st = s.fold_status();
+                        format!(
+                            "{{\"ready\":true,\"degraded\":true,\"tail_depth\":{},\"fold_failures\":{}}}",
+                            st.tail_depth, st.failures
+                        )
+                    }
+                    _ => String::from("{\"ready\":true}"),
+                };
+                json_reply(200, "/readyz", body)
             } else {
                 error_reply(503, "/readyz", "not_ready")
             }
@@ -775,12 +821,26 @@ fn handle_insert(shared: &Arc<Shared>, body: &[u8]) -> Reply {
     };
     match shared.index.insert(Point::new(coords)) {
         Ok(id) => json_reply(200, "/insert", format!("{{\"id\":{id}}}")),
-        Err(WriteError::ReadOnly) => error_reply(403, "/insert", "read_only"),
-        Err(WriteError::Durable(DurableError::Invalid(e))) => {
-            error_reply(400, "/insert", &e.to_string())
+        Err(e) => write_error_reply(shared, "/insert", e),
+    }
+}
+
+/// Maps a write failure to HTTP. Backpressure (memtable tail at its
+/// high-watermark) is the one retryable case: `429` plus the same
+/// `Retry-After` contract as admission-queue shedding, so well-behaved
+/// clients back off instead of hammering a folder that is behind.
+fn write_error_reply(shared: &Arc<Shared>, route: &'static str, e: WriteError) -> Reply {
+    match e {
+        WriteError::ReadOnly => error_reply(403, route, "read_only"),
+        WriteError::Durable(DurableError::Invalid(e)) => error_reply(400, route, &e.to_string()),
+        WriteError::Durable(DurableError::Backpressure { .. }) => {
+            let mut r = error_reply(429, route, "write_backpressure");
+            r.headers
+                .push(format!("Retry-After: {}", shared.cfg.retry_after_secs));
+            r
         }
-        Err(WriteError::Durable(DurableError::Persist(e)) | WriteError::Persist(e)) => {
-            error_reply(500, "/insert", &e.to_string())
+        WriteError::Durable(DurableError::Persist(e)) | WriteError::Persist(e) => {
+            error_reply(500, route, &e.to_string())
         }
     }
 }
@@ -795,13 +855,7 @@ fn handle_remove(shared: &Arc<Shared>, body: &[u8]) -> Reply {
     };
     match shared.index.remove(id) {
         Ok(removed) => json_reply(200, "/remove", format!("{{\"removed\":{removed}}}")),
-        Err(WriteError::ReadOnly) => error_reply(403, "/remove", "read_only"),
-        Err(WriteError::Durable(DurableError::Invalid(e))) => {
-            error_reply(400, "/remove", &e.to_string())
-        }
-        Err(WriteError::Durable(DurableError::Persist(e)) | WriteError::Persist(e)) => {
-            error_reply(500, "/remove", &e.to_string())
-        }
+        Err(e) => write_error_reply(shared, "/remove", e),
     }
 }
 

@@ -24,7 +24,8 @@
 use nncell::core::durable::DurableError;
 use nncell::core::vfs::{FaultSchedule, FaultVfs, Vfs};
 use nncell::core::{
-    linear_scan_nn, BuildConfig, NnCellIndex, Query, QueryEngine, ShardedIndex, Strategy,
+    linear_scan_nn, BuildConfig, FoldConfig, NnCellIndex, Query, QueryEngine, ShardedIndex,
+    Strategy,
 };
 use nncell::geom::{Euclidean, Point};
 use rand::rngs::SmallRng;
@@ -111,6 +112,9 @@ fn run_workload(vfs: Arc<dyn Vfs>, dir: &Path, ops: &[Op]) -> usize {
                 Ok(_) => true,
                 Err(DurableError::Invalid(e)) => {
                     panic!("workload points are valid by construction: {e}")
+                }
+                Err(DurableError::Backpressure { .. }) => {
+                    panic!("no memtable configured — backpressure is impossible")
                 }
                 Err(DurableError::Persist(_)) => false,
             },
@@ -250,6 +254,9 @@ fn run_sharded_workload(vfs: Arc<dyn Vfs>, dir: &Path, ops: &[Op]) -> usize {
                 Err(DurableError::Invalid(e)) => {
                     panic!("workload points are valid by construction: {e}")
                 }
+                Err(DurableError::Backpressure { .. }) => {
+                    panic!("no memtable configured — backpressure is impossible")
+                }
                 Err(DurableError::Persist(_)) => false,
             },
             Op::Remove(id) => s.remove(*id).is_ok(),
@@ -379,6 +386,131 @@ fn every_crash_point_recovers_a_prefix_consistent_sharded_index() {
             hi.len()
         );
         assert_sharded_queries_exact(&recovered, &format!("sharded crash point {k}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sweep over the memtable write path: acks are journal-only (O(1)),
+// folds interleave with the workload, and checkpoints re-journal the
+// unfolded tail into the fresh WAL. Crash points now land inside
+// tail-aware checkpoints and around folds — the fold/checkpoint
+// interleavings of the LSM design.
+
+/// Runs the workload against a memtable-enabled sharded durable index,
+/// folding synchronously every third op (deterministic interleaving).
+/// Folding is asserted to make **zero** syscalls — the property that
+/// makes fold crash-consistency trivial: disk state never depends on
+/// fold progress, so recovery is pure WAL replay and can neither lose
+/// an acked write to a crashed fold nor double-apply a folded one.
+fn run_sharded_memtable_workload(fault: &FaultVfs, dir: &Path, ops: &[Op]) -> usize {
+    let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+    let s = match ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), dir, DIM, SHARDS, cfg()) {
+        Ok(s) => s,
+        Err(_) => return 0,
+    };
+    let s = s.with_memtable(FoldConfig {
+        tail_max: 1 << 20,
+        ..FoldConfig::default()
+    });
+    let mut acked = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let ok = match op {
+            Op::Insert(p) => match s.insert(p.clone()) {
+                Ok(_) => true,
+                Err(DurableError::Invalid(e)) => {
+                    panic!("workload points are valid by construction: {e}")
+                }
+                Err(DurableError::Backpressure { .. }) => {
+                    panic!("tail_max is far above the workload length")
+                }
+                Err(DurableError::Persist(_)) => false,
+            },
+            Op::Remove(id) => s.remove(*id).is_ok(),
+            Op::Checkpoint => s.checkpoint().is_ok(),
+        };
+        if !ok {
+            return acked;
+        }
+        acked += 1;
+        if i % 3 == 2 {
+            let before = fault.ops();
+            s.fold_once().expect("no chaos configured — folds cannot fail");
+            assert_eq!(fault.ops(), before, "folding must make zero syscalls");
+        }
+    }
+    let _ = s.close();
+    acked
+}
+
+/// Kill-at-every-syscall over the memtable write path. Recovery opens
+/// the directory through the ordinary (synchronous) durable path: the
+/// WAL alone must reconstruct master + tail, whatever mix of folded and
+/// unfolded state the crash interrupted.
+#[test]
+fn every_crash_point_recovers_the_memtable_write_path() {
+    let seed = fault_seed().wrapping_mul(11);
+    let dir = Path::new("/memtable-db");
+    let ops = workload(seed, 18);
+    let states = model_states(&ops);
+
+    // Fault-free baseline: count syscalls, check the final state.
+    let clean = FaultVfs::new(FaultSchedule::none(seed));
+    let acked = run_sharded_memtable_workload(&clean, dir, &ops);
+    assert_eq!(acked, ops.len(), "fault-free run must acknowledge every op");
+    let total_ops = clean.ops();
+    assert!(!clean.crashed());
+    assert!(
+        total_ops >= 60,
+        "memtable workload shrank to {total_ops} syscalls — the sweep no longer proves much"
+    );
+    let reopened = ShardedIndex::open_durable_with_vfs(
+        Arc::new(clean.survivor(FaultSchedule::none(seed))),
+        dir,
+        DIM,
+        SHARDS,
+        cfg(),
+    )
+    .expect("clean reopen");
+    assert!(
+        states_equal(&sharded_live_slots(&reopened), &states[ops.len()]),
+        "fault-free run must end in the full-workload state"
+    );
+
+    // Crash at every syscall.
+    for k in 0..total_ops {
+        let fault = FaultVfs::new(FaultSchedule::crash_at(seed, k));
+        let acked = run_sharded_memtable_workload(&fault, dir, &ops);
+        assert!(
+            fault.crashed(),
+            "crash point {k} < {total_ops} must have fired"
+        );
+
+        let survivor = fault.survivor(FaultSchedule::none(seed.wrapping_add(k)));
+        let recovered = ShardedIndex::open_durable_with_vfs(
+            Arc::new(survivor),
+            dir,
+            DIM,
+            SHARDS,
+            cfg(),
+        )
+        .unwrap_or_else(|e| panic!("crash point {k}: memtable recovery failed: {e}"));
+
+        // Prefix consistency, bit-identical points: every acked write
+        // survives (journal-before-ack), nothing double-applies (folds
+        // never touch disk), at most one in-flight op beyond the acks.
+        let got = sharded_live_slots(&recovered);
+        let lo = &states[acked];
+        let hi = &states[(acked + 1).min(ops.len())];
+        assert!(
+            states_equal(&got, lo) || states_equal(&got, hi),
+            "crash point {k}: recovered memtable state matches neither the state \
+             after the {acked} acknowledged ops nor one in-flight op beyond it\n\
+             recovered: {} slots, expected {} or {} slots",
+            got.len(),
+            lo.len(),
+            hi.len()
+        );
+        assert_sharded_queries_exact(&recovered, &format!("memtable crash point {k}"));
     }
 }
 
