@@ -34,7 +34,7 @@ cargo test -q -p nncell-cli --test server_e2e
 cargo test -q -p nncell-server
 
 echo "== clippy (panic-free library crates) =="
-cargo clippy -p nncell-obs -p nncell-lp -p nncell-core -p nncell-server --lib -- -D warnings -D clippy::unwrap_used
+cargo clippy -p nncell-obs -p nncell-lp -p nncell-core -p nncell-server -p nncell-index --lib -- -D warnings -D clippy::unwrap_used
 
 echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =="
 # Sequential vs parallel batch QPS on one fixed-seed workload; the bench
@@ -68,6 +68,21 @@ NNCELL_N="${NNCELL_SERVER_N:-4000}" NNCELL_DIM="${NNCELL_SERVER_DIM:-8}" \
     NNCELL_QUERIES="${NNCELL_SERVER_QUERIES:-800}" \
     NNCELL_SERVER_OVERLOAD_MS="${NNCELL_SERVER_OVERLOAD_MS:-800}" \
     cargo bench -p nncell-bench --bench server
+
+echo "== build-scaling bench smoke (pooled vs exhaustive construction) =="
+# Exercises the sub-quadratic pooled build path end to end (STR bulk load,
+# approximate-kNN constraint pools, degeneracy fallback) and parity-checks
+# every pooled build against a linear scan. CI runs a seconds-long smoke
+# ladder and writes the JSON to target/ so it never clobbers the committed
+# full-scale BENCH_build_scaling.json; to regenerate that file, run the
+# bench with all overrides unset (defaults: n ∈ {8k, 32k, 128k}, d=8 —
+# ~10 minutes on one core):
+#   cargo bench -p nncell-bench --bench build_scaling
+NNCELL_BUILD_NS="${NNCELL_BUILD_NS:-1000,2000}" \
+    NNCELL_EXHAUSTIVE_CAP="${NNCELL_EXHAUSTIVE_CAP:-2000}" \
+    NNCELL_ALLPAIRS_NS="${NNCELL_ALLPAIRS_NS:-300,600}" \
+    NNCELL_BENCH_OUT="${NNCELL_BUILD_SCALING_OUT:-$PWD/target/BENCH_build_scaling.json}" \
+    cargo bench -p nncell-bench --bench build_scaling
 
 echo "== mixed read/write bench (O(1) ack vs index size; writes BENCH_mixed.json) =="
 # The LSM write-path contract, asserted by the bench itself: memtable
@@ -108,6 +123,31 @@ if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
     }'
 else
     echo "bench gate: no committed BENCH_query_engine.json baseline; skipping"
+fi
+
+echo "== build-time regression gate (build_seconds vs committed baseline) =="
+# The pooled construction path is this repo's headline build-speed claim;
+# guard it the same way as query throughput. The fresh smoke run's
+# build_seconds may exceed the committed baseline by at most 25%. Skipped
+# when there is no committed baseline.
+if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
+    extract_build_s() { grep -o '"build_seconds": *[0-9.]*' | tr -dc '0-9.\n' | head -n1; }
+    old_build=$(printf '%s' "$baseline_json" | extract_build_s)
+    cur_build=$(extract_build_s < BENCH_query_engine.json)
+    if [ -z "$old_build" ] || [ -z "$cur_build" ]; then
+        echo "build gate: could not parse build_seconds (old='$old_build' cur='$cur_build')" >&2
+        exit 1
+    fi
+    awk -v old="$old_build" -v cur="$cur_build" 'BEGIN {
+        ceil = 1.25 * old;
+        printf "build gate: build_seconds %.2f vs baseline %.2f (ceiling %.2f)\n", cur, old, ceil;
+        if (cur > ceil) {
+            printf "build gate: FAIL — build time regressed more than 25%%\n";
+            exit 1;
+        }
+    }'
+else
+    echo "build gate: no committed BENCH_query_engine.json baseline; skipping"
 fi
 
 echo "== server bench gate (HTTP QPS vs committed baseline) =="

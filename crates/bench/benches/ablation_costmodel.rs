@@ -32,7 +32,7 @@ fn main() {
         }
         let nncell = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::CorrectPruned).with_seed(5),
+            BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(5).build(),
         )
         .expect("build");
 

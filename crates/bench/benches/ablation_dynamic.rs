@@ -31,9 +31,9 @@ fn main() {
     for (label, refine) in [("refine ON", true), ("refine OFF", false)] {
         let mut index = NnCellIndex::build(
             base.clone(),
-            BuildConfig::new(Strategy::Sphere)
-                .with_refine_on_insert(refine)
-                .with_seed(7),
+            BuildConfig::builder().strategy(Strategy::Sphere)
+                .refine_on_insert(refine)
+                .seed(7).build(),
         )
         .expect("build");
         let (_, t_ins) = timed(|| {

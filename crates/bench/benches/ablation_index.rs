@@ -26,9 +26,9 @@ fn main() {
     for block in [1024usize, 4096, 16384] {
         let index = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::NnDirection)
-                .with_block_size(block)
-                .with_seed(9),
+            BuildConfig::builder().strategy(Strategy::NnDirection)
+                .block_size(block)
+                .seed(9).build(),
         )
         .expect("build");
         index.reset_stats();
@@ -53,7 +53,7 @@ fn main() {
     // queries.
     let index = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::NnDirection).with_seed(9),
+        BuildConfig::builder().strategy(Strategy::NnDirection).seed(9).build(),
     )
     .expect("build");
     let cells: Vec<Mbr> = (0..n)

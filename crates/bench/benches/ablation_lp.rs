@@ -39,7 +39,7 @@ fn main() {
         let (index, t) = timed(|| {
             NnCellIndex::build(
                 points.clone(),
-                BuildConfig::new(strategy).with_solver(solver).with_seed(8),
+                BuildConfig::builder().strategy(strategy).solver(solver).seed(8).build(),
             )
             .expect("build")
         });

@@ -23,7 +23,7 @@ fn main() {
 
     let nncell = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::CorrectPruned).with_seed(11),
+        BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(11).build(),
     )
     .expect("build");
     let mut scan = LinearScan::new(d);

@@ -31,7 +31,7 @@ fn main() {
         let mut qprs = Vec::new();
         for strategy in strategies {
             let (index, secs_taken) = timed(|| {
-                NnCellIndex::build(points.clone(), BuildConfig::new(strategy).with_seed(1))
+                NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(strategy).seed(1).build())
                     .expect("build")
             });
             let overlap = average_overlap(&cells_of(&index));

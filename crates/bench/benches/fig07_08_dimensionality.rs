@@ -27,7 +27,7 @@ fn main() {
 
         let nncell = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::CorrectPruned).with_seed(2),
+            BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(2).build(),
         )
         .expect("build");
         let mut rstar = RStarTree::for_points(d);

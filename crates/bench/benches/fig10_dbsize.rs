@@ -24,7 +24,7 @@ fn main() {
 
         let nncell = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::CorrectPruned).with_seed(4),
+            BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(4).build(),
         )
         .expect("build");
         let mut rstar = RStarTree::for_points(d);

@@ -26,7 +26,7 @@ fn main() {
 
         let nncell = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::CorrectPruned).with_seed(5),
+            BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(5).build(),
         )
         .expect("build");
         let mut xtree = XTree::for_points(d);

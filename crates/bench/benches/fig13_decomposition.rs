@@ -27,14 +27,14 @@ fn main() {
             };
             let exact = NnCellIndex::build(
                 points.clone(),
-                BuildConfig::new(Strategy::CorrectPruned).with_seed(6),
+                BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(6).build(),
             )
             .expect("build exact");
             let decomposed = NnCellIndex::build(
                 points.clone(),
-                BuildConfig::new(Strategy::CorrectPruned)
-                    .with_decomposition(pieces)
-                    .with_seed(6),
+                BuildConfig::builder().strategy(Strategy::CorrectPruned)
+                    .decompose_pieces(pieces)
+                    .seed(6).build(),
             )
             .expect("build decomposed");
             let o_exact = average_overlap(&cells_of(&exact));

@@ -91,7 +91,7 @@ fn bench_nncell_query() {
     let queries = UniformGenerator::new(d).generate(64, 6);
     let index = NnCellIndex::build(
         points,
-        BuildConfig::new(Strategy::NnDirection).with_seed(10),
+        BuildConfig::builder().strategy(Strategy::NnDirection).seed(10).build(),
     )
     .expect("build");
 
@@ -107,7 +107,7 @@ fn bench_cell_build() {
     let points = UniformGenerator::new(d).generate(300, 7);
     for strategy in [Strategy::Sphere, Strategy::NnDirection] {
         bench(&format!("cell_index_build_d8_n300/{}", strategy.name()), 1, || {
-            NnCellIndex::build(points.clone(), BuildConfig::new(strategy).with_seed(11)).unwrap()
+            NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(strategy).seed(11).build()).unwrap()
         });
     }
 }

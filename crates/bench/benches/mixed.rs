@@ -109,9 +109,9 @@ fn main() {
         // (coordinates are continuous uniform; duplicate rejection is a
         // non-issue at these scales).
         let fresh = UniformGenerator::new(d).generate(sync_ops + ops, 8 + n as u64);
-        let cfg = BuildConfig::new(Strategy::Sphere)
-            .with_seed(7)
-            .with_threads(threads);
+        let cfg = BuildConfig::builder().strategy(Strategy::Sphere)
+            .seed(7)
+            .threads(threads).build();
         let (idx, build_s) = timed(|| {
             ShardedIndex::build(seed_pts, SHARDS, cfg).expect("seed build")
         });

@@ -22,7 +22,7 @@
 //! such one-off stalls while leaving real regressions visible.
 
 use nncell_bench::{env_usize, timed};
-use nncell_core::{BuildConfig, NnCellIndex, Query, Registry, Strategy};
+use nncell_core::{BuildConfig, ConstraintPool, NnCellIndex, Query, Registry, Strategy};
 use nncell_data::{Generator, UniformGenerator};
 
 /// Runs `f` twice and keeps the faster elapsed time (the result is
@@ -53,9 +53,14 @@ fn main() {
     let (mut index, build_s) = timed(|| {
         NnCellIndex::build(
             points,
-            BuildConfig::new(Strategy::NnDirection)
-                .with_seed(7)
-                .with_threads(threads),
+            BuildConfig::builder()
+                .strategy(Strategy::NnDirection)
+                .constraint_pool(ConstraintPool::ApproxKnn {
+                    k: ConstraintPool::recommended_k(d),
+                })
+                .seed(7)
+                .threads(threads)
+                .build(),
         )
         .expect("build")
     });

@@ -88,7 +88,7 @@ fn main() {
         .iter()
         .map(|p| query_body(p.as_slice()))
         .collect();
-    let cfg = BuildConfig::new(Strategy::NnDirection).with_seed(7);
+    let cfg = BuildConfig::builder().strategy(Strategy::NnDirection).seed(7).build();
     let index = ShardedIndex::build(points, 2, cfg.clone()).expect("build index");
 
     // ----- pass 1: capacity (client threads == worker threads) -------

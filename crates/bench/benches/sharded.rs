@@ -59,7 +59,7 @@ fn main() {
     let mut baseline: Option<Vec<Result<QueryResponse, nncell_core::QueryError>>> = None;
     let mut rows = Vec::new();
     for &s in &counts {
-        let cfg = BuildConfig::new(Strategy::NnDirection).with_seed(7);
+        let cfg = BuildConfig::builder().strategy(Strategy::NnDirection).seed(7).build();
         let (index, build_s) = timed(|| {
             ShardedIndex::build(points.clone(), s, cfg).expect("sharded build")
         });

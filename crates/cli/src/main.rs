@@ -29,8 +29,8 @@ mod csv;
 use args::Parsed;
 use nncell_core::wal::WalTail;
 use nncell_core::{
-    BuildConfig, DurableIndex, FoldConfig, InputPolicy, NnCellIndex, Query, Registry, ShardedIndex,
-    Strategy,
+    BuildConfig, ConstraintPool, DurableIndex, FoldConfig, InputPolicy, NnCellIndex, Query,
+    Registry, ShardedIndex, Strategy,
 };
 use nncell_geom::Point;
 use nncell_data::{
@@ -110,10 +110,31 @@ fn parse_strategy(s: &str) -> Result<Strategy, String> {
     })
 }
 
+/// `--pool exhaustive | approx | approx:K` (the bare `approx` uses the
+/// dimension-derived [`ConstraintPool::recommended_k`]).
+fn parse_pool(s: &str, dim: usize) -> Result<ConstraintPool, String> {
+    if s == "exhaustive" {
+        return Ok(ConstraintPool::Exhaustive);
+    }
+    if s == "approx" {
+        return Ok(ConstraintPool::ApproxKnn {
+            k: ConstraintPool::recommended_k(dim),
+        });
+    }
+    if let Some(k) = s.strip_prefix("approx:") {
+        let k: usize = k.parse().map_err(|_| format!("bad --pool {s:?}"))?;
+        return Ok(ConstraintPool::ApproxKnn { k });
+    }
+    Err(format!(
+        "unknown --pool {s:?} (expected exhaustive, approx, or approx:K)"
+    ))
+}
+
 fn cmd_build(p: &Parsed) -> Result<(), String> {
     p.allow_only(&[
         "points",
         "strategy",
+        "pool",
         "decompose",
         "seed",
         "threads",
@@ -127,22 +148,28 @@ fn cmd_build(p: &Parsed) -> Result<(), String> {
     let points = csv::read_points(p.require("points").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let strategy = parse_strategy(p.get("strategy").unwrap_or("correct-pruned"))?;
-    let mut cfg = BuildConfig::new(strategy)
-        .with_seed(p.get_or("seed", 0).map_err(|e| e.to_string())?)
-        .with_threads(p.get_or("threads", 1).map_err(|e| e.to_string())?);
+    let dim = points.first().map_or(2, Point::dim);
+    let mut b = BuildConfig::builder()
+        .strategy(strategy)
+        .seed(p.get_or("seed", 0).map_err(|e| e.to_string())?)
+        .threads(p.get_or("threads", 1).map_err(|e| e.to_string())?);
+    if let Some(pool) = p.get("pool") {
+        b = b.constraint_pool(parse_pool(pool, dim)?);
+    }
     let decompose: usize = p.get_or("decompose", 1).map_err(|e| e.to_string())?;
     if decompose > 1 {
-        cfg = cfg.with_decomposition(decompose);
+        b = b.decompose_pieces(decompose);
     }
     if p.get("skip-invalid").is_some() {
-        cfg = cfg.with_input_policy(InputPolicy::Skip);
+        b = b.input_policy(InputPolicy::Skip);
     }
     if let Some(iters) = p.get("lp-max-iterations") {
         let n: usize = iters
             .parse()
             .map_err(|_| format!("bad --lp-max-iterations {iters:?}"))?;
-        cfg = cfg.with_lp_max_iterations(n);
+        b = b.lp_max_iterations(n);
     }
+    let cfg = b.build();
     let out = p.get("out");
     let wal = p.get("wal");
     if out.is_none() && wal.is_none() {
@@ -250,12 +277,21 @@ fn open_sharded_at(path: &str, durable_hint: bool) -> Result<Option<ShardedIndex
 }
 
 fn cmd_query(p: &Parsed) -> Result<(), String> {
-    p.allow_only(&["index", "wal", "point", "k"])
+    p.allow_only(&["index", "wal", "point", "k", "radius"])
         .map_err(|e| e.to_string())?;
     let q = csv::parse_point(p.require("point").map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     let k: usize = p.get_or("k", 1).map_err(|e| e.to_string())?;
-    let query = Query::knn(q, k);
+    let query = match p.get("radius") {
+        Some(r) => {
+            if p.get("k").is_some() {
+                return Err("query takes --k or --radius, not both".into());
+            }
+            let r: f64 = r.parse().map_err(|_| format!("bad --radius {r:?}"))?;
+            Query::radius(q, r)
+        }
+        None => Query::knn(q, k),
+    };
     // All four surfaces (plain file, durable dir, and the sharded flavor
     // of each — auto-detected from the on-disk manifest) route through the
     // same engine semantics, so a malformed query produces the same typed
@@ -280,7 +316,7 @@ fn cmd_query(p: &Parsed) -> Result<(), String> {
         },
         _ => return Err("query needs exactly one of --index FILE or --wal DIR".into()),
     };
-    if k == 1 {
+    if k == 1 && p.get("radius").is_none() {
         println!(
             "nearest neighbor: #{} at distance {:.6}",
             resp.best.id, resp.best.dist
@@ -742,7 +778,7 @@ fn open_serve_index(p: &Parsed) -> Result<nncell_server::ServeIndex, String> {
                 .parse()
                 .map_err(|_| "bad --dim".to_string())?;
             let shards: usize = p.get_or("shards", 1).map_err(|e| e.to_string())?;
-            let cfg = BuildConfig::new(Strategy::CorrectPruned);
+            let cfg = BuildConfig::builder().strategy(Strategy::CorrectPruned).build();
             if shards > 1 {
                 Ok(memtable(
                     ShardedIndex::open_durable(dir, dim, shards, cfg)
@@ -1124,8 +1160,9 @@ COMMANDS
             [--n 1000] [--dim 8] [--seed 42] [--clusters 8] [--sigma 0.05]
   build     --points FILE (--out FILE | --wal DIR) [--strategy correct|
             correct-pruned|point|sphere|nn-direction] [--decompose K] [--seed S]
-            [--threads T] [--shards S] [--skip-invalid] [--lp-max-iterations N]
-  query     (--index FILE | --wal DIR) --point x,y,... [--k K]
+            [--pool exhaustive|approx|approx:K] [--threads T] [--shards S]
+            [--skip-invalid] [--lp-max-iterations N]
+  query     (--index FILE | --wal DIR) --point x,y,... [--k K | --radius R]
   insert    --wal DIR --point x,y,... [--checkpoint]
   remove    --wal DIR --id N [--checkpoint]
   recover   --wal DIR [--checkpoint]
@@ -1142,6 +1179,12 @@ COMMANDS
             [--slow-ms 100] [--tail-max 4096] [--fold-interval-ms 20]
             [--dim N --shards S  (fresh --wal init)]
   help
+
+`build --pool approx` constructs cells from each point's approximate
+k-nearest constraint pool (sub-quadratic; `approx:K` picks the pool size,
+bare `approx` uses the dimension-derived default) instead of the
+exhaustive per-cell gather; answers are identical either way. `query
+--radius R` returns every point within distance R, sorted by distance.
 
 `build --shards S` (S > 1) partitions points round-robin into S shards,
 builds them in parallel, and writes a sharded directory (plain with --out,

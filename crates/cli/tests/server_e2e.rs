@@ -37,7 +37,7 @@ fn tmp(name: &str) -> PathBuf {
 
 fn cfg() -> BuildConfig {
     // Must match what `serve` uses for a fresh `--wal` directory.
-    BuildConfig::new(Strategy::CorrectPruned)
+    BuildConfig::builder().strategy(Strategy::CorrectPruned).build()
 }
 
 /// A running `nncell serve` subprocess: the parsed listen address plus

@@ -50,6 +50,42 @@ impl Strategy {
     }
 }
 
+/// Where the bisector-candidate pool for each cell comes from (the
+/// tentpole of the sub-quadratic build; ROADMAP item 1).
+///
+/// Lemma 1 makes *any* candidate subset exact for query answers — dropping
+/// constraints can only grow a cell's approximation, never shrink it below
+/// the true cell. The pool therefore only trades MBR tightness (query-time
+/// candidates) against build time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ConstraintPool {
+    /// Candidates come from the configured [`Strategy`] over the full live
+    /// point set — the pre-pool behavior, `O(N)`-ish gathering per cell.
+    #[default]
+    Exhaustive,
+    /// Candidates are the point's `k` approximate nearest neighbors, probed
+    /// from the bulk-loaded point tree (bounded best-first). Gathering is
+    /// `O(log N + k)` pages per cell; the configured [`Strategy`] is only
+    /// consulted when a cell falls back to the exhaustive pool (degenerate
+    /// or clamped LP solve — see `BuildStats::pool_fallback_cells`).
+    ApproxKnn {
+        /// Pool size. `BuildConfig::effective_pool_k` clamps it to at least
+        /// `2·d + 1` so every axis direction can find a rival.
+        k: usize,
+    },
+}
+
+
+impl ConstraintPool {
+    /// The recommended pool size for `d`-dimensional data: `4·d`, matching
+    /// the constraint count of the paper's NN-Direction strategy (whose
+    /// tightness it empirically tracks) while keeping each cell's LP
+    /// constant-size.
+    pub fn recommended_k(d: usize) -> usize {
+        (4 * d.max(1)).max(8)
+    }
+}
+
 /// What a bulk build does with an invalid input point (NaN/∞ coordinate,
 /// outside the data space, or an exact duplicate of an earlier point).
 ///
@@ -67,10 +103,26 @@ pub enum InputPolicy {
 }
 
 /// Configuration for [`crate::NnCellIndex::build`].
+///
+/// Construct with [`BuildConfig::builder`]:
+///
+/// ```
+/// use nncell_core::{BuildConfig, ConstraintPool, Strategy};
+/// let cfg = BuildConfig::builder()
+///     .strategy(Strategy::NnDirection)
+///     .constraint_pool(ConstraintPool::ApproxKnn { k: 32 })
+///     .seed(7)
+///     .build();
+/// assert_eq!(cfg.pool, ConstraintPool::ApproxKnn { k: 32 });
+/// ```
 #[derive(Clone, Debug)]
 pub struct BuildConfig {
     /// Constraint-selection strategy.
     pub strategy: Strategy,
+    /// Where each cell's bisector-candidate pool comes from. Under
+    /// [`ConstraintPool::ApproxKnn`] the strategy is bypassed for
+    /// first-attempt gathering and only governs the exhaustive fallback.
+    pub pool: ConstraintPool,
     /// LP backend ([`SolverKind::Auto`] picks simplex for small constraint
     /// sets, Seidel for large ones).
     pub solver: SolverKind,
@@ -101,12 +153,14 @@ pub struct BuildConfig {
     pub input_policy: InputPolicy,
 }
 
-impl BuildConfig {
-    /// Defaults: auto solver, no decomposition, 4 KB blocks, seed 0,
-    /// refinement on.
-    pub fn new(strategy: Strategy) -> Self {
+impl Default for BuildConfig {
+    /// [`BuildConfig::builder`] defaults: NN-Direction strategy, exhaustive
+    /// pool, auto solver, no decomposition, 4 KB blocks, seed 0, refinement
+    /// on, one thread.
+    fn default() -> Self {
         Self {
-            strategy,
+            strategy: Strategy::NnDirection,
+            pool: ConstraintPool::Exhaustive,
             solver: SolverKind::Auto,
             decompose_pieces: None,
             sphere_radius: None,
@@ -118,14 +172,38 @@ impl BuildConfig {
             input_policy: InputPolicy::Reject,
         }
     }
+}
+
+impl BuildConfig {
+    /// Starts a builder with the documented defaults.
+    pub fn builder() -> BuildConfigBuilder {
+        BuildConfigBuilder {
+            cfg: BuildConfig::default(),
+        }
+    }
+
+    /// Defaults: auto solver, exhaustive pool, no decomposition, 4 KB
+    /// blocks, seed 0, refinement on.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder()")]
+    pub fn new(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
 
     /// Sets the LP backend.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().solver(..)")]
     pub fn with_solver(mut self, solver: SolverKind) -> Self {
         self.solver = solver;
         self
     }
 
     /// Enables decomposition into at most `pieces` MBRs per cell.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use BuildConfig::builder().decompose_pieces(..)"
+    )]
     pub fn with_decomposition(mut self, pieces: usize) -> Self {
         assert!(pieces >= 1, "decomposition needs at least one piece");
         self.decompose_pieces = Some(pieces);
@@ -133,6 +211,7 @@ impl BuildConfig {
     }
 
     /// Overrides the Sphere-strategy radius.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().sphere_radius(..)")]
     pub fn with_sphere_radius(mut self, r: f64) -> Self {
         assert!(r > 0.0);
         self.sphere_radius = Some(r);
@@ -140,24 +219,31 @@ impl BuildConfig {
     }
 
     /// Overrides the simulated block size.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().block_size(..)")]
     pub fn with_block_size(mut self, bytes: usize) -> Self {
         self.block_size = bytes;
         self
     }
 
     /// Sets the RNG seed.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().seed(..)")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Toggles refinement of affected cells on dynamic inserts.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use BuildConfig::builder().refine_on_insert(..)"
+    )]
     pub fn with_refine_on_insert(mut self, yes: bool) -> Self {
         self.refine_on_insert = yes;
         self
     }
 
     /// Sets the build-phase worker-thread count.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().threads(..)")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
         self.threads = threads;
@@ -168,18 +254,24 @@ impl BuildConfig {
     /// constraint insertions). Exhausted solves escalate through the
     /// fallback chain and, at worst, clamp to the data space — exactness is
     /// unaffected.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use BuildConfig::builder().lp_max_iterations(..)"
+    )]
     pub fn with_lp_max_iterations(mut self, n: usize) -> Self {
         self.lp_budget = LpBudget::with_max_iterations(n);
         self
     }
 
     /// Sets the full LP work budget.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().lp_budget(..)")]
     pub fn with_lp_budget(mut self, budget: LpBudget) -> Self {
         self.lp_budget = budget;
         self
     }
 
     /// Sets the invalid-input policy for bulk builds.
+    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().input_policy(..)")]
     pub fn with_input_policy(mut self, policy: InputPolicy) -> Self {
         self.input_policy = policy;
         self
@@ -200,6 +292,117 @@ impl BuildConfig {
                 * (1.0 / n).powf(1.0 / d)
         })
     }
+
+    /// The effective [`ConstraintPool::ApproxKnn`] pool size for
+    /// `d`-dimensional data: the configured `k`, floored at `2·d + 1` so a
+    /// rival can bound every axis direction, and at 2 so the pool is never
+    /// empty.
+    pub fn effective_pool_k(&self, d: usize) -> usize {
+        match self.pool {
+            ConstraintPool::Exhaustive => 0,
+            ConstraintPool::ApproxKnn { k } => k.max(2 * d + 1).max(2),
+        }
+    }
+}
+
+/// Chainable constructor for [`BuildConfig`], obtained from
+/// [`BuildConfig::builder`]. Every setter mirrors a config field; `build()`
+/// returns the finished config.
+#[derive(Clone, Debug, Default)]
+pub struct BuildConfigBuilder {
+    cfg: BuildConfig,
+}
+
+impl BuildConfigBuilder {
+    /// Sets the constraint-selection strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Sets where each cell's bisector-candidate pool comes from.
+    pub fn constraint_pool(mut self, pool: ConstraintPool) -> Self {
+        self.cfg.pool = pool;
+        self
+    }
+
+    /// Sets the LP backend.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.cfg.solver = solver;
+        self
+    }
+
+    /// Enables decomposition into at most `pieces` MBRs per cell.
+    ///
+    /// # Panics
+    /// Panics if `pieces == 0`.
+    pub fn decompose_pieces(mut self, pieces: usize) -> Self {
+        assert!(pieces >= 1, "decomposition needs at least one piece");
+        self.cfg.decompose_pieces = Some(pieces);
+        self
+    }
+
+    /// Overrides the Sphere-strategy radius.
+    ///
+    /// # Panics
+    /// Panics if `r` is not strictly positive.
+    pub fn sphere_radius(mut self, r: f64) -> Self {
+        assert!(r > 0.0);
+        self.cfg.sphere_radius = Some(r);
+        self
+    }
+
+    /// Overrides the simulated block size.
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.cfg.block_size = bytes;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Toggles refinement of affected cells on dynamic inserts.
+    pub fn refine_on_insert(mut self, yes: bool) -> Self {
+        self.cfg.refine_on_insert = yes;
+        self
+    }
+
+    /// Sets the build-phase worker-thread count.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Caps every LP solve at `n` work units (exhausted solves walk the
+    /// fallback chain and terminally clamp; exactness is unaffected).
+    pub fn lp_max_iterations(mut self, n: usize) -> Self {
+        self.cfg.lp_budget = LpBudget::with_max_iterations(n);
+        self
+    }
+
+    /// Sets the full LP work budget.
+    pub fn lp_budget(mut self, budget: LpBudget) -> Self {
+        self.cfg.lp_budget = budget;
+        self
+    }
+
+    /// Sets the invalid-input policy for bulk builds.
+    pub fn input_policy(mut self, policy: InputPolicy) -> Self {
+        self.cfg.input_policy = policy;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> BuildConfig {
+        self.cfg
+    }
 }
 
 #[cfg(test)]
@@ -208,16 +411,20 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = BuildConfig::new(Strategy::Sphere)
-            .with_solver(SolverKind::Seidel)
-            .with_decomposition(4)
-            .with_sphere_radius(0.3)
-            .with_block_size(2048)
-            .with_seed(9)
-            .with_refine_on_insert(false)
-            .with_lp_max_iterations(100)
-            .with_input_policy(InputPolicy::Skip);
+        let c = BuildConfig::builder()
+            .strategy(Strategy::Sphere)
+            .constraint_pool(ConstraintPool::ApproxKnn { k: 48 })
+            .solver(SolverKind::Seidel)
+            .decompose_pieces(4)
+            .sphere_radius(0.3)
+            .block_size(2048)
+            .seed(9)
+            .refine_on_insert(false)
+            .lp_max_iterations(100)
+            .input_policy(InputPolicy::Skip)
+            .build();
         assert_eq!(c.strategy, Strategy::Sphere);
+        assert_eq!(c.pool, ConstraintPool::ApproxKnn { k: 48 });
         assert_eq!(c.solver, SolverKind::Seidel);
         assert_eq!(c.decompose_pieces, Some(4));
         assert_eq!(c.sphere_radius, Some(0.3));
@@ -229,15 +436,68 @@ mod tests {
     }
 
     #[test]
+    fn builder_defaults() {
+        let c = BuildConfig::builder().build();
+        assert_eq!(c.strategy, Strategy::NnDirection);
+        assert_eq!(c.pool, ConstraintPool::Exhaustive);
+        assert_eq!(c.block_size, 4096);
+        assert_eq!(c.seed, 0);
+        assert!(c.refine_on_insert);
+        assert_eq!(c.threads, 1);
+    }
+
+    // The one-release deprecation shim must keep compiling and agree with
+    // the builder field-for-field.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shim_matches_builder() {
+        let old = BuildConfig::new(Strategy::Point)
+            .with_seed(3)
+            .with_block_size(1024)
+            .with_threads(2);
+        let new = BuildConfig::builder()
+            .strategy(Strategy::Point)
+            .seed(3)
+            .block_size(1024)
+            .threads(2)
+            .build();
+        assert_eq!(old.strategy, new.strategy);
+        assert_eq!(old.pool, new.pool);
+        assert_eq!(old.seed, new.seed);
+        assert_eq!(old.block_size, new.block_size);
+        assert_eq!(old.threads, new.threads);
+    }
+
+    #[test]
+    fn pool_k_floors() {
+        let c = BuildConfig::builder()
+            .constraint_pool(ConstraintPool::ApproxKnn { k: 4 })
+            .build();
+        // Floored at 2·d + 1 so every axis direction can find a rival.
+        assert_eq!(c.effective_pool_k(8), 17);
+        assert_eq!(c.effective_pool_k(1), 4);
+        assert_eq!(
+            BuildConfig::builder().build().effective_pool_k(8),
+            0,
+            "exhaustive pool has no k"
+        );
+        assert_eq!(ConstraintPool::recommended_k(8), 32);
+        assert_eq!(ConstraintPool::recommended_k(1), 8);
+    }
+
+    #[test]
     fn default_radius_shrinks_with_n_and_grows_with_d() {
-        let c = BuildConfig::new(Strategy::Sphere);
+        let c = BuildConfig::builder().strategy(Strategy::Sphere).build();
         let r_small = c.effective_sphere_radius(100, 4);
         let r_big_n = c.effective_sphere_radius(10_000, 4);
         let r_big_d = c.effective_sphere_radius(100, 16);
         assert!(r_big_n < r_small);
         assert!(r_big_d > r_small);
         // Explicit override wins.
-        let c2 = c.with_sphere_radius(0.123);
+        let c2 = BuildConfig::builder()
+            .strategy(Strategy::Sphere)
+            .sphere_radius(0.123)
+            .build();
         assert_eq!(c2.effective_sphere_radius(100, 4), 0.123);
     }
 
@@ -250,6 +510,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one piece")]
     fn zero_pieces_rejected() {
-        let _ = BuildConfig::new(Strategy::Correct).with_decomposition(0);
+        let _ = BuildConfig::builder().decompose_pieces(0);
     }
 }

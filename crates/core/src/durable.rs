@@ -577,7 +577,7 @@ mod tests {
     use crate::vfs::{FaultSchedule, FaultVfs};
 
     fn cfg() -> BuildConfig {
-        BuildConfig::new(Strategy::Sphere).with_seed(3)
+        BuildConfig::builder().strategy(Strategy::Sphere).seed(3).build()
     }
 
     fn grid_point(i: usize) -> Point {

@@ -33,7 +33,7 @@
 //! `knn` paths that scanned without being counted.
 
 use crate::index::{NnCellIndex, QueryResult, PIECE_BITS};
-use crate::query::{Query, QueryError, QueryResponse, QueryStats};
+use crate::query::{Query, QueryError, QueryKind, QueryResponse, QueryStats};
 use nncell_geom::{Euclidean, Metric};
 use nncell_index::{ItemId, PageId};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,7 +72,11 @@ impl QueryScratch {
 /// let pts = (0..50)
 ///     .map(|i| Point::new(vec![(i as f64 + 0.5) / 50.0, ((i * 7 % 50) as f64 + 0.5) / 50.0]))
 ///     .collect();
-/// let index = NnCellIndex::build(pts, BuildConfig::new(Strategy::Sphere)).unwrap();
+/// let index = NnCellIndex::build(
+///     pts,
+///     BuildConfig::builder().strategy(Strategy::Sphere).build(),
+/// )
+/// .unwrap();
 /// let engine = QueryEngine::new(&index);
 /// let responses = engine.batch(&[Query::nn([0.2, 0.3]), Query::knn([0.8, 0.1], 5)]);
 /// let nn = responses[0].as_ref().unwrap();
@@ -228,10 +232,17 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 if resp.stats.fallback {
                     m.fallbacks.inc();
                 }
+                // The slow log's `k` column is the requested neighbor
+                // count; a radius query has none, so it records 0 rather
+                // than the sentinel `usize::MAX` that `Query::k` returns.
+                let logged_k = match q.kind() {
+                    QueryKind::Nearest { k } => k,
+                    QueryKind::Radius { .. } => 0,
+                };
                 m.slow.record(
                     latency_ns,
                     q.point(),
-                    q.k(),
+                    logged_k,
                     resp.stats.candidates,
                     resp.stats.pages as usize,
                     resp.stats.fallback,
@@ -260,8 +271,12 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         if p.iter().any(|c| !c.is_finite()) {
             return Err(QueryError::NonFiniteQuery);
         }
-        if q.k() == 0 {
-            return Err(QueryError::ZeroK);
+        match q.kind() {
+            QueryKind::Nearest { k: 0 } => return Err(QueryError::ZeroK),
+            QueryKind::Radius { radius } if !radius.is_finite() || radius < 0.0 => {
+                return Err(QueryError::InvalidRadius)
+            }
+            _ => {}
         }
         if let Some(tail) = self.tail.filter(|t| !t.is_empty()) {
             if idx.is_empty() && tail.inserts.is_empty() {
@@ -270,7 +285,12 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             if self.out_of_budget() {
                 return Err(QueryError::DeadlineExceeded);
             }
-            return self.run_with_tail(scratch, p, q.k(), tail);
+            return match q.kind() {
+                QueryKind::Nearest { k } => self.run_with_tail(scratch, p, k, tail),
+                QueryKind::Radius { radius } => {
+                    self.run_radius_with_tail(scratch, p, radius, tail)
+                }
+            };
         }
         if idx.is_empty() {
             return Err(QueryError::EmptyIndex);
@@ -278,10 +298,10 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         if self.out_of_budget() {
             return Err(QueryError::DeadlineExceeded);
         }
-        if q.k() == 1 {
-            Ok(self.run_nn(scratch, p))
-        } else {
-            self.run_knn(scratch, p, q.k())
+        match q.kind() {
+            QueryKind::Nearest { k: 1 } => Ok(self.run_nn(scratch, p)),
+            QueryKind::Nearest { k } => self.run_knn(scratch, p, k),
+            QueryKind::Radius { radius } => self.run_radius(scratch, p, radius),
         }
     }
 
@@ -522,6 +542,120 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 tail: 0,
             },
         })
+    }
+
+    /// Exact radius query, riding the **point** tree (not the cell tree):
+    /// one sphere query collects every stored point whose Euclidean
+    /// distance can be within the ball, then the exact metric filter keeps
+    /// `dist ≤ r`. Unlike the NN kernels this needs no covering argument
+    /// and no scan fallback — the point tree holds every live point
+    /// directly, and its sphere query is exact for *any* center, including
+    /// centers outside the data space.
+    fn run_radius(
+        &self,
+        scratch: &mut QueryScratch,
+        p: &[f64],
+        r: f64,
+    ) -> Result<QueryResponse, QueryError> {
+        let idx = self.index;
+        let metric = idx.metric();
+        // The tree prunes in Euclidean geometry; a weighted-metric ball of
+        // radius r is contained in the Euclidean ball of radius
+        // r / sqrt(min weight). The tiny inflation keeps boundary points
+        // (dist == r exactly) from being pruned by the tree's own
+        // floating-point arithmetic.
+        let mut w_min = f64::INFINITY;
+        for i in 0..idx.dim() {
+            w_min = w_min.min(metric.weight(i));
+        }
+        let tree_r = (r / w_min.sqrt()) * (1.0 + 1e-9) + 1e-12;
+        let pages =
+            idx.point_tree()
+                .sphere_query_with(p, tree_r, &mut scratch.stack, &mut scratch.hits);
+        let alive = idx.alive();
+        let mut out: Vec<QueryResult> = Vec::new();
+        let mut candidates = 0usize;
+        for &h in scratch.hits.iter() {
+            // Point-tree items carry raw point ids (no piece encoding).
+            let id = h as usize;
+            if !alive[id] {
+                continue;
+            }
+            candidates += 1;
+            let dist = metric.dist(p, idx.flat_point(id));
+            if dist <= r {
+                out.push(QueryResult { id, dist });
+            }
+        }
+        out.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        let stats = QueryStats {
+            candidates,
+            pages,
+            fallback: false,
+            tail: 0,
+        };
+        let mut it = out.into_iter();
+        match it.next() {
+            None => Err(QueryError::EmptyRadius),
+            Some(best) => Ok(QueryResponse {
+                best,
+                rest: it.collect(),
+                stats,
+            }),
+        }
+    }
+
+    /// The radius kernel merged with a non-empty memtable tail: indexed
+    /// ball results minus tombstoned ids, plus tail inserts inside the
+    /// ball, re-ranked by `(distance, id)`. No truncation — a radius query
+    /// returns everything the ball contains.
+    fn run_radius_with_tail(
+        &self,
+        scratch: &mut QueryScratch,
+        p: &[f64],
+        r: f64,
+        tail: &crate::memtable::TailSnapshot,
+    ) -> Result<QueryResponse, QueryError> {
+        let idx = self.index;
+        let mut stats = QueryStats::default();
+        let mut merged: Vec<QueryResult> = Vec::new();
+        if !idx.is_empty() {
+            match self.run_radius(scratch, p, r) {
+                Ok(resp) => {
+                    stats = resp.stats;
+                    merged = resp.into_results();
+                }
+                // An empty indexed ball can still be filled by the tail.
+                Err(QueryError::EmptyRadius) => {}
+                Err(e) => return Err(e),
+            }
+            if !tail.removed.is_empty() {
+                merged.retain(|x| !tail.removed.contains(&x.id));
+            }
+        }
+        let metric = idx.metric();
+        for (i, (id, pt)) in tail.inserts.iter().enumerate() {
+            if i % 256 == 255 && self.out_of_budget() {
+                return Err(QueryError::DeadlineExceeded);
+            }
+            let dist = metric.dist(p, pt.as_slice());
+            if dist <= r {
+                merged.push(QueryResult { id: *id, dist });
+            }
+        }
+        stats.candidates += tail.inserts.len();
+        stats.tail = tail.inserts.len();
+        merged.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.dedup_by(|a, b| a.id == b.id);
+        let mut it = merged.into_iter();
+        match it.next() {
+            None => Err(QueryError::EmptyRadius),
+            Some(best) => Ok(QueryResponse {
+                best,
+                rest: it.collect(),
+                stats,
+            }),
+        }
     }
 
     // ------------------------------------------------------------------

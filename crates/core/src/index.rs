@@ -1,6 +1,6 @@
 //! The NN-cell index: build, exact queries, dynamic updates.
 
-use crate::config::{BuildConfig, InputPolicy, Strategy};
+use crate::config::{BuildConfig, ConstraintPool, InputPolicy, Strategy};
 use crate::decompose::decompose_cell;
 use crate::engine::QueryEngine;
 use crate::metrics::{EngineMetrics, IndexMetrics};
@@ -18,6 +18,19 @@ use std::time::Instant;
 /// is generous.
 pub(crate) const PIECE_BITS: u32 = 10;
 pub(crate) const MAX_PIECES: usize = 1 << PIECE_BITS;
+
+/// STR bulk-load fill fraction for the build's point tree: nearly packed
+/// (reads dominate a built index), with a little slack so early dynamic
+/// inserts don't split every touched leaf.
+const STR_FILL: f64 = 0.9;
+
+/// Page budget for the approximate-kNN constraint-pool probe. Generous —
+/// the probe is exact whenever the best-first search finishes within it —
+/// yet a constant, which is the point: gathering stays O(log N + k) pages
+/// instead of the strategies' O(N)-ish scans.
+fn pool_page_budget(k: usize) -> usize {
+    64 + 4 * k
+}
 
 /// One computed cell: pieces, LP counters, candidate count, phase timings.
 type CellComputation = (Vec<Mbr>, CellLpStats, usize, CellTimings);
@@ -58,6 +71,18 @@ pub struct BuildStats {
     pub seconds: f64,
     /// Invalid input points dropped under [`InputPolicy::Skip`].
     pub skipped_points: usize,
+    /// Cells whose first-attempt pooled solve
+    /// ([`crate::ConstraintPool::ApproxKnn`]) came back degenerate —
+    /// infeasible or clamped — and was redone against the exhaustive pool.
+    /// Always 0 under [`crate::ConstraintPool::Exhaustive`].
+    pub pool_fallback_cells: usize,
+    /// Cells re-solved after a dynamic insert because the new point's
+    /// bisector provably cut their stored approximation.
+    pub insert_refreshes: usize,
+    /// Sphere-prefilter candidates the exact bisector-cut test dismissed on
+    /// insert (their approximation lies strictly on their own side of the
+    /// new bisector, so a re-solve could not change it).
+    pub insert_refreshes_skipped: usize,
     /// Per-phase wall-clock profile (constraint selection, LP solves,
     /// decomposition, bulk load) with per-batch timings.
     pub profile: BuildProfile,
@@ -127,13 +152,15 @@ impl BuildProfile {
     }
 }
 
-/// Phase timings of one cell computation (build-profiler plumbing).
+/// Phase timings of one cell computation (build-profiler plumbing), plus
+/// whether the pooled first attempt had to be redone exhaustively.
 #[derive(Clone, Copy, Debug, Default)]
 struct CellTimings {
     constraint_ns: u64,
     lp_ns: u64,
     decomp_ns: u64,
     decomposed: bool,
+    pool_fellback: bool,
 }
 
 /// Outcome of [`NnCellIndex::verify_integrity`].
@@ -305,10 +332,26 @@ impl<M: Metric> NnCellIndex<M> {
         let (accepted, skipped) = validate_build_inputs(points, dim, cfg.input_policy)?;
         let mut idx = Self::new_with_metric(dim, cfg, metric);
         idx.build_stats.skipped_points = skipped;
-        // Phase 1: the data-point tree (the strategies query it).
+        // Phase 1: the data-point tree (the strategies and the pooled
+        // probe query it). STR bulk loading replaces the old per-point
+        // insert loop: O(N log N) sorts instead of O(N log N) page touches
+        // with splits, and the packed, near-overlap-free leaves make every
+        // later probe cheaper. Later dynamic inserts still go through the
+        // X-tree overflow cascade.
         let load_start = Instant::now();
-        for (i, p) in accepted.iter().enumerate() {
-            idx.point_tree.insert_point(p, i as u64);
+        if !accepted.is_empty() {
+            let items: Vec<(Mbr, u64)> = accepted
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Mbr::from_point(p.as_slice()), i as u64))
+                .collect();
+            idx.point_tree = XTree::bulk_load(
+                TreeConfig::xtree(dim)
+                    .with_block_size(idx.cfg.block_size)
+                    .with_point_leaves(true),
+                items,
+                STR_FILL,
+            );
         }
         let mut load_nanos = elapsed_nanos(load_start);
         idx.points = accepted;
@@ -364,12 +407,32 @@ impl<M: Metric> NnCellIndex<M> {
                 .map(|r| r.expect("every id covered by exactly one worker"))
                 .collect()
         };
+        // STR bulk load for the cell tree as well: per-piece inserts into
+        // an X-tree of heavily overlapping high-d cell MBRs degrade
+        // super-linearly (supernodes grow, and every insert walks them),
+        // which measurably dominated large builds. Packing the finished
+        // pieces once is O(N log N) and the query path is tree-shape
+        // agnostic, so answers are unchanged.
         let store_start = Instant::now();
+        let mut cell_items: Vec<(Mbr, u64)> = Vec::with_capacity(results.len());
         for (id, (pieces, stats, cands, timings)) in results.into_iter().enumerate() {
             idx.build_stats.lp.merge(stats);
             idx.build_stats.candidates += cands;
+            idx.build_stats.pool_fallback_cells += timings.pool_fellback as usize;
             idx.build_stats.profile.absorb_cell(timings);
-            idx.store_cell(id, pieces);
+            debug_assert!(pieces.len() <= MAX_PIECES);
+            for (piece_idx, mbr) in pieces.iter().enumerate() {
+                let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
+                cell_items.push((mbr.clone(), key));
+            }
+            idx.cells[id] = CellApprox { pieces };
+        }
+        if !cell_items.is_empty() {
+            idx.cell_tree = XTree::bulk_load(
+                TreeConfig::xtree(dim).with_block_size(idx.cfg.block_size),
+                cell_items,
+                STR_FILL,
+            );
         }
         load_nanos += elapsed_nanos(store_start);
         idx.build_stats.profile.bulk_load.add(load_nanos);
@@ -553,6 +616,11 @@ impl<M: Metric> NnCellIndex<M> {
     }
 
     /// The liveness mask, indexed by point id.
+    /// The data-point tree (radius queries ride its sphere path).
+    pub(crate) fn point_tree(&self) -> &XTree {
+        &self.point_tree
+    }
+
     pub(crate) fn alive(&self) -> &[bool] {
         &self.alive
     }
@@ -674,6 +742,7 @@ impl<M: Metric> NnCellIndex<M> {
         let (pieces, stats, cands, timings) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
+        self.build_stats.pool_fallback_cells += timings.pool_fellback as usize;
         self.build_stats.profile.absorb_cell(timings);
         self.record_lp_delta(&stats);
         self.store_cell(id, pieces);
@@ -698,8 +767,30 @@ impl<M: Metric> NnCellIndex<M> {
                     .collect();
                 affected.sort_unstable();
                 affected.dedup();
+                // Incremental re-solve: of the sphere-prefilter candidates,
+                // only cells whose stored approximation the new bisector
+                // actually cuts are dirty. The cut test is exact and O(d)
+                // per piece — the difference of squared distances is linear
+                // in x, so its minimum over a box is attained corner-wise —
+                // and a clean (uncut) approximation cannot change under a
+                // re-solve: the polytope is inside the box, so the new
+                // constraint is inactive over all of it.
+                let q = self.points[id].clone();
                 for pid in affected {
-                    self.refresh_cell(pid);
+                    let cut = self.cells[pid].pieces.iter().any(|m| {
+                        bisector_cuts_mbr(
+                            self.vlp.metric(),
+                            q.as_slice(),
+                            self.points[pid].as_slice(),
+                            m,
+                        )
+                    });
+                    if cut {
+                        self.build_stats.insert_refreshes += 1;
+                        self.refresh_cell(pid);
+                    } else {
+                        self.build_stats.insert_refreshes_skipped += 1;
+                    }
                 }
             }
         }
@@ -796,12 +887,51 @@ impl<M: Metric> NnCellIndex<M> {
     /// Computes the (possibly decomposed) approximation of `id`'s cell.
     /// Infallible: LP breakdowns degrade to the data-space clamp inside
     /// [`VoronoiLp`], which keeps the approximation a superset (Lemma 1).
+    ///
+    /// Under [`ConstraintPool::ApproxKnn`] the first attempt runs the
+    /// `2·d` LPs against the point's approximate k-nearest neighbors only
+    /// (probed from the point tree); a degenerate outcome — infeasible or
+    /// clamped, the "pool too tight" signal — falls back to the exhaustive
+    /// strategy gathering below and is counted in
+    /// [`BuildStats::pool_fallback_cells`].
     fn compute_cell_pieces(&self, id: usize) -> CellComputation {
         let p = &self.points[id];
         let d = self.dim();
         let seed = self.cfg.seed ^ ((id as u64).wrapping_mul(0x9e3779b97f4a7c15));
         let mut stats = CellLpStats::default();
         let mut timings = CellTimings::default();
+
+        if let ConstraintPool::ApproxKnn { .. } = self.cfg.pool {
+            let k = self.cfg.effective_pool_k(d);
+            if self.live_count > k + 1 {
+                let phase_start = Instant::now();
+                // k+1 because the probe finds the point itself first.
+                let (near, _proven) = self.point_tree.approx_knn(p, k + 1, pool_page_budget(k));
+                let rivals: Vec<usize> = near
+                    .iter()
+                    .map(|n| n.id as usize)
+                    .filter(|&j| j != id && self.alive[j])
+                    .collect();
+                let cons = self
+                    .vlp
+                    .bisectors(p, rivals.iter().map(|&j| self.points[j].as_slice()));
+                let n_cands = cons.len();
+                timings.constraint_ns = elapsed_nanos(phase_start);
+
+                let phase_start = Instant::now();
+                let (solve, degenerate) =
+                    self.vlp.extents_pooled(&cons, p, self.cfg.solver, seed);
+                stats.merge(solve.stats);
+                timings.lp_ns = elapsed_nanos(phase_start);
+                if !degenerate {
+                    let pieces = self.finish_pieces(&cons, &solve, seed, &mut stats, &mut timings);
+                    return (pieces, stats, n_cands, timings);
+                }
+                // Pool too tight: keep the failed attempt's LP accounting
+                // and redo the cell with exhaustive gathering.
+                timings.pool_fellback = true;
+            }
+        }
 
         let phase_start = Instant::now();
         let cons = if self.cfg.strategy == Strategy::CorrectPruned && self.live_count > 4 * d + 1 {
@@ -863,7 +993,7 @@ impl<M: Metric> NnCellIndex<M> {
                 .bisectors(p, rivals.iter().map(|&j| self.points[j].as_slice()))
         };
         let n_cands = cons.len();
-        timings.constraint_ns = elapsed_nanos(phase_start);
+        timings.constraint_ns += elapsed_nanos(phase_start);
 
         // The Best–Ritter active-set backend wants a feasible start; the
         // data point is one (it lies strictly inside its own cell).
@@ -879,20 +1009,33 @@ impl<M: Metric> NnCellIndex<M> {
                 .unwrap_or_else(|| self.vlp.extents_from(&cons, p, seed))
         };
         stats.merge(solve.stats);
-        timings.lp_ns = elapsed_nanos(phase_start);
+        timings.lp_ns += elapsed_nanos(phase_start);
 
-        let pieces = match self.cfg.decompose_pieces {
+        let pieces = self.finish_pieces(&cons, &solve, seed, &mut stats, &mut timings);
+        (pieces, stats, n_cands, timings)
+    }
+
+    /// Shared tail of both gathering paths: optional decomposition of a
+    /// solved cell into its piece MBRs.
+    fn finish_pieces(
+        &self,
+        cons: &[nncell_geom::Halfspace],
+        solve: &nncell_lp::CellSolve,
+        seed: u64,
+        stats: &mut CellLpStats,
+        timings: &mut CellTimings,
+    ) -> Vec<Mbr> {
+        match self.cfg.decompose_pieces {
             Some(k) if k > 1 => {
                 let phase_start = Instant::now();
-                let (pieces, dstats) = decompose_cell(&self.vlp, &cons, &solve, k, seed);
+                let (pieces, dstats) = decompose_cell(&self.vlp, cons, solve, k, seed);
                 stats.merge(dstats);
-                timings.decomp_ns = elapsed_nanos(phase_start);
+                timings.decomp_ns += elapsed_nanos(phase_start);
                 timings.decomposed = true;
                 pieces
             }
-            _ => vec![solve.mbr],
-        };
-        (pieces, stats, n_cands, timings)
+            _ => vec![solve.mbr.clone()],
+        }
     }
 
     /// Replaces `id`'s stored pieces in the cell tree.
@@ -925,10 +1068,27 @@ impl<M: Metric> NnCellIndex<M> {
         self.rebuild_flat();
         self.alive = alive;
         self.cells = vec![CellApprox::default(); self.points.len()];
+        // Same STR bulk load as the build path: loading reruns zero LPs,
+        // so tree packing is all this costs — and per-piece inserts into
+        // the overlap-heavy cell tree are the super-linear part.
+        let dim = self.dim();
+        let mut cell_items: Vec<(Mbr, u64)> = Vec::with_capacity(all_pieces.len());
         for (id, pieces) in all_pieces.into_iter().enumerate() {
             if self.alive[id] {
-                self.store_cell(id, pieces);
+                debug_assert!(pieces.len() <= MAX_PIECES);
+                for (piece_idx, mbr) in pieces.iter().enumerate() {
+                    let key = ((id as u64) << PIECE_BITS) | piece_idx as u64;
+                    cell_items.push((mbr.clone(), key));
+                }
+                self.cells[id] = CellApprox { pieces };
             }
+        }
+        if !cell_items.is_empty() {
+            self.cell_tree = XTree::bulk_load(
+                TreeConfig::xtree(dim).with_block_size(self.cfg.block_size),
+                cell_items,
+                STR_FILL,
+            );
         }
     }
 
@@ -936,6 +1096,7 @@ impl<M: Metric> NnCellIndex<M> {
         let (pieces, stats, cands, timings) = self.compute_cell_pieces(id);
         self.build_stats.lp.merge(stats);
         self.build_stats.candidates += cands;
+        self.build_stats.pool_fallback_cells += timings.pool_fellback as usize;
         self.build_stats.profile.absorb_cell(timings);
         self.record_lp_delta(&stats);
         let old = std::mem::take(&mut self.cells[id]);
@@ -982,6 +1143,30 @@ const ROUGH_SALT: u64 = 0x726f756768;
 /// Elapsed nanoseconds since `start`, saturating into `u64` (≈ 584 years).
 fn elapsed_nanos(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Whether the bisector between a newly inserted point `q` and a cell
+/// owner `p` can cut the box `mbr` — i.e. some x in the box is at least as
+/// close to `q` as to `p`.
+///
+/// The (weighted) difference of squared distances
+/// `f(x) = Σᵢ wᵢ·[(xᵢ−qᵢ)² − (xᵢ−pᵢ)²] = Σᵢ wᵢ·[2xᵢ(pᵢ−qᵢ) + qᵢ²−pᵢ²]`
+/// is *linear* in x, so its minimum over an axis-aligned box is attained
+/// corner-wise per dimension: O(d), exact, no LP. If that minimum is
+/// positive, the whole box — and therefore the cell polytope inside it —
+/// lies strictly on `p`'s side of the bisector, so re-solving the cell
+/// with `q`'s constraint added cannot change it (the constraint is
+/// inactive over the entire feasible region). The epsilon keeps the test
+/// conservative: near-tangent boxes refresh rather than skip.
+pub(crate) fn bisector_cuts_mbr<M: Metric>(metric: &M, q: &[f64], p: &[f64], mbr: &Mbr) -> bool {
+    let mut min_f = 0.0;
+    for i in 0..q.len() {
+        let w = metric.weight(i);
+        let a = 2.0 * w * (p[i] - q[i]);
+        let x = if a > 0.0 { mbr.lo()[i] } else { mbr.hi()[i] };
+        min_f += a * x + w * (q[i] * q[i] - p[i] * p[i]);
+    }
+    min_f <= 1e-9
 }
 
 /// Input validation shared by the unsharded and sharded builds: NaN/∞,
@@ -1119,7 +1304,7 @@ mod tests {
             Strategy::Sphere,
             Strategy::NnDirection,
         ] {
-            let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy)).unwrap();
+            let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(strategy).build()).unwrap();
             assert_exact(&idx, &pts, &qs);
             assert_eq!(
                 idx.fallback_queries(),
@@ -1134,7 +1319,7 @@ mod tests {
         let pts = uniform(100, 4, 3);
         let qs = queries(50, 4, 4);
         for pieces in [2usize, 4, 8] {
-            let cfg = BuildConfig::new(Strategy::CorrectPruned).with_decomposition(pieces);
+            let cfg = BuildConfig::builder().strategy(Strategy::CorrectPruned).decompose_pieces(pieces).build();
             let idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
             assert_exact(&idx, &pts, &qs);
         }
@@ -1143,8 +1328,8 @@ mod tests {
     #[test]
     fn correct_pruned_matches_correct_mbrs_lemma1_tightness() {
         let pts = uniform(80, 3, 5);
-        let a = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
-        let b = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::CorrectPruned)).unwrap();
+        let a = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
+        let b = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::CorrectPruned).build()).unwrap();
         for id in 0..pts.len() {
             let ma = &a.cell(id).unwrap().pieces[0];
             let mb = &b.cell(id).unwrap().pieces[0];
@@ -1161,9 +1346,9 @@ mod tests {
     #[test]
     fn heuristic_cells_contain_correct_cells_lemma1() {
         let pts = uniform(90, 2, 6);
-        let correct = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
+        let correct = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
         for strategy in [Strategy::Point, Strategy::Sphere, Strategy::NnDirection] {
-            let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy)).unwrap();
+            let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(strategy).build()).unwrap();
             for id in 0..pts.len() {
                 let exact = &correct.cell(id).unwrap().pieces[0];
                 let appr = &idx.cell(id).unwrap().pieces[0];
@@ -1179,7 +1364,7 @@ mod tests {
     fn dynamic_inserts_stay_exact() {
         let mut pts = uniform(60, 3, 7);
         let extra = uniform(30, 3, 8);
-        let cfg = BuildConfig::new(Strategy::Sphere);
+        let cfg = BuildConfig::builder().strategy(Strategy::Sphere).build();
         let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for p in extra {
             idx.insert(p.clone()).unwrap();
@@ -1192,7 +1377,7 @@ mod tests {
     #[test]
     fn inserts_without_refinement_stay_exact() {
         let mut pts = uniform(50, 2, 10);
-        let cfg = BuildConfig::new(Strategy::NnDirection).with_refine_on_insert(false);
+        let cfg = BuildConfig::builder().strategy(Strategy::NnDirection).refine_on_insert(false).build();
         let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for p in uniform(25, 2, 11) {
             idx.insert(p.clone()).unwrap();
@@ -1204,7 +1389,7 @@ mod tests {
     #[test]
     fn removals_recompute_neighbors_and_stay_exact() {
         let pts = uniform(80, 2, 13);
-        let cfg = BuildConfig::new(Strategy::CorrectPruned);
+        let cfg = BuildConfig::builder().strategy(Strategy::CorrectPruned).build();
         let mut idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
         let mut live: Vec<Point> = pts.clone();
         let mut removed = std::collections::HashSet::new();
@@ -1231,7 +1416,7 @@ mod tests {
 
     #[test]
     fn grow_from_empty() {
-        let cfg = BuildConfig::new(Strategy::Sphere);
+        let cfg = BuildConfig::builder().strategy(Strategy::Sphere).build();
         let mut idx = NnCellIndex::new(3, cfg);
         assert!(idx.is_empty());
         assert!(nn(&idx, &[0.5; 3]).is_none());
@@ -1245,7 +1430,7 @@ mod tests {
     #[test]
     fn remove_everything() {
         let pts = uniform(20, 2, 17);
-        let mut idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        let mut idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
         for id in 0..20 {
             assert!(idx.remove(id));
         }
@@ -1256,7 +1441,7 @@ mod tests {
     #[test]
     fn out_of_space_queries_fall_back_but_stay_exact() {
         let pts = uniform(50, 2, 18);
-        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
         let q = [1.5, -0.2];
         let got = nn(&idx, &q).unwrap();
         let want = linear_scan_nn(&pts, &q).unwrap();
@@ -1267,18 +1452,18 @@ mod tests {
     #[test]
     fn build_errors() {
         assert!(matches!(
-            NnCellIndex::build(vec![], BuildConfig::new(Strategy::Correct)),
+            NnCellIndex::build(vec![], BuildConfig::builder().strategy(Strategy::Correct).build()),
             Err(BuildError::EmptyDatabase)
         ));
         let ragged = vec![Point::new(vec![0.1, 0.2]), Point::new(vec![0.1, 0.2, 0.3])];
         assert!(matches!(
-            NnCellIndex::build(ragged, BuildConfig::new(Strategy::Correct)),
+            NnCellIndex::build(ragged, BuildConfig::builder().strategy(Strategy::Correct).build()),
             Err(BuildError::DimensionMismatch {
                 expected: 2,
                 got: 3
             })
         ));
-        let mut idx = NnCellIndex::new(2, BuildConfig::new(Strategy::Correct));
+        let mut idx = NnCellIndex::new(2, BuildConfig::builder().strategy(Strategy::Correct).build());
         assert!(matches!(
             idx.insert(Point::new(vec![0.1; 5])),
             Err(BuildError::DimensionMismatch {
@@ -1290,7 +1475,7 @@ mod tests {
 
     #[test]
     fn invalid_points_are_typed_errors() {
-        let cfg = || BuildConfig::new(Strategy::Correct);
+        let cfg = || BuildConfig::builder().strategy(Strategy::Correct).build();
         // One NaN point.
         let mut pts = uniform(10, 2, 40);
         pts.push(Point::new(vec![f64::NAN, 0.5]));
@@ -1339,7 +1524,7 @@ mod tests {
         pts.push(Point::new(vec![2.0, 2.0]));
         let idx = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(Strategy::Sphere).with_input_policy(InputPolicy::Skip),
+            BuildConfig::builder().strategy(Strategy::Sphere).input_policy(InputPolicy::Skip).build(),
         )
         .unwrap();
         assert_eq!(idx.len(), 40);
@@ -1371,7 +1556,7 @@ mod tests {
     #[test]
     fn malformed_queries_return_empty_not_panic() {
         let pts = uniform(30, 2, 46);
-        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Sphere)).unwrap();
+        let idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
         assert!(nn(&idx, &[0.5]).is_none(), "wrong dimension");
         assert!(nn(&idx, &[0.5, 0.5, 0.5]).is_none());
         assert!(nn(&idx, &[f64::NAN, 0.5]).is_none());
@@ -1389,7 +1574,7 @@ mod tests {
         // fattest possible supersets — still supersets (Lemma 1), so 100
         // random queries must agree with the linear scan exactly.
         let pts = uniform(80, 3, 47);
-        let cfg = BuildConfig::new(Strategy::Sphere).with_lp_max_iterations(1);
+        let cfg = BuildConfig::builder().strategy(Strategy::Sphere).lp_max_iterations(1).build();
         let idx = NnCellIndex::build(pts.clone(), cfg).unwrap();
         let st = idx.build_stats();
         assert!(
@@ -1403,7 +1588,7 @@ mod tests {
     #[test]
     fn knn_exact_from_cell_index() {
         let pts = uniform(100, 3, 19);
-        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
         let q = [0.3, 0.7, 0.5];
         let top5 = knn(&idx, &q, 5);
         assert_eq!(top5.len(), 5);
@@ -1432,7 +1617,7 @@ mod tests {
         let metric = WeightedEuclidean::new(vec![4.0, 1.0, 0.25]);
         let idx = NnCellIndex::build_with_metric(
             pts.clone(),
-            BuildConfig::new(Strategy::CorrectPruned),
+            BuildConfig::builder().strategy(Strategy::CorrectPruned).build(),
             metric.clone(),
         )
         .unwrap();
@@ -1456,7 +1641,7 @@ mod tests {
     #[test]
     fn build_stats_populated() {
         let pts = uniform(40, 2, 22);
-        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        let idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
         let st = idx.build_stats();
         assert_eq!(st.lp.lp_calls, 40 * 4, "2d LPs per point");
         assert_eq!(st.candidates, 40 * 39);
@@ -1470,12 +1655,12 @@ mod tests {
         let pts = uniform(60, 3, 29);
         let a = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(Strategy::Correct).with_solver(SolverKind::ActiveSet),
+            BuildConfig::builder().strategy(Strategy::Correct).solver(SolverKind::ActiveSet).build(),
         )
         .unwrap();
         let b = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(Strategy::Correct).with_solver(SolverKind::DualSimplex),
+            BuildConfig::builder().strategy(Strategy::Correct).solver(SolverKind::DualSimplex).build(),
         )
         .unwrap();
         for id in 0..pts.len() {
@@ -1495,13 +1680,13 @@ mod tests {
     #[test]
     fn parallel_build_matches_sequential() {
         let pts = uniform(80, 3, 23);
-        let seq = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere).with_seed(3))
+        let seq = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Sphere).seed(3).build())
             .unwrap();
         let par = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(Strategy::Sphere)
-                .with_seed(3)
-                .with_threads(4),
+            BuildConfig::builder().strategy(Strategy::Sphere)
+                .seed(3)
+                .threads(4).build(),
         )
         .unwrap();
         for id in 0..pts.len() {
@@ -1534,7 +1719,7 @@ mod tests {
                 ]));
             }
         }
-        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        let idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
         let cells: Vec<CellApprox> = (0..16).map(|i| idx.cell(i).unwrap().clone()).collect();
         let total: f64 = cells.iter().map(CellApprox::volume).sum();
         assert!((total - 1.0).abs() < 1e-6, "grid cells must tile: {total}");
@@ -1545,5 +1730,66 @@ mod tests {
             resp.stats.candidates, 1,
             "grid point query returns exactly one cell"
         );
+    }
+
+    #[test]
+    fn pooled_build_cuts_constraint_candidates() {
+        let pts = uniform(400, 4, 21);
+        // The all-pairs strategy is what the pool replaces: n-1 bisector
+        // candidates per cell versus ~k from the approximate-neighbor
+        // probe. (NnDirection already gathers few candidates — its cost
+        // is the O(n) scan per cell, which the pool also removes.)
+        let cfg_ex = BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(3);
+        let ex = NnCellIndex::build(pts.clone(), cfg_ex.build()).unwrap();
+        let po = NnCellIndex::build(
+            pts.clone(),
+            BuildConfig::builder()
+                .strategy(Strategy::CorrectPruned)
+                .constraint_pool(ConstraintPool::ApproxKnn { k: 16 })
+                .seed(3)
+                .build(),
+        )
+        .unwrap();
+        assert!(
+            po.build_stats().candidates < ex.build_stats().candidates / 10,
+            "pooled candidates {} not well below exhaustive {}",
+            po.build_stats().candidates,
+            ex.build_stats().candidates
+        );
+        // Fallbacks are the exception, not the rule, on benign data.
+        assert!(
+            po.build_stats().pool_fallback_cells <= pts.len() / 4,
+            "{} of {} cells fell back to the exhaustive pool",
+            po.build_stats().pool_fallback_cells,
+            pts.len()
+        );
+        assert_exact(&po, &pts, &queries(20, 4, 5));
+    }
+
+    #[test]
+    fn incremental_insert_skips_uncut_cells() {
+        let mut pts = uniform(300, 2, 9);
+        let idx_cfg = BuildConfig::builder()
+            .strategy(Strategy::NnDirection)
+            .constraint_pool(ConstraintPool::ApproxKnn { k: 8 })
+            .seed(4)
+            .build();
+        let extra = pts.split_off(280);
+        let mut idx = NnCellIndex::build(pts.clone(), idx_cfg).unwrap();
+        for p in extra {
+            pts.push(p.clone());
+            idx.insert(p).unwrap();
+        }
+        let s = idx.build_stats();
+        // The bisector-cut test must prune at least part of the sphere
+        // prefilter's affected set; both counters see traffic.
+        assert!(s.insert_refreshes > 0, "no refreshes recorded");
+        assert!(
+            s.insert_refreshes_skipped > 0,
+            "the O(d) bisector-cut test never skipped a cell \
+             ({} refreshes)",
+            s.insert_refreshes
+        );
+        assert_exact(&idx, &pts, &queries(20, 2, 6));
     }
 }

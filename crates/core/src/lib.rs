@@ -46,7 +46,7 @@ pub mod strategy;
 pub mod vfs;
 pub mod wal;
 
-pub use config::{BuildConfig, InputPolicy, Strategy};
+pub use config::{BuildConfig, BuildConfigBuilder, ConstraintPool, InputPolicy, Strategy};
 pub use durable::{DurableError, DurableIndex, RecoveryReport};
 pub use engine::{QueryEngine, QueryScratch};
 pub use error::Error;
@@ -57,7 +57,7 @@ pub use index::{
 pub use memtable::{FoldConfig, FoldError, FoldStatus, TailSnapshot};
 pub use metrics::{EngineMetrics, IndexMetrics, SLOW_QUERY_CAPACITY};
 pub use nncell_obs::{Registry, SlowQueryEntry, SlowQueryLog, Snapshot};
-pub use query::{Query, QueryError, QueryResponse, QueryStats};
+pub use query::{Query, QueryError, QueryKind, QueryResponse, QueryStats};
 pub use shard::ShardedIndex;
 pub use snapshot::SnapshotCell;
 pub use nncell_lp::SolverKind;

@@ -299,17 +299,21 @@ fn parse_payload(
         return Err(corrupt(format!("implausible block size {block_size}")));
     }
 
-    let mut cfg = BuildConfig::new(strategy)
-        .with_solver(solver)
-        .with_seed(seed)
-        .with_block_size(block_size)
-        .with_refine_on_insert(refine);
+    // The constraint pool is a build/refine-time concern and is not
+    // persisted; recovered indexes refine with the exhaustive pool.
+    let mut builder = BuildConfig::builder()
+        .strategy(strategy)
+        .solver(solver)
+        .seed(seed)
+        .block_size(block_size)
+        .refine_on_insert(refine);
     if pieces_budget > 0 {
-        cfg = cfg.with_decomposition(pieces_budget);
+        builder = builder.decompose_pieces(pieces_budget);
     }
     if radius.is_finite() {
-        cfg = cfg.with_sphere_radius(radius);
+        builder = builder.sphere_radius(radius);
     }
+    let cfg = builder.build();
 
     let n = r.u64()? as usize;
     // Each point occupies 1 + 8·dim bytes; a count the remaining bytes
@@ -473,9 +477,9 @@ mod tests {
         let pts = uniform(60, 3, 1);
         let idx = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(Strategy::Sphere)
-                .with_decomposition(4)
-                .with_seed(7),
+            BuildConfig::builder().strategy(Strategy::Sphere)
+                .decompose_pieces(4)
+                .seed(7).build(),
         )
         .unwrap();
         let path = tmp("roundtrip");
@@ -509,7 +513,7 @@ mod tests {
     #[test]
     fn legacy_nncell01_files_still_load() {
         let pts = uniform(30, 2, 11);
-        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Point)).unwrap();
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Point).build()).unwrap();
         let path = tmp("legacy");
         idx.save(&path).unwrap();
         // Transform the v2 file into its v1 equivalent: same payload, v1
@@ -532,7 +536,7 @@ mod tests {
     #[test]
     fn bit_flips_anywhere_are_detected() {
         let pts = uniform(20, 2, 12);
-        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Point)).unwrap();
+        let idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Point).build()).unwrap();
         let path = tmp("bitflip");
         idx.save(&path).unwrap();
         let original = std::fs::read(&path).unwrap();
@@ -555,7 +559,7 @@ mod tests {
     fn roundtrip_with_dead_slots() {
         let pts = uniform(40, 2, 2);
         let mut idx =
-            NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
+            NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::NnDirection).build()).unwrap();
         assert!(idx.remove(5));
         assert!(idx.remove(17));
         let path = tmp("dead");
@@ -578,7 +582,7 @@ mod tests {
     #[test]
     fn loaded_index_supports_updates() {
         let pts = uniform(30, 2, 4);
-        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
         let path = tmp("updates");
         idx.save(&path).unwrap();
         let mut loaded = NnCellIndex::load(&path).unwrap();
@@ -600,7 +604,7 @@ mod tests {
 
         // Valid prefix, truncated payload.
         let pts = uniform(20, 2, 5);
-        let idx = NnCellIndex::build(pts, BuildConfig::new(Strategy::Point)).unwrap();
+        let idx = NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Point).build()).unwrap();
         idx.save(&path).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
@@ -635,7 +639,7 @@ mod tests {
         // `load` accepts it, but `verify_integrity` must flag it and
         // `repair` must restore exactness.
         let pts = uniform(25, 2, 13);
-        let idx = NnCellIndex::build(pts.clone(), BuildConfig::new(Strategy::Correct)).unwrap();
+        let idx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
         let path = tmp("verify");
         idx.save(&path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();

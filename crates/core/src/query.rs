@@ -12,22 +12,42 @@
 
 use crate::index::QueryResult;
 
-/// One nearest-neighbor request: a query point plus how many neighbors to
-/// return.
+/// What a [`Query`] asks for: the `k` nearest neighbors, or every live
+/// point within a fixed radius.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryKind {
+    /// The `k` nearest neighbors of the query point, ascending by
+    /// `(distance, id)`.
+    Nearest {
+        /// How many neighbors to return.
+        k: usize,
+    },
+    /// Every live point within metric distance `radius` of the query point
+    /// (inclusive: `dist ≤ radius`), ascending by `(distance, id)`.
+    Radius {
+        /// The search radius.
+        radius: f64,
+    },
+}
+
+/// One query: a point plus what to retrieve around it.
 ///
-/// Construct with [`Query::nn`] (one neighbor) or [`Query::knn`]:
+/// Construct with [`Query::nn`] (one neighbor), [`Query::knn`], or
+/// [`Query::radius`]:
 ///
 /// ```
-/// use nncell_core::Query;
+/// use nncell_core::{Query, QueryKind};
 /// let one = Query::nn([0.2, 0.7]);
 /// let ten = Query::knn(vec![0.2, 0.7], 10);
+/// let ball = Query::radius([0.2, 0.7], 0.25);
 /// assert_eq!(one.k(), 1);
 /// assert_eq!(ten.point(), &[0.2, 0.7]);
+/// assert_eq!(ball.kind(), QueryKind::Radius { radius: 0.25 });
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     point: Vec<f64>,
-    k: usize,
+    kind: QueryKind,
 }
 
 impl Query {
@@ -35,7 +55,7 @@ impl Query {
     pub fn nn(point: impl Into<Vec<f64>>) -> Self {
         Self {
             point: point.into(),
-            k: 1,
+            kind: QueryKind::Nearest { k: 1 },
         }
     }
 
@@ -44,7 +64,18 @@ impl Query {
     pub fn knn(point: impl Into<Vec<f64>>, k: usize) -> Self {
         Self {
             point: point.into(),
-            k,
+            kind: QueryKind::Nearest { k },
+        }
+    }
+
+    /// A radius (range) query: every live point with `dist ≤ r`, nearest
+    /// first. A radius that covers no live point is the typed
+    /// [`QueryError::EmptyRadius`], not an empty response; a non-finite or
+    /// negative radius is [`QueryError::InvalidRadius`].
+    pub fn radius(center: impl Into<Vec<f64>>, r: f64) -> Self {
+        Self {
+            point: center.into(),
+            kind: QueryKind::Radius { radius: r },
         }
     }
 
@@ -53,9 +84,19 @@ impl Query {
         &self.point
     }
 
-    /// Number of neighbors requested.
+    /// What this query retrieves.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// Number of neighbors requested. For a radius query this is
+    /// `usize::MAX` — "as many as the ball contains" — which keeps
+    /// result-count-bounded merge loops correct without a special case.
     pub fn k(&self) -> usize {
-        self.k
+        match self.kind {
+            QueryKind::Nearest { k } => k,
+            QueryKind::Radius { .. } => usize::MAX,
+        }
     }
 }
 
@@ -153,6 +194,13 @@ pub enum QueryError {
     /// to `503 deadline_exceeded`; retrying with a fresh budget is safe —
     /// queries have no side effects.
     DeadlineExceeded,
+    /// A radius query's radius is NaN, infinite, or negative; the ball is
+    /// not well-defined.
+    InvalidRadius,
+    /// A radius query's ball contains no live point. Typed (rather than an
+    /// empty response) because [`QueryResponse::best`] is mandatory — the
+    /// "never empty" invariant of the response carries over unchanged.
+    EmptyRadius,
 }
 
 impl std::fmt::Display for QueryError {
@@ -170,6 +218,12 @@ impl std::fmt::Display for QueryError {
             QueryError::DeadlineExceeded => {
                 write!(f, "query deadline exceeded before an answer was proven")
             }
+            QueryError::InvalidRadius => {
+                write!(f, "radius must be finite and non-negative")
+            }
+            QueryError::EmptyRadius => {
+                write!(f, "no live point within the query radius")
+            }
         }
     }
 }
@@ -184,10 +238,14 @@ mod tests {
     fn query_constructors() {
         let q = Query::nn(vec![0.1, 0.2]);
         assert_eq!(q.k(), 1);
+        assert_eq!(q.kind(), QueryKind::Nearest { k: 1 });
         assert_eq!(q.point(), &[0.1, 0.2]);
         let q = Query::knn([0.5; 3], 7);
         assert_eq!(q.k(), 7);
         assert_eq!(q.point().len(), 3);
+        let q = Query::radius([0.5; 3], 0.4);
+        assert_eq!(q.kind(), QueryKind::Radius { radius: 0.4 });
+        assert_eq!(q.k(), usize::MAX, "radius queries are unbounded in count");
     }
 
     #[test]
@@ -216,5 +274,7 @@ mod tests {
         assert!(QueryError::EmptyIndex.to_string().contains("no live"));
         assert!(QueryError::ZeroK.to_string().contains("at least 1"));
         assert!(QueryError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(QueryError::InvalidRadius.to_string().contains("finite"));
+        assert!(QueryError::EmptyRadius.to_string().contains("radius"));
     }
 }

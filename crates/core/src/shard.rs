@@ -51,7 +51,7 @@ use crate::index::{
 use crate::memtable::{FoldConfig, FoldError, FoldStatus, Memtable, TailOp, TailSnapshot};
 use crate::metrics::FoldMetrics;
 use crate::persist::PersistError;
-use crate::query::{Query, QueryError, QueryResponse, QueryStats};
+use crate::query::{Query, QueryError, QueryKind, QueryResponse, QueryStats};
 use crate::snapshot::SnapshotCell;
 use crate::vfs::{write_atomic, StdVfs, Vfs};
 use crate::wal::WalRecord;
@@ -631,10 +631,13 @@ impl ShardedIndex {
         if p.iter().any(|c| !c.is_finite()) {
             return Err(QueryError::NonFiniteQuery);
         }
-        if q.k() == 0 {
-            return Err(QueryError::ZeroK);
+        match q.kind() {
+            QueryKind::Nearest { k: 0 } => Err(QueryError::ZeroK),
+            QueryKind::Radius { radius } if !radius.is_finite() || radius < 0.0 => {
+                Err(QueryError::InvalidRadius)
+            }
+            _ => Ok(()),
         }
-        Ok(())
     }
 
     /// Executes one typed query: fan out to every non-empty shard on its
@@ -671,6 +674,7 @@ impl ShardedIndex {
         let snaps: Vec<Arc<NnCellIndex<Euclidean>>> =
             self.snaps.iter().map(SnapshotCell::load).collect();
         let mut per: Vec<(usize, QueryResponse)> = Vec::with_capacity(snaps.len());
+        let mut radius_empty = false;
         for (i, snap) in snaps.iter().enumerate() {
             let tail_i = tails.as_ref().map(|t| &t[i]).filter(|t| !t.is_empty());
             if snap.is_empty() && tail_i.is_none() {
@@ -692,11 +696,23 @@ impl ShardedIndex {
                 // the shard contributes nothing, which is not a failure
                 // of the fan-out.
                 Err(QueryError::EmptyIndex) => continue,
+                // This shard's slice of the ball is empty; others may
+                // still contribute.
+                Err(QueryError::EmptyRadius) => {
+                    radius_empty = true;
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }
         if per.is_empty() {
-            return Err(QueryError::EmptyIndex);
+            // Shards were consulted but every ball slice came back empty:
+            // the radius error, not the empty-index one.
+            return Err(if radius_empty {
+                QueryError::EmptyRadius
+            } else {
+                QueryError::EmptyIndex
+            });
         }
         Ok(self.merge(q.k(), per))
     }
@@ -760,17 +776,28 @@ impl ShardedIndex {
                 self.validate_query(q)?;
                 let mut per: Vec<(usize, QueryResponse)> =
                     Vec::with_capacity(shard_results.len());
+                let mut radius_empty = false;
                 for (shard, results) in &shard_results {
                     match &results[qi] {
                         Ok(r) => per.push((*shard, r.clone())),
                         // A shard whose live set the tail has fully
                         // tombstoned contributes nothing — not a failure.
                         Err(QueryError::EmptyIndex) => continue,
+                        // An empty ball slice in one shard; others may
+                        // still contribute.
+                        Err(QueryError::EmptyRadius) => {
+                            radius_empty = true;
+                            continue;
+                        }
                         Err(e) => return Err(*e),
                     }
                 }
                 if per.is_empty() {
-                    return Err(QueryError::EmptyIndex);
+                    return Err(if radius_empty {
+                        QueryError::EmptyRadius
+                    } else {
+                        QueryError::EmptyIndex
+                    });
                 }
                 Ok(self.merge(q.k(), per))
             })

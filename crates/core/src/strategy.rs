@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn correct_returns_everyone_else() {
         let (points, alive, tree) = setup(50, 3, 1);
-        let cfg = BuildConfig::new(Strategy::Correct);
+        let cfg = BuildConfig::builder().strategy(Strategy::Correct).build();
         let ids = gather_rival_ids(&cfg, 7, &points, &alive, &tree, 50);
         assert_eq!(ids.len(), 49);
         assert!(!ids.contains(&7));
@@ -135,7 +135,7 @@ mod tests {
         let (points, mut alive, tree) = setup(20, 2, 2);
         alive[3] = false;
         alive[4] = false;
-        let cfg = BuildConfig::new(Strategy::Correct);
+        let cfg = BuildConfig::builder().strategy(Strategy::Correct).build();
         let ids = gather_rival_ids(&cfg, 0, &points, &alive, &tree, 18);
         assert_eq!(ids.len(), 17);
         assert!(!ids.contains(&3) && !ids.contains(&4));
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn point_strategy_returns_page_mates() {
         let (points, alive, tree) = setup(200, 4, 3);
-        let cfg = BuildConfig::new(Strategy::Point);
+        let cfg = BuildConfig::builder().strategy(Strategy::Point).build();
         let ids = gather_rival_ids(&cfg, 11, &points, &alive, &tree, 200);
         // At minimum the other points of 11's own leaf page qualify; the set
         // must never contain the point itself.
@@ -155,8 +155,8 @@ mod tests {
     #[test]
     fn sphere_candidates_grow_with_radius() {
         let (points, alive, tree) = setup(300, 3, 4);
-        let small = BuildConfig::new(Strategy::Sphere).with_sphere_radius(0.05);
-        let large = BuildConfig::new(Strategy::Sphere).with_sphere_radius(0.5);
+        let small = BuildConfig::builder().strategy(Strategy::Sphere).sphere_radius(0.05).build();
+        let large = BuildConfig::builder().strategy(Strategy::Sphere).sphere_radius(0.5).build();
         let a = gather_rival_ids(&small, 5, &points, &alive, &tree, 300).len();
         let b = gather_rival_ids(&large, 5, &points, &alive, &tree, 300).len();
         assert!(a <= b, "sphere candidates must be monotone in radius");
@@ -167,7 +167,7 @@ mod tests {
     fn nn_direction_is_small_and_directional() {
         let d = 4;
         let (points, alive, tree) = setup(400, d, 5);
-        let cfg = BuildConfig::new(Strategy::NnDirection);
+        let cfg = BuildConfig::builder().strategy(Strategy::NnDirection).build();
         let ids = gather_rival_ids(&cfg, 42, &points, &alive, &tree, 400);
         assert!(!ids.is_empty());
         assert!(

@@ -64,7 +64,7 @@ fn warm_scratch_queries_do_not_allocate() {
         })
         .collect();
     let mut index =
-        NnCellIndex::build(pts, BuildConfig::new(Strategy::CorrectPruned).with_seed(7)).unwrap();
+        NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(7).build()).unwrap();
     let nn_queries: Vec<Query> = (0..64)
         .map(|i| {
             Query::nn(vec![

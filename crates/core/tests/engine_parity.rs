@@ -49,7 +49,7 @@ proptest! {
         let strategy = BuildStrategy::ALL[strat_pick];
         let index = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(strategy).with_seed(11),
+            BuildConfig::builder().strategy(strategy).seed(11).build(),
         ).unwrap();
         let batch: Vec<Query> = queries
             .iter()
@@ -91,7 +91,7 @@ proptest! {
         }
         let index = NnCellIndex::build(
             pts.clone(),
-            BuildConfig::new(BuildStrategy::CorrectPruned).with_seed(5),
+            BuildConfig::builder().strategy(BuildStrategy::CorrectPruned).seed(5).build(),
         ).unwrap();
         let engine = index.engine().with_threads(4);
         // Cell centers (1 candidate), edge midpoints (2 equidistant),
@@ -125,7 +125,7 @@ fn batch_races_reset_stats_and_enable_cache() {
         })
         .collect();
     let index =
-        NnCellIndex::build(pts.clone(), BuildConfig::new(BuildStrategy::Sphere).with_seed(9))
+        NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(9).build())
             .unwrap();
     let queries: Vec<Query> = (0..400)
         .map(|i| {
@@ -192,7 +192,7 @@ fn all_fallback_paths_are_counted() {
         .collect();
     let index = NnCellIndex::build(
         pts,
-        BuildConfig::new(BuildStrategy::CorrectPruned).with_seed(3),
+        BuildConfig::builder().strategy(BuildStrategy::CorrectPruned).seed(3).build(),
     )
     .unwrap();
     let engine = index.engine().with_threads(1);
@@ -228,7 +228,7 @@ fn typed_errors_replace_silent_none() {
         .collect();
     let index = NnCellIndex::build(
         pts,
-        BuildConfig::new(BuildStrategy::Sphere).with_seed(1),
+        BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(1).build(),
     )
     .unwrap();
     let engine = index.engine();
@@ -247,9 +247,78 @@ fn typed_errors_replace_silent_none() {
         engine.execute(&Query::knn([0.5, 0.5], 0)).unwrap_err(),
         QueryError::ZeroK
     );
-    let empty = NnCellIndex::new(2, BuildConfig::new(BuildStrategy::Sphere));
+    let empty = NnCellIndex::new(2, BuildConfig::builder().strategy(BuildStrategy::Sphere).build());
     assert_eq!(
         empty.engine().execute(&Query::nn([0.5, 0.5])).unwrap_err(),
         QueryError::EmptyIndex
+    );
+}
+
+#[test]
+fn radius_query_contract() {
+    let pts: Vec<Point> = (0..10)
+        .map(|i| Point::new(vec![(i as f64 + 0.5) / 10.0, 0.5]))
+        .collect();
+    let index = NnCellIndex::build(
+        pts,
+        BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(1).build(),
+    )
+    .unwrap();
+    let engine = index.engine();
+    // Ball around 0.45 with r = 0.11 holds exactly ids 3, 4, 5.
+    let resp = engine
+        .execute(&Query::radius([0.45, 0.5], 0.11))
+        .unwrap();
+    let ids: Vec<usize> = resp.iter().map(|r| r.id).collect();
+    assert_eq!(ids, vec![4, 3, 5], "ascending (dist, id) inside the ball");
+    assert!(resp.iter().all(|r| r.dist <= 0.11));
+    // Boundary-inclusive: points at exactly r stay in (0.25 and 0.5 are
+    // exactly representable, so both distances are exactly 0.25).
+    let boundary = NnCellIndex::build(
+        vec![
+            Point::new(vec![0.25, 0.5]),
+            Point::new(vec![0.75, 0.5]),
+            Point::new(vec![0.5, 0.125]),
+        ],
+        BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(1).build(),
+    )
+    .unwrap();
+    let resp = boundary
+        .engine()
+        .execute(&Query::radius([0.5, 0.5], 0.25))
+        .unwrap();
+    let ids: Vec<usize> = resp.iter().map(|r| r.id).collect();
+    assert_eq!(ids, vec![0, 1], "dist == r is inside the closed ball");
+    // Out-of-space centers need no scan fallback on the point tree.
+    let resp = engine.execute(&Query::radius([-0.4, 0.5], 0.5)).unwrap();
+    assert_eq!(resp.best.id, 0);
+    assert!(!resp.stats.fallback);
+    // Typed failures.
+    assert_eq!(
+        engine
+            .execute(&Query::radius([0.5, 0.5], f64::NAN))
+            .unwrap_err(),
+        QueryError::InvalidRadius
+    );
+    assert_eq!(
+        engine
+            .execute(&Query::radius([0.5, 0.5], -0.1))
+            .unwrap_err(),
+        QueryError::InvalidRadius
+    );
+    assert_eq!(
+        engine
+            .execute(&Query::radius([0.0, 0.0], 0.01))
+            .unwrap_err(),
+        QueryError::EmptyRadius
+    );
+    // r = 0 is a valid degenerate ball: only an exact hit answers.
+    assert_eq!(
+        engine
+            .execute(&Query::radius([0.05, 0.5], 0.0))
+            .unwrap()
+            .best
+            .id,
+        0
     );
 }

@@ -19,7 +19,7 @@ const DIM: usize = 2;
 const SHARDS: usize = 2;
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(Strategy::Sphere).with_seed(11)
+    BuildConfig::builder().strategy(Strategy::Sphere).seed(11).build()
 }
 
 fn pt(i: usize) -> Point {
@@ -232,4 +232,58 @@ fn folds_interleaved_with_writes_keep_answers_exact() {
     let id = idx.insert(pt(0)).expect("reinsert after tail tombstone");
     assert!(idx.insert(pt(0)).is_err(), "live duplicate still rejected");
     assert!(idx.remove(id).expect("cleanup"));
+}
+
+/// Radius queries must merge the unindexed tail exactly like k-NN: tail
+/// inserts inside the ball appear, tail tombstones disappear, and the
+/// union is ranked by `(distance, id)` with no truncation.
+#[test]
+fn radius_queries_merge_the_unindexed_tail() {
+    let idx = ShardedIndex::new(DIM, SHARDS, cfg()).with_memtable(FoldConfig {
+        // No folder thread: everything stays in the tail for the whole
+        // test, so every answer exercises the merge path.
+        ..FoldConfig::default()
+    });
+    let mut live: Vec<(usize, Point)> = Vec::new();
+    for i in 0..25 {
+        let p = pt(i);
+        let id = idx.insert(p.clone()).expect("tail ack");
+        live.push((id, p));
+    }
+    let victim = live.remove(7).0;
+    assert!(idx.remove(victim).expect("tail tombstone"));
+    assert!(idx.tail_depth() > 0, "operations must still be unfolded");
+
+    let points: Vec<Point> = live.iter().map(|(_, p)| p.clone()).collect();
+    for probe in 0..6 {
+        let q: Vec<f64> = (0..DIM)
+            .map(|j| ((probe * 41 + j * 13) % 100) as f64 / 100.0)
+            .collect();
+        let r = 0.05 + 0.15 * probe as f64;
+        let mut want = linear_scan_knn(&points, &q, points.len());
+        want.retain(|x| x.dist <= r);
+        let got = idx.query(&Query::radius(q.clone(), r));
+        if want.is_empty() {
+            assert!(got.is_err(), "probe {probe}: empty ball must be typed");
+            continue;
+        }
+        let got = got.unwrap_or_else(|e| panic!("probe {probe}: {e}"));
+        assert_eq!(got.len(), want.len(), "probe {probe}: ball size");
+        let got_d: Vec<f64> = got.iter().map(|x| x.dist).collect();
+        let want_d: Vec<f64> = want.iter().map(|x| x.dist).collect();
+        for (g, w) in got_d.iter().zip(&want_d) {
+            assert!((g - w).abs() < 1e-9, "probe {probe}: {got_d:?} vs {want_d:?}");
+        }
+        assert!(
+            !got.iter().any(|x| x.id == victim),
+            "probe {probe}: tombstoned id resurfaced in the ball"
+        );
+    }
+    // Fold everything and re-check: indexed answers agree with the merge.
+    idx.flush().expect("fold");
+    assert_eq!(idx.tail_depth(), 0);
+    let resp = idx.query(&Query::radius(vec![0.5, 0.5], 0.4)).expect("ball");
+    let mut want = linear_scan_knn(&points, &[0.5, 0.5], points.len());
+    want.retain(|x| x.dist <= 0.4);
+    assert_eq!(resp.len(), want.len(), "post-fold ball size");
 }

@@ -21,7 +21,7 @@ fn grid(n: usize) -> Vec<Point> {
 }
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(Strategy::Sphere).with_seed(11)
+    BuildConfig::builder().strategy(Strategy::Sphere).seed(11).build()
 }
 
 #[test]
@@ -223,9 +223,9 @@ fn durable_stack_reports_wal_and_rotation_counters() {
 fn build_profile_times_every_phase() {
     let index = NnCellIndex::build(
         grid(80),
-        BuildConfig::new(Strategy::Sphere)
-            .with_seed(3)
-            .with_threads(2),
+        BuildConfig::builder().strategy(Strategy::Sphere)
+            .seed(3)
+            .threads(2).build(),
     )
     .unwrap();
     let profile = index.build_stats().profile;

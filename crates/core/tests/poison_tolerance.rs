@@ -16,7 +16,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(Strategy::Sphere).with_seed(11)
+    BuildConfig::builder().strategy(Strategy::Sphere).seed(11).build()
 }
 
 fn grid(n: usize, dim: usize) -> Vec<Point> {

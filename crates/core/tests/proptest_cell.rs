@@ -45,10 +45,11 @@ proptest! {
         decompose in prop::bool::ANY,
     ) {
         let strategy = BuildStrategy::ALL[strat_pick];
-        let mut cfg = BuildConfig::new(strategy).with_seed(17);
+        let mut cfg = BuildConfig::builder().strategy(strategy).seed(17);
         if decompose {
-            cfg = cfg.with_decomposition(4);
+            cfg = cfg.decompose_pieces(4);
         }
+        let cfg = cfg.build();
         let index = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for q in &queries {
             let got = nn(&index, q).unwrap();
@@ -68,8 +69,8 @@ proptest! {
         strat_pick in 0usize..3,
     ) {
         let heuristic = [BuildStrategy::Point, BuildStrategy::Sphere, BuildStrategy::NnDirection][strat_pick];
-        let correct = NnCellIndex::build(pts.clone(), BuildConfig::new(BuildStrategy::Correct)).unwrap();
-        let approx = NnCellIndex::build(pts.clone(), BuildConfig::new(heuristic)).unwrap();
+        let correct = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(BuildStrategy::Correct).build()).unwrap();
+        let approx = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(heuristic).build()).unwrap();
         for i in 0..pts.len() {
             let exact = &correct.cell(i).unwrap().pieces[0];
             let loose = &approx.cell(i).unwrap().pieces[0];
@@ -89,7 +90,7 @@ proptest! {
     ) {
         let mut index = NnCellIndex::build(
             initial.clone(),
-            BuildConfig::new(BuildStrategy::Sphere).with_seed(23),
+            BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(23).build(),
         )
         .unwrap();
         let mut live: Vec<(usize, Point)> =

@@ -45,7 +45,7 @@ proptest! {
     ) {
         let pts: Vec<Point> = xs.iter().map(|&x| Point::new(vec![x])).collect();
         let strategy = BuildStrategy::ALL[strat_pick];
-        let index = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy).with_seed(5)).unwrap();
+        let index = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(strategy).seed(5).build()).unwrap();
         for &q in &queries {
             let got = nn(&index, &[q]).unwrap();
             let want = linear_scan_nn(&pts, &[q]).unwrap();
@@ -72,10 +72,11 @@ proptest! {
             .iter()
             .map(|&t| Point::new((0..3).map(|i| a[i] + t * (b[i] - a[i])).collect::<Vec<_>>()))
             .collect();
-        let mut cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(6);
+        let mut cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(6);
         if decompose {
-            cfg = cfg.with_decomposition(3);
+            cfg = cfg.decompose_pieces(3);
         }
+        let cfg = cfg.build();
         let index = NnCellIndex::build(pts.clone(), cfg).unwrap();
         for q in &queries {
             let got = nn(&index, q).unwrap();
@@ -105,7 +106,7 @@ proptest! {
         pts.dedup_by(|p, q| dist_sq(p, q) <= 1e-12);
         prop_assume!(pts.len() >= 2);
         let strategy = BuildStrategy::ALL[strat_pick];
-        let index = NnCellIndex::build(pts.clone(), BuildConfig::new(strategy).with_seed(8)).unwrap();
+        let index = NnCellIndex::build(pts.clone(), BuildConfig::builder().strategy(strategy).seed(8).build()).unwrap();
         for q in &queries {
             let got = nn(&index, q).unwrap();
             let want = linear_scan_nn(&pts, q).unwrap();
@@ -139,7 +140,7 @@ proptest! {
         }
 
         // Default policy: typed rejection naming the duplicate.
-        match NnCellIndex::build(with_dups.clone(), BuildConfig::new(BuildStrategy::Sphere)) {
+        match NnCellIndex::build(with_dups.clone(), BuildConfig::builder().strategy(BuildStrategy::Sphere).build()) {
             Err(BuildError::DuplicatePoint { id, of }) => {
                 prop_assert!(id >= base.len() && of < id);
                 prop_assert_eq!(
@@ -154,7 +155,7 @@ proptest! {
         // Skip policy: duplicates recorded and dropped, result exact.
         let index = NnCellIndex::build(
             with_dups,
-            BuildConfig::new(BuildStrategy::Sphere).with_input_policy(InputPolicy::Skip),
+            BuildConfig::builder().strategy(BuildStrategy::Sphere).input_policy(InputPolicy::Skip).build(),
         )
         .unwrap();
         prop_assert_eq!(index.build_stats().skipped_points, n_dups);

@@ -67,7 +67,7 @@ proptest! {
         shards in 1usize..=4,
         k in 1usize..=6,
     ) {
-        let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(7);
+        let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(7).build();
         let whole = NnCellIndex::build(pts.clone(), cfg.clone()).unwrap();
         let engine = QueryEngine::sequential(&whole);
         let sharded = ShardedIndex::build(pts.clone(), shards, cfg).unwrap();
@@ -103,7 +103,7 @@ proptest! {
         // Build from a prefix, insert the rest dynamically: global ids must
         // still equal input positions and answers must match a fresh
         // unsharded build of the full set.
-        let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(11);
+        let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(11).build();
         let split = pts.len() / 2;
         let sharded =
             ShardedIndex::build(pts[..split].to_vec(), shards, cfg.clone()).unwrap();
@@ -133,7 +133,7 @@ fn single_shard_fallback_counts_match_unsharded() {
     let pts: Vec<Point> = (0..6)
         .map(|i| Point::new(vec![i as f64 / 8.0, (i * 3 % 7) as f64 / 8.0]))
         .collect();
-    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(5);
+    let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(5).build();
     let whole = NnCellIndex::build(pts.clone(), cfg.clone()).unwrap();
     let engine = QueryEngine::sequential(&whole);
     let sharded = ShardedIndex::build(pts.clone(), 1, cfg).unwrap();
@@ -165,7 +165,7 @@ fn grid_point(i: usize) -> Point {
 #[test]
 fn save_load_round_trips_through_a_manifest() {
     let pts: Vec<Point> = (0..17).map(grid_point).collect();
-    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(9);
+    let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(9).build();
     let sharded = ShardedIndex::build(pts.clone(), 3, cfg).unwrap();
     let dir = std::env::temp_dir().join(format!("nncell_shard_{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
@@ -196,7 +196,7 @@ fn durable_shards_recover_acknowledged_updates() {
     let fault = FaultVfs::new(FaultSchedule::none(11));
     let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
     let dir = PathBuf::from("/db");
-    let cfg = || BuildConfig::new(BuildStrategy::Sphere).with_seed(13);
+    let cfg = || BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(13).build();
 
     let sharded =
         ShardedIndex::open_durable_with_vfs(Arc::clone(&vfs), &dir, 2, 3, cfg()).unwrap();
@@ -248,7 +248,7 @@ fn queries_run_concurrently_with_inserts() {
         .map(|_| Point::new(vec![coord(), coord(), coord()]))
         .collect();
 
-    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(3).build();
     let sharded = ShardedIndex::build(pts[..8].to_vec(), 3, cfg).unwrap();
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
@@ -435,7 +435,7 @@ fn assert_remove_during_query_parity(idx: &ShardedIndex, pts: &[Point], n_remove
 #[test]
 fn removes_race_queries_with_linear_scan_parity() {
     let pts = lcg_points(160, 0x5eed_0007);
-    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(3).build();
     let sharded = ShardedIndex::build(pts.clone(), 3, cfg).unwrap();
     assert_remove_during_query_parity(&sharded, &pts, 150);
 }
@@ -443,7 +443,7 @@ fn removes_race_queries_with_linear_scan_parity() {
 #[test]
 fn removes_race_queries_through_the_memtable_tail() {
     let pts = lcg_points(160, 0x5eed_0011);
-    let cfg = BuildConfig::new(BuildStrategy::Sphere).with_seed(3);
+    let cfg = BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(3).build();
     // Seed the cells with a prefix, push the rest through the journaled
     // tail, then race the same removal storm against a live folder: the
     // merge must stay indistinguishable from the synchronous path.

@@ -25,7 +25,7 @@ use std::sync::Arc;
 const DIM: usize = 2;
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(BuildStrategy::Sphere).with_seed(23)
+    BuildConfig::builder().strategy(BuildStrategy::Sphere).seed(23).build()
 }
 
 /// Distinct lattice points, so inserts never collide by accident — the

@@ -44,6 +44,36 @@ impl XTree {
         }
     }
 
+    /// An X-tree bulk-loaded with STR packing (see [`crate::bulk_load`]).
+    /// Later dynamic inserts go through the usual X-tree overflow cascade.
+    ///
+    /// # Panics
+    /// Panics if the configuration's policy is not
+    /// [`crate::SplitPolicy::XTree`], on an empty `items` slice, mismatched
+    /// dimensionality, or a `fill` outside `(0,1]`.
+    pub fn bulk_load(cfg: TreeConfig, items: Vec<(Mbr, ItemId)>, fill: f64) -> Self {
+        assert_eq!(
+            cfg.policy,
+            crate::SplitPolicy::XTree,
+            "XTree requires the XTree policy"
+        );
+        Self {
+            inner: crate::bulk::bulk_load(cfg, items, fill),
+        }
+    }
+
+    /// An X-tree bulk-loaded from bare data points (point leaves).
+    ///
+    /// # Panics
+    /// As [`Self::bulk_load`].
+    pub fn bulk_load_points(dim: usize, points: Vec<(Mbr, ItemId)>, fill: f64) -> Self {
+        Self::bulk_load(
+            TreeConfig::xtree(dim).with_point_leaves(true),
+            points,
+            fill,
+        )
+    }
+
     /// Inserts an item.
     pub fn insert(&mut self, mbr: Mbr, id: ItemId) {
         self.inner.insert(mbr, id);
@@ -99,6 +129,44 @@ mod tests {
     #[should_panic(expected = "requires the XTree policy")]
     fn wrong_policy_rejected() {
         let _ = XTree::with_config(TreeConfig::rstar(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the XTree policy")]
+    fn bulk_load_rejects_wrong_policy() {
+        let _ = XTree::bulk_load(
+            TreeConfig::rstar(2),
+            vec![(Mbr::from_point(&[0.1, 0.2]), 0)],
+            1.0,
+        );
+    }
+
+    #[test]
+    fn bulk_loaded_xtree_queries_and_grows() {
+        let pts: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                let v = i as f64 / 400.0;
+                vec![v, (v * 13.0).fract(), (v * 29.0).fract()]
+            })
+            .collect();
+        let items = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Mbr::from_point(p), i as ItemId))
+            .collect();
+        let mut t = XTree::bulk_load_points(3, items, 0.9);
+        assert_eq!(t.len(), 400);
+        t.validate();
+        for (i, p) in pts.iter().enumerate().step_by(37) {
+            assert!(t.point_query(p).contains(&(i as ItemId)));
+        }
+        // Dynamic inserts after bulk load go through the X-tree cascade.
+        t.insert_point(&[0.123, 0.456, 0.789], 400);
+        assert_eq!(t.len(), 401);
+        t.validate();
+        let (nn, proven) = t.approx_knn(&[0.123, 0.456, 0.789], 1, usize::MAX);
+        assert!(proven);
+        assert_eq!(nn[0].id, 400);
     }
 
     #[test]

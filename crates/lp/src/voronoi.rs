@@ -354,6 +354,45 @@ impl<M: Metric> VoronoiLp<M> {
             })
     }
 
+    /// Pool-aware solver entry for the sub-quadratic build: runs the `2·d`
+    /// extent LPs against a *candidate pool* of constraints (typically the
+    /// bisectors of a point's approximate k-nearest neighbors) and reports
+    /// whether the outcome indicates the pool was too tight for a clean
+    /// solve.
+    ///
+    /// The second return value is `true` when the solve was degenerate —
+    /// infeasible (numerical contradiction forced the warm-started rescue)
+    /// or any extent clamped to the data space. Lemma 1 keeps even the
+    /// degenerate result a valid superset, so the caller may *use* it; the
+    /// flag exists so the build can retry the cell against the exhaustive
+    /// pool instead of shipping a data-space-fat approximation.
+    ///
+    /// `solver` selects which entry runs: active-set backends need the
+    /// feasible `start` (the cell's own data point); every other backend
+    /// starts cold and falls back to the warm start only on contradiction.
+    pub fn extents_pooled(
+        &self,
+        pool: &[Halfspace],
+        start: &[f64],
+        solver: SolverKind,
+        seed: u64,
+    ) -> (CellSolve, bool) {
+        if solver == SolverKind::ActiveSet {
+            let solve = self.extents_from(pool, start, seed);
+            let degenerate = solve.stats.clamped_extents > 0;
+            return (solve, degenerate);
+        }
+        match self.extents(pool, seed) {
+            Some(solve) => {
+                let degenerate = solve.stats.clamped_extents > 0;
+                (solve, degenerate)
+            }
+            // "Infeasible" for a cell that provably contains its own data
+            // point: numerical contradiction, the strongest too-tight signal.
+            None => (self.extents_from(pool, start, seed), true),
+        }
+    }
+
     fn extents_impl(
         &self,
         constraints: &[Halfspace],
@@ -573,6 +612,42 @@ mod tests {
         assert!((mbr.hi()[0] - 2.0 / 3.0).abs() < 1e-8);
         assert!((mbr.lo()[1] - 1.0 / 3.0).abs() < 1e-8);
         assert!((mbr.hi()[1] - 2.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pooled_entry_matches_plain_extents_on_clean_solves() {
+        // A well-conditioned pool: the pooled entry must agree with the
+        // plain extents solve bit-for-bit and report "not degenerate".
+        for kind in [SolverKind::Simplex, SolverKind::Seidel, SolverKind::ActiveSet] {
+            let s = solver(2, kind);
+            let p = [0.25, 0.5];
+            let pool = s.bisectors(&p, [&[0.75, 0.5][..], &[0.25, 0.1][..]]);
+            let (solve, degenerate) = s.extents_pooled(&pool, &p, kind, 11);
+            assert!(!degenerate, "{kind:?}: clean solve flagged degenerate");
+            let direct = if kind == SolverKind::ActiveSet {
+                s.extents_from(&pool, &p, 11)
+            } else {
+                s.extents(&pool, 11).unwrap()
+            };
+            assert_eq!(solve.mbr.lo(), direct.mbr.lo(), "{kind:?}");
+            assert_eq!(solve.mbr.hi(), direct.mbr.hi(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_entry_flags_budget_starved_solves() {
+        // A zero work budget forces every extent through the fallback chain
+        // into the terminal clamp: still a valid superset, but the pooled
+        // entry must flag it so the build can retry exhaustively.
+        let s = solver(3, SolverKind::Seidel).with_budget(LpBudget::with_max_iterations(0));
+        let p = [0.4, 0.5, 0.6];
+        let pool = s.bisectors(&p, [&[0.9, 0.5, 0.6][..]]);
+        let (solve, degenerate) = s.extents_pooled(&pool, &p, SolverKind::Seidel, 0);
+        assert!(degenerate, "clamped solve must be flagged");
+        assert!(solve.stats.clamped_extents > 0);
+        // The clamp degrades to the data space — a superset of the cell.
+        assert_eq!(solve.mbr.lo(), &[0.0; 3][..]);
+        assert_eq!(solve.mbr.hi(), &[1.0; 3][..]);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use nncell_geom::Point;
 use nncell_server::{Client, ServeIndex, Server, ServerConfig, ServerHandle};
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(Strategy::Sphere).with_seed(7)
+    BuildConfig::builder().strategy(Strategy::Sphere).seed(7).build()
 }
 
 /// Deterministic pseudo-random points (xorshift — `rand` stays a

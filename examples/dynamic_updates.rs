@@ -25,7 +25,7 @@ fn main() {
     println!("initial build: {} points", initial.len());
     let mut index = NnCellIndex::build(
         initial.clone(),
-        BuildConfig::new(Strategy::Sphere).with_seed(5),
+        BuildConfig::builder().strategy(Strategy::Sphere).seed(5).build(),
     )
     .expect("build");
     let mut reference: Vec<Point> = initial;

@@ -33,7 +33,7 @@ fn main() {
     let t0 = Instant::now();
     let nncell = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::Sphere).with_decomposition(4),
+        BuildConfig::builder().strategy(Strategy::Sphere).decompose_pieces(4).build(),
     )
     .expect("build failed");
     println!("NN-cell index built in {:.2}s", t0.elapsed().as_secs_f64());

@@ -29,7 +29,7 @@ fn main() {
 
     let index = NnCellIndex::build_with_metric(
         library.clone(),
-        BuildConfig::new(Strategy::CorrectPruned).with_seed(3),
+        BuildConfig::builder().strategy(Strategy::CorrectPruned).seed(3).build(),
         metric.clone(),
     )
     .expect("build");

@@ -17,7 +17,7 @@ fn main() {
     let points = UniformGenerator::new(dim).generate(n, 42);
 
     println!("building the NN-cell index (Sphere strategy) ...");
-    let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere))
+    let index = NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build())
         .expect("build failed");
     let bs = index.build_stats();
     println!(

@@ -23,7 +23,7 @@ fn main() {
     for (name, points) in cases {
         let index = NnCellIndex::build(
             points.clone(),
-            BuildConfig::new(Strategy::Correct).with_decomposition(4),
+            BuildConfig::builder().strategy(Strategy::Correct).decompose_pieces(4).build(),
         )
         .expect("build");
         let cells: Vec<CellApprox> = (0..points.len())

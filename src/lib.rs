@@ -24,7 +24,7 @@
 //! use nncell::data::{UniformGenerator, Generator};
 //!
 //! let points = UniformGenerator::new(6).generate(500, 42);
-//! let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+//! let index = NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
 //!
 //! // The query engine is the query API: typed requests in, responses with
 //! // per-query statistics out.
@@ -94,15 +94,15 @@ pub use nncell_core::Error;
 ///     geom::Point::new(vec![0.7, 0.8]),
 /// ];
 /// # // (the prelude also exports `Point` directly)
-/// let index = NnCellIndex::build(points, BuildConfig::new(Strategy::Sphere)).unwrap();
+/// let index = NnCellIndex::build(points, BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
 /// let hit = index.engine().execute(&Query::nn([0.25, 0.25])).unwrap();
 /// assert_eq!(hit.best.id, 0);
 /// ```
 pub mod prelude {
     pub use crate::geom;
     pub use nncell_core::{
-        BuildConfig, Error, NnCellIndex, Query, QueryEngine, QueryResponse, Registry,
-        ShardedIndex, Strategy,
+        BuildConfig, ConstraintPool, Error, NnCellIndex, Query, QueryEngine, QueryResponse,
+        Registry, ShardedIndex, Strategy,
     };
     pub use nncell_geom::Point;
 }

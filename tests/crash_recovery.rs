@@ -24,8 +24,8 @@
 use nncell::core::durable::DurableError;
 use nncell::core::vfs::{FaultSchedule, FaultVfs, Vfs};
 use nncell::core::{
-    linear_scan_nn, BuildConfig, FoldConfig, NnCellIndex, Query, QueryEngine, ShardedIndex,
-    Strategy,
+    linear_scan_nn, BuildConfig, ConstraintPool, FoldConfig, NnCellIndex, Query, QueryEngine,
+    ShardedIndex, Strategy,
 };
 use nncell::geom::{Euclidean, Point};
 use rand::rngs::SmallRng;
@@ -43,7 +43,18 @@ fn fault_seed() -> u64 {
 }
 
 fn cfg() -> BuildConfig {
-    BuildConfig::new(Strategy::Sphere).with_seed(7)
+    BuildConfig::builder().strategy(Strategy::Sphere).seed(7).build()
+}
+
+/// The sub-quadratic build path: approximate-neighbor constraint pools.
+/// Small `k` so the floors (`2d+1`) and the degeneracy fallback are both
+/// in play during the sweep.
+fn pooled_cfg() -> BuildConfig {
+    BuildConfig::builder()
+        .strategy(Strategy::Sphere)
+        .constraint_pool(ConstraintPool::ApproxKnn { k: 4 })
+        .seed(7)
+        .build()
 }
 
 #[derive(Clone, Debug)]
@@ -101,7 +112,13 @@ fn model_states(ops: &[Op]) -> Vec<Vec<Option<Point>>> {
 /// returns how many ops were acknowledged (`Ok`). The final `close` is
 /// attempted but not counted — it changes no logical state.
 fn run_workload(vfs: Arc<dyn Vfs>, dir: &Path, ops: &[Op]) -> usize {
-    let mut d = match NnCellIndex::open_durable_with_vfs(Arc::clone(&vfs), dir, DIM, cfg()) {
+    run_workload_cfg(vfs, dir, ops, cfg())
+}
+
+/// [`run_workload`] with an explicit build configuration (the pooled
+/// sweep reuses the whole harness with a pooled config).
+fn run_workload_cfg(vfs: Arc<dyn Vfs>, dir: &Path, ops: &[Op], cfg: BuildConfig) -> usize {
+    let mut d = match NnCellIndex::open_durable_with_vfs(Arc::clone(&vfs), dir, DIM, cfg) {
         Ok(d) => d,
         Err(_) => return 0,
     };
@@ -229,6 +246,61 @@ fn every_crash_point_recovers_a_prefix_consistent_index() {
             hi.len()
         );
         assert_queries_exact(&recovered, &format!("crash point {k}"));
+    }
+}
+
+/// The same kill-at-every-syscall sweep over the **pooled** build path:
+/// every insert past the pool threshold computes its cell from an
+/// approximate-neighbor constraint pool (with the degeneracy fallback
+/// live), and incremental re-solve decides which existing cells refresh.
+/// Durability must be completely indifferent to how cells were computed —
+/// the WAL journals points, not cells.
+#[test]
+fn every_crash_point_recovers_with_pooled_build() {
+    let seed = fault_seed().wrapping_add(0x9E37_79B9);
+    let dir = Path::new("/db");
+    let ops = workload(seed, 28);
+    let states = model_states(&ops);
+
+    let clean = FaultVfs::new(FaultSchedule::none(seed));
+    let acked = run_workload_cfg(Arc::new(clean.clone()), dir, &ops, pooled_cfg());
+    assert_eq!(acked, ops.len(), "fault-free run must acknowledge every op");
+    let total_ops = clean.ops();
+    assert!(!clean.crashed());
+    let reopened = NnCellIndex::open_durable_with_vfs(
+        Arc::new(clean.survivor(FaultSchedule::none(seed))),
+        dir,
+        DIM,
+        pooled_cfg(),
+    )
+    .expect("clean reopen");
+    assert!(
+        states_equal(&live_slots(&reopened), &states[ops.len()]),
+        "fault-free pooled run must end in the full-workload state"
+    );
+
+    for k in 0..total_ops {
+        let fault = FaultVfs::new(FaultSchedule::crash_at(seed, k));
+        let acked = run_workload_cfg(Arc::new(fault.clone()), dir, &ops, pooled_cfg());
+        assert!(
+            fault.crashed(),
+            "crash point {k} < {total_ops} must have fired"
+        );
+
+        let survivor = fault.survivor(FaultSchedule::none(seed.wrapping_add(k)));
+        let recovered =
+            NnCellIndex::open_durable_with_vfs(Arc::new(survivor), dir, DIM, pooled_cfg())
+                .unwrap_or_else(|e| panic!("pooled crash point {k}: recovery failed: {e}"));
+
+        let got = live_slots(&recovered);
+        let lo = &states[acked];
+        let hi = &states[(acked + 1).min(ops.len())];
+        assert!(
+            states_equal(&got, lo) || states_equal(&got, hi),
+            "pooled crash point {k}: recovered state matches neither the state \
+             after the {acked} acknowledged ops nor one in-flight op beyond it"
+        );
+        assert_queries_exact(&recovered, &format!("pooled crash point {k}"));
     }
 }
 

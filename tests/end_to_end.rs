@@ -50,7 +50,7 @@ fn uniform_pipeline_all_strategies() {
         Strategy::Sphere,
         Strategy::NnDirection,
     ] {
-        let index = NnCellIndex::build(points.clone(), BuildConfig::new(strategy)).unwrap();
+        let index = NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(strategy).build()).unwrap();
         assert_index_exact(&index, &points, &qs, strategy.name());
     }
 }
@@ -62,7 +62,7 @@ fn fourier_pipeline_with_decomposition() {
     let qs = queries(&gen, 60, 201);
     let index = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::Sphere).with_decomposition(4),
+        BuildConfig::builder().strategy(Strategy::Sphere).decompose_pieces(4).build(),
     )
     .unwrap();
     assert_index_exact(&index, &points, &qs, "fourier+decomp");
@@ -74,7 +74,7 @@ fn clustered_pipeline_nn_direction() {
     let points = gen.generate(400, 300);
     let qs = queries(&UniformGenerator::new(5), 60, 301);
     let index =
-        NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
+        NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::NnDirection).build()).unwrap();
     assert_index_exact(&index, &points, &qs, "clustered");
 }
 
@@ -84,7 +84,7 @@ fn sparse_data_has_worse_overlap_than_grid() {
     // must hold (figure 2).
     let n = 64;
     let build =
-        |pts: Vec<Point>| NnCellIndex::build(pts, BuildConfig::new(Strategy::Correct)).unwrap();
+        |pts: Vec<Point>| NnCellIndex::build(pts, BuildConfig::builder().strategy(Strategy::Correct).build()).unwrap();
     let grid = build(GridGenerator::new(2).generate(n, 0));
     let sparse = build(SparseGenerator::new(2).generate(n, 1));
     let cells = |idx: &NnCellIndex| -> Vec<CellApprox> {
@@ -109,7 +109,7 @@ fn all_engines_agree_on_fourier_workload() {
     let points = gen.generate(600, 400);
     let qs = queries(&gen, 50, 401);
 
-    let nncell = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)).unwrap();
+    let nncell = NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()).unwrap();
     let mut xtree = XTree::for_points(dim);
     let mut rstar = RStarTree::for_points(dim);
     let mut scan = LinearScan::new(dim);
@@ -144,7 +144,7 @@ fn nncell_beats_tree_nn_on_search_time_high_dim() {
     let qs = queries(&gen, 200, 501);
 
     let nncell =
-        NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::CorrectPruned)).unwrap();
+        NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::CorrectPruned).build()).unwrap();
     let mut rstar = RStarTree::for_points(dim);
     for (i, p) in points.iter().enumerate() {
         rstar.insert_point(p, i as u64);
@@ -187,7 +187,7 @@ fn nncell_beats_tree_nn_on_search_time_high_dim() {
 fn grow_shrink_grow_lifecycle() {
     let gen = UniformGenerator::new(3);
     let mut reference: Vec<(usize, Point)> = Vec::new();
-    let mut index = NnCellIndex::new(3, BuildConfig::new(Strategy::Sphere));
+    let mut index = NnCellIndex::new(3, BuildConfig::builder().strategy(Strategy::Sphere).build());
 
     // Grow.
     for (next, p) in gen.generate(150, 600).into_iter().enumerate() {

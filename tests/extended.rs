@@ -34,9 +34,9 @@ fn persistence_roundtrip_preserves_exactness_and_updates() {
     let points = gen.generate(300, 700);
     let index = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::Sphere)
-            .with_decomposition(4)
-            .with_seed(7),
+        BuildConfig::builder().strategy(Strategy::Sphere)
+            .decompose_pieces(4)
+            .seed(7).build(),
     )
     .unwrap();
     let path = tmp("roundtrip");
@@ -68,7 +68,7 @@ fn knn_results_match_scan_ordering() {
     let gen = FourierGenerator::new(6);
     let points = gen.generate(400, 800);
     let index =
-        NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::NnDirection)).unwrap();
+        NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::NnDirection).build()).unwrap();
     for q in gen.generate(20, 801) {
         let got = knn(&index, &q, 7);
         let want = linear_scan_knn(&points, &q, 7);
@@ -85,7 +85,7 @@ fn weighted_metric_pipeline_with_decomposition() {
     let points = UniformGenerator::new(3).generate(250, 900);
     let index = NnCellIndex::build_with_metric(
         points.clone(),
-        BuildConfig::new(Strategy::CorrectPruned).with_decomposition(4),
+        BuildConfig::builder().strategy(Strategy::CorrectPruned).decompose_pieces(4).build(),
         metric.clone(),
     )
     .unwrap();
@@ -109,7 +109,7 @@ fn weighted_metric_pipeline_with_decomposition() {
 #[test]
 fn corrupted_index_files_are_rejected_not_mislaoded() {
     let points = UniformGenerator::new(2).generate(50, 1000);
-    let index = NnCellIndex::build(points, BuildConfig::new(Strategy::Point)).unwrap();
+    let index = NnCellIndex::build(points, BuildConfig::builder().strategy(Strategy::Point).build()).unwrap();
     let path = tmp("corrupt");
     index.save(&path).unwrap();
     let mut bytes = std::fs::read(&path).unwrap();
@@ -136,14 +136,14 @@ fn duplicate_points_do_not_break_exactness() {
     let mut points = UniformGenerator::new(3).generate(80, 1100);
     points.push(points[10].clone());
     points.push(points[10].clone());
-    match NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Sphere)) {
+    match NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::Sphere).build()) {
         Err(BuildError::DuplicatePoint { id: 80, of: 10 }) => {}
         Err(other) => panic!("expected DuplicatePoint {{ id: 80, of: 10 }}, got {other}"),
         Ok(_) => panic!("duplicate input accepted under the default Reject policy"),
     }
     let index = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::Sphere).with_input_policy(InputPolicy::Skip),
+        BuildConfig::builder().strategy(Strategy::Sphere).input_policy(InputPolicy::Skip).build(),
     )
     .unwrap();
     assert_eq!(index.build_stats().skipped_points, 2);
@@ -161,7 +161,7 @@ fn duplicate_points_do_not_break_exactness() {
 fn single_point_database() {
     let index = NnCellIndex::build(
         vec![Point::new(vec![0.3, 0.7])],
-        BuildConfig::new(Strategy::Correct),
+        BuildConfig::builder().strategy(Strategy::Correct).build(),
     )
     .unwrap();
     let r = nn(&index, &[0.9, 0.1]).unwrap();
@@ -175,7 +175,7 @@ fn single_point_database() {
 fn malformed_queries_return_none_not_panic() {
     let index = NnCellIndex::build(
         vec![Point::new(vec![0.3, 0.7]), Point::new(vec![0.6, 0.1])],
-        BuildConfig::new(Strategy::Correct),
+        BuildConfig::builder().strategy(Strategy::Correct).build(),
     )
     .unwrap();
     // Wrong dimension, NaN, and infinity have no meaningful answer; the

@@ -39,7 +39,7 @@ fn corrupted_index_files_never_panic_and_never_disagree() {
     let points = gen.generate(150, 900);
     let index = NnCellIndex::build(
         points.clone(),
-        BuildConfig::new(Strategy::Sphere).with_decomposition(3),
+        BuildConfig::builder().strategy(Strategy::Sphere).decompose_pieces(3).build(),
     )
     .unwrap();
     let queries: Vec<Vec<f64>> = gen
@@ -218,7 +218,7 @@ fn pristine_file_roundtrips_exactly() {
     let dim = 4;
     let gen = UniformGenerator::new(dim);
     let points = gen.generate(120, 910);
-    let index = NnCellIndex::build(points.clone(), BuildConfig::new(Strategy::Point)).unwrap();
+    let index = NnCellIndex::build(points.clone(), BuildConfig::builder().strategy(Strategy::Point).build()).unwrap();
     let path = tmp("pristine");
     index.save(&path).unwrap();
     let loaded = NnCellIndex::load(&path).unwrap();
