@@ -125,6 +125,34 @@ else
     echo "bench gate: no committed BENCH_query_engine.json baseline; skipping"
 fi
 
+echo "== tracing-overhead gate (sampling-off QPS within 2% of committed baseline) =="
+# The tracing hot path with sampling off is one thread-local flag read
+# per span site (plus one relaxed atomic load per request root) — cheap
+# enough that sequential QPS must stay within 2% of the committed
+# baseline, a far tighter bar than the 25% regression floor above. The
+# committed BENCH_query_engine.json was blessed with the instrumentation
+# in place, so a failure here means someone made the *disabled* path
+# expensive (an allocation, a lock, a syscall), not that tracing exists.
+if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
+    extract_qps() { grep -o '"seq_qps": *[0-9.]*' | tr -dc '0-9.\n' | head -n1; }
+    old_qps=$(printf '%s' "$baseline_json" | extract_qps)
+    cur_qps=$(extract_qps < BENCH_query_engine.json)
+    if [ -z "$old_qps" ] || [ -z "$cur_qps" ]; then
+        echo "tracing gate: could not parse seq_qps (old='$old_qps' cur='$cur_qps')" >&2
+        exit 1
+    fi
+    awk -v old="$old_qps" -v cur="$cur_qps" 'BEGIN {
+        floor = 0.98 * old;
+        printf "tracing gate: seq_qps %.2f vs baseline %.2f (floor %.2f)\n", cur, old, floor;
+        if (cur < floor) {
+            printf "tracing gate: FAIL — sampling-off QPS more than 2%% under baseline\n";
+            exit 1;
+        }
+    }'
+else
+    echo "tracing gate: no committed BENCH_query_engine.json baseline; skipping"
+fi
+
 echo "== build-time regression gate (build_seconds vs committed baseline) =="
 # The pooled construction path is this repo's headline build-speed claim;
 # guard it the same way as query throughput. The fresh smoke run's

@@ -70,6 +70,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "bench" => cmd_bench(&p),
         "stats" => cmd_stats(&p),
         "serve" => cmd_serve(&p),
+        "trace" => cmd_trace(&p),
         other => Err(format!("unknown command {other:?}; try `nncell help`")),
     }
 }
@@ -809,6 +810,7 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         "tail-max",
         "fold-interval-ms",
         "chaos",
+        "trace-sample",
     ])
     .map_err(|e| e.to_string())?;
     let index = open_serve_index(p)?;
@@ -822,6 +824,7 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
         retry_after_secs: p.get_or("retry-after", 1).map_err(|e| e.to_string())?,
         slow_ms: p.get_or("slow-ms", 100).map_err(|e| e.to_string())?,
         chaos: p.get("chaos").is_some(),
+        trace_sample: p.get_or("trace-sample", 0).map_err(|e| e.to_string())?,
         ..nncell_server::ServerConfig::default()
     };
     if config.threads == 0 {
@@ -845,7 +848,9 @@ fn cmd_serve(p: &Parsed) -> Result<(), String> {
     // The E2E harness starts us with --addr 127.0.0.1:0 and parses this
     // line for the real port, so flush it through any pipe buffering.
     println!("listening on {}", server.local_addr());
-    println!("serving: POST /query /batch /insert /remove — GET /metrics /healthz /readyz");
+    println!(
+        "serving: POST /query /batch /insert /remove — GET /metrics /healthz /readyz /debug/trace"
+    );
     match server.index() {
         nncell_server::ServeIndex::Sharded(s) if s.memtable_enabled() => {
             let max = s.fold_config().map_or(0, |c| c.tail_max);
@@ -913,8 +918,11 @@ fn cmd_stats_server(addr: &str) -> Result<(), String> {
         "requests       : {} completed",
         value("nncell_http_requests_total"),
     );
-    // The memtable write-path family only exists when the server runs
-    // with a journaled tail (sharded serve, --tail-max > 0).
+    // Always print the write-path lines: degraded-mode and tail depth
+    // must be visible even on a quiet server (empty slow-query ring, no
+    // traffic since start). The memtable family only exists when the
+    // server runs a journaled tail — say so explicitly instead of
+    // silently omitting the folder's health.
     if text.contains("nncell_tail_depth") {
         println!(
             "write path     : {} unfolded tail op(s), {} fold(s) ({} record(s)), \
@@ -933,6 +941,49 @@ fn cmd_stats_server(addr: &str) -> Result<(), String> {
             },
             value("nncell_fold_failures_total"),
         );
+    } else {
+        println!("write path     : synchronous (no memtable tail)");
+    }
+    if text.contains("nncell_trace_spans_total") {
+        println!(
+            "tracing        : {} span(s) in {} trace(s) recorded, {} evicted from the flight ring",
+            value("nncell_trace_spans_total"),
+            value("nncell_trace_traces_total"),
+            value("nncell_trace_dropped_spans_total"),
+        );
+    }
+    Ok(())
+}
+
+/// `trace --server ADDR [--last N] [--out FILE]`: pulls the flight
+/// recorder's most recent request traces off a running server as Chrome
+/// trace-event JSON. Written to `--out` (or stdout) verbatim — the file
+/// loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+fn cmd_trace(p: &Parsed) -> Result<(), String> {
+    p.allow_only(&["server", "last", "out"])
+        .map_err(|e| e.to_string())?;
+    let addr = p
+        .get("server")
+        .ok_or("trace needs --server HOST:PORT (a running `nncell serve`)")?;
+    let last: usize = p.get_or("last", 16).map_err(|e| e.to_string())?;
+    let client = nncell_server::Client::new(addr);
+    let resp = client
+        .get(&format!("/debug/trace?last={last}"))
+        .map_err(|e| format!("fetch of http://{addr}/debug/trace failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/debug/trace answered {}", resp.status));
+    }
+    let body = resp.text();
+    match p.get("out") {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("write {path}: {e}"))?;
+            let spans = body.matches("\"ph\":\"X\"").count();
+            println!(
+                "wrote {spans} span(s) to {path} — open in Perfetto (ui.perfetto.dev) \
+                 or chrome://tracing"
+            );
+        }
+        None => println!("{body}"),
     }
     Ok(())
 }
@@ -1003,8 +1054,15 @@ fn cmd_stats(p: &Parsed) -> Result<(), String> {
                 slow.total_seen()
             );
             for e in entries {
+                // A nonzero trace id is an exemplar: the same id keys the
+                // span timeline in the flight recorder (/debug/trace).
+                let trace = if e.trace_id != 0 {
+                    format!(" trace={:032x}", e.trace_id)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  #{:<4} {:>10.1} µs  k={} candidates={} pages={}{}  [{}]",
+                    "  #{:<4} {:>10.1} µs  k={} candidates={} pages={}{}{trace}  [{}]",
                     e.seq,
                     e.latency_ns as f64 / 1_000.0,
                     e.k,
@@ -1177,7 +1235,9 @@ COMMANDS
   serve     (--index FILE | --wal DIR) [--addr 127.0.0.1:8321] [--threads 4]
             [--queue-depth 64] [--deadline-ms 2000] [--retry-after 1]
             [--slow-ms 100] [--tail-max 4096] [--fold-interval-ms 20]
-            [--dim N --shards S  (fresh --wal init)]
+            [--trace-sample N] [--dim N --shards S  (fresh --wal init)]
+  trace     --server HOST:PORT [--last 16] [--out FILE]
+            (fetch recent request traces as Chrome trace-event JSON)
   help
 
 `build --pool approx` constructs cells from each point's approximate
@@ -1202,6 +1262,13 @@ print the raw registry snapshot; --slow drains the slow-query ring.
 panicking requests isolated to a 500, and SIGTERM/ctrl-c draining
 in-flight work before a final WAL checkpoint. `stats --server ADDR`
 scrapes /metrics off a running server for the shed-pressure summary.
+
+`serve --trace-sample N` records every Nth request as a span tree in the
+always-on flight recorder (0 = off; a client-sent sampled `traceparent`
+header always forces recording). `trace --server ADDR` exports the most
+recent traces as Chrome trace-event JSON — pipe to a file (--out) and
+load it in Perfetto (ui.perfetto.dev) or chrome://tracing. Slow-query
+entries carry the trace id of their request as an exemplar.
 
 Sharded serving uses the LSM-style write path: inserts/removes are
 journaled and land in a small unindexed memtable tail (fsync, then an

@@ -410,3 +410,144 @@ fn sigterm_drains_checkpoints_and_leaves_zero_replay_debt() {
     assert!(hit.dist < 1e-12);
     let _ = std::fs::remove_dir_all(&wal);
 }
+
+/// End-to-end trace propagation through the real binary: a client-sent
+/// sampled `traceparent` forces recording server-side (sampling is off
+/// by default), the response echoes the same trace id, and
+/// `GET /debug/trace` exports the nested server → shard → engine and
+/// WAL span tree as Chrome trace-event JSON.
+#[test]
+fn traceparent_round_trips_and_debug_trace_exports_the_tree() {
+    use nncell_obs::trace;
+    use nncell_obs::SpanContext;
+
+    let wal = tmp("trace");
+    let srv = ServerProc::spawn(&[
+        "--wal",
+        wal.to_str().unwrap(),
+        "--dim",
+        "2",
+        "--shards",
+        "2",
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+    ]);
+    let client = srv.client();
+
+    // Seed some untraced points so the query has work to do.
+    for i in 0..12 {
+        let r = client
+            .post("/insert", &insert_body(&point_for(i)))
+            .expect("seed insert");
+        assert_eq!(r.status, 200);
+    }
+
+    // Traced requests: the std-only client forwards the calling
+    // thread's sampled context as a `traceparent` header automatically.
+    const TRACE: u128 = 0xe2e0_0000_0000_0000_0000_0000_0000_0001;
+    trace::init();
+    let (query_resp, insert_resp) = {
+        let _root = trace::root_from(
+            "e2e.client",
+            Some(SpanContext {
+                trace: TRACE,
+                span: 0x42,
+                sampled: true,
+            }),
+        );
+        let q = client
+            .post("/query", "{\"point\":[0.4,0.6],\"k\":3}")
+            .expect("traced query");
+        let i = client
+            .post("/insert", &insert_body(&[0.11, 0.22]))
+            .expect("traced insert");
+        (q, i)
+    };
+    assert_eq!(query_resp.status, 200);
+    assert_eq!(insert_resp.status, 200);
+
+    // The response echoes the continued trace: same trace id, a
+    // server-minted span id, sampled flag intact.
+    for resp in [&query_resp, &insert_resp] {
+        let echoed = resp
+            .header("traceparent")
+            .expect("server echoes traceparent on traced requests");
+        let ctx = SpanContext::parse_traceparent(echoed).expect("well-formed traceparent");
+        assert_eq!(ctx.trace, TRACE, "trace id unchanged through the round trip");
+        assert!(ctx.sampled);
+    }
+
+    let export = client.get("/debug/trace?last=50").expect("debug trace");
+    assert_eq!(export.status, 200);
+    let body = export.text();
+    assert!(
+        body.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "not Chrome trace-event JSON:\n{body}"
+    );
+    assert_eq!(body.matches('{').count(), body.matches('}').count());
+
+    // Only the events of our trace (the seed inserts were unsampled and
+    // must not appear — sampling is off by default).
+    let hex = format!("{TRACE:032x}");
+    let events: Vec<&str> = body.lines().filter(|l| l.contains("\"name\"")).collect();
+    assert!(
+        events.iter().all(|l| l.contains(&hex)),
+        "unsampled request leaked into the flight recorder:\n{body}"
+    );
+
+    // The full nested tree is there: request lifecycle, shard fan-out,
+    // engine work, and the WAL append of the traced insert.
+    for name in [
+        "server.request",
+        "server.queue_wait",
+        "server.parse",
+        "server.handle",
+        "server.serialize",
+        "shard.query",
+        "engine.query",
+        "wal.append",
+    ] {
+        assert!(
+            events.iter().any(|l| l.contains(&format!("\"name\":\"{name}\""))),
+            "span {name} missing from export:\n{body}"
+        );
+    }
+
+    // Spot-check the nesting: every shard.query parents an engine.query,
+    // and the shard spans hang off a server.handle span.
+    let field = |line: &str, key: &str| -> String {
+        let tag = format!("\"{key}\":\"");
+        let start = line.find(&tag).map(|i| i + tag.len()).unwrap_or(0);
+        line[start..].chars().take_while(|c| *c != '"').collect()
+    };
+    let span_of = |name: &str| -> Vec<String> {
+        events
+            .iter()
+            .filter(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .map(|l| field(l, "span"))
+            .collect()
+    };
+    let handle_spans = span_of("server.handle");
+    let shard_events: Vec<&&str> = events
+        .iter()
+        .filter(|l| l.contains("\"name\":\"shard.query\""))
+        .collect();
+    assert_eq!(shard_events.len(), 2, "one span per shard:\n{body}");
+    for ev in &shard_events {
+        assert!(
+            handle_spans.contains(&field(ev, "parent")),
+            "shard span not parented by server.handle:\n{body}"
+        );
+    }
+    let shard_spans = span_of("shard.query");
+    for ev in events.iter().filter(|l| l.contains("\"name\":\"engine.query\"")) {
+        assert!(
+            shard_spans.contains(&field(ev, "parent")),
+            "engine span not parented by a shard span:\n{body}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&wal);
+}

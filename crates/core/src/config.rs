@@ -182,101 +182,6 @@ impl BuildConfig {
         }
     }
 
-    /// Defaults: auto solver, exhaustive pool, no decomposition, 4 KB
-    /// blocks, seed 0, refinement on.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder()")]
-    pub fn new(strategy: Strategy) -> Self {
-        Self {
-            strategy,
-            ..Self::default()
-        }
-    }
-
-    /// Sets the LP backend.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().solver(..)")]
-    pub fn with_solver(mut self, solver: SolverKind) -> Self {
-        self.solver = solver;
-        self
-    }
-
-    /// Enables decomposition into at most `pieces` MBRs per cell.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use BuildConfig::builder().decompose_pieces(..)"
-    )]
-    pub fn with_decomposition(mut self, pieces: usize) -> Self {
-        assert!(pieces >= 1, "decomposition needs at least one piece");
-        self.decompose_pieces = Some(pieces);
-        self
-    }
-
-    /// Overrides the Sphere-strategy radius.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().sphere_radius(..)")]
-    pub fn with_sphere_radius(mut self, r: f64) -> Self {
-        assert!(r > 0.0);
-        self.sphere_radius = Some(r);
-        self
-    }
-
-    /// Overrides the simulated block size.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().block_size(..)")]
-    pub fn with_block_size(mut self, bytes: usize) -> Self {
-        self.block_size = bytes;
-        self
-    }
-
-    /// Sets the RNG seed.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().seed(..)")]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Toggles refinement of affected cells on dynamic inserts.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use BuildConfig::builder().refine_on_insert(..)"
-    )]
-    pub fn with_refine_on_insert(mut self, yes: bool) -> Self {
-        self.refine_on_insert = yes;
-        self
-    }
-
-    /// Sets the build-phase worker-thread count.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().threads(..)")]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one thread");
-        self.threads = threads;
-        self
-    }
-
-    /// Caps every LP solve at `n` work units (pivots / basis changes /
-    /// constraint insertions). Exhausted solves escalate through the
-    /// fallback chain and, at worst, clamp to the data space — exactness is
-    /// unaffected.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use BuildConfig::builder().lp_max_iterations(..)"
-    )]
-    pub fn with_lp_max_iterations(mut self, n: usize) -> Self {
-        self.lp_budget = LpBudget::with_max_iterations(n);
-        self
-    }
-
-    /// Sets the full LP work budget.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().lp_budget(..)")]
-    pub fn with_lp_budget(mut self, budget: LpBudget) -> Self {
-        self.lp_budget = budget;
-        self
-    }
-
-    /// Sets the invalid-input policy for bulk builds.
-    #[deprecated(since = "0.8.0", note = "use BuildConfig::builder().input_policy(..)")]
-    pub fn with_input_policy(mut self, policy: InputPolicy) -> Self {
-        self.input_policy = policy;
-        self
-    }
-
     /// The effective Sphere radius for a database of `n` points in `d`
     /// dimensions.
     ///
@@ -444,28 +349,6 @@ mod tests {
         assert_eq!(c.seed, 0);
         assert!(c.refine_on_insert);
         assert_eq!(c.threads, 1);
-    }
-
-    // The one-release deprecation shim must keep compiling and agree with
-    // the builder field-for-field.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shim_matches_builder() {
-        let old = BuildConfig::new(Strategy::Point)
-            .with_seed(3)
-            .with_block_size(1024)
-            .with_threads(2);
-        let new = BuildConfig::builder()
-            .strategy(Strategy::Point)
-            .seed(3)
-            .block_size(1024)
-            .threads(2)
-            .build();
-        assert_eq!(old.strategy, new.strategy);
-        assert_eq!(old.pool, new.pool);
-        assert_eq!(old.seed, new.seed);
-        assert_eq!(old.block_size, new.block_size);
-        assert_eq!(old.threads, new.threads);
     }
 
     #[test]

@@ -212,13 +212,21 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         scratch: &mut QueryScratch,
         q: &Query,
     ) -> Result<QueryResponse, QueryError> {
+        // Inert (one thread-local read) unless this thread is inside a
+        // sampled trace; the guard closes when the function returns.
+        let mut span = nncell_obs::trace::child("engine.query");
         let metrics = if self.record_metrics {
             self.index.engine_metrics()
         } else {
             None
         };
         let Some(m) = metrics else {
-            return self.execute_inner(scratch, q);
+            let result = self.execute_inner(scratch, q);
+            if let Ok(resp) = &result {
+                span.arg("candidates", resp.stats.candidates as u64);
+                span.arg("pages", resp.stats.pages);
+            }
+            return result;
         };
         let start = std::time::Instant::now();
         let result = self.execute_inner(scratch, q);
@@ -232,6 +240,8 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 if resp.stats.fallback {
                     m.fallbacks.inc();
                 }
+                span.arg("candidates", resp.stats.candidates as u64);
+                span.arg("pages", resp.stats.pages);
                 // The slow log's `k` column is the requested neighbor
                 // count; a radius query has none, so it records 0 rather
                 // than the sentinel `usize::MAX` that `Query::k` returns.
@@ -239,6 +249,9 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                     QueryKind::Nearest { k } => k,
                     QueryKind::Radius { .. } => 0,
                 };
+                // Slow-query exemplar: stamp the active trace id (0 when
+                // untraced) so a tripped slow-log entry links to its span
+                // timeline in the flight recorder.
                 m.slow.record(
                     latency_ns,
                     q.point(),
@@ -246,6 +259,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                     resp.stats.candidates,
                     resp.stats.pages as usize,
                     resp.stats.fallback,
+                    nncell_obs::trace::current_trace_id(),
                 );
             }
             Err(_) => m.query_errors.inc(),
@@ -338,6 +352,8 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 merged.retain(|r| !tail.removed.contains(&r.id));
             }
         }
+        let mut tspan = nncell_obs::trace::child("engine.tail_merge");
+        tspan.arg("tail", tail.inserts.len() as u64);
         let metric = idx.metric();
         merged.reserve(tail.inserts.len());
         for (i, (id, pt)) in tail.inserts.iter().enumerate() {
@@ -354,6 +370,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         merged.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         merged.dedup_by(|a, b| a.id == b.id);
         merged.truncate(k);
+        drop(tspan);
         let mut it = merged.into_iter();
         match it.next() {
             // Every indexed point tombstoned and no tail inserts: the
@@ -390,9 +407,13 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         let n_chunks = n.div_ceil(chunk);
         let cursor = AtomicUsize::new(0);
         let parts: Mutex<Vec<BatchPart>> = Mutex::new(Vec::with_capacity(n_chunks));
+        // Workers inherit the spawner's trace context (if any) so their
+        // per-query spans parent under the same request trace.
+        let trace_ctx = nncell_obs::trace::current();
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
+                    let _trace = nncell_obs::trace::adopt(trace_ctx);
                     let mut scratch = QueryScratch::new();
                     loop {
                         let ci = cursor.fetch_add(1, Ordering::Relaxed);
@@ -495,26 +516,33 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             return Ok(self.scan_knn(p, k));
         }
         let tree = idx.cell_tree();
-        let mut pages = tree.point_query_with(p, &mut scratch.stack, &mut scratch.hits);
-        decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
-        let mut radius = {
-            // Seed radius: expected k-NN scale, doubled until enough hits.
-            let d = idx.dim() as f64;
-            2.0 * ((k as f64) / idx.len() as f64).powf(1.0 / d)
-        };
-        let mut guard = 0;
-        while scratch.cand.len() < k {
-            if self.out_of_budget() {
-                return Err(QueryError::DeadlineExceeded);
-            }
-            pages += tree.sphere_query_with(p, radius, &mut scratch.stack, &mut scratch.hits);
+        let mut pages;
+        {
+            let mut growth = nncell_obs::trace::child("engine.knn_growth");
+            pages = tree.point_query_with(p, &mut scratch.stack, &mut scratch.hits);
             decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
-            radius *= 2.0;
-            guard += 1;
-            if guard > 64 {
-                return Ok(self.scan_knn(p, k)); // numerically degenerate space
+            let mut radius = {
+                // Seed radius: expected k-NN scale, doubled until enough hits.
+                let d = idx.dim() as f64;
+                2.0 * ((k as f64) / idx.len() as f64).powf(1.0 / d)
+            };
+            let mut guard = 0;
+            while scratch.cand.len() < k {
+                if self.out_of_budget() {
+                    return Err(QueryError::DeadlineExceeded);
+                }
+                pages += tree.sphere_query_with(p, radius, &mut scratch.stack, &mut scratch.hits);
+                decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
+                radius *= 2.0;
+                guard += 1;
+                if guard > 64 {
+                    return Ok(self.scan_knn(p, k)); // numerically degenerate space
+                }
             }
+            growth.arg("batches", guard);
+            growth.arg("candidates", scratch.cand.len() as u64);
         }
+        let mut rank = nncell_obs::trace::child("engine.mindist_rank");
         let metric = idx.metric();
         rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
         let bound = scratch.ranked[k - 1].dist;
@@ -532,6 +560,8 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         let candidates = scratch.cand.len();
         rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
         scratch.ranked.truncate(k);
+        rank.arg("candidates", candidates as u64);
+        drop(rank);
         Ok(QueryResponse {
             best: scratch.ranked[0],
             rest: scratch.ranked[1..].to_vec(),
@@ -665,6 +695,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     /// Exact 1-NN by scanning the flat point layout. Counts the fallback.
     fn scan_nn(&self, p: &[f64]) -> QueryResponse {
         let idx = self.index;
+        let _span = nncell_obs::trace::child("engine.scan_fallback");
         idx.count_fallback();
         let metric = idx.metric();
         let alive = idx.alive();
@@ -699,6 +730,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     /// Exact k-NN by scanning the flat point layout. Counts the fallback.
     fn scan_knn(&self, p: &[f64], k: usize) -> QueryResponse {
         let idx = self.index;
+        let _span = nncell_obs::trace::child("engine.scan_fallback");
         idx.count_fallback();
         let metric = idx.metric();
         let alive = idx.alive();

@@ -690,6 +690,10 @@ impl ShardedIndex {
             if let Some(t) = tail_i {
                 engine = engine.with_tail(t);
             }
+            // One child span per shard consulted; the engine's own spans
+            // nest underneath it, so a trace shows the full fan-out.
+            let mut span = nncell_obs::trace::child("shard.query");
+            span.arg("shard", i as u64);
             match engine.execute(q) {
                 Ok(r) => per.push((i, r)),
                 // Every point of this shard is tombstoned in the tail:
@@ -1072,6 +1076,11 @@ impl ShardedIndex {
         if batch.is_empty() {
             return Ok(0);
         }
+        // Root span on the folder thread (head-sampled like any other
+        // root); manual folds under a traced request nest as children.
+        let mut span = nncell_obs::trace::root("fold.shard");
+        span.arg("shard", shard as u64);
+        span.arg("records", batch.len() as u64);
         let start = Instant::now();
         // Invariant (memtable mode): the published snapshot equals the
         // master — both only change under fold_lock + writer lock, which

@@ -279,11 +279,15 @@ impl WalWriter {
                 "WAL writer poisoned by an earlier append failure; checkpoint to rotate".into(),
             ));
         }
+        // Covers frame + write + fsync; nests under the request span when
+        // the acking thread is inside a sampled trace.
+        let mut span = nncell_obs::trace::child("wal.append");
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        span.arg("bytes", frame.len() as u64);
         let res = self
             .file
             .write_all(&frame)
@@ -322,6 +326,8 @@ impl WalWriter {
                 "WAL writer poisoned by an earlier append failure; checkpoint to rotate".into(),
             ));
         }
+        let mut span = nncell_obs::trace::child("wal.append_batch");
+        span.arg("records", recs.len() as u64);
         let mut frames = Vec::new();
         for rec in recs {
             let payload = rec.encode();

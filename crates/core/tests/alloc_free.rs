@@ -3,7 +3,9 @@
 //! `execute_with` performs **zero** heap allocations for `k = 1` queries and
 //! exactly one (the response's `rest` vector) for `k > 1` — and the same
 //! holds with a **live metrics registry attached**, slow-query ring armed at
-//! threshold 0 (every query takes the ring's copy path).
+//! threshold 0 (every query takes the ring's copy path). Because the query
+//! path is threaded with tracing span sites, this is also the proof that
+//! tracing with sampling off (the default) allocates nothing.
 //!
 //! The counter is gated by an `AtomicBool` so the surrounding test harness
 //! (and index construction) does not pollute the count. This file contains a
@@ -78,6 +80,17 @@ fn warm_scratch_queries_do_not_allocate() {
         .iter()
         .map(|q| Query::knn(q.point().to_vec(), 5))
         .collect();
+
+    // The engine's query path carries tracing span sites (engine.query,
+    // knn growth, MINDIST rank, scan fallback). With sampling disabled —
+    // the default this test runs under — every site must stay an inert
+    // thread-local flag read, so the zero-alloc assertions below are
+    // also the tracing-off overhead proof.
+    assert_eq!(
+        nncell_obs::trace::sampling(),
+        0,
+        "tracing must be disabled for the zero-alloc contract"
+    );
 
     let mut scratch = QueryScratch::new();
     {

@@ -269,6 +269,10 @@ impl<M: Metric> VoronoiLp<M> {
         dual_prob: Option<&dual::DualProblem>,
         stats: &mut CellLpStats,
     ) -> ChainOutcome {
+        // Inert unless the calling thread is inside a sampled trace
+        // (refine-on-insert under a traced server request, or a manual
+        // fold); build-time LP floods are untraced by default.
+        let mut span = nncell_obs::trace::child("lp.solve_chain");
         let primary = self.resolve_primary(lp.num_constraints(), start.is_some());
         if let Some(m) = &self.metrics {
             m.solver_attempts.inc();
@@ -277,6 +281,7 @@ impl<M: Metric> VoronoiLp<M> {
             if let Some(m) = &self.metrics {
                 m.fallback_depth.record(0);
             }
+            span.arg("depth", 0);
             return ChainOutcome::Solved(r);
         }
         // Escalation order: randomized incremental first (immune to pivot
@@ -302,6 +307,7 @@ impl<M: Metric> VoronoiLp<M> {
                 if let Some(m) = &self.metrics {
                     m.fallback_depth.record(depth);
                 }
+                span.arg("depth", depth);
                 return ChainOutcome::Solved(r);
             }
         }
@@ -310,6 +316,8 @@ impl<M: Metric> VoronoiLp<M> {
         if let Some(m) = &self.metrics {
             m.fallback_depth.record(depth + 1);
         }
+        span.arg("depth", depth + 1);
+        span.arg("exhausted", 1);
         ChainOutcome::Exhausted
     }
 

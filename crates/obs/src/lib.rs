@@ -13,6 +13,12 @@
 //! * [`SlowQueryLog`] — a fixed-capacity ring buffer of slow-query
 //!   records with a lock-free threshold fast path and preallocated
 //!   entry slots, so recording a slow query never heap-allocates.
+//! * [`trace`] + [`FlightRecorder`] — request tracing: head-sampled
+//!   spans with parent/child nesting, buffered per thread and drained
+//!   into a fixed-capacity flight-recorder ring, exportable as Chrome
+//!   trace-event JSON ([`chrome_trace_json`]). Disabled sampling costs
+//!   one relaxed atomic load per root and one thread-local read per
+//!   child span.
 //!
 //! Handles are obtained from a [`Registry`], which owns the name →
 //! metric map behind a single mutex that is touched only at
@@ -28,10 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(clippy::unwrap_used)]
 
+mod flight;
 mod metrics;
 mod registry;
 mod slowlog;
+pub mod trace;
 
+pub use flight::{chrome_trace_json, FlightRecorder};
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{escape_label_value, format_labels, MetricSnapshot, Registry, Snapshot};
 pub use slowlog::{SlowQueryEntry, SlowQueryLog};
+pub use trace::{SpanContext, SpanGuard, SpanRecord, TraceMetrics};

@@ -1,0 +1,180 @@
+//! Property tests for the tracing subsystem: arbitrary span trees must
+//! come out of the flight recorder well-formed (every span nests inside
+//! its parent's interval, parents form a tree rooted at the request
+//! root), and W3C `traceparent` serialization must round-trip ids
+//! unchanged — the invariant the cross-process propagation rests on.
+
+use nncell_obs::trace;
+use nncell_obs::{SpanContext, SpanRecord};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-case unique trace ids: the flight recorder is a process-global
+/// ring shared by every test thread, so each case tags its spans with a
+/// fresh id and filters the snapshot down to its own trace.
+static CASE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_trace_id(salt: u64) -> u128 {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    ((salt as u128) << 64) | u128::from(case)
+}
+
+/// Interprets a random op tape as a span tree under a forced root:
+/// 0 closes the innermost open span, 4 emits a retroactive leaf
+/// (`span_at`), anything else opens a child. Returns the number of
+/// spans emitted (root excluded).
+fn run_tree(ops: &[u8]) -> usize {
+    const NAMES: [&str; 4] = ["op.a", "op.b", "op.c", "op.d"];
+    let mut guards = Vec::new();
+    let mut count = 0usize;
+    for &op in ops {
+        match op {
+            0 => {
+                // Innermost first — children must close before parents.
+                drop(guards.pop());
+            }
+            4 => {
+                let s = trace::now_ns();
+                let e = trace::now_ns();
+                trace::span_at("op.leaf", s, e);
+                count += 1;
+            }
+            d => {
+                if guards.len() < 6 {
+                    guards.push(trace::child(NAMES[(d as usize - 1) % NAMES.len()]));
+                    count += 1;
+                }
+            }
+        }
+    }
+    while let Some(g) = guards.pop() {
+        drop(g);
+    }
+    count
+}
+
+fn spans_of(trace_id: u128) -> Vec<SpanRecord> {
+    trace::flight()
+        .snapshot()
+        .into_iter()
+        .filter(|r| r.trace == trace_id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every span emitted under a root nests inside its parent's
+    /// interval, and parent pointers form a tree rooted at the root
+    /// span — for arbitrary open/close/leaf interleavings.
+    #[test]
+    fn span_trees_are_well_formed(
+        ops in prop::collection::vec(0u8..=4, 1..40),
+        salt in 1u64..=u64::MAX,
+    ) {
+        trace::init();
+        let trace_id = fresh_trace_id(salt);
+        let upstream = SpanContext { trace: trace_id, span: 0x1234, sampled: true };
+
+        // A sampled upstream forces recording regardless of the global
+        // sampling rate, so concurrent tests can't interfere.
+        let expected = {
+            let root = trace::root_from("test.root", Some(upstream));
+            prop_assert!(root.is_recording());
+            run_tree(&ops)
+        };
+
+        let spans = spans_of(trace_id);
+        prop_assert_eq!(spans.len(), expected + 1, "root + every emitted span");
+
+        let roots: Vec<&SpanRecord> =
+            spans.iter().filter(|r| r.parent == upstream.span).collect();
+        prop_assert_eq!(roots.len(), 1, "exactly one root record");
+        let root = roots[0];
+        prop_assert_eq!(root.name, "test.root");
+
+        let by_span: std::collections::HashMap<u64, &SpanRecord> =
+            spans.iter().map(|r| (r.span, r)).collect();
+        for r in &spans {
+            prop_assert!(r.start_ns <= r.end_ns, "{}: interval inverted", r.name);
+            if r.span == root.span {
+                continue;
+            }
+            // Parent exists in the same trace (tree connectivity)...
+            let parent = by_span.get(&r.parent);
+            prop_assert!(parent.is_some(), "{}: dangling parent {}", r.name, r.parent);
+            let parent = parent.expect("checked");
+            // ...and the child's interval nests inside the parent's.
+            prop_assert!(
+                parent.start_ns <= r.start_ns && r.end_ns <= parent.end_ns,
+                "{} [{},{}] escapes parent {} [{},{}]",
+                r.name, r.start_ns, r.end_ns,
+                parent.name, parent.start_ns, parent.end_ns,
+            );
+        }
+
+        // Walking parent pointers from any span terminates at the root
+        // (no cycles, single tree).
+        for r in &spans {
+            let mut cur = r.span;
+            let mut hops = 0;
+            while cur != root.span {
+                cur = by_span.get(&cur).map(|p| p.parent).unwrap_or(root.span);
+                hops += 1;
+                prop_assert!(hops <= spans.len(), "parent chain does not terminate");
+            }
+        }
+    }
+
+    /// `traceparent` serialization round-trips arbitrary ids unchanged —
+    /// what the HTTP client sends is exactly what the server adopts.
+    #[test]
+    fn traceparent_round_trips_ids_unchanged(
+        hi in 0u64..=u64::MAX,
+        lo in 1u64..=u64::MAX,
+        span in 1u64..=u64::MAX,
+        sampled in prop::bool::ANY,
+    ) {
+        // The shim proptest has no u128 strategy; splice one from two
+        // u64 halves (lo >= 1 keeps the id valid per W3C).
+        let trace_id = (u128::from(hi) << 64) | u128::from(lo);
+        let ctx = SpanContext { trace: trace_id, span, sampled };
+        let header = ctx.to_traceparent();
+        let back = SpanContext::parse_traceparent(&header);
+        prop_assert_eq!(back, Some(ctx));
+    }
+
+    /// A sampled context adopted on another thread tags that thread's
+    /// spans with the same unmodified trace id — the fan-out invariant
+    /// ShardedIndex workers rely on.
+    #[test]
+    fn adopted_threads_propagate_the_trace_id(
+        workers in 1usize..=4,
+        salt in 1u64..=u64::MAX,
+    ) {
+        trace::init();
+        let trace_id = fresh_trace_id(salt);
+        let upstream = SpanContext { trace: trace_id, span: 0x77, sampled: true };
+
+        {
+            let root = trace::root_from("test.fanout", Some(upstream));
+            let ctx = root.context();
+            prop_assert!(ctx.is_some());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(move || {
+                        let _adopt = trace::adopt(ctx);
+                        let _span = trace::child("worker.op");
+                    });
+                }
+            });
+        }
+
+        let spans = spans_of(trace_id);
+        let worker_spans = spans.iter().filter(|r| r.name == "worker.op").count();
+        prop_assert_eq!(worker_spans, workers, "one span per adopted worker");
+        for r in &spans {
+            prop_assert_eq!(r.trace, trace_id);
+        }
+    }
+}

@@ -106,8 +106,14 @@ impl Client {
             .set_read_timeout(Some(self.timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
             .map_err(ClientError::Io)?;
+        // W3C trace-context propagation: when the calling thread is
+        // inside a sampled trace, forward its context so the server
+        // continues the same trace (and records it, sampled flag set).
+        let traceparent = nncell_obs::trace::current()
+            .map(|ctx| format!("traceparent: {}\r\n", ctx.to_traceparent()))
+            .unwrap_or_default();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{traceparent}Connection: close\r\n\r\n",
             self.addr,
             body.len()
         );

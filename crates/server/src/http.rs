@@ -32,6 +32,9 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (UTF-8 is checked at JSON-parse time, not here).
     pub body: Vec<u8>,
+    /// Verbatim `traceparent` header value, if the client sent one
+    /// (W3C trace-context ingestion; parsed/validated by the server).
+    pub traceparent: Option<String>,
 }
 
 /// Why a request could not be read.
@@ -96,6 +99,7 @@ pub fn read_request(stream: &mut TcpStream, read_timeout: Duration) -> Result<Re
     }
 
     let mut content_length: Option<usize> = None;
+    let mut traceparent: Option<String> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -109,6 +113,8 @@ pub fn read_request(stream: &mut TcpStream, read_timeout: Duration) -> Result<Re
             content_length = Some(n);
         } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
             return Err(RecvError::BadRequest("chunked bodies not supported"));
+        } else if name == "traceparent" && traceparent.is_none() {
+            traceparent = Some(value.to_string());
         }
     }
 
@@ -128,7 +134,12 @@ pub fn read_request(stream: &mut TcpStream, read_timeout: Duration) -> Result<Re
     }
     body.truncate(want);
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        traceparent,
+    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -200,6 +211,21 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/query");
         assert_eq!(req.body, b"hello world");
+        assert_eq!(req.traceparent, None);
+    }
+
+    #[test]
+    fn captures_traceparent_header() {
+        let (mut c, mut s) = pair();
+        c.write_all(
+            b"POST /query HTTP/1.1\r\nTraceParent: 00-0123456789abcdef0123456789abcdef-fedcba9876543210-01\r\nContent-Length: 0\r\n\r\n",
+        )
+        .expect("write");
+        let req = read_request(&mut s, Duration::from_secs(1)).expect("read");
+        assert_eq!(
+            req.traceparent.as_deref(),
+            Some("00-0123456789abcdef0123456789abcdef-fedcba9876543210-01")
+        );
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub struct ServerConfig {
     /// Enables the `/admin/panic` and `/admin/sleep` chaos endpoints
     /// used by robustness tests. Off by default.
     pub chaos: bool,
+    /// Head-sampling rate for request tracing: every `trace_sample`-th
+    /// request records a full span tree into the flight recorder
+    /// (`GET /debug/trace`). 0 disables sampling — the hot path then
+    /// pays one relaxed atomic load — but an incoming `traceparent`
+    /// header with the sampled flag still forces its request to record.
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             slow_ms: 100,
             chaos: false,
+            trace_sample: 0,
         }
     }
 }
@@ -225,6 +232,9 @@ pub fn describe_http_metrics(registry: &Registry) {
         "nncell_http_retry_after_seconds",
         "Configured Retry-After value advertised on 429 responses.",
     );
+    // The tracing counter family lives in nncell-obs; described here so
+    // /metrics carries its HELP text whether or not a span has flushed.
+    nncell_obs::TraceMetrics::describe(registry);
 }
 
 /// Pre-created metric handles (hot-path metrics avoid the registry
@@ -355,6 +365,13 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        // Initialise the trace clock before the first request is
+        // admitted (admission Instants must map onto it), wire the
+        // sampling knob, and point the tracer's counters at this
+        // registry.
+        nncell_obs::trace::init();
+        nncell_obs::trace::set_sampling(cfg.trace_sample);
+        nncell_obs::trace::attach_metrics(&registry);
         let metrics = HttpMetrics::new(registry, cfg.retry_after_secs);
         let slowlog = SlowQueryLog::new(SLOW_QUERY_CAPACITY, index.dim());
         slowlog.set_threshold_ns(cfg.slow_ms.saturating_mul(1_000_000));
@@ -563,6 +580,10 @@ struct Reply {
     /// Query point for the slow-request ring, when the request had one.
     slow_point: Vec<f64>,
     slow_k: usize,
+    /// Trace context of the request's root span, when it was sampled:
+    /// echoed as a response `traceparent` header and stamped onto any
+    /// slow-log entry this request trips.
+    trace: Option<nncell_obs::SpanContext>,
 }
 
 fn json_reply(status: u16, route: &'static str, body: String) -> Reply {
@@ -574,6 +595,7 @@ fn json_reply(status: u16, route: &'static str, body: String) -> Reply {
         route,
         slow_point: Vec::new(),
         slow_k: 0,
+        trace: None,
     }
 }
 
@@ -589,7 +611,7 @@ fn serve_connection(shared: &Arc<Shared>, admitted: Admitted) {
     let deadline = at + shared.cfg.deadline;
 
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        handle_request(shared, &mut stream, deadline)
+        handle_request(shared, &mut stream, at, deadline)
     }));
     let reply = match outcome {
         Ok(r) => r,
@@ -613,17 +635,31 @@ fn serve_connection(shared: &Arc<Shared>, admitted: Admitted) {
     let latency_ns = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
     shared.metrics.latency.record(latency_ns);
     shared.metrics.count_request(reply.route, reply.status);
-    shared
-        .slowlog
-        .record(latency_ns, &reply.slow_point, reply.slow_k, 0, 0, false);
+    // Slow-request exemplar: a traced request that trips the ring
+    // carries its trace id, linking the entry to its span timeline.
+    shared.slowlog.record(
+        latency_ns,
+        &reply.slow_point,
+        reply.slow_k,
+        0,
+        0,
+        false,
+        reply.trace.map_or(0, |c| c.trace),
+    );
 }
 
-fn handle_request(shared: &Arc<Shared>, stream: &mut TcpStream, deadline: Instant) -> Reply {
+fn handle_request(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    at: Instant,
+    deadline: Instant,
+) -> Reply {
+    let dequeued = Instant::now();
     // Always read the request, even with the budget already spent: an
     // unread request in the socket buffer turns close() into RST and the
     // client never sees the 503. The floor keeps an already-arrived
     // request readable; a genuinely slow sender still times out.
-    let remaining = deadline.saturating_duration_since(Instant::now());
+    let remaining = deadline.saturating_duration_since(dequeued);
     let read_to = shared
         .cfg
         .io_timeout
@@ -642,11 +678,43 @@ fn handle_request(shared: &Arc<Shared>, stream: &mut TcpStream, deadline: Instan
             };
         }
     };
+    let read_done = Instant::now();
+    // Root span for the whole request, backdated to admission so the
+    // retroactive queue-wait child nests inside it. An incoming
+    // `traceparent` continues the upstream trace (and its sampled flag
+    // forces recording even with local sampling off); otherwise the
+    // head-sampling decision is one relaxed atomic load.
+    let upstream = req
+        .traceparent
+        .as_deref()
+        .and_then(nncell_obs::SpanContext::parse_traceparent);
+    let at_ns = nncell_obs::trace::instant_ns(at);
+    let mut root = nncell_obs::trace::root_from_at("server.request", upstream, Some(at_ns));
     // Admission-to-now over budget: shed stale work before computing.
-    if Instant::now() >= deadline {
-        return error_reply(503, "(expired)", "deadline_exceeded");
+    let mut reply = if read_done >= deadline {
+        error_reply(503, "(expired)", "deadline_exceeded")
+    } else {
+        route(shared, &req, deadline)
+    };
+    if let Some(ctx) = root.context() {
+        nncell_obs::trace::span_at(
+            "server.queue_wait",
+            at_ns,
+            nncell_obs::trace::instant_ns(dequeued),
+        );
+        nncell_obs::trace::span_at(
+            "server.read",
+            nncell_obs::trace::instant_ns(dequeued),
+            nncell_obs::trace::instant_ns(read_done),
+        );
+        root.arg("status", u64::from(reply.status));
+        // Propagate the trace identity back to the caller.
+        reply
+            .headers
+            .push(format!("traceparent: {}", ctx.to_traceparent()));
+        reply.trace = Some(ctx);
     }
-    route(shared, &req, deadline)
+    reply
 }
 
 fn route(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Reply {
@@ -682,7 +750,21 @@ fn route(shared: &Arc<Shared>, req: &Request, deadline: Instant) -> Reply {
                 route: "/metrics",
                 slow_point: Vec::new(),
                 slow_k: 0,
+                trace: None,
             }
+        }
+        ("GET", p) if p == "/debug/trace" || p.starts_with("/debug/trace?") => {
+            // `?last=N` bounds the export to the N most recent traces
+            // (default 16). The body is Chrome trace-event JSON, directly
+            // loadable in chrome://tracing or Perfetto.
+            let last = p
+                .split_once('?')
+                .map(|(_, qs)| qs)
+                .and_then(|qs| qs.split('&').find_map(|kv| kv.strip_prefix("last=")))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(16);
+            let spans = nncell_obs::trace::flight().last_traces(last);
+            json_reply(200, "/debug/trace", nncell_obs::chrome_trace_json(&spans))
         }
         ("POST", "/query") => handle_query(shared, &req.body, deadline),
         ("POST", "/batch") => handle_batch(shared, &req.body, deadline),
@@ -728,6 +810,11 @@ fn parse_query(v: &Json) -> Result<Query, &'static str> {
     Ok(Query::knn(point, k))
 }
 
+// The Err is a ready-to-send error Reply, moved once straight to the
+// response writer — never threaded through a deep call chain, so its
+// size (past clippy's 128-byte bar since Reply carries a trace context)
+// costs nothing.
+#[allow(clippy::result_large_err)]
 fn body_json(body: &[u8]) -> Result<Json, Reply> {
     let text = std::str::from_utf8(body)
         .map_err(|_| error_reply(400, "(body)", "body_not_utf8"))?;
@@ -762,6 +849,7 @@ fn query_error_reply(route: &'static str, e: QueryError) -> Reply {
 }
 
 fn handle_query(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
+    let parse_span = nncell_obs::trace::child("server.parse");
     let v = match body_json(body) {
         Ok(v) => v,
         Err(r) => return r,
@@ -770,8 +858,16 @@ fn handle_query(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
         Ok(q) => q,
         Err(w) => return error_reply(400, "/query", w),
     };
-    let mut reply = match shared.index.query(&q, deadline) {
-        Ok(resp) => json_reply(200, "/query", render_response(&resp)),
+    drop(parse_span);
+    let handled = {
+        let _span = nncell_obs::trace::child("server.handle");
+        shared.index.query(&q, deadline)
+    };
+    let mut reply = match handled {
+        Ok(resp) => {
+            let _span = nncell_obs::trace::child("server.serialize");
+            json_reply(200, "/query", render_response(&resp))
+        }
         Err(e) => query_error_reply("/query", e),
     };
     reply.slow_point = q.point().to_vec();
@@ -794,7 +890,12 @@ fn handle_batch(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
             Err(w) => return error_reply(400, "/batch", w),
         }
     }
-    let results = shared.index.batch(&queries, deadline);
+    let results = {
+        let mut span = nncell_obs::trace::child("server.handle");
+        span.arg("queries", queries.len() as u64);
+        shared.index.batch(&queries, deadline)
+    };
+    let _span = nncell_obs::trace::child("server.serialize");
     let mut out = String::from("{\"results\":[");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
@@ -819,7 +920,12 @@ fn handle_insert(shared: &Arc<Shared>, body: &[u8]) -> Reply {
     let Some(coords) = v.get("point").and_then(Json::as_f64_vec) else {
         return error_reply(400, "/insert", "point must be an array of numbers");
     };
-    match shared.index.insert(Point::new(coords)) {
+    let inserted = {
+        // The WAL append/fsync span nests under this one.
+        let _span = nncell_obs::trace::child("server.handle");
+        shared.index.insert(Point::new(coords))
+    };
+    match inserted {
         Ok(id) => json_reply(200, "/insert", format!("{{\"id\":{id}}}")),
         Err(e) => write_error_reply(shared, "/insert", e),
     }
@@ -853,7 +959,11 @@ fn handle_remove(shared: &Arc<Shared>, body: &[u8]) -> Reply {
     let Some(id) = v.get("id").and_then(Json::as_usize) else {
         return error_reply(400, "/remove", "id must be a non-negative integer");
     };
-    match shared.index.remove(id) {
+    let removed = {
+        let _span = nncell_obs::trace::child("server.handle");
+        shared.index.remove(id)
+    };
+    match removed {
         Ok(removed) => json_reply(200, "/remove", format!("{{\"removed\":{removed}}}")),
         Err(e) => write_error_reply(shared, "/remove", e),
     }

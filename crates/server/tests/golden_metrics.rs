@@ -35,6 +35,12 @@ fn build_fixture() -> String {
     h.record(50_000);
     h.record(3_000_000);
 
+    // The tracing counter family — registered by `Server::bind` on a
+    // live server; HELP text comes from `describe_http_metrics` above.
+    r.counter("nncell_trace_spans_total").add(24);
+    r.counter("nncell_trace_traces_total").add(4);
+    r.counter("nncell_trace_dropped_spans_total").add(1);
+
     // Label-value escaping must survive the round trip.
     r.describe(
         "nncell_http_client_errors_total",
