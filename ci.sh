@@ -39,16 +39,29 @@ cargo clippy -p nncell-obs -p nncell-lp -p nncell-core -p nncell-server -p nncel
 echo "== query-engine bench smoke (fixed seed; writes BENCH_query_engine.json) =="
 # Sequential vs parallel batch QPS on one fixed-seed workload; the bench
 # itself asserts the parallel pass is bit-identical to the sequential one.
-# Each timed pass is best-of-two, so the reported `metrics_overhead` is a
+# Each timed pass is best-of-two, and the metrics A/B interleaves its
+# control and instrumented arms, so the reported `metrics_overhead` is a
 # real instrumentation tax (single-digit percent; the obs microbenches
 # put it at tens of nanoseconds per record), not a one-off scheduler
-# stall landing in one pass's numerator.
+# stall or allocator drift landing in one arm's numerator.
 # CI runs a smoke scale that finishes in seconds on a small box; unset the
 # overrides to run the bench's full default workload (100k points, d=16,
 # 10k queries) on real hardware.
 NNCELL_N="${NNCELL_N:-8000}" NNCELL_DIM="${NNCELL_DIM:-8}" \
     NNCELL_QUERIES="${NNCELL_QUERIES:-5000}" \
     cargo bench -p nncell-bench --bench query_engine
+
+echo "== decomposition ablation smoke (pieces sweep; writes BENCH_ablation_decompose.json) =="
+# Decomposition depth vs build cost vs candidates — the experiment behind
+# the cost-model default of leaving `decompose_pieces` unset. The bench
+# asserts every decomposed build answers bit-identically to the
+# undecomposed one. CI shrinks the sweep so the deepest build stays fast;
+# unset the overrides for the committed full sweep {1,2,4,8}.
+NNCELL_N="${NNCELL_ABLATION_N:-1000}" NNCELL_DIM="${NNCELL_ABLATION_DIM:-8}" \
+    NNCELL_QUERIES="${NNCELL_ABLATION_QUERIES:-500}" \
+    NNCELL_PIECES_SWEEP="${NNCELL_PIECES_SWEEP:-1,4}" \
+    NNCELL_BENCH_OUT="${NNCELL_ABLATION_OUT:-$PWD/target/BENCH_ablation_decompose.json}" \
+    cargo bench -p nncell-bench --bench ablation_decompose
 
 echo "== sharded bench smoke (S=1,2,4; writes BENCH_sharded.json) =="
 # Build + merged-batch QPS at several shard counts; the bench asserts every
@@ -123,6 +136,32 @@ if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
     }'
 else
     echo "bench gate: no committed BENCH_query_engine.json baseline; skipping"
+fi
+
+echo "== candidate-count gate (mean_candidates vs committed baseline) =="
+# The MINDIST traversal + early-abort kernel's headline claim is how few
+# candidates survive to a *completed* distance evaluation. The fresh smoke
+# run's mean_candidates may exceed the committed baseline by at most 10%;
+# a bigger jump means the pruning bounds or the traversal order regressed
+# even if QPS happens to hide it. Skipped without a committed baseline.
+if baseline_json=$(git show HEAD:BENCH_query_engine.json 2>/dev/null); then
+    extract_cands() { grep -o '"mean_candidates": *[0-9.]*' | tr -dc '0-9.\n' | head -n1; }
+    old_cands=$(printf '%s' "$baseline_json" | extract_cands)
+    cur_cands=$(extract_cands < BENCH_query_engine.json)
+    if [ -z "$old_cands" ] || [ -z "$cur_cands" ]; then
+        echo "candidate gate: could not parse mean_candidates (old='$old_cands' cur='$cur_cands')" >&2
+        exit 1
+    fi
+    awk -v old="$old_cands" -v cur="$cur_cands" 'BEGIN {
+        ceil = 1.10 * old;
+        printf "candidate gate: mean_candidates %.2f vs baseline %.2f (ceiling %.2f)\n", cur, old, ceil;
+        if (cur > ceil) {
+            printf "candidate gate: FAIL — candidate count regressed more than 10%%\n";
+            exit 1;
+        }
+    }'
+else
+    echo "candidate gate: no committed BENCH_query_engine.json baseline; skipping"
 fi
 
 echo "== tracing-overhead gate (sampling-off QPS within 2% of committed baseline) =="

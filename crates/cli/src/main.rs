@@ -602,6 +602,16 @@ fn cmd_bench(p: &Parsed) -> Result<(), String> {
         .filter_map(|r| r.as_ref().ok())
         .filter(|r| r.stats.fallback)
         .count();
+    let pruned: u64 = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats.nodes_pruned)
+        .sum();
+    let aborted: usize = seq
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.stats.candidates_aborted_early)
+        .sum();
     let seq_qps = n_q as f64 / seq_s;
     let par_qps = n_q as f64 / par_s;
     println!(
@@ -610,10 +620,13 @@ fn cmd_bench(p: &Parsed) -> Result<(), String> {
         par_qps / seq_qps
     );
     println!(
-        "per query: {:.1} candidates, {:.1} pages; {fallbacks} scan fallback(s); \
+        "per query: {:.1} candidates, {:.1} pages, {:.1} subtrees pruned, \
+         {:.1} early-aborted; {fallbacks} scan fallback(s); \
          parallel results bit-identical to sequential",
         cands as f64 / n_q as f64,
         pages as f64 / n_q as f64,
+        pruned as f64 / n_q as f64,
+        aborted as f64 / n_q as f64,
     );
     if let Some(path) = p.get("json") {
         let json = format!(

@@ -20,24 +20,42 @@
 //!   response — for `k > 1`); this is property-checked by a counting
 //!   allocator in `crates/core/tests/alloc_free.rs`.
 //!
+//! Nearest-neighbor kernels (see `DESIGN.md` §17): a **MINDIST-ordered
+//! best-first traversal** of the point X-tree streams candidates to this
+//! engine in roughly ascending distance; the engine refines each candidate
+//! with the **early-abort** distance kernel
+//! ([`nncell_geom::dist_sq_early_abort`]) against its running k-th-best
+//! distance and hands the shrunk bound back to the traversal, which prunes
+//! every MBR whose MINDIST exceeds it before the node is ever read. The
+//! pruning work is reported per query in [`QueryStats`] (`nodes_pruned`,
+//! `candidates_examined`, `candidates_aborted_early`).
+//!
 //! Results are **bit-identical** regardless of thread count, and identical
-//! to the deprecated sequential shims and to a linear scan: every path
-//! evaluates distances with the same auto-vectorizable kernel
-//! ([`nncell_geom::dist_sq`]) and breaks distance ties by ascending point
-//! id.
+//! to a linear scan: every completed distance evaluation uses the same
+//! auto-vectorizable kernel ([`nncell_geom::dist_sq`] — the early-abort
+//! variant is bit-identical whenever it completes), distance ties break by
+//! ascending point id, and the abort/prune bounds carry a relative slop so
+//! floating-point differences between MBR MINDIST accumulation and the
+//! kernel can never skip a true answer.
 //!
 //! All exact-scan fallbacks (out-of-space query, `k ≥ len`, degenerate
-//! candidate search, boundary miss) are funneled through one helper here,
-//! which both sets [`QueryStats::fallback`] on the response and bumps the
-//! index-wide [`NnCellIndex::fallback_queries`] counter — fixing the old
-//! `knn` paths that scanned without being counted.
+//! candidate search) are funneled through one helper here, which both sets
+//! [`QueryStats::fallback`] on the response and bumps the index-wide
+//! [`NnCellIndex::fallback_queries`] counter.
 
-use crate::index::{NnCellIndex, QueryResult, PIECE_BITS};
+use crate::index::{NnCellIndex, QueryResult};
 use crate::query::{Query, QueryError, QueryKind, QueryResponse, QueryStats};
 use nncell_geom::{Euclidean, Metric};
-use nncell_index::{ItemId, PageId};
+use nncell_index::{BestFirstScratch, ItemId, PageId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Relative slop applied to squared-distance pruning/abort bounds. It
+/// absorbs the rounding difference between an MBR's MINDIST accumulation
+/// and the distance kernel (~1 ulp each), so a bound comparison can only
+/// ever be *less* aggressive than the exact comparison it stands in for —
+/// a few extra candidates survive to full evaluation, never the reverse.
+const BOUND_SLOP: f64 = 1.0 + 1e-12;
 
 /// One worker-produced chunk of batch results, keyed by its input offset.
 type BatchPart = (usize, Vec<Result<QueryResponse, QueryError>>);
@@ -47,14 +65,14 @@ type BatchPart = (usize, Vec<Result<QueryResponse, QueryError>>);
 /// between threads (each [`QueryEngine::batch`] worker owns its own).
 #[derive(Default)]
 pub struct QueryScratch {
-    /// Raw cell-tree hits (piece-encoded item ids).
+    /// Raw point-tree hits of the radius kernel's sphere gather.
     hits: Vec<ItemId>,
-    /// Tree traversal stack.
+    /// Tree traversal stack (radius kernel).
     stack: Vec<PageId>,
-    /// Decoded, deduplicated live candidate ids.
-    cand: Vec<usize>,
-    /// Ranked `(id, dist)` buffer for k-NN.
+    /// Running k-best `(id, dist)` buffer, ascending by `(dist, id)`.
     ranked: Vec<QueryResult>,
+    /// Priority-queue scratch of the MINDIST-ordered best-first traversal.
+    bf: BestFirstScratch,
 }
 
 impl QueryScratch {
@@ -136,23 +154,45 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         self
     }
 
-    /// Attaches a per-request time budget: once `deadline` passes, queries
-    /// return [`QueryError::DeadlineExceeded`] instead of continuing to
-    /// consume the worker. The budget is checked **between** units of
-    /// bounded work — before a query starts, between the candidate-growth
-    /// sphere queries of the k-NN kernel, and between the queries of a
-    /// batch — so an answer already in hand is never discarded, and an
-    /// expensive straggler stops at its next checkpoint rather than running
-    /// to completion. With no deadline (the default) behavior is unchanged
-    /// and bit-identical across thread counts.
+    /// Attaches an engine-level time budget applied to **every** query this
+    /// engine executes.
+    ///
+    /// Deprecated: per-request options now ride on the query itself —
+    /// `Query::knn(q, k).with_deadline(d)` — so one engine can serve
+    /// requests with different budgets concurrently. This engine-level
+    /// variant remains for one release; while both are set the *earlier*
+    /// deadline wins.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the budget per request via `Query::with_deadline`; \
+                the engine-level deadline will be removed after one release"
+    )]
     pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
-    /// The configured deadline, if any.
+    /// [`Self::with_deadline`] with an `Option`, for internal threading
+    /// (shard fan-out applies one admission deadline to a whole batch
+    /// without cloning every query).
+    pub(crate) fn with_deadline_opt(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The configured engine-level deadline, if any (does not see
+    /// per-request [`Query::with_deadline`] budgets).
     pub fn deadline(&self) -> Option<std::time::Instant> {
         self.deadline
+    }
+
+    /// The deadline that governs `q` on this engine: the earlier of the
+    /// per-request budget and the deprecated engine-level one.
+    fn effective_deadline(&self, q: &Query) -> Option<std::time::Instant> {
+        match (self.deadline, q.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Merges an unindexed memtable tail into every answer: the indexed
@@ -166,13 +206,6 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     pub fn with_tail(mut self, tail: &'a crate::memtable::TailSnapshot) -> Self {
         self.tail = Some(tail);
         self
-    }
-
-    /// Whether the configured budget (if any) has run out.
-    #[inline]
-    fn out_of_budget(&self) -> bool {
-        self.deadline
-            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// The configured batch worker-thread count.
@@ -225,6 +258,9 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             if let Ok(resp) = &result {
                 span.arg("candidates", resp.stats.candidates as u64);
                 span.arg("pages", resp.stats.pages);
+                span.arg("nodes_pruned", resp.stats.nodes_pruned);
+                span.arg("examined", resp.stats.candidates_examined as u64);
+                span.arg("aborted_early", resp.stats.candidates_aborted_early as u64);
             }
             return result;
         };
@@ -237,11 +273,19 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 m.latency_ns.record(latency_ns);
                 m.candidates.record(resp.stats.candidates as u64);
                 m.pages.record(resp.stats.pages);
+                m.nodes_pruned.record(resp.stats.nodes_pruned);
+                m.candidates_examined
+                    .record(resp.stats.candidates_examined as u64);
+                m.aborted_early
+                    .record(resp.stats.candidates_aborted_early as u64);
                 if resp.stats.fallback {
                     m.fallbacks.inc();
                 }
                 span.arg("candidates", resp.stats.candidates as u64);
                 span.arg("pages", resp.stats.pages);
+                span.arg("nodes_pruned", resp.stats.nodes_pruned);
+                span.arg("examined", resp.stats.candidates_examined as u64);
+                span.arg("aborted_early", resp.stats.candidates_aborted_early as u64);
                 // The slow log's `k` column is the requested neighbor
                 // count; a radius query has none, so it records 0 rather
                 // than the sentinel `usize::MAX` that `Query::k` returns.
@@ -292,29 +336,29 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
             }
             _ => {}
         }
+        let deadline = self.effective_deadline(q);
         if let Some(tail) = self.tail.filter(|t| !t.is_empty()) {
             if idx.is_empty() && tail.inserts.is_empty() {
                 return Err(QueryError::EmptyIndex);
             }
-            if self.out_of_budget() {
+            if out_of_budget(deadline) {
                 return Err(QueryError::DeadlineExceeded);
             }
             return match q.kind() {
-                QueryKind::Nearest { k } => self.run_with_tail(scratch, p, k, tail),
+                QueryKind::Nearest { k } => self.run_with_tail(scratch, p, k, tail, deadline),
                 QueryKind::Radius { radius } => {
-                    self.run_radius_with_tail(scratch, p, radius, tail)
+                    self.run_radius_with_tail(scratch, p, radius, tail, deadline)
                 }
             };
         }
         if idx.is_empty() {
             return Err(QueryError::EmptyIndex);
         }
-        if self.out_of_budget() {
+        if out_of_budget(deadline) {
             return Err(QueryError::DeadlineExceeded);
         }
         match q.kind() {
-            QueryKind::Nearest { k: 1 } => Ok(self.run_nn(scratch, p)),
-            QueryKind::Nearest { k } => self.run_knn(scratch, p, k),
+            QueryKind::Nearest { k } => self.run_knn(scratch, p, k, deadline),
             QueryKind::Radius { radius } => self.run_radius(scratch, p, radius),
         }
     }
@@ -335,17 +379,14 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         p: &[f64],
         k: usize,
         tail: &crate::memtable::TailSnapshot,
+        deadline: Option<std::time::Instant>,
     ) -> Result<QueryResponse, QueryError> {
         let idx = self.index;
         let mut stats = QueryStats::default();
         let mut merged: Vec<QueryResult> = Vec::new();
         if !idx.is_empty() {
             let k_eff = k + tail.removed.len();
-            let resp = if k_eff == 1 {
-                self.run_nn(scratch, p)
-            } else {
-                self.run_knn(scratch, p, k_eff)?
-            };
+            let resp = self.run_knn(scratch, p, k_eff, deadline)?;
             stats = resp.stats;
             merged = resp.into_results();
             if !tail.removed.is_empty() {
@@ -357,7 +398,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         let metric = idx.metric();
         merged.reserve(tail.inserts.len());
         for (i, (id, pt)) in tail.inserts.iter().enumerate() {
-            if i % 256 == 255 && self.out_of_budget() {
+            if i % 256 == 255 && out_of_budget(deadline) {
                 return Err(QueryError::DeadlineExceeded);
             }
             merged.push(QueryResult {
@@ -367,7 +408,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         }
         stats.candidates += tail.inserts.len();
         stats.tail = tail.inserts.len();
-        merged.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.sort_unstable_by(cmp_results);
         merged.dedup_by(|a, b| a.id == b.id);
         merged.truncate(k);
         drop(tspan);
@@ -444,132 +485,111 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
     // the two query kernels
     // ------------------------------------------------------------------
 
-    /// Exact 1-NN: a cell-tree point query plus a distance check over the
-    /// candidates (Lemma 2: the true NN is always a candidate).
-    fn run_nn(&self, scratch: &mut QueryScratch, p: &[f64]) -> QueryResponse {
-        let idx = self.index;
-        if !idx.space().contains(p) {
-            // Cells are clipped to the data space; outside it the cell
-            // index is not a covering.
-            return self.scan_nn(p);
-        }
-        let pages = idx
-            .cell_tree()
-            .point_query_with(p, &mut scratch.stack, &mut scratch.hits);
-        decode_hits(&scratch.hits, &mut scratch.cand);
-        let metric = idx.metric();
-        let alive = idx.alive();
-        let mut best: Option<(usize, f64)> = None;
-        let mut candidates = 0usize;
-        let mut last_pid = usize::MAX;
-        for &pid in scratch.cand.iter() {
-            if pid == last_pid {
-                continue; // several pieces of one cell
-            }
-            last_pid = pid;
-            if !alive[pid] {
-                continue;
-            }
-            candidates += 1;
-            let d2 = metric.dist_sq(p, idx.flat_point(pid));
-            if best.is_none_or(|(_, b)| d2 < b) {
-                best = Some((pid, d2));
-            }
-        }
-        match best {
-            Some((id, d2)) => QueryResponse {
-                best: QueryResult {
-                    id,
-                    dist: d2.sqrt(),
-                },
-                rest: Vec::new(),
-                stats: QueryStats {
-                    candidates,
-                    pages,
-                    fallback: false,
-                    tail: 0,
-                },
-            },
-            None => {
-                // Numerically a boundary query can slip between EPS-closed
-                // MBRs; exactness is preserved by scanning.
-                self.scan_nn(p)
-            }
-        }
-    }
-
-    /// Exact k-NN from the cell index (see `DESIGN.md` §3.4): grow a
-    /// candidate set to ≥ k points via sphere queries, take the k-th best
-    /// candidate distance as a proven upper bound, and resolve with one
-    /// final sphere query at that bound. The configured budget (if any) is
-    /// checked between candidate batches: each sphere query is one bounded
-    /// unit of work, and a budget that runs out between them surfaces as
+    /// Exact k-NN (including `k = 1`) by MINDIST-ordered best-first
+    /// traversal of the **point** X-tree with early-abort refinement.
+    ///
+    /// The traversal ([`nncell_index::Tree::best_first_stream_with`])
+    /// expands directory pages in ascending MINDIST order and streams leaf
+    /// items to the closure below, which evaluates each live candidate with
+    /// the early-abort kernel against the current k-th-best distance and
+    /// hands the shrunk bound back for page pruning. Exactness: a page is
+    /// pruned only when its MINDIST **strictly** exceeds the slopped bound
+    /// `(kth_dist)² · BOUND_SLOP / w_min` (the `w_min` division converts a
+    /// weighted-metric bound into the tree's Euclidean geometry, since
+    /// `d²_w(q, x) ≥ w_min · ‖q − x‖²`), so every point that could tie or
+    /// beat the k-th result is evaluated exactly — with the same kernel,
+    /// in the same `(dist, id)` order, as the linear scan.
+    ///
+    /// The configured budget (if any) is checked every 128 streamed items;
+    /// an expired budget aborts the traversal and surfaces as
     /// [`QueryError::DeadlineExceeded`] instead of hogging the worker.
     fn run_knn(
         &self,
         scratch: &mut QueryScratch,
         p: &[f64],
         k: usize,
+        deadline: Option<std::time::Instant>,
     ) -> Result<QueryResponse, QueryError> {
         let idx = self.index;
         if k >= idx.len() || !idx.space().contains(p) {
-            return Ok(self.scan_knn(p, k));
+            // k ≥ len needs every live point anyway; outside the data
+            // space the index makes no covering promise.
+            return Ok(if k == 1 {
+                self.scan_nn(p)
+            } else {
+                self.scan_knn(p, k)
+            });
         }
-        let tree = idx.cell_tree();
-        let mut pages;
-        {
-            let mut growth = nncell_obs::trace::child("engine.knn_growth");
-            pages = tree.point_query_with(p, &mut scratch.stack, &mut scratch.hits);
-            decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
-            let mut radius = {
-                // Seed radius: expected k-NN scale, doubled until enough hits.
-                let d = idx.dim() as f64;
-                2.0 * ((k as f64) / idx.len() as f64).powf(1.0 / d)
-            };
-            let mut guard = 0;
-            while scratch.cand.len() < k {
-                if self.out_of_budget() {
-                    return Err(QueryError::DeadlineExceeded);
-                }
-                pages += tree.sphere_query_with(p, radius, &mut scratch.stack, &mut scratch.hits);
-                decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
-                radius *= 2.0;
-                guard += 1;
-                if guard > 64 {
-                    return Ok(self.scan_knn(p, k)); // numerically degenerate space
+        let metric = idx.metric();
+        let alive = idx.alive();
+        let mut w_min = f64::INFINITY;
+        for i in 0..idx.dim() {
+            w_min = w_min.min(metric.weight(i));
+        }
+        let QueryScratch { ranked, bf, .. } = scratch;
+        ranked.clear();
+        let mut examined = 0usize;
+        let mut aborted = 0usize;
+        let mut visits = 0u32;
+        let mut deadline_hit = false;
+        // Squared-distance bounds: `abort_bound` cuts kernel evaluations
+        // short, `tree_bound` (its Euclidean relaxation) prunes pages.
+        let mut abort_bound = f64::INFINITY;
+        let mut tree_bound = f64::INFINITY;
+        let tstats = idx.point_tree().best_first_stream_with(p, bf, |item| {
+            visits += 1;
+            if visits.is_multiple_of(128) && out_of_budget(deadline) {
+                deadline_hit = true;
+                return f64::NEG_INFINITY; // abort the whole traversal
+            }
+            // Point-tree items carry raw point ids (no piece encoding).
+            let id = item as usize;
+            if !alive[id] {
+                return tree_bound;
+            }
+            examined += 1;
+            match metric.dist_sq_early_abort(p, idx.flat_point(id), abort_bound) {
+                None => aborted += 1, // provably beyond the k-th best
+                Some(d2) => {
+                    let r = QueryResult { id, dist: d2.sqrt() };
+                    let full = ranked.len() == k;
+                    if !full || cmp_results(&r, &ranked[k - 1]) == std::cmp::Ordering::Less {
+                        let pos =
+                            ranked.partition_point(|x| cmp_results(x, &r) == std::cmp::Ordering::Less);
+                        if full {
+                            ranked.pop();
+                        }
+                        ranked.insert(pos, r);
+                        if ranked.len() == k {
+                            let b = ranked[k - 1].dist;
+                            abort_bound = (b * b) * BOUND_SLOP;
+                            tree_bound = abort_bound / w_min;
+                        }
+                    }
                 }
             }
-            growth.arg("batches", guard);
-            growth.arg("candidates", scratch.cand.len() as u64);
-        }
-        let mut rank = nncell_obs::trace::child("engine.mindist_rank");
-        let metric = idx.metric();
-        rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
-        let bound = scratch.ranked[k - 1].dist;
-        if self.out_of_budget() {
+            tree_bound
+        });
+        if deadline_hit {
             return Err(QueryError::DeadlineExceeded);
         }
-        // One exact sphere query with the proven bound.
-        pages += tree.sphere_query_with(p, bound + 1e-12, &mut scratch.stack, &mut scratch.hits);
-        decode_live_hits(&scratch.hits, idx.alive(), &mut scratch.cand);
-        if scratch.cand.is_empty() {
-            // Unreachable by Lemma 2 (the bound query is a superset of the
-            // growth query), but the library contract is degrade-not-panic.
+        if ranked.is_empty() {
+            // Unreachable while the tree and alive-mask agree (k < len
+            // guarantees live points exist), but the library contract is
+            // degrade-not-panic.
             return Ok(self.scan_knn(p, k));
         }
-        let candidates = scratch.cand.len();
-        rank_candidates(scratch, |id| metric.dist(p, idx.flat_point(id)));
-        scratch.ranked.truncate(k);
-        rank.arg("candidates", candidates as u64);
-        drop(rank);
         Ok(QueryResponse {
-            best: scratch.ranked[0],
-            rest: scratch.ranked[1..].to_vec(),
+            best: ranked[0],
+            rest: ranked[1..].to_vec(),
             stats: QueryStats {
-                candidates,
-                pages,
+                candidates: examined - aborted,
+                pages: tstats.pages,
                 fallback: false,
                 tail: 0,
+                nodes_pruned: tstats.nodes_pruned,
+                candidates_examined: examined,
+                candidates_aborted_early: aborted,
             },
         })
     }
@@ -604,25 +624,38 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 .sphere_query_with(p, tree_r, &mut scratch.stack, &mut scratch.hits);
         let alive = idx.alive();
         let mut out: Vec<QueryResult> = Vec::new();
-        let mut candidates = 0usize;
+        let mut examined = 0usize;
+        let mut aborted = 0usize;
+        // Squared abort bound for the ball: a partial sum already beyond
+        // `r²` (plus slop, so an exact-boundary point is never cut) proves
+        // the point is outside and the kernel can stop early.
+        let abort_bound = (r * r) * BOUND_SLOP;
         for &h in scratch.hits.iter() {
             // Point-tree items carry raw point ids (no piece encoding).
             let id = h as usize;
             if !alive[id] {
                 continue;
             }
-            candidates += 1;
-            let dist = metric.dist(p, idx.flat_point(id));
-            if dist <= r {
-                out.push(QueryResult { id, dist });
+            examined += 1;
+            match metric.dist_sq_early_abort(p, idx.flat_point(id), abort_bound) {
+                None => aborted += 1, // provably outside the ball
+                Some(d2) => {
+                    let dist = d2.sqrt();
+                    if dist <= r {
+                        out.push(QueryResult { id, dist });
+                    }
+                }
             }
         }
-        out.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        out.sort_unstable_by(cmp_results);
         let stats = QueryStats {
-            candidates,
+            candidates: examined - aborted,
             pages,
             fallback: false,
             tail: 0,
+            nodes_pruned: 0,
+            candidates_examined: examined,
+            candidates_aborted_early: aborted,
         };
         let mut it = out.into_iter();
         match it.next() {
@@ -645,6 +678,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         p: &[f64],
         r: f64,
         tail: &crate::memtable::TailSnapshot,
+        deadline: Option<std::time::Instant>,
     ) -> Result<QueryResponse, QueryError> {
         let idx = self.index;
         let mut stats = QueryStats::default();
@@ -665,7 +699,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         }
         let metric = idx.metric();
         for (i, (id, pt)) in tail.inserts.iter().enumerate() {
-            if i % 256 == 255 && self.out_of_budget() {
+            if i % 256 == 255 && out_of_budget(deadline) {
                 return Err(QueryError::DeadlineExceeded);
             }
             let dist = metric.dist(p, pt.as_slice());
@@ -675,7 +709,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
         }
         stats.candidates += tail.inserts.len();
         stats.tail = tail.inserts.len();
-        merged.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.sort_unstable_by(cmp_results);
         merged.dedup_by(|a, b| a.id == b.id);
         let mut it = merged.into_iter();
         match it.next() {
@@ -723,6 +757,9 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 pages: 0,
                 fallback: true,
                 tail: 0,
+                nodes_pruned: 0,
+                candidates_examined: idx.len(),
+                candidates_aborted_early: 0,
             },
         }
     }
@@ -741,7 +778,7 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 dist: metric.dist(p, idx.flat_point(id)),
             })
             .collect();
-        all.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        all.sort_unstable_by(cmp_results);
         all.truncate(k);
         let best = all.first().copied().unwrap_or(QueryResult {
             id: 0,
@@ -759,43 +796,23 @@ impl<'a, M: Metric> QueryEngine<'a, M> {
                 pages: 0,
                 fallback: true,
                 tail: 0,
+                nodes_pruned: 0,
+                candidates_examined: idx.len(),
+                candidates_aborted_early: 0,
             },
         }
     }
 }
 
-/// Decodes piece-encoded hits into sorted (possibly duplicated) point ids.
-fn decode_hits(hits: &[ItemId], cand: &mut Vec<usize>) {
-    cand.clear();
-    cand.extend(hits.iter().map(|&h| (h >> PIECE_BITS) as usize));
-    cand.sort_unstable();
+/// Whether the (optional) deadline has passed.
+fn out_of_budget(deadline: Option<std::time::Instant>) -> bool {
+    deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
-/// Decodes hits into sorted, deduplicated, **live** point ids.
-fn decode_live_hits(hits: &[ItemId], alive: &[bool], cand: &mut Vec<usize>) {
-    cand.clear();
-    cand.extend(
-        hits.iter()
-            .map(|&h| (h >> PIECE_BITS) as usize)
-            .filter(|&pid| alive[pid]),
-    );
-    cand.sort_unstable();
-    cand.dedup();
-}
-
-/// Fills `scratch.ranked` with `(id, dist)` for every candidate, ascending
-/// by `(dist, id)`. The candidate ids are already ascending and unique, so
-/// this tie-break reproduces a stable sort over ascending input — the exact
-/// ordering of [`crate::scan::linear_scan_knn`].
-fn rank_candidates(scratch: &mut QueryScratch, dist: impl Fn(usize) -> f64) {
-    scratch.ranked.clear();
-    scratch
-        .ranked
-        .extend(scratch.cand.iter().map(|&id| QueryResult {
-            id,
-            dist: dist(id),
-        }));
-    scratch
-        .ranked
-        .sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+/// The one result ordering every exact path uses: ascending `(dist, id)`
+/// with [`f64::total_cmp`] — the exact ordering of
+/// [`crate::scan::linear_scan_knn`], which makes results bit-identical to
+/// the linear scan and independent of candidate arrival order.
+fn cmp_results(a: &QueryResult, b: &QueryResult) -> std::cmp::Ordering {
+    a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id))
 }

@@ -40,8 +40,15 @@ pub struct EngineMetrics {
     pub(crate) latency_ns: Arc<Histogram>,
     /// `nncell_query_candidates` — candidate set size histogram.
     pub(crate) candidates: Arc<Histogram>,
-    /// `nncell_query_pages` — cell-tree pages touched per query.
+    /// `nncell_query_pages` — index pages touched per query.
     pub(crate) pages: Arc<Histogram>,
+    /// `nncell_query_nodes_pruned` — subtrees the MINDIST traversal cut.
+    pub(crate) nodes_pruned: Arc<Histogram>,
+    /// `nncell_query_candidates_examined` — distance evaluations started.
+    pub(crate) candidates_examined: Arc<Histogram>,
+    /// `nncell_query_candidates_aborted` — evaluations the early-abort
+    /// kernel cut short.
+    pub(crate) aborted_early: Arc<Histogram>,
     /// Fixed-size ring of queries slower than the configured threshold.
     pub(crate) slow: Arc<SlowQueryLog>,
 }
@@ -65,6 +72,10 @@ impl EngineMetrics {
             latency_ns: registry.histogram(&format!("nncell_query_latency_ns{l}")),
             candidates: registry.histogram(&format!("nncell_query_candidates{l}")),
             pages: registry.histogram(&format!("nncell_query_pages{l}")),
+            nodes_pruned: registry.histogram(&format!("nncell_query_nodes_pruned{l}")),
+            candidates_examined: registry
+                .histogram(&format!("nncell_query_candidates_examined{l}")),
+            aborted_early: registry.histogram(&format!("nncell_query_candidates_aborted{l}")),
             slow: Arc::new(SlowQueryLog::new(SLOW_QUERY_CAPACITY, dim)),
         }
     }

@@ -15,8 +15,7 @@
 //! quality-to-performance ratio of figure 5 divides quality
 //! (`1 / (1 + overlap)`) by the approximation time.
 
-use crate::index::{CellApprox, NnCellIndex};
-use crate::query::Query;
+use crate::index::{CellApprox, NnCellIndex, PIECE_BITS};
 use nncell_geom::Metric;
 
 /// Expected number of candidate approximations a uniformly random point
@@ -39,25 +38,30 @@ pub fn quality_to_performance(overlap: f64, seconds: f64) -> f64 {
     1.0 / ((1.0 + overlap) * seconds)
 }
 
-/// Empirical candidate count: the mean number of candidate cells a
-/// nearest-neighbor query inspects over `queries` (the `candidates` field of
-/// [`crate::QueryStats`]). Converges to `expected_candidates` for uniform
-/// queries.
+/// Empirical candidate count: the mean number of **live candidate cells**
+/// a point query of the cell tree returns over `queries`. This measures
+/// the approximation quality itself (the quantity `expected_candidates`
+/// predicts — it converges there for uniform queries), independent of the
+/// query engine: since the engine moved to the MINDIST-ordered point-tree
+/// traversal, its `candidates` stat reports evaluation work, not cell
+/// overlap, so this metric queries the cell tree directly.
 pub fn measured_candidates<M: Metric>(index: &NnCellIndex<M>, queries: &[Vec<f64>]) -> f64 {
     if queries.is_empty() {
         return 0.0;
     }
-    let engine = index.engine().with_threads(1);
-    let mut scratch = crate::engine::QueryScratch::default();
-    let total: usize = queries
-        .iter()
-        .map(|q| {
-            engine
-                .execute_with(&mut scratch, &Query::nn(q.clone()))
-                .map(|r| r.stats.candidates)
-                .unwrap_or(0)
-        })
-        .sum();
+    let tree = index.cell_tree();
+    let alive = index.alive();
+    let mut stack = Vec::new();
+    let mut hits = Vec::new();
+    let mut total = 0usize;
+    for q in queries {
+        tree.point_query_with(q, &mut stack, &mut hits);
+        // Several pieces of one decomposed cell count once.
+        let mut pids: Vec<usize> = hits.iter().map(|&h| (h >> PIECE_BITS) as usize).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        total += pids.iter().filter(|&&pid| alive[pid]).count();
+    }
     total as f64 / queries.len() as f64
 }
 

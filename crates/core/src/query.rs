@@ -30,24 +30,34 @@ pub enum QueryKind {
     },
 }
 
-/// One query: a point plus what to retrieve around it.
+/// One query: a point, what to retrieve around it, and per-request options.
 ///
 /// Construct with [`Query::nn`] (one neighbor), [`Query::knn`], or
-/// [`Query::radius`]:
+/// [`Query::radius`], then chain builder-style options:
 ///
 /// ```
 /// use nncell_core::{Query, QueryKind};
+/// use std::time::{Duration, Instant};
 /// let one = Query::nn([0.2, 0.7]);
-/// let ten = Query::knn(vec![0.2, 0.7], 10);
+/// let ten = Query::knn(vec![0.2, 0.7], 10)
+///     .with_deadline(Instant::now() + Duration::from_millis(50));
 /// let ball = Query::radius([0.2, 0.7], 0.25);
 /// assert_eq!(one.k(), 1);
 /// assert_eq!(ten.point(), &[0.2, 0.7]);
+/// assert!(ten.deadline().is_some());
 /// assert_eq!(ball.kind(), QueryKind::Radius { radius: 0.25 });
 /// ```
+///
+/// Per-request options ride on the query itself, so one engine can serve
+/// requests with different budgets concurrently. The engine-level
+/// [`crate::QueryEngine::with_deadline`] is deprecated in favor of
+/// [`Query::with_deadline`]; while both exist the *earlier* of the two
+/// deadlines wins.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     point: Vec<f64>,
     kind: QueryKind,
+    deadline: Option<std::time::Instant>,
 }
 
 impl Query {
@@ -56,6 +66,7 @@ impl Query {
         Self {
             point: point.into(),
             kind: QueryKind::Nearest { k: 1 },
+            deadline: None,
         }
     }
 
@@ -65,6 +76,7 @@ impl Query {
         Self {
             point: point.into(),
             kind: QueryKind::Nearest { k },
+            deadline: None,
         }
     }
 
@@ -76,7 +88,27 @@ impl Query {
         Self {
             point: center.into(),
             kind: QueryKind::Radius { radius: r },
+            deadline: None,
         }
+    }
+
+    /// Attaches a per-request time budget: once `deadline` passes, the
+    /// query returns [`QueryError::DeadlineExceeded`] instead of continuing
+    /// to consume its worker. The budget is checked between units of
+    /// bounded work (before the query starts, periodically inside the
+    /// best-first traversal and tail merge, and between the queries of a
+    /// batch), so an answer already in hand is never discarded. Without a
+    /// deadline behavior is unchanged and bit-identical across thread
+    /// counts.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The per-request deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
     }
 
     /// The query point.
@@ -104,27 +136,49 @@ impl Query {
 ///
 /// Subsumes the old `nearest_neighbor_with_candidates` side channel: the
 /// candidate count now rides along on every answer, together with the page
-/// cost and whether the query was answered by the exact scan fallback.
+/// cost, the pruning telemetry of the MINDIST-ordered traversal, and
+/// whether the query was answered by the exact scan fallback.
+///
+/// Counter consistency (pinned by a unit test): for every response,
+/// `candidates_examined == candidates + candidates_aborted_early` — every
+/// evaluation that starts either completes (and counts as a candidate) or
+/// is cut short by the early-abort kernel.
+///
+/// The struct is `#[non_exhaustive]`: construct it via `Default` and read
+/// fields directly; future telemetry can then be added without a breaking
+/// release.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Distinct live candidate points whose distance was evaluated (the
-    /// paper's page-access driver). For a scan fallback this is the number
-    /// of live points.
+    /// Distinct live candidate points whose distance was **fully**
+    /// evaluated (the paper's page-access driver). With the early-abort
+    /// kernel this is `candidates_examined − candidates_aborted_early`;
+    /// for a scan fallback it is the number of live points.
     pub candidates: usize,
-    /// Simulated cell-tree pages touched while collecting candidates
-    /// (before any LRU cache; 0 for a scan fallback, which reads no index
-    /// pages).
+    /// Simulated index pages touched while gathering candidates (before
+    /// any LRU cache; 0 for a scan fallback, which reads no index pages).
     pub pages: u64,
     /// Whether the answer came from the exact linear-scan fallback
     /// (out-of-space query, `k ≥ len`, a numerically degenerate candidate
-    /// search, or a boundary query slipping between EPS-closed MBRs). All
-    /// fallback paths are counted here — and nowhere else.
+    /// search). All fallback paths are counted here — and nowhere else.
     pub fallback: bool,
     /// Unindexed memtable-tail points merged into this answer by linear
     /// scan (0 whenever the write path is synchronous or the tail was
     /// empty). Tail points are also counted in `candidates`; this field
     /// isolates how much of the work the un-folded tail caused.
     pub tail: usize,
+    /// Subtrees the MINDIST-ordered traversal pruned **before their node
+    /// was ever read**: directory entries whose MINDIST exceeded the
+    /// running best distance, plus queued pages discarded after the bound
+    /// shrank past them. 0 for scan fallbacks and plain sphere gathering.
+    pub nodes_pruned: u64,
+    /// Live candidate points whose distance evaluation *started* (streamed
+    /// out of the traversal and past the tombstone filter).
+    pub candidates_examined: usize,
+    /// Evaluations the early-abort kernel cut short because a partial
+    /// lane-block sum already exceeded the running best distance. Each
+    /// abort proves the point cannot be in the answer set.
+    pub candidates_aborted_early: usize,
 }
 
 /// An exact answer: the nearest neighbor, any further requested neighbors,
@@ -190,8 +244,8 @@ pub enum QueryError {
     /// `k == 0` asks for nothing.
     ZeroK,
     /// The query's time budget ran out before an answer was proven (see
-    /// [`crate::QueryEngine::with_deadline`]). The serving layer maps this
-    /// to `503 deadline_exceeded`; retrying with a fresh budget is safe —
+    /// [`Query::with_deadline`]). The serving layer maps this to
+    /// `503 deadline_exceeded`; retrying with a fresh budget is safe —
     /// queries have no side effects.
     DeadlineExceeded,
     /// A radius query's radius is NaN, infinite, or negative; the ball is
@@ -246,6 +300,18 @@ mod tests {
         let q = Query::radius([0.5; 3], 0.4);
         assert_eq!(q.kind(), QueryKind::Radius { radius: 0.4 });
         assert_eq!(q.k(), usize::MAX, "radius queries are unbounded in count");
+    }
+
+    #[test]
+    fn deadline_rides_on_the_query() {
+        let q = Query::nn(vec![0.1, 0.2]);
+        assert_eq!(q.deadline(), None, "no budget by default");
+        let d = std::time::Instant::now() + std::time::Duration::from_millis(5);
+        let q = Query::knn([0.5; 2], 3).with_deadline(d);
+        assert_eq!(q.deadline(), Some(d));
+        // The builder keeps point and kind untouched.
+        assert_eq!(q.k(), 3);
+        assert_eq!(q.point(), &[0.5, 0.5]);
     }
 
     #[test]

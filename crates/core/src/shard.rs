@@ -653,10 +653,11 @@ impl ShardedIndex {
     }
 
     /// [`Self::query`] under an optional time budget: the deadline is
-    /// threaded into every per-shard engine (see
-    /// [`crate::QueryEngine::with_deadline`]), so a budget that runs out
-    /// mid-fan-out surfaces as [`QueryError::DeadlineExceeded`] instead of
-    /// finishing the remaining shards.
+    /// threaded into every per-shard engine (equivalent to stamping
+    /// [`Query::with_deadline`] on the request, without cloning it per
+    /// shard), so a budget that runs out mid-fan-out surfaces as
+    /// [`QueryError::DeadlineExceeded`] instead of finishing the
+    /// remaining shards.
     ///
     /// # Errors
     /// The [`QueryError`] contract of [`Self::query`], plus
@@ -683,10 +684,8 @@ impl ShardedIndex {
             // Sequential per shard: one query has no intra-shard
             // parallelism to exploit, and the fan-out itself is the
             // concurrency story (batch() adds the thread pool).
-            let mut engine = crate::engine::QueryEngine::sequential(snap);
-            if let Some(d) = deadline {
-                engine = engine.with_deadline(d);
-            }
+            let mut engine =
+                crate::engine::QueryEngine::sequential(snap).with_deadline_opt(deadline);
             if let Some(t) = tail_i {
                 engine = engine.with_tail(t);
             }
@@ -763,10 +762,7 @@ impl ShardedIndex {
                 if s.is_empty() && tail_i.is_none() {
                     return None;
                 }
-                let mut engine = s.engine();
-                if let Some(d) = deadline {
-                    engine = engine.with_deadline(d);
-                }
+                let mut engine = s.engine().with_deadline_opt(deadline);
                 if let Some(t) = tail_i {
                     engine = engine.with_tail(t);
                 }
@@ -820,6 +816,9 @@ impl ShardedIndex {
             stats.pages += resp.stats.pages;
             stats.tail += resp.stats.tail;
             stats.fallback |= resp.stats.fallback;
+            stats.nodes_pruned += resp.stats.nodes_pruned;
+            stats.candidates_examined += resp.stats.candidates_examined;
+            stats.candidates_aborted_early += resp.stats.candidates_aborted_early;
             lists.push((shard, resp.into_results()));
         }
         if stats.fallback {

@@ -38,5 +38,5 @@ pub use linear::LinearScan;
 pub use node::{Entry, ItemId, Node, PageId};
 pub use parallel::DeclusteredScan;
 pub use rstar::RStarTree;
-pub use tree::{Neighbor, Tree};
+pub use tree::{BestFirstScratch, Neighbor, TraversalStats, Tree};
 pub use xtree::XTree;

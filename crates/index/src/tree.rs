@@ -1005,6 +1005,94 @@ impl Tree {
         None
     }
 
+    /// MINDIST-ordered best-first traversal that **streams leaf items to
+    /// the caller** while the caller shrinks the pruning bound — the
+    /// candidate-gathering replacement for [`Self::point_query_with`] /
+    /// [`Self::sphere_query_with`] on nearest-neighbor paths (see
+    /// `DESIGN.md` §17).
+    ///
+    /// Pages are expanded in ascending `MINDIST(q, MBR)` order from a
+    /// priority queue \[HS 95\]. When a leaf is expanded, `visit(item)` is
+    /// called for **every** entry it stores — the traversal computes no
+    /// per-item distances; the caller owns item evaluation (typically via
+    /// the early-abort distance kernel) and returns the current pruning
+    /// bound as a *squared* distance in the tree's Euclidean geometry:
+    ///
+    /// * `f64::INFINITY` — no bound yet; nothing is pruned.
+    /// * any non-negative value `b²` — directory entries and queued pages
+    ///   with `MINDIST² > b²` are pruned (strict: equality is expanded, so
+    ///   ties on the bound are never lost).
+    /// * any negative value — abort the whole traversal (deadline hit);
+    ///   remaining queued pages are counted as pruned and the walk stops.
+    ///
+    /// Exactness: the bound may only *shrink* over the traversal (the
+    /// caller's running best can only improve), every skipped subtree had
+    /// `MINDIST² > b²` against a bound that was already valid, and
+    /// `MINDIST` lower-bounds the distance to anything inside the MBR —
+    /// so no item within the final bound is ever missed. The traversal
+    /// terminates early once the closest queued page is beyond the bound
+    /// (a min-heap pop ordering makes that a global statement).
+    ///
+    /// Returns the page count (supernodes bill their span) and the number
+    /// of subtrees pruned before their node was ever read. The heap lives
+    /// in the caller's [`BestFirstScratch`]; a warmed-up scratch makes the
+    /// traversal allocation-free.
+    pub fn best_first_stream_with<F>(
+        &self,
+        q: &[f64],
+        scratch: &mut BestFirstScratch,
+        mut visit: F,
+    ) -> TraversalStats
+    where
+        F: FnMut(ItemId) -> f64,
+    {
+        let mut stats = TraversalStats::default();
+        scratch.heap.clear();
+        if self.len == 0 {
+            return stats;
+        }
+        let mut bound = f64::INFINITY;
+        scratch.heap.push(PageSlot {
+            key: 0.0,
+            page: self.root,
+        });
+        'walk: while let Some(slot) = scratch.heap.pop() {
+            self.cost.cpu(1);
+            if slot.key > bound {
+                // Min-heap: every page still queued is at least this far
+                // out, so the whole frontier is pruned in one step.
+                stats.nodes_pruned += 1 + scratch.heap.len() as u64;
+                break;
+            }
+            self.touch(slot.page);
+            let n = self.node(slot.page);
+            stats.pages += n.span as u64;
+            self.cost.cpu(n.entries.len() as u64);
+            if n.is_leaf() {
+                for e in &n.entries {
+                    bound = visit(e.item_id());
+                    if bound < 0.0 {
+                        stats.nodes_pruned += scratch.heap.len() as u64;
+                        break 'walk;
+                    }
+                }
+            } else {
+                for e in &n.entries {
+                    let d2 = e.mbr.min_dist_sq(q);
+                    if d2 > bound {
+                        stats.nodes_pruned += 1;
+                        continue;
+                    }
+                    scratch.heap.push(PageSlot {
+                        key: d2,
+                        page: e.child_id(),
+                    });
+                }
+            }
+        }
+        stats
+    }
+
     /// Best-first (priority-queue) nearest-neighbor search \[HS 95\].
     pub fn nn_best_first(&self, q: &[f64]) -> Option<Neighbor> {
         self.knn_best_first(q, 1).into_iter().next()
@@ -1308,6 +1396,54 @@ impl Tree {
     }
 }
 
+/// Counters of one [`Tree::best_first_stream_with`] traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Simulated pages read (supernodes bill their span).
+    pub pages: u64,
+    /// Subtrees pruned by the caller's bound before their node was read:
+    /// directory entries never queued plus queued pages discarded after
+    /// the bound shrank below their MINDIST.
+    pub nodes_pruned: u64,
+}
+
+/// Reusable priority-queue scratch for [`Tree::best_first_stream_with`].
+/// The heap grows to a high-water mark and is then reused
+/// allocation-free; one scratch must not be shared between threads.
+#[derive(Default)]
+pub struct BestFirstScratch {
+    heap: BinaryHeap<PageSlot>,
+}
+
+impl BestFirstScratch {
+    /// A fresh (cold) scratch; the heap is allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One queued page of the best-first traversal, min-ordered by MINDIST².
+#[derive(PartialEq)]
+struct PageSlot {
+    key: f64,
+    page: PageId,
+}
+
+impl Eq for PageSlot {}
+
+impl PartialOrd for PageSlot {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+impl Ord for PageSlot {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap by key inside std's max-heap.
+        o.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
 /// Total-ordered f64 for the kth-best bound heap (max-heap by value).
 #[derive(PartialEq)]
 struct OrderedF64(f64);
@@ -1433,6 +1569,61 @@ mod tests {
                 assert!((dist_sq(q, &pts[n.id as usize]).sqrt() - n.dist).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn best_first_stream_matches_scan_and_prunes() {
+        for policy in [SplitPolicy::RStar, SplitPolicy::XTree] {
+            let pts = points(600, 6, 11);
+            let t = build(policy, &pts);
+            let queries = points(40, 6, 12);
+            let mut scratch = BestFirstScratch::new();
+            let mut any_pruned = false;
+            for q in &queries {
+                // Caller-side exact 1-NN: evaluate every streamed item,
+                // shrink the bound to the best squared distance seen.
+                let mut best: Option<(ItemId, f64)> = None;
+                let mut visited = 0usize;
+                let stats = t.best_first_stream_with(q, &mut scratch, |id| {
+                    visited += 1;
+                    let d2 = dist_sq(q, &pts[id as usize]);
+                    if best.is_none_or(|(_, b)| d2 < b) {
+                        best = Some((id, d2));
+                    }
+                    best.map(|(_, b)| b).unwrap_or(f64::INFINITY)
+                });
+                let scan = (0..pts.len())
+                    .min_by(|&a, &b| {
+                        dist_sq(q, &pts[a])
+                            .partial_cmp(&dist_sq(q, &pts[b]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                assert_eq!(best.unwrap().0, scan as ItemId, "{policy:?}");
+                assert!(stats.pages > 0);
+                assert!(
+                    visited < pts.len(),
+                    "{policy:?}: MINDIST ordering should not visit every point"
+                );
+                any_pruned |= stats.nodes_pruned > 0;
+            }
+            assert!(any_pruned, "{policy:?}: bound never pruned a subtree");
+        }
+    }
+
+    #[test]
+    fn best_first_stream_negative_bound_aborts() {
+        let pts = points(300, 4, 13);
+        let t = build(SplitPolicy::XTree, &pts);
+        let mut scratch = BestFirstScratch::new();
+        let mut visited = 0usize;
+        let stats = t.best_first_stream_with(&pts[0], &mut scratch, |_| {
+            visited += 1;
+            f64::NEG_INFINITY
+        });
+        // One leaf expanded, first item visited, then the walk stops.
+        assert_eq!(visited, 1);
+        assert!(stats.pages < t.total_pages());
     }
 
     #[test]

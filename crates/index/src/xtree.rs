@@ -11,7 +11,11 @@ use std::ops::Deref;
 /// supernode overflow cascade, keeping the directory as overlap-free as the
 /// data permits.
 ///
-/// Dereferences to [`Tree`], so every query of the core is available.
+/// Dereferences to [`Tree`], so every query of the core is available. For
+/// nearest-neighbor candidate gathering prefer the streaming MINDIST-ordered
+/// traversal ([`Tree::best_first_stream_with`]) over the point/sphere batch
+/// queries: it expands pages best-first and lets the caller's shrinking
+/// distance bound prune whole subtrees before they are ever read.
 #[derive(Clone)]
 pub struct XTree {
     inner: Tree,

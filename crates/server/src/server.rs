@@ -119,34 +119,43 @@ impl ServeIndex {
         }
     }
 
-    fn query(&self, q: &Query, deadline: Instant) -> Result<QueryResponse, QueryError> {
+    /// The admission deadline is stamped onto the (server-owned) query via
+    /// [`Query::with_deadline`]; the sharded index takes it as a fan-out
+    /// argument instead so it is applied once, not cloned per shard.
+    fn query(&self, q: Query, deadline: Instant) -> Result<QueryResponse, QueryError> {
         match self {
-            ServeIndex::Sharded(s) => s.query_with_deadline(q, Some(deadline)),
+            ServeIndex::Sharded(s) => s.query_with_deadline(&q, Some(deadline)),
             ServeIndex::Durable(m) => {
                 let g = lock(m);
-                QueryEngine::sequential(g.index())
-                    .with_deadline(deadline)
-                    .execute(q)
+                QueryEngine::sequential(g.index()).execute(&q.with_deadline(deadline))
             }
-            ServeIndex::Plain(i) => QueryEngine::sequential(i).with_deadline(deadline).execute(q),
+            ServeIndex::Plain(i) => {
+                QueryEngine::sequential(i).execute(&q.with_deadline(deadline))
+            }
         }
     }
 
     fn batch(
         &self,
-        queries: &[Query],
+        queries: Vec<Query>,
         deadline: Instant,
     ) -> Vec<Result<QueryResponse, QueryError>> {
         match self {
-            ServeIndex::Sharded(s) => s.batch_with_deadline(queries, Some(deadline)),
+            ServeIndex::Sharded(s) => s.batch_with_deadline(&queries, Some(deadline)),
             ServeIndex::Durable(m) => {
                 let g = lock(m);
-                let engine = QueryEngine::sequential(g.index()).with_deadline(deadline);
-                queries.iter().map(|q| engine.execute(q)).collect()
+                let engine = QueryEngine::sequential(g.index());
+                queries
+                    .into_iter()
+                    .map(|q| engine.execute(&q.with_deadline(deadline)))
+                    .collect()
             }
             ServeIndex::Plain(i) => {
-                let engine = QueryEngine::sequential(i).with_deadline(deadline);
-                queries.iter().map(|q| engine.execute(q)).collect()
+                let engine = QueryEngine::sequential(i);
+                queries
+                    .into_iter()
+                    .map(|q| engine.execute(&q.with_deadline(deadline)))
+                    .collect()
             }
         }
     }
@@ -834,8 +843,14 @@ fn render_response(resp: &QueryResponse) -> String {
         ));
     }
     out.push_str(&format!(
-        "],\"stats\":{{\"candidates\":{},\"pages\":{},\"fallback\":{}}}}}",
-        resp.stats.candidates, resp.stats.pages, resp.stats.fallback
+        "],\"stats\":{{\"candidates\":{},\"pages\":{},\"fallback\":{},\
+         \"nodes_pruned\":{},\"examined\":{},\"aborted_early\":{}}}}}",
+        resp.stats.candidates,
+        resp.stats.pages,
+        resp.stats.fallback,
+        resp.stats.nodes_pruned,
+        resp.stats.candidates_examined,
+        resp.stats.candidates_aborted_early
     ));
     out
 }
@@ -861,7 +876,7 @@ fn handle_query(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
     drop(parse_span);
     let handled = {
         let _span = nncell_obs::trace::child("server.handle");
-        shared.index.query(&q, deadline)
+        shared.index.query(q.clone(), deadline)
     };
     let mut reply = match handled {
         Ok(resp) => {
@@ -893,7 +908,7 @@ fn handle_batch(shared: &Arc<Shared>, body: &[u8], deadline: Instant) -> Reply {
     let results = {
         let mut span = nncell_obs::trace::child("server.handle");
         span.arg("queries", queries.len() as u64);
-        shared.index.batch(&queries, deadline)
+        shared.index.batch(queries, deadline)
     };
     let _span = nncell_obs::trace::child("server.serialize");
     let mut out = String::from("{\"results\":[");
